@@ -1,0 +1,118 @@
+// Experiment P1 (DESIGN.md): chase throughput as the instance and the
+// dependency set grow — the substrate cost model behind every other
+// experiment.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "relational/instance_enum.h"
+#include "workload/paper_catalog.h"
+#include "workload/random_mappings.h"
+
+namespace qimap {
+
+void PrintReport() {
+  bench::Banner("P1", "Chase scaling (substrate microbenchmarks)");
+  std::printf(
+      "  Measures chase cost vs source size, dependency count, and\n"
+      "  existential width; no paper counterpart (the paper is "
+      "theoretical).\n\n");
+}
+
+void BM_ChaseVsSourceSize(benchmark::State& state) {
+  SchemaMapping m = catalog::Decomposition();
+  Rng rng(1);
+  std::vector<std::string> names;
+  for (int i = 0; i < 8; ++i) names.push_back("c" + std::to_string(i));
+  Instance i = RandomGroundInstance(m.source, MakeDomain(names),
+                                    static_cast<size_t>(state.range(0)),
+                                    &rng);
+  for (auto _ : state) {
+    Result<Instance> u = Chase(i, m);
+    benchmark::DoNotOptimize(u.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(i.NumFacts()));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChaseVsSourceSize)->RangeMultiplier(2)->Range(4, 512)
+    ->Complexity();
+
+void BM_ChaseVsNumTgds(benchmark::State& state) {
+  Rng rng(2);
+  RandomMappingConfig config;
+  config.num_source_relations = 3;
+  config.num_target_relations = 3;
+  config.num_tgds = static_cast<size_t>(state.range(0));
+  SchemaMapping m = RandomMapping(&rng, config);
+  Instance i = RandomGroundInstance(m.source, MakeDomain({"a", "b", "c"}),
+                                    10, &rng);
+  for (auto _ : state) {
+    Result<Instance> u = Chase(i, m);
+    benchmark::DoNotOptimize(u.ok());
+  }
+}
+BENCHMARK(BM_ChaseVsNumTgds)->RangeMultiplier(2)->Range(1, 16);
+
+void BM_ChaseJoinLhs(benchmark::State& state) {
+  // Prop 3.12's two-atom lhs on a dense random digraph: quadratic match
+  // enumeration.
+  SchemaMapping m = catalog::Prop312();
+  Rng rng(3);
+  std::vector<std::string> names;
+  for (int i = 0; i < state.range(0); ++i) {
+    names.push_back("v" + std::to_string(i));
+  }
+  Instance i = RandomGroundInstance(
+      m.source, MakeDomain(names),
+      static_cast<size_t>(state.range(0)) * 2, &rng);
+  for (auto _ : state) {
+    Result<Instance> u = Chase(i, m);
+    benchmark::DoNotOptimize(u.ok());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChaseJoinLhs)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_ChaseExistentialWidth(benchmark::State& state) {
+  // One tgd with a growing number of existential variables in its head.
+  Schema source;
+  Result<RelationId> p = source.AddRelation("P", 1);
+  (void)p;
+  Schema target;
+  uint32_t width = static_cast<uint32_t>(state.range(0));
+  Result<RelationId> t = target.AddRelation("T", width + 1);
+  (void)t;
+  SchemaMapping m;
+  m.source = std::make_shared<const Schema>(std::move(source));
+  m.target = std::make_shared<const Schema>(std::move(target));
+  Tgd tgd;
+  tgd.lhs.push_back(Atom{0, {Value::MakeVariable("x")}});
+  Atom head{0, {Value::MakeVariable("x")}};
+  for (uint32_t k = 0; k < width; ++k) {
+    head.args.push_back(Value::MakeVariable("y" + std::to_string(k)));
+  }
+  tgd.rhs.push_back(head);
+  m.tgds.push_back(tgd);
+  Instance i(m.source);
+  for (int k = 0; k < 64; ++k) {
+    Status status =
+        i.AddFact("P", {Value::MakeConstant("c" + std::to_string(k))});
+    (void)status;
+  }
+  for (auto _ : state) {
+    Result<Instance> u = Chase(i, m);
+    benchmark::DoNotOptimize(u.ok());
+  }
+}
+BENCHMARK(BM_ChaseExistentialWidth)->RangeMultiplier(2)->Range(1, 16);
+
+}  // namespace qimap
+
+int main(int argc, char** argv) {
+  qimap::PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Experiment P2 (DESIGN.md): disjunctive-chase tree growth — leaves and
+// steps as a function of the number of disjunctive matches (Definition
+// 6.4's chase tree is exponential in the branching matches).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "chase/disjunctive_chase.h"
+#include "dependency/parser.h"
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+
+void PrintReport() {
+  bench::Banner("P2", "Disjunctive chase tree growth");
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = catalog::UnionQuasiInverseDisjunctive(m);
+  std::printf("  leaves of chase_Sigma'(U) for U = {S(v1)...S(vn)}:\n");
+  for (int n = 1; n <= 6; ++n) {
+    Instance u(m.target);
+    for (int k = 0; k < n; ++k) {
+      Status status =
+          u.AddFact("S", {Value::MakeConstant("v" + std::to_string(k))});
+      (void)status;
+    }
+    DisjunctiveChaseStats stats;
+    Result<std::vector<Instance>> leaves =
+        DisjunctiveChase(u, rev, {}, &stats);
+    if (!leaves.ok()) break;
+    bench::Row("n = " + std::to_string(n), "2^n = " +
+               std::to_string(1u << n),
+               std::to_string(stats.leaves) + " leaves, " +
+                   std::to_string(stats.steps) + " steps");
+  }
+  std::printf("\n");
+}
+
+void BM_DisjunctiveChaseBranching(benchmark::State& state) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = catalog::UnionQuasiInverseDisjunctive(m);
+  Instance u(m.target);
+  for (int k = 0; k < state.range(0); ++k) {
+    Status status =
+        u.AddFact("S", {Value::MakeConstant("v" + std::to_string(k))});
+    (void)status;
+  }
+  for (auto _ : state) {
+    Result<std::vector<Instance>> leaves = DisjunctiveChase(u, rev);
+    benchmark::DoNotOptimize(leaves.ok());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DisjunctiveChaseBranching)->DenseRange(1, 9)->Complexity();
+
+void BM_DisjunctiveChaseNoBranching(benchmark::State& state) {
+  // Contrast: a single-disjunct reverse mapping is linear.
+  SchemaMapping m = catalog::Decomposition();
+  ReverseMapping rev = catalog::DecompositionQuasiInverseSplit(m);
+  Instance u(m.target);
+  for (int k = 0; k < state.range(0); ++k) {
+    std::string a = "a" + std::to_string(k);
+    std::string b = "b" + std::to_string(k);
+    Status s1 = u.AddFact("Q", {Value::MakeConstant(a),
+                                Value::MakeConstant(b)});
+    Status s2 = u.AddFact("R", {Value::MakeConstant(b),
+                                Value::MakeConstant(a)});
+    (void)s1;
+    (void)s2;
+  }
+  for (auto _ : state) {
+    Result<std::vector<Instance>> leaves = DisjunctiveChase(u, rev);
+    benchmark::DoNotOptimize(leaves.ok());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DisjunctiveChaseNoBranching)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity();
+
+void BM_DisjunctiveChaseGuards(benchmark::State& state) {
+  // Constant(x) guards prune null matches: half the U facts are nulls.
+  SchemaMapping m = catalog::Projection();
+  ReverseMapping rev = MustParseReverseMapping(
+      m, "Q(x) & Constant(x) -> exists y: P(x,y)");
+  Instance u(m.target);
+  for (int k = 0; k < state.range(0); ++k) {
+    Status s1 = u.AddFact("Q", {Value::MakeConstant("c" +
+                                                    std::to_string(k))});
+    Status s2 =
+        u.AddFact("Q", {Value::MakeNull(static_cast<uint32_t>(k + 1))});
+    (void)s1;
+    (void)s2;
+  }
+  for (auto _ : state) {
+    Result<std::vector<Instance>> leaves = DisjunctiveChase(u, rev);
+    benchmark::DoNotOptimize(leaves.ok());
+  }
+}
+BENCHMARK(BM_DisjunctiveChaseGuards)->RangeMultiplier(2)->Range(2, 32);
+
+}  // namespace qimap
+
+int main(int argc, char** argv) {
+  qimap::PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

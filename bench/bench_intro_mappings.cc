@@ -1,0 +1,143 @@
+// Experiment E2 (DESIGN.md): Section 1 — the Projection, Union, and
+// Decomposition mappings are not invertible (unique-solutions violations)
+// but every quasi-inverse the paper quotes for them verifies; also the
+// robustness claim (adding a source relation preserves quasi-inverses).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/framework.h"
+#include "dependency/parser.h"
+#include "relational/instance_enum.h"
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+
+namespace {
+BoundedSpace Space() { return {MakeDomain({"a", "b"}), 2}; }
+}  // namespace
+
+void PrintReport() {
+  bench::Banner("E2",
+                "Section 1: motivating mappings — invertibility vs "
+                "quasi-invertibility");
+  bool all_ok = true;
+
+  struct Entry {
+    const char* name;
+    SchemaMapping mapping;
+    std::vector<std::pair<const char*, ReverseMapping>> reverses;
+  };
+  SchemaMapping projection = catalog::Projection();
+  SchemaMapping union_m = catalog::Union();
+  SchemaMapping decomposition = catalog::Decomposition();
+  std::vector<Entry> entries;
+  entries.push_back(
+      {"Projection", projection,
+       {{"Q(x) -> exists y: P(x,y)",
+         catalog::ProjectionQuasiInverse(projection)}}});
+  entries.push_back(
+      {"Union", union_m,
+       {{"S(x) -> P(x) | Q(x)",
+         catalog::UnionQuasiInverseDisjunctive(union_m)},
+        {"S(x) -> P(x)", catalog::UnionQuasiInverseP(union_m)},
+        {"S(x) -> Q(x)", catalog::UnionQuasiInverseQ(union_m)},
+        {"S(x) -> P(x) & Q(x)", catalog::UnionQuasiInverseBoth(union_m)}}});
+  entries.push_back(
+      {"Decomposition", decomposition,
+       {{"Q(x,y) & R(y,z) -> P(x,y,z)",
+         catalog::DecompositionQuasiInverseJoin(decomposition)},
+        {"split into two tgds",
+         catalog::DecompositionQuasiInverseSplit(decomposition)}}});
+
+  for (Entry& entry : entries) {
+    FrameworkChecker checker(entry.mapping, Space());
+    Result<BoundedCheckReport> unique = checker.CheckUniqueSolutions();
+    if (!unique.ok()) continue;
+    bench::Row(std::string(entry.name) + ": has an inverse", "no",
+               bench::YesNo(unique->holds));
+    all_ok = all_ok && !unique->holds;
+    if (unique->counterexample.has_value()) {
+      bench::Artifact("same solutions: {" +
+                      unique->counterexample->i1.ToString() + "} and {" +
+                      unique->counterexample->i2.ToString() + "}");
+    }
+    for (auto& [text, rev] : entry.reverses) {
+      Result<BoundedCheckReport> verdict = checker.CheckGeneralizedInverse(
+          rev, EquivKind::kSimM, EquivKind::kSimM);
+      if (!verdict.ok()) continue;
+      bench::Row(std::string(entry.name) + ": quasi-inverse " + text,
+                 "yes", bench::YesNo(verdict->holds));
+      all_ok = all_ok && verdict->holds;
+    }
+  }
+
+  // Robustness (Section 1): augmenting the source schema of an invertible
+  // mapping destroys invertibility but every old inverse remains a
+  // quasi-inverse of the extended mapping.
+  SchemaMapping extended = MustParseMapping(
+      "P/2, Z/1", "Q/2", "P(x,y) -> exists z: Q(x,z) & Q(z,y)");
+  ReverseMapping old_inverse = MustParseReverseMapping(
+      extended, "Q(x,z) & Q(z,y) & Constant(x) & Constant(y) -> P(x,y)");
+  FrameworkChecker ext_checker(extended, Space());
+  Result<BoundedCheckReport> ext_unique = ext_checker.CheckUniqueSolutions();
+  Result<BoundedCheckReport> still_quasi = ext_checker.CheckGeneralizedInverse(
+      old_inverse, EquivKind::kSimM, EquivKind::kSimM);
+  Result<BoundedCheckReport> still_inverse =
+      ext_checker.CheckGeneralizedInverse(old_inverse, EquivKind::kEquality,
+                                          EquivKind::kEquality);
+  if (ext_unique.ok() && still_quasi.ok() && still_inverse.ok()) {
+    bench::Row("M* = Thm4.8 mapping + unused source relation: invertible",
+               "no", bench::YesNo(ext_unique->holds));
+    bench::Row("old inverse still an inverse of M*", "no",
+               bench::YesNo(still_inverse->holds));
+    bench::Row("old inverse is a quasi-inverse of M*", "yes",
+               bench::YesNo(still_quasi->holds));
+    all_ok = all_ok && !ext_unique->holds && !still_inverse->holds &&
+             still_quasi->holds;
+  }
+  bench::Verdict(all_ok);
+}
+
+void BM_UniqueSolutionsCheckProjection(benchmark::State& state) {
+  SchemaMapping m = catalog::Projection();
+  for (auto _ : state) {
+    FrameworkChecker checker(m, Space());
+    Result<BoundedCheckReport> report = checker.CheckUniqueSolutions();
+    benchmark::DoNotOptimize(report.ok());
+  }
+}
+BENCHMARK(BM_UniqueSolutionsCheckProjection);
+
+void BM_QuasiInverseCheckUnion(benchmark::State& state) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = catalog::UnionQuasiInverseDisjunctive(m);
+  for (auto _ : state) {
+    FrameworkChecker checker(m, Space());
+    Result<BoundedCheckReport> report = checker.CheckGeneralizedInverse(
+        rev, EquivKind::kSimM, EquivKind::kSimM);
+    benchmark::DoNotOptimize(report.ok());
+  }
+}
+BENCHMARK(BM_QuasiInverseCheckUnion);
+
+void BM_QuasiInverseCheckDecomposition(benchmark::State& state) {
+  SchemaMapping m = catalog::Decomposition();
+  ReverseMapping rev = catalog::DecompositionQuasiInverseJoin(m);
+  for (auto _ : state) {
+    FrameworkChecker checker(m, Space());
+    Result<BoundedCheckReport> report = checker.CheckGeneralizedInverse(
+        rev, EquivKind::kSimM, EquivKind::kSimM);
+    benchmark::DoNotOptimize(report.ok());
+  }
+}
+BENCHMARK(BM_QuasiInverseCheckDecomposition);
+
+}  // namespace qimap
+
+int main(int argc, char** argv) {
+  qimap::PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Experiment X4 (extensions): recovery analysis — the follow-up notion
+// to quasi-inverses (Arenas-Pérez-Riveros, PODS 2008). Shows
+// mechanically that quasi-inverses and recoveries are incomparable
+// notions, that every QuasiInverse-algorithm output is a recovery, and
+// ranks the paper's four Union quasi-inverses by informativeness.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/quasi_inverse.h"
+#include "core/recovery.h"
+#include "relational/instance_enum.h"
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+
+namespace {
+BoundedSpace Space() { return {MakeDomain({"a", "b"}), 2}; }
+}  // namespace
+
+void PrintReport() {
+  bench::Banner("X4", "Extensions: recovery analysis");
+  bool all_ok = true;
+
+  SchemaMapping union_m = catalog::Union();
+  struct Entry {
+    const char* name;
+    ReverseMapping rev;
+    bool expect_recovery;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"S(x) -> P(x) | Q(x)",
+                     catalog::UnionQuasiInverseDisjunctive(union_m), true});
+  entries.push_back(
+      {"S(x) -> P(x)", catalog::UnionQuasiInverseP(union_m), false});
+  entries.push_back(
+      {"S(x) -> Q(x)", catalog::UnionQuasiInverseQ(union_m), false});
+  entries.push_back({"S(x) -> P(x) & Q(x)",
+                     catalog::UnionQuasiInverseBoth(union_m), false});
+  for (Entry& entry : entries) {
+    Result<BoundedCheckReport> report =
+        CheckRecovery(union_m, entry.rev, Space());
+    if (!report.ok()) continue;
+    bench::Row(std::string("Union quasi-inverse ") + entry.name +
+                   ": recovery",
+               entry.expect_recovery ? "yes" : "no",
+               bench::YesNo(report->holds));
+    all_ok = all_ok && report->holds == entry.expect_recovery;
+  }
+  std::printf(
+      "  (all four verify as quasi-inverses — E2 — so the two notions\n"
+      "   are incomparable, as the 2008 follow-up paper observes)\n");
+
+  // Informativeness order: Both > {P-only, Q-only} > Disjunctive.
+  Result<bool> both_over_p = AtLeastAsInformative(
+      union_m, catalog::UnionQuasiInverseBoth(union_m),
+      catalog::UnionQuasiInverseP(union_m), Space());
+  Result<bool> p_over_disj = AtLeastAsInformative(
+      union_m, catalog::UnionQuasiInverseP(union_m),
+      catalog::UnionQuasiInverseDisjunctive(union_m), Space());
+  Result<bool> p_vs_q = AtLeastAsInformative(
+      union_m, catalog::UnionQuasiInverseP(union_m),
+      catalog::UnionQuasiInverseQ(union_m), Space());
+  if (both_over_p.ok() && p_over_disj.ok() && p_vs_q.ok()) {
+    bench::Row("informativeness: P&Q ≥ P", "yes",
+               bench::YesNo(*both_over_p));
+    bench::Row("informativeness: P ≥ (P|Q)", "yes",
+               bench::YesNo(*p_over_disj));
+    bench::Row("informativeness: P vs Q comparable", "no",
+               bench::YesNo(*p_vs_q));
+    all_ok = all_ok && *both_over_p && *p_over_disj && !*p_vs_q;
+  }
+
+  // Every algorithm output is a recovery.
+  size_t recoveries = 0;
+  size_t candidates = 0;
+  std::vector<std::pair<std::string, SchemaMapping>> all =
+      catalog::AllMappings();
+  for (auto& [name, m] : all) {
+    if (name == "Prop3.12") continue;
+    Result<ReverseMapping> rev = QuasiInverse(m);
+    if (!rev.ok()) continue;
+    ++candidates;
+    Result<BoundedCheckReport> report = CheckRecovery(m, *rev, Space());
+    if (report.ok() && report->holds) ++recoveries;
+  }
+  bench::Row("QuasiInverse outputs that are recoveries",
+             std::to_string(candidates) + "/" + std::to_string(candidates),
+             std::to_string(recoveries) + "/" +
+                 std::to_string(candidates));
+  all_ok = all_ok && recoveries == candidates;
+  bench::Verdict(all_ok);
+}
+
+void BM_RecoveryCheckUnion(benchmark::State& state) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = catalog::UnionQuasiInverseDisjunctive(m);
+  for (auto _ : state) {
+    Result<BoundedCheckReport> report = CheckRecovery(m, rev, Space());
+    benchmark::DoNotOptimize(report.ok());
+  }
+}
+BENCHMARK(BM_RecoveryCheckUnion);
+
+void BM_InformativenessComparison(benchmark::State& state) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping a = catalog::UnionQuasiInverseBoth(m);
+  ReverseMapping b = catalog::UnionQuasiInverseDisjunctive(m);
+  for (auto _ : state) {
+    Result<bool> result = AtLeastAsInformative(m, a, b, Space());
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_InformativenessComparison);
+
+}  // namespace qimap
+
+int main(int argc, char** argv) {
+  qimap::PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Experiment E12 (DESIGN.md): Theorems 6.7 and 6.8 — every catalog
+// quasi-inverse in the inequalities-among-constants language is sound,
+// and every QuasiInverse output is faithful, swept over randomized ground
+// instances of growing size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/quasi_inverse.h"
+#include "core/soundness.h"
+#include "relational/instance_enum.h"
+#include "workload/paper_catalog.h"
+#include "workload/random_mappings.h"
+
+namespace qimap {
+
+void PrintReport() {
+  bench::Banner("E12",
+                "Theorems 6.7/6.8: soundness and faithfulness in data "
+                "exchange");
+  bool all_ok = true;
+
+  // Hand-stated catalog quasi-inverses: soundness (Thm 6.7).
+  struct Case {
+    std::string label;
+    SchemaMapping mapping;
+    ReverseMapping reverse;
+  };
+  SchemaMapping projection = catalog::Projection();
+  SchemaMapping union_m = catalog::Union();
+  SchemaMapping decomposition = catalog::Decomposition();
+  std::vector<Case> cases;
+  cases.push_back({"Projection / paper quasi-inverse", projection,
+                   catalog::ProjectionQuasiInverse(projection)});
+  cases.push_back({"Union / disjunctive quasi-inverse", union_m,
+                   catalog::UnionQuasiInverseDisjunctive(union_m)});
+  cases.push_back({"Decomposition / M'", decomposition,
+                   catalog::DecompositionQuasiInverseJoin(decomposition)});
+  cases.push_back({"Decomposition / M''", decomposition,
+                   catalog::DecompositionQuasiInverseSplit(decomposition)});
+
+  const size_t kInstances = 20;
+  for (Case& c : cases) {
+    size_t sound = 0;
+    size_t faithful = 0;
+    Rng rng(4242);
+    for (size_t k = 0; k < kInstances; ++k) {
+      Instance i = RandomGroundInstance(
+          c.mapping.source, MakeDomain({"a", "b", "c"}), 1 + k % 5, &rng);
+      Result<RoundTrip> trip = CheckRoundTrip(c.mapping, c.reverse, i);
+      if (!trip.ok()) continue;
+      if (trip->sound) ++sound;
+      if (trip->faithful) ++faithful;
+    }
+    bench::Row(c.label + ": sound (Thm 6.7)",
+               std::to_string(kInstances) + "/" + std::to_string(kInstances),
+               std::to_string(sound) + "/" + std::to_string(kInstances));
+    all_ok = all_ok && sound == kInstances;
+  }
+
+  // QuasiInverse outputs: faithfulness (Thm 6.8), across quasi-invertible
+  // catalog entries.
+  std::vector<std::pair<std::string, SchemaMapping>> all =
+      catalog::AllMappings();
+  for (auto& [name, m] : all) {
+    if (name == "Prop3.12") continue;  // no quasi-inverse exists
+    Result<ReverseMapping> rev = QuasiInverse(m);
+    if (!rev.ok()) continue;
+    size_t faithful = 0;
+    Rng rng(999);
+    for (size_t k = 0; k < kInstances; ++k) {
+      Instance i = RandomGroundInstance(m.source, MakeDomain({"a", "b", "c"}),
+                                        1 + k % 4, &rng);
+      Result<RoundTrip> trip = CheckRoundTrip(m, *rev, i);
+      if (trip.ok() && trip->faithful) ++faithful;
+    }
+    bench::Row("QuasiInverse(" + name + ") faithful (Thm 6.8)",
+               std::to_string(kInstances) + "/" + std::to_string(kInstances),
+               std::to_string(faithful) + "/" + std::to_string(kInstances));
+    all_ok = all_ok && faithful == kInstances;
+  }
+  bench::Verdict(all_ok);
+}
+
+void BM_RoundTripVsInstanceSize(benchmark::State& state) {
+  SchemaMapping m = catalog::Decomposition();
+  ReverseMapping rev = catalog::DecompositionQuasiInverseJoin(m);
+  Rng rng(7);
+  Instance i = RandomGroundInstance(m.source,
+                                    MakeDomain({"a", "b", "c", "d"}),
+                                    static_cast<size_t>(state.range(0)),
+                                    &rng);
+  for (auto _ : state) {
+    Result<RoundTrip> trip = CheckRoundTrip(m, rev, i);
+    benchmark::DoNotOptimize(trip.ok());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RoundTripVsInstanceSize)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Complexity();
+
+void BM_FaithfulnessCheckQuasiInverseOutput(benchmark::State& state) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = MustQuasiInverse(m);
+  Rng rng(13);
+  Instance i = RandomGroundInstance(m.source, MakeDomain({"a", "b", "c"}),
+                                    static_cast<size_t>(state.range(0)),
+                                    &rng);
+  for (auto _ : state) {
+    Result<RoundTrip> trip = CheckRoundTrip(m, rev, i);
+    benchmark::DoNotOptimize(trip.ok());
+  }
+}
+BENCHMARK(BM_FaithfulnessCheckQuasiInverseOutput)->DenseRange(1, 5);
+
+}  // namespace qimap
+
+int main(int argc, char** argv) {
+  qimap::PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

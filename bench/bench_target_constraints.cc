@@ -1,0 +1,147 @@
+// Experiment X3 (extensions): data exchange with target constraints —
+// the full setting of the paper's foundation [4]: target tgds (with the
+// weak-acyclicity termination test) and egds (with chase failure).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "chase/target_chase.h"
+#include "core/weak_acyclicity.h"
+#include "dependency/parser.h"
+#include "relational/instance_enum.h"
+
+namespace qimap {
+
+void PrintReport() {
+  bench::Banner("X3",
+                "Extensions: target constraints (tgds + egds, the [4] "
+                "setting)");
+  bool all_ok = true;
+
+  // Weak acyclicity verdicts.
+  {
+    SchemaPtr schema = MakeSchema("E/2");
+    TargetConstraints closure = MustParseTargetConstraints(
+        *schema, "E(x,y) & E(y,z) -> E(x,z)");
+    TargetConstraints divergent = MustParseTargetConstraints(
+        *schema, "E(x,y) -> exists z: E(y,z)");
+    bool wa_closure = IsWeaklyAcyclic(closure.tgds, *schema);
+    bool wa_divergent = IsWeaklyAcyclic(divergent.tgds, *schema);
+    bench::Row("transitive closure weakly acyclic", "yes",
+               bench::YesNo(wa_closure));
+    bench::Row("E(x,y) -> exists z: E(y,z) weakly acyclic", "no",
+               bench::YesNo(wa_divergent));
+    all_ok = all_ok && wa_closure && !wa_divergent;
+  }
+
+  // Egd merge and failure.
+  {
+    SchemaMapping m = MustParseMapping(
+        "Emp/2", "Works/2, Dept/2",
+        "Emp(e,d) -> exists u: Works(e,u) & Dept(e,d)");
+    TargetConstraints constraints = MustParseTargetConstraints(
+        *m.target, "Works(e,u) & Dept(e,d) -> u = d");
+    Instance i = MustParseInstance(m.source, "Emp(alice,sales)");
+    Result<TargetChaseResult> merged =
+        ChaseWithTargetConstraints(i, m, constraints);
+    bench::Row("egd resolves the invented null",
+               "Works(alice,sales)",
+               merged.ok() && !merged->failed
+                   ? merged->solution.ToString()
+                   : "error");
+    all_ok = all_ok && merged.ok() && !merged->failed &&
+             merged->solution.ToString() ==
+                 "Dept(alice,sales), Works(alice,sales)";
+
+    SchemaMapping key_m = MustParseMapping("Emp/2", "Works/2",
+                                           "Emp(e,d) -> Works(e,d)");
+    TargetConstraints key = MustParseTargetConstraints(
+        *key_m.target, "Works(e,d) & Works(e,d2) -> d = d2");
+    Instance conflict =
+        MustParseInstance(key_m.source, "Emp(alice,sales), Emp(alice,hr)");
+    Result<TargetChaseResult> failed =
+        ChaseWithTargetConstraints(conflict, key_m, key);
+    bench::Row("key violation -> no solution (chase failure)", "fails",
+               failed.ok() && failed->failed ? "fails" : "unexpected");
+    all_ok = all_ok && failed.ok() && failed->failed;
+  }
+  bench::Verdict(all_ok);
+}
+
+void BM_TransitiveClosureChase(benchmark::State& state) {
+  SchemaMapping m = MustParseMapping("E0/2", "E/2", "E0(x,y) -> E(x,y)");
+  TargetConstraints constraints = MustParseTargetConstraints(
+      *m.target, "E(x,y) & E(y,z) -> E(x,z)");
+  Instance chain(m.source);
+  for (int k = 0; k < state.range(0); ++k) {
+    Status status = chain.AddFact(
+        "E0", {Value::MakeConstant("v" + std::to_string(k)),
+               Value::MakeConstant("v" + std::to_string(k + 1))});
+    (void)status;
+  }
+  for (auto _ : state) {
+    Result<TargetChaseResult> result =
+        ChaseWithTargetConstraints(chain, m, constraints);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TransitiveClosureChase)->RangeMultiplier(2)->Range(2, 16)
+    ->Complexity();
+
+void BM_EgdMergeChain(benchmark::State& state) {
+  // n facts Q(a, _) whose second columns all merge into one value.
+  SchemaMapping m = MustParseMapping(
+      "P/1", "Q/2", "P(x) -> exists y: Q(x,y)");
+  TargetConstraints constraints = MustParseTargetConstraints(
+      *m.target, "Q(x,y) & Q(x,z) -> y = z");
+  // Source with n copies triggers... the standard chase already
+  // deduplicates same-frontier triggers, so drive the merges with
+  // distinct keys instead via oblivious-style inputs.
+  Instance i(m.source);
+  for (int k = 0; k < state.range(0); ++k) {
+    Status status = i.AddFact(
+        "P", {Value::MakeConstant("k" + std::to_string(k))});
+    (void)status;
+  }
+  for (auto _ : state) {
+    Result<TargetChaseResult> result =
+        ChaseWithTargetConstraints(i, m, constraints);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_EgdMergeChain)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_WeakAcyclicityCheck(benchmark::State& state) {
+  // A chain of n relations R0 -> R1 -> ... with existential heads:
+  // acyclic position graph of growing size.
+  int n = static_cast<int>(state.range(0));
+  std::string decl;
+  std::string deps;
+  for (int k = 0; k <= n; ++k) {
+    decl += (k > 0 ? ", R" : "R") + std::to_string(k) + "/2";
+  }
+  for (int k = 0; k < n; ++k) {
+    deps += "R" + std::to_string(k) + "(x,y) -> exists z: R" +
+            std::to_string(k + 1) + "(y,z);";
+  }
+  SchemaPtr schema = MakeSchema(decl);
+  TargetConstraints constraints =
+      MustParseTargetConstraints(*schema, deps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IsWeaklyAcyclic(constraints.tgds, *schema));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WeakAcyclicityCheck)->RangeMultiplier(2)->Range(2, 32)
+    ->Complexity();
+
+}  // namespace qimap
+
+int main(int argc, char** argv) {
+  qimap::PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

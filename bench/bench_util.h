@@ -1,0 +1,40 @@
+#ifndef QIMAP_BENCH_BENCH_UTIL_H_
+#define QIMAP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace qimap {
+namespace bench {
+
+/// Prints the experiment banner (ids follow DESIGN.md, Section 4).
+inline void Banner(const char* experiment_id, const char* title) {
+  std::printf("================================================================\n");
+  std::printf("[%s] %s\n", experiment_id, title);
+  std::printf("================================================================\n");
+}
+
+/// Prints one paper-vs-measured row of the reproduction report.
+inline void Row(const std::string& label, const std::string& paper,
+                const std::string& measured) {
+  std::printf("  %-52s | paper: %-22s | measured: %s\n", label.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+/// Prints a free-form artifact line (indented).
+inline void Artifact(const std::string& text) {
+  std::printf("    %s\n", text.c_str());
+}
+
+inline const char* YesNo(bool b) { return b ? "yes" : "no"; }
+
+/// Prints PASS/FAIL agreement between the paper's claim and the measured
+/// outcome.
+inline void Verdict(bool agrees) {
+  std::printf("  => %s\n\n", agrees ? "REPRODUCED" : "MISMATCH");
+}
+
+}  // namespace bench
+}  // namespace qimap
+
+#endif  // QIMAP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,90 @@
+// Data exchange with target constraints (the full setting of the
+// paper's foundation [4]): a registrar migrates enrollment records into
+// a curriculum schema that carries its own integrity constraints — a
+// transitive prerequisite closure (target tgd) and a single-advisor key
+// (egd). The chase resolves invented nulls against the constraints, and
+// inconsistent sources are rejected outright.
+//
+// Build & run:  ./build/examples/constraint_exchange
+
+#include <cstdio>
+
+#include "chase/target_chase.h"
+#include "core/weak_acyclicity.h"
+#include "dependency/parser.h"
+
+using namespace qimap;
+
+namespace {
+
+void Exchange(const SchemaMapping& m, const TargetConstraints& constraints,
+              const char* label, const Instance& source) {
+  std::printf("---- %s ----\nsource: %s\n", label,
+              source.ToString().c_str());
+  Result<TargetChaseResult> result =
+      ChaseWithTargetConstraints(source, m, constraints);
+  if (!result.ok()) {
+    std::printf("chase error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  if (result->failed) {
+    std::printf("NO SOLUTION: the target constraints are violated "
+                "(chase failure after %zu steps)\n\n",
+                result->steps);
+    return;
+  }
+  std::printf("solution (%zu chase steps): %s\n\n", result->steps,
+              result->solution.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  // Source: raw enrollment feed. Target: curriculum schema with its own
+  // constraints.
+  SchemaMapping m = MustParseMapping(
+      "Takes/2, PrereqFeed/2",
+      "Enrolled/2, Prereq/2, Advisor/2",
+      "Takes(student, course) -> Enrolled(student, course);"
+      "Takes(student, course) -> exists a: Advisor(student, a);"
+      "PrereqFeed(c1, c2) -> Prereq(c1, c2)");
+  TargetConstraints constraints = MustParseTargetConstraints(
+      *m.target,
+      "Prereq(c1, c2) & Prereq(c2, c3) -> Prereq(c1, c3)   # closure\n"
+      "Advisor(s, a) & Advisor(s, b) -> a = b              # key");
+
+  std::printf("Sigma:\n%s", m.ToString().c_str());
+  std::printf("Sigma_t:\n%s", constraints.ToString(*m.target).c_str());
+  std::printf("target tgds weakly acyclic (chase terminates): %s\n\n",
+              IsWeaklyAcyclic(constraints.tgds, *m.target) ? "yes" : "no");
+
+  // A clean source: the advisor nulls merge into one per student, the
+  // prerequisite chain closes transitively.
+  Instance clean = MustParseInstance(
+      m.source,
+      "Takes(ana, db2), Takes(ana, algo), "
+      "PrereqFeed(intro, db1), PrereqFeed(db1, db2)");
+  Exchange(m, constraints, "clean feed", clean);
+
+  // A source that also declares advisors explicitly — extend the mapping
+  // with a declared-advisor feed and watch the egd bind the invented
+  // null to the declared constant.
+  SchemaMapping declared = MustParseMapping(
+      "Takes/2, PrereqFeed/2, Assigned/2",
+      "Enrolled/2, Prereq/2, Advisor/2",
+      "Takes(student, course) -> Enrolled(student, course);"
+      "Takes(student, course) -> exists a: Advisor(student, a);"
+      "PrereqFeed(c1, c2) -> Prereq(c1, c2);"
+      "Assigned(student, prof) -> Advisor(student, prof)");
+  Instance with_declared = MustParseInstance(
+      declared.source, "Takes(ana, db2), Assigned(ana, dr_codd)");
+  Exchange(declared, constraints, "declared advisor", with_declared);
+
+  // An inconsistent source: two declared advisors for the same student
+  // violate the key — the exchange has no solution.
+  Instance conflicting = MustParseInstance(
+      declared.source,
+      "Takes(ana, db2), Assigned(ana, dr_codd), Assigned(ana, dr_date)");
+  Exchange(declared, constraints, "conflicting advisors", conflicting);
+  return 0;
+}

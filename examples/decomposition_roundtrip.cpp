@@ -1,0 +1,68 @@
+// Figure 1 walkthrough: the full bidirectional data exchange of the
+// paper's Decomposition example, narrated step by step with both
+// quasi-inverses M' (join rule) and M'' (split rules).
+//
+// Build & run:  ./build/examples/decomposition_roundtrip
+
+#include <cstdio>
+
+#include "chase/chase.h"
+#include "chase/disjunctive_chase.h"
+#include "core/soundness.h"
+#include "relational/homomorphism.h"
+#include "workload/paper_catalog.h"
+
+using namespace qimap;
+
+namespace {
+
+void Narrate(const SchemaMapping& m, const ReverseMapping& reverse,
+             const char* name, const Instance& ground) {
+  std::printf("---- reverse mapping %s ----\n%s", name,
+              reverse.ToString().c_str());
+  Result<RoundTrip> trip = CheckRoundTrip(m, reverse, ground);
+  if (!trip.ok()) {
+    std::printf("round trip failed: %s\n",
+                trip.status().ToString().c_str());
+    return;
+  }
+  std::printf("U  = chase_Sigma(I)   = %s\n",
+              trip->universal.ToString().c_str());
+  for (size_t i = 0; i < trip->recovered.size(); ++i) {
+    std::printf("V%zu = chase_Sigma'(U) = %s\n", i + 1,
+                trip->recovered[i].ToString().c_str());
+    std::printf("     chase_Sigma(V%zu) = %s\n", i + 1,
+                trip->rechased[i].ToString().c_str());
+    bool identical = trip->rechased[i] == trip->universal;
+    bool equivalent =
+        HomomorphicallyEquivalent(trip->rechased[i], trip->universal);
+    std::printf("     vs U: %s\n",
+                identical ? "identical"
+                          : (equivalent ? "homomorphically equivalent"
+                                        : "DIFFERENT"));
+  }
+  std::printf("sound: %s   faithful: %s\n\n", trip->sound ? "yes" : "no",
+              trip->faithful ? "yes" : "no");
+}
+
+}  // namespace
+
+int main() {
+  SchemaMapping m = catalog::Decomposition();
+  std::printf("Sigma:\n%s", m.ToString().c_str());
+  Instance ground = catalog::Fig1Instance(m);
+  std::printf("I = %s  (Figure 1's ground instance)\n\n",
+              ground.ToString().c_str());
+
+  Narrate(m, catalog::DecompositionQuasiInverseJoin(m), "M'", ground);
+  Narrate(m, catalog::DecompositionQuasiInverseSplit(m), "M''", ground);
+
+  // The figure's takeaway: even when the recovered instance V2 contains
+  // nulls, re-exporting it loses nothing — the recovered source is
+  // "data-exchange equivalent" to the original.
+  std::printf(
+      "Takeaway: M' recovers the cartesian closure of I exactly; M''\n"
+      "recovers an instance with nulls whose re-export is homomorphically\n"
+      "equivalent to U. Both are faithful (Theorems 6.7/6.8).\n");
+  return 0;
+}

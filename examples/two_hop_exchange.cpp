@@ -1,0 +1,97 @@
+// Two-hop data exchange: data flows through a middle schema
+// (source -> staging -> warehouse). The composition operator collapses
+// the two hops into one mapping, certain answers are computed over the
+// exchanged data, and a quasi-inverse of the first hop recovers the
+// source while preserving every certain answer.
+//
+// Build & run:  ./build/examples/two_hop_exchange
+
+#include <cstdio>
+
+#include "base/strings.h"
+#include "chase/chase.h"
+#include "core/certain_answers.h"
+#include "core/forward_composition.h"
+#include "core/quasi_inverse.h"
+#include "core/soundness.h"
+#include "dependency/parser.h"
+
+using namespace qimap;
+
+namespace {
+
+std::string AnswersToString(const std::vector<Tuple>& answers) {
+  std::vector<std::string> rows;
+  for (const Tuple& t : answers) {
+    std::vector<std::string> vals;
+    for (const Value& v : t) vals.push_back(v.ToString());
+    rows.push_back("(" + Join(vals, ",") + ")");
+  }
+  return rows.empty() ? "{}" : Join(rows, " ");
+}
+
+}  // namespace
+
+int main() {
+  // Hop 1 (full): ternary bookings split into two staging views.
+  SchemaMapping hop1 = MustParseMapping(
+      "Booking/3", "Leg/2, Seat/2",
+      "Booking(flight, pax, seat) -> Leg(flight, pax) & Seat(pax, seat)");
+  // Hop 2: the warehouse joins them back per-passenger.
+  SchemaMapping hop2 = MustParseMapping(
+      "Leg/2, Seat/2", "Manifest/3",
+      "Leg(f, p) & Seat(p, s) -> Manifest(f, p, s)");
+
+  std::printf("hop1:\n%shop2:\n%s\n", hop1.ToString().c_str(),
+              hop2.ToString().c_str());
+
+  // Collapse the pipeline with the composition operator.
+  Result<SchemaMapping> direct = ComposeFullFirst(hop1, hop2);
+  if (!direct.ok()) {
+    std::printf("composition failed: %s\n",
+                direct.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("hop1 ∘ hop2:\n%s\n", direct->ToString().c_str());
+
+  Instance bookings = MustParseInstance(
+      hop1.source,
+      "Booking(f12, alice, s3a), Booking(f12, bob, s3b), "
+      "Booking(f94, alice, s1c)");
+  Instance staging = MustChase(bookings, hop1);
+  Instance warehouse_via_staging = MustChase(staging, hop2);
+  Instance warehouse_direct = MustChase(bookings, *direct);
+  std::printf("warehouse (via staging): %s\n",
+              warehouse_via_staging.ToString().c_str());
+  std::printf("warehouse (composed):    %s\n\n",
+              warehouse_direct.ToString().c_str());
+
+  // Query the warehouse: which (flight, seat) pairs are certain?
+  Result<ConjunctiveQuery> q =
+      ParseQuery(*direct->target, "f, s", "Manifest(f, p, s)");
+  if (!q.ok()) return 1;
+  std::printf("certain flight/seat pairs: %s\n\n",
+              AnswersToString(CertainAnswers(*q, warehouse_direct)).c_str());
+
+  // Recover the bookings from the staging views with a quasi-inverse of
+  // hop 1 and confirm no certain answer is lost on re-export.
+  ReverseMapping recovery = MustQuasiInverse(hop1);
+  Result<RoundTrip> trip = CheckRoundTrip(hop1, recovery, bookings);
+  if (!trip.ok() || !trip->faithful) {
+    std::printf("recovery not faithful\n");
+    return 1;
+  }
+  const Instance& recovered = trip->recovered[*trip->faithful_witness];
+  std::printf("recovered bookings (with placeholders where the split "
+              "lost pairings):\n  %s\n",
+              recovered.ToString().c_str());
+  Instance warehouse_recovered =
+      MustChase(MustChase(recovered, hop1), hop2);
+  std::printf(
+      "certain flight/seat pairs after recovery: %s\n",
+      AnswersToString(CertainAnswers(*q, warehouse_recovered)).c_str());
+  bool preserved = CertainAnswers(*q, warehouse_recovered) ==
+                   CertainAnswers(*q, warehouse_direct);
+  std::printf("certain answers preserved: %s\n", preserved ? "yes" : "no");
+  return preserved ? 0 : 1;
+}

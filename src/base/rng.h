@@ -1,0 +1,42 @@
+#ifndef QIMAP_BASE_RNG_H_
+#define QIMAP_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace qimap {
+
+/// A small, fast, deterministic PRNG (xorshift64*), used by the workload
+/// generators. Deterministic seeding keeps benchmark workloads and property
+/// tests reproducible across runs and platforms.
+class Rng {
+ public:
+  /// Seeds the generator; a zero seed is remapped to a fixed nonzero value.
+  explicit Rng(uint64_t seed) : state_(seed == 0 ? 0x9E3779B97F4A7C15ULL
+                                                 : seed) {}
+
+  /// Returns the next 64-bit pseudorandom value.
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Returns a uniform value in `[0, bound)`; `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Returns a uniform int in the inclusive range `[lo, hi]`.
+  int UniformInt(int lo, int hi) {
+    return lo + static_cast<int>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Returns true with probability `num / den`.
+  bool Chance(uint64_t num, uint64_t den) { return Uniform(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace qimap
+
+#endif  // QIMAP_BASE_RNG_H_

@@ -1,0 +1,129 @@
+#ifndef QIMAP_BASE_STATUS_H_
+#define QIMAP_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace qimap {
+
+/// Error codes used throughout the library. The library does not throw
+/// exceptions; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (parse errors, arity mismatches).
+  kNotFound,          ///< A named entity does not exist.
+  kFailedPrecondition,///< Operation not applicable to the given object.
+  kResourceExhausted, ///< A configured search/size limit was exceeded.
+  kInternal,          ///< Invariant violation inside the library.
+};
+
+/// Returns a human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value, in the style of database engines
+/// such as RocksDB and Arrow. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error holder. Access to the value when the status is not OK
+/// aborts in debug builds (the library never does this on valid paths).
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value: `return some_value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit conversion from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status from an expression producing a Status.
+#define QIMAP_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::qimap::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+/// Evaluates an expression producing Result<T>; on error returns the status,
+/// otherwise assigns the value to `lhs`.
+#define QIMAP_ASSIGN_OR_RETURN(lhs, expr)          \
+  QIMAP_ASSIGN_OR_RETURN_IMPL(                     \
+      QIMAP_STATUS_CONCAT(_res, __LINE__), lhs, expr)
+
+#define QIMAP_STATUS_CONCAT_INNER(a, b) a##b
+#define QIMAP_STATUS_CONCAT(a, b) QIMAP_STATUS_CONCAT_INNER(a, b)
+#define QIMAP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace qimap
+
+#endif  // QIMAP_BASE_STATUS_H_

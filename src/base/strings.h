@@ -1,0 +1,22 @@
+#ifndef QIMAP_BASE_STRINGS_H_
+#define QIMAP_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qimap {
+
+/// Joins the elements of `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `sep`, trimming ASCII whitespace from each piece and
+/// dropping empty pieces.
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+}  // namespace qimap
+
+#endif  // QIMAP_BASE_STRINGS_H_

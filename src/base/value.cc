@@ -1,0 +1,78 @@
+#include "base/value.h"
+
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+namespace qimap {
+namespace {
+
+// Process-wide interner mapping names to dense ids. Guarded by a mutex so
+// that library users may build mappings from multiple threads. Allocated
+// once and never destroyed (trivial-destructor rule for static storage).
+class Interner {
+ public:
+  uint32_t Intern(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  std::string Name(uint32_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= names_.size()) return "<bad-id>";
+    return names_[id];
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+Interner& ConstantInterner() {
+  static Interner& interner = *new Interner();
+  return interner;
+}
+
+Interner& VariableInterner() {
+  static Interner& interner = *new Interner();
+  return interner;
+}
+
+}  // namespace
+
+Value Value::MakeConstant(std::string_view name) {
+  return Value(ValueKind::kConstant, ConstantInterner().Intern(name));
+}
+
+Value Value::MakeNull(uint32_t label) {
+  return Value(ValueKind::kNull, label);
+}
+
+Value Value::MakeVariable(std::string_view name) {
+  return Value(ValueKind::kVariable, VariableInterner().Intern(name));
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case ValueKind::kConstant:
+      return ConstantInterner().Name(id_);
+    case ValueKind::kNull:
+      return "_N" + std::to_string(id_);
+    case ValueKind::kVariable:
+      return VariableInterner().Name(id_);
+  }
+  return "<bad-value>";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace qimap

@@ -1,0 +1,83 @@
+#include "chase/chase.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "relational/homomorphism.h"
+#include "relational/instance_core.h"
+
+namespace qimap {
+
+Result<Instance> ChaseWithTgds(const Instance& source_inst,
+                               const std::vector<Tgd>& tgds,
+                               SchemaPtr target_schema,
+                               const ChaseOptions& options) {
+  Instance target_inst(std::move(target_schema));
+  uint32_t next_null = options.first_null_label != 0
+                           ? options.first_null_label
+                           : source_inst.MaxNullLabel() + 1;
+  size_t steps = 0;
+  Status overflow = Status::OK();
+
+  // s-t tgds read only the source, so one pass over all (tgd, match) pairs
+  // reaches a terminal chase state: no new lhs matches can ever appear.
+  for (const Tgd& tgd : tgds) {
+    HomSearchOptions lhs_options;
+    ForEachHomomorphism(
+        tgd.lhs, source_inst, {}, lhs_options,
+        [&](const Assignment& h) {
+          if (++steps > options.max_steps) {
+            overflow = Status::ResourceExhausted("chase step limit reached");
+            return false;
+          }
+          // Standard-chase applicability: skip when some extension of h
+          // already maps the rhs into the target instance. The oblivious
+          // variant fires unconditionally.
+          if (options.variant != ChaseVariant::kOblivious) {
+            HomSearchOptions rhs_options;
+            if (FindHomomorphism(tgd.rhs, target_inst, h, rhs_options)
+                    .has_value()) {
+              return true;
+            }
+          }
+          // Fire: instantiate the rhs, using fresh nulls for the
+          // existential variables.
+          Assignment extended = h;
+          for (const Value& y : tgd.ExistentialVariables()) {
+            extended.emplace(y, Value::MakeNull(next_null++));
+          }
+          for (const Atom& atom :
+               ApplyAssignmentToConjunction(tgd.rhs, extended)) {
+            Status status = target_inst.AddFact(atom.relation, atom.args);
+            if (!status.ok()) {
+              overflow = status;
+              return false;
+            }
+          }
+          return true;
+        });
+    if (!overflow.ok()) return overflow;
+  }
+  if (options.variant == ChaseVariant::kCore) {
+    return ComputeCore(target_inst);
+  }
+  return target_inst;
+}
+
+Result<Instance> Chase(const Instance& source_inst, const SchemaMapping& m,
+                       const ChaseOptions& options) {
+  return ChaseWithTgds(source_inst, m.tgds, m.target, options);
+}
+
+Instance MustChase(const Instance& source_inst, const SchemaMapping& m,
+                   const ChaseOptions& options) {
+  Result<Instance> result = Chase(source_inst, m, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "MustChase: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace qimap

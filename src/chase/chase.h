@@ -1,0 +1,64 @@
+#ifndef QIMAP_CHASE_CHASE_H_
+#define QIMAP_CHASE_CHASE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "dependency/schema_mapping.h"
+#include "relational/instance.h"
+
+namespace qimap {
+
+/// Which chase variant to run. All variants produce universal solutions
+/// and are pairwise homomorphically equivalent; they differ in size and
+/// cost.
+enum class ChaseVariant {
+  /// The standard (restricted) chase: a trigger fires only when its rhs
+  /// is not already witnessed. The default.
+  kStandard,
+  /// The oblivious chase: every trigger fires once, unconditionally.
+  /// Cheaper per step (no satisfaction check) but the result can be much
+  /// larger.
+  kOblivious,
+  /// The standard chase followed by core minimization: the smallest
+  /// universal solution (Fagin-Kolaitis-Miller-Popa, the paper's [4]).
+  kCore,
+};
+
+/// Options for the chase.
+struct ChaseOptions {
+  ChaseVariant variant = ChaseVariant::kStandard;
+  /// Label of the first fresh null; 0 means "one above the largest null
+  /// label in the input instance" (prevents collisions when chasing
+  /// instances that already contain nulls).
+  uint32_t first_null_label = 0;
+  /// Safety valve on the number of chase steps (s-t chases always
+  /// terminate; this guards against misuse).
+  size_t max_steps = 1u << 20;
+};
+
+/// The standard (restricted) chase of a source instance with a finite set
+/// of s-t tgds. Returns `chase_Sigma(I)`, a universal solution for the
+/// instance under the mapping (paper, Section 2). The result is unique up
+/// to homomorphic equivalence; this implementation is deterministic.
+///
+/// The source instance may contain nulls or variables (canonical
+/// instances); they are treated as ordinary values, as in the paper's
+/// chase of `I_beta`.
+Result<Instance> Chase(const Instance& source_inst, const SchemaMapping& m,
+                       const ChaseOptions& options = {});
+
+/// Chase with an explicit dependency list and target schema; used on
+/// canonical instances during generator search (Section 4).
+Result<Instance> ChaseWithTgds(const Instance& source_inst,
+                               const std::vector<Tgd>& tgds,
+                               SchemaPtr target_schema,
+                               const ChaseOptions& options = {});
+
+/// Like Chase but aborts on error (tests/examples/benchmarks).
+Instance MustChase(const Instance& source_inst, const SchemaMapping& m,
+                   const ChaseOptions& options = {});
+
+}  // namespace qimap
+
+#endif  // QIMAP_CHASE_CHASE_H_

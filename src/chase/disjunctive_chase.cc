@@ -1,0 +1,131 @@
+#include "chase/disjunctive_chase.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <optional>
+#include <set>
+
+#include "relational/homomorphism.h"
+
+namespace qimap {
+namespace {
+
+// One applicable chase step: a dependency together with the lhs match.
+struct ApplicableStep {
+  const DisjunctiveTgd* dep = nullptr;
+  Assignment match;
+};
+
+// Finds the first (dependency, homomorphism) pair that is applicable to
+// `current` per Definition 6.3: the lhs matches the (fixed) target
+// instance with the side conditions satisfied, and no disjunct extends the
+// match into `current`. Deterministic: dependencies in order, matches in
+// search order.
+std::optional<ApplicableStep> FindApplicableStep(
+    const Instance& target_inst, const Instance& current,
+    const ReverseMapping& m) {
+  for (const DisjunctiveTgd& dep : m.deps) {
+    HomSearchOptions lhs_options;
+    lhs_options.must_be_constant = dep.constant_vars;
+    lhs_options.inequalities = dep.inequalities;
+    std::optional<ApplicableStep> found;
+    ForEachHomomorphism(
+        dep.lhs, target_inst, {}, lhs_options,
+        [&](const Assignment& h) {
+          for (const Conjunction& disjunct : dep.disjuncts) {
+            HomSearchOptions rhs_options;
+            if (FindHomomorphism(disjunct, current, h, rhs_options)
+                    .has_value()) {
+              return true;  // already satisfied; keep scanning matches
+            }
+          }
+          found = ApplicableStep{&dep, h};
+          return false;
+        });
+    if (found.has_value()) return found;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<std::vector<Instance>> DisjunctiveChase(
+    const Instance& target_inst, const ReverseMapping& m,
+    const DisjunctiveChaseOptions& options, DisjunctiveChaseStats* stats) {
+  uint32_t next_null = options.first_null_label != 0
+                           ? options.first_null_label
+                           : target_inst.MaxNullLabel() + 1;
+  DisjunctiveChaseStats local_stats;
+  DisjunctiveChaseStats& st = stats != nullptr ? *stats : local_stats;
+  st = DisjunctiveChaseStats{};
+
+  std::vector<Instance> leaves;
+  std::set<Instance> seen_leaves;
+  std::deque<Instance> worklist;
+  worklist.emplace_back(m.to);  // the root's source part is empty
+  ++st.nodes;
+
+  while (!worklist.empty()) {
+    Instance current = std::move(worklist.front());
+    worklist.pop_front();
+    std::optional<ApplicableStep> step =
+        FindApplicableStep(target_inst, current, m);
+    if (!step.has_value()) {
+      bool fresh = !options.dedup_leaves || seen_leaves.insert(current).second;
+      if (fresh && options.dedup_equivalent_leaves) {
+        for (const Instance& leaf : leaves) {
+          if (HomomorphicallyEquivalent(leaf, current)) {
+            fresh = false;
+            break;
+          }
+        }
+      }
+      if (fresh) {
+        leaves.push_back(std::move(current));
+        ++st.leaves;
+        if (leaves.size() > options.max_leaves) {
+          return Status::ResourceExhausted(
+              "disjunctive chase exceeded max_leaves");
+        }
+      }
+      continue;
+    }
+    if (++st.steps > options.max_steps) {
+      return Status::ResourceExhausted(
+          "disjunctive chase exceeded max_steps");
+    }
+    // Branch: one child per disjunct (Definition 6.3).
+    const DisjunctiveTgd& dep = *step->dep;
+    for (size_t i = 0; i < dep.disjuncts.size(); ++i) {
+      Instance child = current;
+      Assignment extended = step->match;
+      for (const Value& y : dep.ExistentialVariablesOf(i)) {
+        extended.emplace(y, Value::MakeNull(next_null++));
+      }
+      for (const Atom& atom :
+           ApplyAssignmentToConjunction(dep.disjuncts[i], extended)) {
+        Status status = child.AddFact(atom.relation, atom.args);
+        if (!status.ok()) return status;
+      }
+      worklist.push_back(std::move(child));
+      ++st.nodes;
+    }
+  }
+  return leaves;
+}
+
+std::vector<Instance> MustDisjunctiveChase(
+    const Instance& target_inst, const ReverseMapping& m,
+    const DisjunctiveChaseOptions& options) {
+  Result<std::vector<Instance>> result =
+      DisjunctiveChase(target_inst, m, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "MustDisjunctiveChase: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace qimap

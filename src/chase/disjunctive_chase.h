@@ -1,0 +1,56 @@
+#ifndef QIMAP_CHASE_DISJUNCTIVE_CHASE_H_
+#define QIMAP_CHASE_DISJUNCTIVE_CHASE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "dependency/schema_mapping.h"
+#include "relational/instance.h"
+
+namespace qimap {
+
+/// Options for the disjunctive chase.
+struct DisjunctiveChaseOptions {
+  /// Upper bound on the number of leaves of the chase tree.
+  size_t max_leaves = 1u << 14;
+  /// Upper bound on the number of chase steps over the whole tree.
+  size_t max_steps = 1u << 20;
+  /// Label of the first fresh null; 0 means "one above the largest null
+  /// label of the input target instance".
+  uint32_t first_null_label = 0;
+  /// If true (default), drop duplicate leaves that are value-level equal.
+  bool dedup_leaves = true;
+  /// If true, additionally drop leaves that are homomorphically
+  /// equivalent to an earlier leaf. Safe for the Section 6 round-trip
+  /// uses (soundness/faithfulness only inspect leaves up to homomorphic
+  /// equivalence) and can shrink `V` dramatically; off by default so the
+  /// leaf set matches Definition 6.4 exactly.
+  bool dedup_equivalent_leaves = false;
+};
+
+/// Statistics about a disjunctive chase run.
+struct DisjunctiveChaseStats {
+  size_t steps = 0;
+  size_t nodes = 0;
+  size_t leaves = 0;
+};
+
+/// The disjunctive chase of `(target_inst, ∅)` with the reverse mapping's
+/// disjunctive tgds (Definitions 6.2-6.4). The target instance is fixed
+/// (dependency lhs are over the target schema); each leaf of the chase
+/// tree is a source instance. Returns the set `V = chase_Sigma'(U)` of
+/// leaves. Always terminates for target-to-source dependencies (there is
+/// no recursion); the option limits guard against combinatorial blowup.
+Result<std::vector<Instance>> DisjunctiveChase(
+    const Instance& target_inst, const ReverseMapping& m,
+    const DisjunctiveChaseOptions& options = {},
+    DisjunctiveChaseStats* stats = nullptr);
+
+/// Like DisjunctiveChase but aborts on error.
+std::vector<Instance> MustDisjunctiveChase(
+    const Instance& target_inst, const ReverseMapping& m,
+    const DisjunctiveChaseOptions& options = {});
+
+}  // namespace qimap
+
+#endif  // QIMAP_CHASE_DISJUNCTIVE_CHASE_H_

@@ -1,0 +1,117 @@
+#include "chase/target_chase.h"
+
+#include <optional>
+
+#include "relational/homomorphism.h"
+
+namespace qimap {
+namespace {
+
+// One applicable target-tgd trigger: the lhs matches but no extension
+// satisfies the rhs.
+std::optional<Assignment> FindTgdTrigger(const Instance& inst,
+                                         const Tgd& tgd) {
+  std::optional<Assignment> trigger;
+  HomSearchOptions options;
+  ForEachHomomorphism(tgd.lhs, inst, {}, options,
+                      [&](const Assignment& h) {
+                        HomSearchOptions rhs_options;
+                        if (FindHomomorphism(tgd.rhs, inst, h, rhs_options)
+                                .has_value()) {
+                          return true;
+                        }
+                        trigger = h;
+                        return false;
+                      });
+  return trigger;
+}
+
+// One applicable egd trigger: a match whose required equalities do not
+// all hold. Returns the two distinct values to merge.
+std::optional<std::pair<Value, Value>> FindEgdTrigger(const Instance& inst,
+                                                      const Egd& egd) {
+  std::optional<std::pair<Value, Value>> trigger;
+  HomSearchOptions options;
+  ForEachHomomorphism(egd.lhs, inst, {}, options,
+                      [&](const Assignment& h) {
+                        for (const auto& [x, y] : egd.equalities) {
+                          Value a = Resolve(h, x);
+                          Value b = Resolve(h, y);
+                          if (!(a == b)) {
+                            trigger = std::make_pair(a, b);
+                            return false;
+                          }
+                        }
+                        return true;
+                      });
+  return trigger;
+}
+
+}  // namespace
+
+Result<TargetChaseResult> ChaseWithTargetConstraints(
+    const Instance& source_inst, const SchemaMapping& m,
+    const TargetConstraints& constraints,
+    const TargetChaseOptions& options) {
+  ChaseOptions st_options;
+  st_options.first_null_label = options.first_null_label;
+  QIMAP_ASSIGN_OR_RETURN(Instance target_inst,
+                         Chase(source_inst, m, st_options));
+  uint32_t next_null =
+      std::max(target_inst.MaxNullLabel(), source_inst.MaxNullLabel()) + 1;
+
+  TargetChaseResult result{Instance(m.target), false, 0};
+  // Fixpoint loop: egds first (cheap, and merging can satisfy tgds),
+  // then target tgds.
+  while (true) {
+    if (++result.steps > options.max_steps) {
+      return Status::ResourceExhausted(
+          "target chase exceeded max_steps (are the target tgds weakly "
+          "acyclic?)");
+    }
+    bool fired = false;
+    for (const Egd& egd : constraints.egds) {
+      std::optional<std::pair<Value, Value>> merge =
+          FindEgdTrigger(target_inst, egd);
+      if (!merge.has_value()) continue;
+      auto [a, b] = *merge;
+      if (a.IsConstant() && b.IsConstant()) {
+        // Two distinct constants: the exchange has no solution.
+        result.failed = true;
+        result.solution = std::move(target_inst);
+        return result;
+      }
+      // Nulls yield to constants; between nulls, the younger label
+      // yields (deterministic).
+      Value keep = a;
+      Value drop = b;
+      if (a.IsNull() && (b.IsConstant() || b.id() < a.id())) {
+        keep = b;
+        drop = a;
+      }
+      target_inst = ApplyAssignmentToInstance(target_inst, {{drop, keep}});
+      fired = true;
+      break;
+    }
+    if (fired) continue;
+    for (const Tgd& tgd : constraints.tgds) {
+      std::optional<Assignment> trigger = FindTgdTrigger(target_inst, tgd);
+      if (!trigger.has_value()) continue;
+      Assignment extended = *trigger;
+      for (const Value& y : tgd.ExistentialVariables()) {
+        extended.emplace(y, Value::MakeNull(next_null++));
+      }
+      for (const Atom& atom :
+           ApplyAssignmentToConjunction(tgd.rhs, extended)) {
+        QIMAP_RETURN_IF_ERROR(target_inst.AddFact(atom.relation, atom.args));
+      }
+      fired = true;
+      break;
+    }
+    if (!fired) break;
+  }
+  result.solution = std::move(target_inst);
+  return result;
+}
+
+}  // namespace qimap

@@ -1,0 +1,46 @@
+#ifndef QIMAP_CHASE_TARGET_CHASE_H_
+#define QIMAP_CHASE_TARGET_CHASE_H_
+
+#include "base/status.h"
+#include "chase/chase.h"
+#include "dependency/egd.h"
+#include "dependency/schema_mapping.h"
+#include "relational/instance.h"
+
+namespace qimap {
+
+/// Options for the chase with target constraints.
+struct TargetChaseOptions {
+  uint32_t first_null_label = 0;
+  /// Bound on the total number of chase steps. Target tgds may recurse;
+  /// unlike the s-t chase this can genuinely diverge unless the target
+  /// tgds are weakly acyclic (core/weak_acyclicity.h).
+  size_t max_steps = 1u << 16;
+};
+
+/// The result of a constraint-aware data exchange.
+struct TargetChaseResult {
+  /// Set when the chase succeeded: a universal solution satisfying the
+  /// source-to-target dependencies and the target constraints.
+  Instance solution;
+  /// True when an egd tried to equate two distinct constants: the data
+  /// exchange problem has NO solution (the paper's [4], chase failure).
+  bool failed = false;
+  size_t steps = 0;
+};
+
+/// Data exchange in the full setting of the paper's [4]: chases `source`
+/// with the s-t tgds of `m`, then closes the target instance under the
+/// target tgds and egds to a fixpoint. Egd steps equate values (nulls
+/// yield to constants and to older nulls); equating two distinct
+/// constants marks the exchange as failed. Termination is guaranteed for
+/// weakly acyclic target tgds; otherwise the step bound returns
+/// ResourceExhausted.
+Result<TargetChaseResult> ChaseWithTargetConstraints(
+    const Instance& source_inst, const SchemaMapping& m,
+    const TargetConstraints& constraints,
+    const TargetChaseOptions& options = {});
+
+}  // namespace qimap
+
+#endif  // QIMAP_CHASE_TARGET_CHASE_H_

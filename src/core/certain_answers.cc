@@ -1,0 +1,68 @@
+#include "core/certain_answers.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/strings.h"
+#include "dependency/parser.h"
+#include "relational/homomorphism.h"
+
+namespace qimap {
+
+Result<ConjunctiveQuery> ParseQuery(const Schema& schema,
+                                    std::string_view head_csv,
+                                    std::string_view body) {
+  // Reuse the dependency parser: parse "body -> body" against the same
+  // schema on both sides, then keep the lhs as the query body.
+  std::string round_trip = std::string(body) + " -> " + std::string(body);
+  QIMAP_ASSIGN_OR_RETURN(DisjunctiveTgd parsed,
+                         ParseDisjunctiveTgd(schema, schema, round_trip));
+  if (!parsed.IsPlainTgd()) {
+    return Status::InvalidArgument(
+        "query bodies admit neither guards nor disjunction: " +
+        std::string(body));
+  }
+  ConjunctiveQuery query;
+  query.body = std::move(parsed.lhs);
+  std::set<Value> body_vars = VariableSetOf(query.body);
+  for (const std::string& name : SplitAndTrim(head_csv, ',')) {
+    Value v = Value::MakeVariable(name);
+    if (body_vars.count(v) == 0) {
+      return Status::InvalidArgument("head variable '" + name +
+                                     "' does not occur in the query body");
+    }
+    query.head.push_back(v);
+  }
+  return query;
+}
+
+std::vector<Tuple> EvaluateQuery(const ConjunctiveQuery& query,
+                                 const Instance& instance) {
+  std::set<Tuple> answers;
+  HomSearchOptions options;
+  ForEachHomomorphism(query.body, instance, {}, options,
+                      [&](const Assignment& h) {
+                        Tuple answer;
+                        answer.reserve(query.head.size());
+                        for (const Value& v : query.head) {
+                          answer.push_back(Resolve(h, v));
+                        }
+                        answers.insert(std::move(answer));
+                        return true;
+                      });
+  return std::vector<Tuple>(answers.begin(), answers.end());
+}
+
+std::vector<Tuple> CertainAnswers(const ConjunctiveQuery& query,
+                                  const Instance& universal_solution) {
+  std::vector<Tuple> all = EvaluateQuery(query, universal_solution);
+  std::vector<Tuple> certain;
+  for (Tuple& answer : all) {
+    bool ground = std::all_of(answer.begin(), answer.end(),
+                              [](const Value& v) { return v.IsConstant(); });
+    if (ground) certain.push_back(std::move(answer));
+  }
+  return certain;
+}
+
+}  // namespace qimap

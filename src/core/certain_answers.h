@@ -1,0 +1,44 @@
+#ifndef QIMAP_CORE_CERTAIN_ANSWERS_H_
+#define QIMAP_CORE_CERTAIN_ANSWERS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "relational/atom.h"
+#include "relational/instance.h"
+
+namespace qimap {
+
+/// A conjunctive query `q(head) :- body`, the query class whose certain
+/// answers data exchange computes over universal solutions
+/// (Fagin-Kolaitis-Miller-Popa, the paper's [4]) — and the yardstick for
+/// what a faithful quasi-inverse recovery preserves (Section 6).
+struct ConjunctiveQuery {
+  std::vector<Value> head;
+  Conjunction body;
+};
+
+/// Parses a query: `head_csv` like `"x, z"` and `body` like
+/// `"Q(x,y) & R(y,z)"` (atoms resolved in `schema`; all arguments are
+/// variables; head variables must occur in the body).
+Result<ConjunctiveQuery> ParseQuery(const Schema& schema,
+                                    std::string_view head_csv,
+                                    std::string_view body);
+
+/// Naive evaluation: all homomorphic matches of the body, projected to
+/// the head. Over instances with nulls the answers may contain nulls.
+std::vector<Tuple> EvaluateQuery(const ConjunctiveQuery& query,
+                                 const Instance& instance);
+
+/// Certain answers of the query over every solution represented by a
+/// universal solution: naive evaluation keeping only the null-free
+/// tuples. Homomorphically equivalent universal solutions have the same
+/// certain answers, which is why faithful recoveries (Theorem 6.8)
+/// preserve them.
+std::vector<Tuple> CertainAnswers(const ConjunctiveQuery& query,
+                                  const Instance& universal_solution);
+
+}  // namespace qimap
+
+#endif  // QIMAP_CORE_CERTAIN_ANSWERS_H_

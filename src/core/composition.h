@@ -1,0 +1,35 @@
+#ifndef QIMAP_CORE_COMPOSITION_H_
+#define QIMAP_CORE_COMPOSITION_H_
+
+#include "base/status.h"
+#include "dependency/schema_mapping.h"
+#include "relational/instance.h"
+
+namespace qimap {
+
+/// Options for the composition-membership oracle.
+struct CompositionOptions {
+  /// Guard on the number of candidate null-assignments enumerated
+  /// (`|pool|^k` for `k` nulls in the universal solution).
+  size_t max_assignments = 1u << 22;
+};
+
+/// Decides `(i1, i2) ∈ Inst(M ∘ M')` (paper, Section 2): is there a target
+/// instance `J` with `(i1, J) |= Sigma` and `(J, i2) |= Sigma'`?
+///
+/// This is an *exact* decision procedure, not a bounded search. Candidate
+/// witnesses can be restricted to homomorphic images of `chase(i1)`:
+/// solutions for `i1` are exactly the supersets of such images, and the
+/// satisfaction of `Sigma'` (whose lhs is over the target schema) is
+/// preserved under shrinking `J` to the image. Values outside
+/// `adom(i1) ∪ adom(i2)` can be renamed to fresh nulls without affecting
+/// either side, so enumerating maps from the nulls of `chase(i1)` into
+/// `adom(i1) ∪ adom(i2) ∪ {fresh nulls}` is complete.
+Result<bool> InComposition(const SchemaMapping& m,
+                           const ReverseMapping& m_prime,
+                           const Instance& i1, const Instance& i2,
+                           const CompositionOptions& options = {});
+
+}  // namespace qimap
+
+#endif  // QIMAP_CORE_COMPOSITION_H_

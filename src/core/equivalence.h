@@ -1,0 +1,82 @@
+#ifndef QIMAP_CORE_EQUIVALENCE_H_
+#define QIMAP_CORE_EQUIVALENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "base/status.h"
+#include "core/solution_space.h"
+#include "dependency/schema_mapping.h"
+#include "relational/instance.h"
+
+namespace qimap {
+
+/// An equivalence relation on ground instances, used to instantiate the
+/// paper's unifying framework of `(~1, ~2)`-inverses (Section 3). Concrete
+/// relations must be refinements of `~M` for the framework's theorems to
+/// apply; this library ships equality (`=`) and the data-exchange
+/// equivalence (`~M`) — the two endpoints of the spectrum — and users may
+/// plug in their own refinements.
+class GroundEquivalence {
+ public:
+  virtual ~GroundEquivalence() = default;
+
+  /// Decides whether the two ground instances are equivalent.
+  virtual Result<bool> Equivalent(const Instance& a,
+                                  const Instance& b) const = 0;
+
+  /// Human-readable name, e.g. "=" or "~M".
+  virtual std::string Name() const = 0;
+};
+
+/// The equality relation `=` on ground instances; with `(=, =)` the
+/// framework specializes to the notion of inverse from Fagin (PODS 2006).
+class EqualityEquivalence : public GroundEquivalence {
+ public:
+  Result<bool> Equivalent(const Instance& a,
+                          const Instance& b) const override {
+    return a == b;
+  }
+  std::string Name() const override { return "="; }
+};
+
+/// The data-exchange equivalence `~M` (Definition 3.1); with `(~M, ~M)`
+/// the framework specializes to quasi-inverses (Definition 3.8).
+class SimEquivalence : public GroundEquivalence {
+ public:
+  /// The mapping must outlive this object.
+  explicit SimEquivalence(const SchemaMapping& m) : m_(m) {}
+
+  Result<bool> Equivalent(const Instance& a,
+                          const Instance& b) const override {
+    return SimEquivalent(m_, a, b);
+  }
+  std::string Name() const override { return "~M"; }
+
+ private:
+  const SchemaMapping& m_;
+};
+
+/// A strict refinement of `~M` strictly above `=`: equivalent iff `~M`
+/// *and* the active domains coincide. Sits in the interior of the
+/// Proposition 3.7 spectrum — every inverse is a `(~M∩dom, ~M∩dom)`-
+/// inverse, and every such is a quasi-inverse.
+class SimSameDomainEquivalence : public GroundEquivalence {
+ public:
+  /// The mapping must outlive this object.
+  explicit SimSameDomainEquivalence(const SchemaMapping& m) : m_(m) {}
+
+  Result<bool> Equivalent(const Instance& a,
+                          const Instance& b) const override {
+    if (a.ActiveDomain() != b.ActiveDomain()) return false;
+    return SimEquivalent(m_, a, b);
+  }
+  std::string Name() const override { return "~M∩dom"; }
+
+ private:
+  const SchemaMapping& m_;
+};
+
+}  // namespace qimap
+
+#endif  // QIMAP_CORE_EQUIVALENCE_H_

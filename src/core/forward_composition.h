@@ -1,0 +1,48 @@
+#ifndef QIMAP_CORE_FORWARD_COMPOSITION_H_
+#define QIMAP_CORE_FORWARD_COMPOSITION_H_
+
+#include "base/status.h"
+#include "dependency/schema_mapping.h"
+#include "relational/instance.h"
+
+namespace qimap {
+
+/// Options for the forward-composition membership oracle.
+struct ForwardCompositionOptions {
+  /// Guard on the number of candidate null-assignments enumerated.
+  size_t max_assignments = 1u << 22;
+};
+
+/// Decides `(i, k) ∈ Inst(M12 ∘ M23)` for consecutive schema mappings
+/// given by s-t tgds (the composition semantics of Section 2): is there a
+/// middle instance `J` with `(i, J) |= Sigma12` and `(J, k) |= Sigma23`?
+///
+/// Exact, by the same argument as the reverse-composition oracle: middle
+/// witnesses can be restricted to homomorphic collapses of
+/// `chase_Sigma12(i)` with values in `adom(i) ∪ adom(k) ∪ {fresh nulls}`.
+/// `k` may contain nulls (they are treated as plain values).
+///
+/// `m23.source` must declare the same relations in the same order as
+/// `m12.target` (relation ids are matched positionally).
+Result<bool> InForwardComposition(
+    const SchemaMapping& m12, const SchemaMapping& m23, const Instance& i,
+    const Instance& k, const ForwardCompositionOptions& options = {});
+
+/// Composes two schema mappings into one set of s-t tgds when the *first*
+/// mapping is full — the classical unfolding construction (the positive
+/// fragment of Fagin-Kolaitis-Popa-Tan's composition study, the paper's
+/// [5]; with a non-full first mapping the composition may require
+/// second-order tgds and this function refuses).
+///
+/// For each tgd `phi2 -> psi3` of `m23`, every way of resolving each
+/// `phi2`-atom against a rhs atom of some `m12`-tgd (copies renamed
+/// apart, variables unified) yields the composed tgd
+/// `(conjunction of the chosen m12 lhs's) -> psi3`, both sides under the
+/// unifier. The result is a schema mapping from `m12.source` to
+/// `m23.target`.
+Result<SchemaMapping> ComposeFullFirst(const SchemaMapping& m12,
+                                       const SchemaMapping& m23);
+
+}  // namespace qimap
+
+#endif  // QIMAP_CORE_FORWARD_COMPOSITION_H_

@@ -1,0 +1,57 @@
+#ifndef QIMAP_CORE_IMPLICATION_H_
+#define QIMAP_CORE_IMPLICATION_H_
+
+#include "base/status.h"
+#include "chase/disjunctive_chase.h"
+#include "dependency/schema_mapping.h"
+
+namespace qimap {
+
+/// Decides `Sigma |= sigma` for s-t tgds: chase the canonical instance of
+/// sigma's lhs (variables frozen) with Sigma and test whether sigma's rhs
+/// embeds with the lhs variables fixed — the standard chase-based
+/// implication test (used implicitly by Definition 4.2's generators).
+Result<bool> ImpliesTgd(const SchemaMapping& m, const Tgd& sigma);
+
+/// `Sigma_a |= Sigma_b` and `Sigma_b |= Sigma_a`: logical equivalence of
+/// two s-t dependency sets over the same schemas (e.g. Sigma and Sigma*).
+Result<bool> EquivalentTgdSets(const SchemaMapping& a,
+                               const SchemaMapping& b);
+
+/// Options for disjunctive-dependency implication.
+struct ImplicationOptions {
+  DisjunctiveChaseOptions chase;
+  /// Guard on the shape case analysis (partitions x constant/null kinds).
+  size_t max_shapes = 1u << 16;
+};
+
+/// Decides whether a set of target-to-source disjunctive tgds with
+/// constants and inequalities logically implies another such dependency
+/// over the same schemas.
+///
+/// The lhs variables of the conclusion range over constants and nulls and
+/// may coincide, so the test performs a complete case analysis over the
+/// consistent "shapes" (a set partition of the lhs variables plus a
+/// constant/null kind per block, honoring the Constant and inequality
+/// guards). For each shape, the instantiated lhs is chased with the
+/// premise set's disjunctive chase; the conclusion holds iff in every
+/// leaf some disjunct embeds under the canonical match. Soundness and
+/// completeness follow from the universality of the disjunctive chase
+/// (the paper's Proposition 6.6 argument with the lhs values frozen).
+Result<bool> ImpliesDisjunctive(const ReverseMapping& premises,
+                                const DisjunctiveTgd& conclusion,
+                                const ImplicationOptions& options = {});
+
+/// `premises |= conclusions` member-wise.
+Result<bool> ImpliesReverseMapping(const ReverseMapping& premises,
+                                   const ReverseMapping& conclusions,
+                                   const ImplicationOptions& options = {});
+
+/// Logical equivalence of two reverse mappings.
+Result<bool> EquivalentReverseMappings(const ReverseMapping& a,
+                                       const ReverseMapping& b,
+                                       const ImplicationOptions& options = {});
+
+}  // namespace qimap
+
+#endif  // QIMAP_CORE_IMPLICATION_H_

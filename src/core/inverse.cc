@@ -1,0 +1,138 @@
+#include "core/inverse.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+#include "chase/chase.h"
+#include "core/sigma_star.h"
+
+namespace qimap {
+namespace {
+
+// The all-distinct prime atom R(x1, ..., xm).
+Atom DistinctPrimeAtom(const Schema& schema, RelationId r) {
+  Atom atom;
+  atom.relation = r;
+  uint32_t arity = schema.relation(r).arity;
+  for (uint32_t i = 0; i < arity; ++i) {
+    atom.args.push_back(Value::MakeVariable("x" + std::to_string(i + 1)));
+  }
+  return atom;
+}
+
+}  // namespace
+
+Result<bool> HasConstantPropagation(const SchemaMapping& m) {
+  for (RelationId r = 0; r < m.source->size(); ++r) {
+    Atom atom = DistinctPrimeAtom(*m.source, r);
+    Instance canonical = CanonicalInstance({atom}, m.source);
+    QIMAP_ASSIGN_OR_RETURN(Instance chased, Chase(canonical, m));
+    std::set<Value> domain;
+    for (const Value& v : chased.ActiveDomain()) domain.insert(v);
+    for (const Value& v : atom.args) {
+      if (domain.count(v) == 0) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Atom> PrimeAtoms(const Schema& schema, RelationId r) {
+  std::vector<Atom> out;
+  uint32_t arity = schema.relation(r).arity;
+  for (const std::vector<size_t>& pattern : SetPartitions(arity)) {
+    Atom atom;
+    atom.relation = r;
+    for (size_t block : pattern) {
+      atom.args.push_back(
+          Value::MakeVariable("x" + std::to_string(block + 1)));
+    }
+    out.push_back(std::move(atom));
+  }
+  return out;
+}
+
+Result<ReverseMapping> InverseAlgorithm(const SchemaMapping& m,
+                                        const InverseOptions& options) {
+  // Step 1: the constant-propagation property is necessary for
+  // invertibility (Proposition 5.3); without it the algorithm's
+  // dependencies would be ill-formed (rhs variables missing from the lhs).
+  QIMAP_ASSIGN_OR_RETURN(bool propagates, HasConstantPropagation(m));
+  if (!propagates) {
+    return Status::FailedPrecondition(
+        "mapping lacks the constant-propagation property; it has no "
+        "inverse (Proposition 5.3)");
+  }
+
+  ReverseMapping reverse;
+  reverse.from = m.target;
+  reverse.to = m.source;
+
+  // Steps 2-4: one full tgd per prime instance.
+  for (RelationId r = 0; r < m.source->size(); ++r) {
+    for (const Atom& alpha : PrimeAtoms(*m.source, r)) {
+      Instance canonical = CanonicalInstance({alpha}, m.source);
+      QIMAP_ASSIGN_OR_RETURN(Instance chased, Chase(canonical, m));
+
+      // psi_alpha: the chase facts, with each null renamed to a fresh
+      // variable y1, y2, ... (deterministic: sorted-fact order).
+      std::map<Value, Value> null_to_var;
+      DisjunctiveTgd dep;
+      for (const Fact& fact : chased.Facts()) {
+        Atom atom;
+        atom.relation = fact.relation;
+        for (const Value& v : fact.tuple) {
+          if (v.IsNull()) {
+            auto it = null_to_var.find(v);
+            if (it == null_to_var.end()) {
+              it = null_to_var
+                       .emplace(v, Value::MakeVariable(
+                                       "y" + std::to_string(
+                                                 null_to_var.size() + 1)))
+                       .first;
+            }
+            atom.args.push_back(it->second);
+          } else {
+            atom.args.push_back(v);
+          }
+        }
+        dep.lhs.push_back(std::move(atom));
+      }
+
+      // Distinct variables of alpha, in order.
+      std::vector<Value> distinct;
+      for (const Value& v : alpha.args) {
+        if (std::find(distinct.begin(), distinct.end(), v) ==
+            distinct.end()) {
+          distinct.push_back(v);
+        }
+      }
+      if (options.include_constant_predicates) {
+        dep.constant_vars = distinct;
+      }
+      for (size_t i = 0; i < distinct.size(); ++i) {
+        for (size_t j = i + 1; j < distinct.size(); ++j) {
+          dep.inequalities.emplace_back(distinct[i], distinct[j]);
+        }
+      }
+      dep.disjuncts.push_back(Conjunction{alpha});
+      reverse.deps.push_back(std::move(dep));
+    }
+  }
+  return reverse;
+}
+
+ReverseMapping MustInverseAlgorithm(const SchemaMapping& m,
+                                    const InverseOptions& options) {
+  Result<ReverseMapping> reverse = InverseAlgorithm(m, options);
+  if (!reverse.ok()) {
+    std::fprintf(stderr, "MustInverseAlgorithm: %s\n",
+                 reverse.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(reverse).value();
+}
+
+}  // namespace qimap

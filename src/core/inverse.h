@@ -1,0 +1,50 @@
+#ifndef QIMAP_CORE_INVERSE_H_
+#define QIMAP_CORE_INVERSE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "dependency/schema_mapping.h"
+#include "relational/atom.h"
+
+namespace qimap {
+
+/// Decides the constant-propagation property (Definition 5.2 /
+/// Proposition 5.3): for every relation symbol `R` of the source schema,
+/// the chase of `R(x1, ..., xm)` with `Sigma` must mention each of the `m`
+/// distinct variables. A necessary condition for invertibility.
+Result<bool> HasConstantPropagation(const SchemaMapping& m);
+
+/// The prime atoms of relation `r` in lexicographic order (Section 5):
+/// atoms `R(xi1, ..., xim)` whose variable pattern is a restricted growth
+/// string, e.g. `R(x1,x1), R(x1,x2)` for a binary `R`.
+std::vector<Atom> PrimeAtoms(const Schema& schema, RelationId r);
+
+/// Options for the Inverse algorithm.
+struct InverseOptions {
+  /// Emit the `Constant(x)` conjuncts. For mappings specified by full s-t
+  /// tgds they are not needed (Section 5, discussion after Theorem 5.1).
+  bool include_constant_predicates = true;
+};
+
+/// The paper's algorithm Inverse (Section 5, Theorem 5.1): produces a
+/// reverse mapping specified by full tgds with constants and inequalities
+/// (inequalities among constants) that is an inverse of `m` whenever `m`
+/// is invertible — and the weakest one (any other inverse logically
+/// implies it). For each prime instance `I_alpha` the emitted dependency is
+///
+///   chase_Sigma(I_alpha)[nulls renamed to y1,y2,...]
+///     & Constant(x_i)... & x_i != x_j ...  ->  alpha
+///
+/// Returns FailedPrecondition when `m` lacks the constant-propagation
+/// property (then `m` has no inverse and the algorithm has no output).
+Result<ReverseMapping> InverseAlgorithm(const SchemaMapping& m,
+                                        const InverseOptions& options = {});
+
+/// Like InverseAlgorithm but aborts on error.
+ReverseMapping MustInverseAlgorithm(const SchemaMapping& m,
+                                    const InverseOptions& options = {});
+
+}  // namespace qimap
+
+#endif  // QIMAP_CORE_INVERSE_H_

@@ -1,0 +1,101 @@
+#include "core/lav_quasi_inverse.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+#include "chase/chase.h"
+#include "core/inverse.h"
+#include "relational/atom.h"
+
+namespace qimap {
+
+Result<ReverseMapping> LavQuasiInverse(const SchemaMapping& m) {
+  if (!m.IsLav()) {
+    return Status::FailedPrecondition(
+        "LavQuasiInverse requires a LAV schema mapping");
+  }
+  ReverseMapping reverse;
+  reverse.from = m.target;
+  reverse.to = m.source;
+
+  // One dependency per prime instance, as in algorithm Inverse (Section 5)
+  // but without the constant-propagation requirement: variables of the
+  // prime atom that the chase does not propagate simply remain
+  // existentially quantified in the conclusion, and no Constant(..) or
+  // inequality conjunct mentions them. For LAV mappings the chase of a
+  // prime atom is the conjunction of all right-hand sides its relation
+  // triggers, which recovers the atom exactly up to ~M (Theorem 4.7).
+  for (RelationId r = 0; r < m.source->size(); ++r) {
+    for (const Atom& alpha : PrimeAtoms(*m.source, r)) {
+      Instance canonical = CanonicalInstance({alpha}, m.source);
+      QIMAP_ASSIGN_OR_RETURN(Instance chased, Chase(canonical, m));
+      if (chased.Empty()) {
+        // The relation is invisible to the target; nothing can be
+        // recovered for it (and no dependency is emitted).
+        continue;
+      }
+
+      DisjunctiveTgd dep;
+      std::map<Value, Value> null_to_var;
+      std::set<Value> propagated;
+      for (const Fact& fact : chased.Facts()) {
+        Atom atom;
+        atom.relation = fact.relation;
+        for (const Value& v : fact.tuple) {
+          if (v.IsNull()) {
+            auto it = null_to_var.find(v);
+            if (it == null_to_var.end()) {
+              it = null_to_var
+                       .emplace(v, Value::MakeVariable(
+                                       "y" + std::to_string(
+                                                 null_to_var.size() + 1)))
+                       .first;
+            }
+            atom.args.push_back(it->second);
+          } else {
+            if (v.IsVariable()) propagated.insert(v);
+            atom.args.push_back(v);
+          }
+        }
+        dep.lhs.push_back(std::move(atom));
+      }
+
+      // Guards only over the propagated variables of alpha.
+      std::vector<Value> guarded;
+      for (const Value& v : alpha.args) {
+        if (propagated.count(v) > 0 &&
+            std::find(guarded.begin(), guarded.end(), v) == guarded.end()) {
+          guarded.push_back(v);
+        }
+      }
+      dep.constant_vars = guarded;
+      for (size_t i = 0; i < guarded.size(); ++i) {
+        for (size_t j = i + 1; j < guarded.size(); ++j) {
+          dep.inequalities.emplace_back(guarded[i], guarded[j]);
+        }
+      }
+      dep.disjuncts.push_back(Conjunction{alpha});
+      if (std::find(reverse.deps.begin(), reverse.deps.end(), dep) ==
+          reverse.deps.end()) {
+        reverse.deps.push_back(std::move(dep));
+      }
+    }
+  }
+  return reverse;
+}
+
+ReverseMapping MustLavQuasiInverse(const SchemaMapping& m) {
+  Result<ReverseMapping> reverse = LavQuasiInverse(m);
+  if (!reverse.ok()) {
+    std::fprintf(stderr, "MustLavQuasiInverse: %s\n",
+                 reverse.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(reverse).value();
+}
+
+}  // namespace qimap

@@ -1,0 +1,33 @@
+#ifndef QIMAP_CORE_LAV_QUASI_INVERSE_H_
+#define QIMAP_CORE_LAV_QUASI_INVERSE_H_
+
+#include "base/status.h"
+#include "dependency/schema_mapping.h"
+
+namespace qimap {
+
+/// The disjunction-free quasi-inverse construction for LAV schema mappings
+/// (Theorem 4.7): every LAV mapping has a quasi-inverse specified by tgds
+/// with constants and inequalities. For each prime atom `alpha` of each
+/// source relation (Section 5) the construction emits
+///
+///   chase_Sigma(I_alpha)[nulls renamed to y1,y2,...]
+///     & Constant(x_i)... & x_i != x_j ...  ->  exists u: alpha
+///
+/// where the guards range over the variables of `alpha` that the chase
+/// propagates; the unpropagated ones stay existentially quantified in the
+/// conclusion. This generalizes algorithm Inverse by dropping its
+/// constant-propagation requirement — for LAV mappings the prime-atom
+/// chase bundles everything the atom's relation implies, so firing the
+/// rule recovers a ground instance that is `~M`-equivalent to the
+/// original. Relations invisible to the target produce no dependency.
+///
+/// Returns FailedPrecondition if `m` is not LAV.
+Result<ReverseMapping> LavQuasiInverse(const SchemaMapping& m);
+
+/// Like LavQuasiInverse but aborts on error.
+ReverseMapping MustLavQuasiInverse(const SchemaMapping& m);
+
+}  // namespace qimap
+
+#endif  // QIMAP_CORE_LAV_QUASI_INVERSE_H_

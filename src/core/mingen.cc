@@ -1,0 +1,269 @@
+#include "core/mingen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "chase/chase.h"
+#include "relational/homomorphism.h"
+
+namespace qimap {
+namespace {
+
+// Fresh generator variables #z1, #z2, ... ('#' cannot appear in parsed
+// dependencies, so they never collide with user variables).
+Value FreshZ(size_t index) {
+  return Value::MakeVariable("#z" + std::to_string(index + 1));
+}
+
+bool ContainsAllX(const Conjunction& beta, const std::vector<Value>& x) {
+  std::set<Value> vars = VariableSetOf(beta);
+  for (const Value& v : x) {
+    if (vars.count(v) == 0) return false;
+  }
+  return true;
+}
+
+// Near-canonical key for a candidate conjunction, up to renaming of the
+// fresh #z variables: sort, rename by first occurrence, sort, rename,
+// render. Imperfect canonicalization only costs duplicated search work;
+// the final minimization deduplicates exactly.
+std::string CanonicalKey(Conjunction conj, const std::set<Value>& x_set) {
+  for (int round = 0; round < 2; ++round) {
+    std::sort(conj.begin(), conj.end());
+    std::map<Value, Value> rename;
+    size_t next = 0;
+    for (Atom& atom : conj) {
+      for (Value& v : atom.args) {
+        if (!v.IsVariable() || x_set.count(v) > 0) continue;
+        auto it = rename.find(v);
+        if (it == rename.end()) {
+          it = rename.emplace(v, FreshZ(next++)).first;
+        }
+        v = it->second;
+      }
+    }
+  }
+  std::sort(conj.begin(), conj.end());
+  std::string key;
+  for (const Atom& atom : conj) {
+    key += std::to_string(atom.relation);
+    key += '(';
+    for (const Value& v : atom.args) {
+      key += v.ToString();
+      key += ',';
+    }
+    key += ')';
+  }
+  return key;
+}
+
+// Backtracking embedding of `small`'s atoms into `big`'s atoms where the
+// `x` variables are fixed and the other variables map injectively to
+// non-x variables of `big`.
+bool Embed(const Conjunction& small, const Conjunction& big,
+           const std::set<Value>& x_set, size_t index,
+           std::map<Value, Value>* mapping, std::set<Value>* used) {
+  if (index == small.size()) return true;
+  const Atom& atom = small[index];
+  for (const Atom& candidate : big) {
+    if (candidate.relation != atom.relation) continue;
+    std::vector<Value> bound;
+    bool ok = true;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Value& from = atom.args[i];
+      const Value& to = candidate.args[i];
+      if (!from.IsVariable() || x_set.count(from) > 0) {
+        if (from != to) {
+          ok = false;
+          break;
+        }
+        continue;
+      }
+      // A fresh variable: must map to a non-x variable, injectively.
+      auto it = mapping->find(from);
+      if (it != mapping->end()) {
+        if (it->second != to) {
+          ok = false;
+          break;
+        }
+        continue;
+      }
+      if (!to.IsVariable() || x_set.count(to) > 0 || used->count(to) > 0) {
+        ok = false;
+        break;
+      }
+      mapping->emplace(from, to);
+      used->insert(to);
+      bound.push_back(from);
+    }
+    if (ok && Embed(small, big, x_set, index + 1, mapping, used)) {
+      return true;
+    }
+    for (const Value& v : bound) {
+      used->erase(mapping->at(v));
+      mapping->erase(v);
+    }
+  }
+  return false;
+}
+
+// Enumerates every atom that may extend a candidate that currently uses
+// `used_z` fresh variables: arguments come from `x`, the used fresh
+// variables, or new fresh variables introduced left-to-right in index
+// order.
+void EnumerateAtoms(const Schema& schema, const std::vector<Value>& x,
+                    size_t used_z, std::vector<Atom>* out) {
+  for (RelationId r = 0; r < schema.size(); ++r) {
+    uint32_t arity = schema.relation(r).arity;
+    // Recursive position filling.
+    struct Filler {
+      const std::vector<Value>& x;
+      uint32_t arity;
+      RelationId relation;
+      std::vector<Atom>* out;
+      std::vector<Value> args;
+
+      void Fill(size_t pos, size_t z_avail, size_t z_base) {
+        if (pos == arity) {
+          out->push_back(Atom{relation, args});
+          return;
+        }
+        for (const Value& v : x) {
+          args.push_back(v);
+          Fill(pos + 1, z_avail, z_base);
+          args.pop_back();
+        }
+        for (size_t i = 0; i < z_avail; ++i) {
+          args.push_back(FreshZ(i));
+          Fill(pos + 1, z_avail, z_base);
+          args.pop_back();
+        }
+        // Introduce the next fresh variable (exactly one new choice keeps
+        // the enumeration canonical up to renaming).
+        args.push_back(FreshZ(z_avail));
+        Fill(pos + 1, z_avail + 1, z_base);
+        args.pop_back();
+      }
+    };
+    Filler filler{x, arity, r, out, {}};
+    filler.Fill(0, used_z, used_z);
+  }
+}
+
+size_t CountFreshZ(const Conjunction& conj, const std::set<Value>& x_set) {
+  std::set<Value> fresh;
+  for (const Atom& atom : conj) {
+    for (const Value& v : atom.args) {
+      if (v.IsVariable() && x_set.count(v) == 0) fresh.insert(v);
+    }
+  }
+  return fresh.size();
+}
+
+}  // namespace
+
+Result<bool> IsGenerator(const SchemaMapping& m, const Conjunction& beta,
+                         const Conjunction& psi,
+                         const std::vector<Value>& x) {
+  Instance canonical = CanonicalInstance(beta, m.source);
+  QIMAP_ASSIGN_OR_RETURN(Instance chased, Chase(canonical, m));
+  // The shared variables are frozen: psi must embed into the chase with
+  // each x mapped to itself; the existential y map anywhere.
+  Assignment partial;
+  for (const Value& v : x) partial.emplace(v, v);
+  HomSearchOptions options;
+  return FindHomomorphism(psi, chased, partial, options).has_value();
+}
+
+bool IsSubConjunctionUpToRenaming(const Conjunction& small,
+                                  const Conjunction& big,
+                                  const std::vector<Value>& x) {
+  if (small.size() > big.size()) return false;
+  std::set<Value> x_set(x.begin(), x.end());
+  std::map<Value, Value> mapping;
+  std::set<Value> used;
+  return Embed(small, big, x_set, 0, &mapping, &used);
+}
+
+Result<std::vector<Conjunction>> MinGen(const SchemaMapping& m,
+                                        const Conjunction& psi,
+                                        const std::vector<Value>& x,
+                                        const MinGenOptions& options) {
+  // Lemma 4.4: minimal generators have at most s1*s2 conjuncts.
+  size_t s1 = 0;
+  for (const Tgd& tgd : m.tgds) s1 = std::max(s1, tgd.lhs.size());
+  size_t max_atoms =
+      options.max_atoms != 0 ? options.max_atoms : s1 * psi.size();
+  std::set<Value> x_set(x.begin(), x.end());
+
+  std::vector<Conjunction> generators;
+  std::vector<Conjunction> frontier = {Conjunction{}};
+  std::set<std::string> seen;
+  size_t candidates = 0;
+
+  for (size_t size = 1; size <= max_atoms && !frontier.empty(); ++size) {
+    std::vector<Conjunction> next_frontier;
+    for (const Conjunction& current : frontier) {
+      size_t used_z = CountFreshZ(current, x_set);
+      std::vector<Atom> extensions;
+      EnumerateAtoms(*m.source, x, used_z, &extensions);
+      for (const Atom& atom : extensions) {
+        if (std::find(current.begin(), current.end(), atom) !=
+            current.end()) {
+          continue;
+        }
+        Conjunction child = current;
+        child.push_back(atom);
+        if (options.dedup_candidates) {
+          std::string key = CanonicalKey(child, x_set);
+          if (!seen.insert(std::move(key)).second) continue;
+        }
+        // Strict supersets of a found generator are never minimal.
+        bool dominated = false;
+        for (const Conjunction& g : generators) {
+          if (IsSubConjunctionUpToRenaming(g, child, x)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (dominated) continue;
+        if (++candidates > options.max_candidates) {
+          return Status::ResourceExhausted(
+              "MinGen candidate budget exceeded (" +
+              std::to_string(options.max_candidates) + ")");
+        }
+        bool is_generator = false;
+        if (ContainsAllX(child, x)) {
+          QIMAP_ASSIGN_OR_RETURN(is_generator, IsGenerator(m, child, psi, x));
+        }
+        if (is_generator) {
+          generators.push_back(std::move(child));
+        } else if (size < max_atoms) {
+          next_frontier.push_back(std::move(child));
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+
+  // Paper's Step 3 (minimize): drop duplicates up to renaming, then any
+  // member containing another as a sub-conjunction. Level-order search
+  // makes strict supersets rare, but near-canonical dedup can leave
+  // renaming-equal twins.
+  std::vector<Conjunction> minimal;
+  for (const Conjunction& g : generators) {
+    bool drop = false;
+    for (const Conjunction& kept : minimal) {
+      if (IsSubConjunctionUpToRenaming(kept, g, x)) {
+        drop = true;
+        break;
+      }
+    }
+    if (!drop) minimal.push_back(g);
+  }
+  return minimal;
+}
+
+}  // namespace qimap

@@ -1,0 +1,59 @@
+#ifndef QIMAP_CORE_MINGEN_H_
+#define QIMAP_CORE_MINGEN_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "dependency/schema_mapping.h"
+#include "relational/atom.h"
+
+namespace qimap {
+
+/// Options for the MinGen search.
+struct MinGenOptions {
+  /// Bound on the number of conjuncts of a generator. 0 means the
+  /// Lemma 4.4 bound `s1 * s2` (max lhs size of Sigma times the number of
+  /// atoms in psi).
+  size_t max_atoms = 0;
+  /// Budget on the number of candidate conjunctions whose chase is tested;
+  /// exceeding it yields ResourceExhausted.
+  size_t max_candidates = 1u << 22;
+  /// Deduplicate search candidates by a near-canonical key (up to renaming
+  /// of fresh variables). Always correct to disable — the output is
+  /// deduplicated regardless — but the search revisits permuted copies;
+  /// exposed as an ablation knob for the benchmarks.
+  bool dedup_candidates = true;
+};
+
+/// Decides whether `beta` (a conjunction of source atoms over variables
+/// `x ∪ z`) is a generator of `exists y psi(x, y)` with respect to the
+/// mapping's tgds (Definition 4.2): the tgd `beta -> exists y psi` must be
+/// a logical consequence of Sigma, which holds iff chasing the canonical
+/// instance `I_beta` with Sigma yields at least `I_psi(x, y')` for some
+/// substitution `y'` for `y` (with the `x` frozen).
+Result<bool> IsGenerator(const SchemaMapping& m, const Conjunction& beta,
+                         const Conjunction& psi,
+                         const std::vector<Value>& x);
+
+/// True iff `small` is a sub-conjunction of `big` up to a (bijective)
+/// renaming of the variables not in `x`: some injective renaming of
+/// small's fresh variables into big's fresh variables sends every conjunct
+/// of `small` to a conjunct of `big`.
+bool IsSubConjunctionUpToRenaming(const Conjunction& small,
+                                  const Conjunction& big,
+                                  const std::vector<Value>& x);
+
+/// The paper's algorithm MinGen (Section 4): returns all minimal
+/// generators of `exists y psi(x, y)` with respect to the mapping, up to
+/// renaming of the fresh variables. `x` lists the shared variables (which
+/// every generator must contain); the remaining variables of `psi` are the
+/// existential `y`. Fresh generator variables are reported as `#z1, #z2,
+/// ...` in first-occurrence order.
+Result<std::vector<Conjunction>> MinGen(const SchemaMapping& m,
+                                        const Conjunction& psi,
+                                        const std::vector<Value>& x,
+                                        const MinGenOptions& options = {});
+
+}  // namespace qimap
+
+#endif  // QIMAP_CORE_MINGEN_H_

@@ -1,0 +1,52 @@
+#include "core/normalize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace qimap {
+
+SchemaMapping NormalizeMapping(const SchemaMapping& m) {
+  SchemaMapping out;
+  out.source = m.source;
+  out.target = m.target;
+  for (const Tgd& tgd : m.tgds) {
+    std::set<Value> existential;
+    for (const Value& y : tgd.ExistentialVariables()) existential.insert(y);
+    // Union-find over rhs atom indices, joined through shared
+    // existential variables.
+    std::vector<size_t> parent(tgd.rhs.size());
+    for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+    auto find = [&](size_t x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    std::map<Value, size_t> first_seen;
+    for (size_t i = 0; i < tgd.rhs.size(); ++i) {
+      for (const Value& v : tgd.rhs[i].args) {
+        if (!v.IsVariable() || existential.count(v) == 0) continue;
+        auto [it, inserted] = first_seen.emplace(v, i);
+        if (!inserted) parent[find(i)] = find(it->second);
+      }
+    }
+    std::map<size_t, Conjunction> components;
+    for (size_t i = 0; i < tgd.rhs.size(); ++i) {
+      components[find(i)].push_back(tgd.rhs[i]);
+    }
+    for (auto& [root, rhs] : components) {
+      Tgd piece;
+      piece.lhs = tgd.lhs;
+      piece.rhs = std::move(rhs);
+      if (std::find(out.tgds.begin(), out.tgds.end(), piece) ==
+          out.tgds.end()) {
+        out.tgds.push_back(std::move(piece));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qimap

@@ -1,0 +1,23 @@
+#ifndef QIMAP_CORE_NORMALIZE_H_
+#define QIMAP_CORE_NORMALIZE_H_
+
+#include "dependency/schema_mapping.h"
+
+namespace qimap {
+
+/// Splits every dependency's rhs into its existential-connected
+/// components, producing a logically equivalent mapping whose tgds have
+/// the smallest heads possible without Skolemizing:
+///
+///   P(x) -> Q(x) & R(x)            becomes two tgds, while
+///   P(x) -> exists y: Q(x,y) & R(y,x)   stays whole (the shared
+///   existential ties the two atoms together).
+///
+/// Normal forms shrink the `psi` handed to MinGen (whose search is
+/// exponential in the head size) and make `Sigma*` finer-grained; the
+/// equivalence is assertable with EquivalentTgdSets.
+SchemaMapping NormalizeMapping(const SchemaMapping& m);
+
+}  // namespace qimap
+
+#endif  // QIMAP_CORE_NORMALIZE_H_

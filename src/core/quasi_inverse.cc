@@ -1,0 +1,146 @@
+#include "core/quasi_inverse.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/sigma_star.h"
+#include "relational/homomorphism.h"
+
+namespace qimap {
+namespace {
+
+// Renames every '#'-prefixed fresh variable of the dependency to the first
+// unused name among z1, z2, ... (fresh MinGen variables are generated as
+// #z1, #z2, ... to avoid capture; this makes the output readable).
+void PrettifyFreshVariables(DisjunctiveTgd* dep) {
+  std::set<std::string> taken;
+  auto collect = [&taken](const Conjunction& conj) {
+    for (const Atom& atom : conj) {
+      for (const Value& v : atom.args) {
+        if (v.IsVariable()) taken.insert(v.ToString());
+      }
+    }
+  };
+  collect(dep->lhs);
+  for (const Conjunction& d : dep->disjuncts) collect(d);
+
+  std::map<Value, Value> rename;
+  size_t next = 1;
+  auto rename_value = [&](Value& v) {
+    if (!v.IsVariable()) return;
+    std::string name = v.ToString();
+    if (name.empty() || name[0] != '#') return;
+    auto it = rename.find(v);
+    if (it == rename.end()) {
+      std::string fresh;
+      do {
+        fresh = "z" + std::to_string(next++);
+      } while (taken.count(fresh) > 0);
+      taken.insert(fresh);
+      it = rename.emplace(v, Value::MakeVariable(fresh)).first;
+    }
+    v = it->second;
+  };
+  for (Conjunction& d : dep->disjuncts) {
+    for (Atom& atom : d) {
+      for (Value& v : atom.args) rename_value(v);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Conjunction> PruneSubsumedConjunctions(
+    const std::vector<Conjunction>& conjunctions,
+    const std::vector<Value>& x, SchemaPtr schema) {
+  std::vector<Conjunction> kept;
+  for (const Conjunction& candidate : conjunctions) {
+    bool subsumed = false;
+    for (const Conjunction& existing : kept) {
+      if (DisjunctSubsumes(existing, candidate, x, schema)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (subsumed) continue;
+    // The new member may be more general than ones kept earlier.
+    std::vector<Conjunction> still_kept;
+    for (Conjunction& existing : kept) {
+      if (!DisjunctSubsumes(candidate, existing, x, schema)) {
+        still_kept.push_back(std::move(existing));
+      }
+    }
+    kept = std::move(still_kept);
+    kept.push_back(candidate);
+  }
+  return kept;
+}
+
+bool DisjunctSubsumes(const Conjunction& general,
+                      const Conjunction& specific,
+                      const std::vector<Value>& x, SchemaPtr schema) {
+  Instance canonical = CanonicalInstance(specific, std::move(schema));
+  Assignment partial;
+  for (const Value& v : x) partial.emplace(v, v);
+  HomSearchOptions options;
+  return FindHomomorphism(general, canonical, partial, options).has_value();
+}
+
+Result<ReverseMapping> QuasiInverse(const SchemaMapping& m,
+                                    const QuasiInverseOptions& options) {
+  ReverseMapping reverse;
+  reverse.from = m.target;
+  reverse.to = m.source;
+
+  for (const Tgd& sigma : SigmaStar(m)) {
+    std::vector<Value> x = sigma.FrontierVariables();
+
+    DisjunctiveTgd dep;
+    dep.lhs = sigma.rhs;
+    if (options.include_constant_predicates) {
+      dep.constant_vars = x;
+    }
+    for (size_t i = 0; i < x.size(); ++i) {
+      for (size_t j = i + 1; j < x.size(); ++j) {
+        dep.inequalities.emplace_back(x[i], x[j]);
+      }
+    }
+
+    QIMAP_ASSIGN_OR_RETURN(std::vector<Conjunction> generators,
+                           MinGen(m, sigma.rhs, x, options.mingen));
+    if (generators.empty()) {
+      // The lhs of sigma is itself a generator, so MinGen cannot come back
+      // empty (see the remark after the algorithm in Section 4).
+      return Status::Internal("MinGen returned no generators");
+    }
+
+    if (options.prune_subsumed_disjuncts) {
+      generators = PruneSubsumedConjunctions(generators, x, m.source);
+    }
+
+    dep.disjuncts = std::move(generators);
+    PrettifyFreshVariables(&dep);
+    if (std::find(reverse.deps.begin(), reverse.deps.end(), dep) ==
+        reverse.deps.end()) {
+      reverse.deps.push_back(std::move(dep));
+    }
+  }
+  return reverse;
+}
+
+ReverseMapping MustQuasiInverse(const SchemaMapping& m,
+                                const QuasiInverseOptions& options) {
+  Result<ReverseMapping> reverse = QuasiInverse(m, options);
+  if (!reverse.ok()) {
+    std::fprintf(stderr, "MustQuasiInverse: %s\n",
+                 reverse.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(reverse).value();
+}
+
+}  // namespace qimap

@@ -1,0 +1,69 @@
+#include "core/recovery.h"
+
+#include "core/composition.h"
+#include "relational/instance_enum.h"
+
+namespace qimap {
+
+Result<BoundedCheckReport> CheckRecovery(const SchemaMapping& m,
+                                         const ReverseMapping& m_prime,
+                                         const BoundedSpace& space) {
+  BoundedCheckReport report;
+  EnumerationSpace enum_space{m.source, space.domain, space.max_facts};
+  Status failure = Status::OK();
+  ForEachInstance(enum_space, [&](const Instance& inst) {
+    ++report.pairs_checked;
+    ++report.composition_calls;
+    Result<bool> member = InComposition(m, m_prime, inst, inst);
+    if (!member.ok()) {
+      failure = member.status();
+      return false;
+    }
+    if (!*member) {
+      report.holds = false;
+      report.counterexample = Counterexample{
+          inst, inst,
+          "(I, I) is not in Inst(M ∘ M'): the round trip rules the "
+          "original source out"};
+      return false;
+    }
+    return true;
+  });
+  QIMAP_RETURN_IF_ERROR(failure);
+  report.space_size = report.pairs_checked;
+  return report;
+}
+
+Result<bool> AtLeastAsInformative(const SchemaMapping& m,
+                                  const ReverseMapping& a,
+                                  const ReverseMapping& b,
+                                  const BoundedSpace& space) {
+  EnumerationSpace enum_space{m.source, space.domain, space.max_facts};
+  bool contained = true;
+  Status failure = Status::OK();
+  ForEachInstance(enum_space, [&](const Instance& i1) {
+    ForEachInstance(enum_space, [&](const Instance& i2) {
+      Result<bool> in_a = InComposition(m, a, i1, i2);
+      if (!in_a.ok()) {
+        failure = in_a.status();
+        return false;
+      }
+      if (!*in_a) return true;
+      Result<bool> in_b = InComposition(m, b, i1, i2);
+      if (!in_b.ok()) {
+        failure = in_b.status();
+        return false;
+      }
+      if (!*in_b) {
+        contained = false;
+        return false;
+      }
+      return true;
+    });
+    return contained && failure.ok();
+  });
+  QIMAP_RETURN_IF_ERROR(failure);
+  return contained;
+}
+
+}  // namespace qimap

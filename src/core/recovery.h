@@ -1,0 +1,41 @@
+#ifndef QIMAP_CORE_RECOVERY_H_
+#define QIMAP_CORE_RECOVERY_H_
+
+#include "base/status.h"
+#include "core/framework.h"
+#include "dependency/schema_mapping.h"
+
+namespace qimap {
+
+/// Recovery analysis: the follow-up notion to this paper's inverses and
+/// quasi-inverses (Arenas, Pérez, Riveros: "The recovery of a schema
+/// mapping: bringing exchanged data back", PODS 2008). A reverse mapping
+/// `M'` is a *recovery* of `M` when every ground instance stays related
+/// to itself through the round trip — `(I, I) ∈ Inst(M ∘ M')` — i.e.
+/// `M'` never rules the original source out. Among recoveries, the more
+/// *informative* ones relate fewer spurious pairs.
+///
+/// These checks reuse the exact composition-membership oracle and sweep
+/// the bounded space of BoundedSpace, so they slot into the same
+/// verification story as the Definition 3.3 checkers.
+
+/// Decides whether `m_prime` is a recovery of `m` over the bounded
+/// space: `(I, I) ∈ Inst(M ∘ M')` for every enumerated ground instance.
+/// On failure the counterexample field holds the offending instance
+/// (twice).
+Result<BoundedCheckReport> CheckRecovery(const SchemaMapping& m,
+                                         const ReverseMapping& m_prime,
+                                         const BoundedSpace& space);
+
+/// Compares the informativeness of two recoveries over the bounded
+/// space: returns true iff `Inst(M ∘ A) ⊆ Inst(M ∘ B)` on every
+/// enumerated pair — then `A` is at least as informative as `B` (it
+/// rules out every pair `B` rules out).
+Result<bool> AtLeastAsInformative(const SchemaMapping& m,
+                                  const ReverseMapping& a,
+                                  const ReverseMapping& b,
+                                  const BoundedSpace& space);
+
+}  // namespace qimap
+
+#endif  // QIMAP_CORE_RECOVERY_H_

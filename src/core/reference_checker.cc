@@ -1,0 +1,128 @@
+#include "core/reference_checker.h"
+
+#include "core/composition.h"
+#include "core/solution_space.h"
+#include "relational/instance_enum.h"
+
+namespace qimap {
+
+ReferenceChecker::ReferenceChecker(const SchemaMapping& m,
+                                   BoundedSpace space)
+    : m_(m), space_(std::move(space)) {
+  if (space_.witness_max_facts == 0) {
+    space_.witness_max_facts = 2 * space_.max_facts;
+  }
+}
+
+Status ReferenceChecker::Prepare() {
+  if (prepared_) return Status::OK();
+  EnumerationSpace enum_space{
+      m_.source, space_.domain,
+      std::max(space_.max_facts, space_.witness_max_facts)};
+  ForEachInstance(enum_space, [&](const Instance& inst) {
+    instances_.push_back(inst);
+    return true;
+  });
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i].NumFacts() <= space_.max_facts) {
+      main_indices_.push_back(i);
+    }
+  }
+  prepared_ = true;
+  return Status::OK();
+}
+
+Result<bool> ReferenceChecker::Equivalent(const GroundEquivalence& eq,
+                                          size_t i, size_t j) {
+  auto key = std::make_tuple(static_cast<const void*>(&eq),
+                             std::min(i, j), std::max(i, j));
+  auto it = equiv_cache_.find(key);
+  if (it != equiv_cache_.end()) return it->second;
+  QIMAP_ASSIGN_OR_RETURN(bool equivalent,
+                         eq.Equivalent(instances_[i], instances_[j]));
+  equiv_cache_.emplace(key, equivalent);
+  return equivalent;
+}
+
+Result<bool> ReferenceChecker::Statement1(size_t a, size_t b,
+                                          const GroundEquivalence& e1,
+                                          const GroundEquivalence& e2) {
+  for (size_t i1p = 0; i1p < instances_.size(); ++i1p) {
+    QIMAP_ASSIGN_OR_RETURN(bool left, Equivalent(e1, a, i1p));
+    if (!left) continue;
+    for (size_t i2p = 0; i2p < instances_.size(); ++i2p) {
+      if (!instances_[i1p].IsSubsetOf(instances_[i2p])) continue;
+      QIMAP_ASSIGN_OR_RETURN(bool right, Equivalent(e2, b, i2p));
+      if (right) return true;
+    }
+  }
+  return false;
+}
+
+Result<BoundedCheckReport> ReferenceChecker::CheckSubsetProperty(
+    const GroundEquivalence& e1, const GroundEquivalence& e2) {
+  QIMAP_RETURN_IF_ERROR(Prepare());
+  BoundedCheckReport report;
+  report.space_size = instances_.size();
+  for (size_t a : main_indices_) {
+    for (size_t b : main_indices_) {
+      ++report.pairs_checked;
+      QIMAP_ASSIGN_OR_RETURN(bool contained,
+                             SolutionsContained(m_, instances_[b],
+                                                instances_[a]));
+      if (!contained) continue;
+      QIMAP_ASSIGN_OR_RETURN(bool witnessed, Statement1(a, b, e1, e2));
+      if (!witnessed) {
+        report.holds = false;
+        report.counterexample =
+            Counterexample{instances_[a], instances_[b],
+                           "subset property fails (reference checker)"};
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+Result<BoundedCheckReport> ReferenceChecker::CheckGeneralizedInverse(
+    const ReverseMapping& m_prime, const GroundEquivalence& e1,
+    const GroundEquivalence& e2) {
+  QIMAP_RETURN_IF_ERROR(Prepare());
+  BoundedCheckReport report;
+  report.space_size = instances_.size();
+  for (size_t a : main_indices_) {
+    for (size_t b : main_indices_) {
+      ++report.pairs_checked;
+      QIMAP_ASSIGN_OR_RETURN(bool s1, Statement1(a, b, e1, e2));
+      // Statement 2, scanning both components literally per Definition
+      // 3.3 (no invariance shortcuts in the reference implementation).
+      bool s2 = false;
+      for (size_t i1pp = 0; i1pp < instances_.size() && !s2; ++i1pp) {
+        QIMAP_ASSIGN_OR_RETURN(bool left, Equivalent(e1, a, i1pp));
+        if (!left) continue;
+        for (size_t i2pp = 0; i2pp < instances_.size(); ++i2pp) {
+          QIMAP_ASSIGN_OR_RETURN(bool right, Equivalent(e2, b, i2pp));
+          if (!right) continue;
+          ++report.composition_calls;
+          QIMAP_ASSIGN_OR_RETURN(
+              bool member, InComposition(m_, m_prime, instances_[i1pp],
+                                         instances_[i2pp]));
+          if (member) {
+            s2 = true;
+            break;
+          }
+        }
+      }
+      if (s1 != s2) {
+        report.holds = false;
+        report.counterexample = Counterexample{
+            instances_[a], instances_[b],
+            "Definition 3.3 fails (reference checker)"};
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace qimap

@@ -1,0 +1,66 @@
+#ifndef QIMAP_CORE_REFERENCE_CHECKER_H_
+#define QIMAP_CORE_REFERENCE_CHECKER_H_
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "base/status.h"
+#include "core/equivalence.h"
+#include "core/framework.h"
+#include "dependency/schema_mapping.h"
+
+namespace qimap {
+
+/// A small, readable reference implementation of the Definition 3.3 and
+/// 3.4 checks for *arbitrary* plug-in equivalence relations (any
+/// GroundEquivalence refining `~M`).
+///
+/// Unlike FrameworkChecker it does no class precomputation, no
+/// saturation, and no memoization beyond caching the pairwise
+/// equivalence queries: every witness search is a literal scan of the
+/// bounded witness space. That makes it quadratically slower but
+/// obviously faithful to the definitions, so it serves two purposes:
+///
+///  * differential testing of FrameworkChecker (they must agree wherever
+///    both apply), and
+///  * exploring the spectrum of Proposition 3.7 with custom refinements
+///    of `~M` between `=` and `~M` (e.g. SimSameDomainEquivalence).
+class ReferenceChecker {
+ public:
+  /// `witness_max_facts` of the space bounds the witness scans (0 means
+  /// `2 * max_facts`). The mapping must outlive the checker.
+  ReferenceChecker(const SchemaMapping& m, BoundedSpace space);
+
+  /// Definition 3.4 over the bounded space.
+  Result<BoundedCheckReport> CheckSubsetProperty(const GroundEquivalence& e1,
+                                                 const GroundEquivalence& e2);
+
+  /// Definition 3.3 over the bounded space.
+  Result<BoundedCheckReport> CheckGeneralizedInverse(
+      const ReverseMapping& m_prime, const GroundEquivalence& e1,
+      const GroundEquivalence& e2);
+
+ private:
+  Status Prepare();
+
+  // Statement 1: exists (I1', I2') in the witness space, componentwise
+  // equivalent to (instances_[a], instances_[b]), with I1' ⊆ I2'.
+  Result<bool> Statement1(size_t a, size_t b, const GroundEquivalence& e1,
+                          const GroundEquivalence& e2);
+
+  // Memoized equivalence query between two witness-space instances.
+  Result<bool> Equivalent(const GroundEquivalence& eq, size_t i, size_t j);
+
+  const SchemaMapping& m_;
+  BoundedSpace space_;
+  bool prepared_ = false;
+  std::vector<Instance> instances_;
+  std::vector<size_t> main_indices_;
+  // Cache keyed by (relation address, i, j) with i <= j.
+  std::map<std::tuple<const void*, size_t, size_t>, bool> equiv_cache_;
+};
+
+}  // namespace qimap
+
+#endif  // QIMAP_CORE_REFERENCE_CHECKER_H_

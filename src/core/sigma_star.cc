@@ -1,0 +1,72 @@
+#include "core/sigma_star.h"
+
+#include <algorithm>
+
+#include "relational/atom.h"
+
+namespace qimap {
+
+std::vector<std::vector<size_t>> SetPartitions(size_t n) {
+  std::vector<std::vector<size_t>> out;
+  std::vector<size_t> rgs(n, 0);
+  // Enumerate restricted growth strings: rgs[0] = 0 and
+  // rgs[i] <= max(rgs[0..i-1]) + 1.
+  if (n == 0) {
+    out.push_back({});
+    return out;
+  }
+  while (true) {
+    out.push_back(rgs);
+    // Advance to the next restricted growth string.
+    size_t i = n;
+    while (i-- > 1) {
+      size_t max_prefix = 0;
+      for (size_t j = 0; j < i; ++j) max_prefix = std::max(max_prefix, rgs[j]);
+      if (rgs[i] <= max_prefix) {
+        ++rgs[i];
+        for (size_t j = i + 1; j < n; ++j) rgs[j] = 0;
+        break;
+      }
+      if (i == 1) return out;
+    }
+    if (n == 1) return out;
+  }
+}
+
+std::vector<Tgd> SigmaStar(const SchemaMapping& m) {
+  std::vector<Tgd> out;
+  auto add_unique = [&](Tgd tgd) {
+    if (std::find(out.begin(), out.end(), tgd) == out.end()) {
+      out.push_back(std::move(tgd));
+    }
+  };
+  for (const Tgd& tgd : m.tgds) {
+    add_unique(tgd);
+    std::vector<Value> frontier = tgd.FrontierVariables();
+    for (const std::vector<size_t>& partition :
+         SetPartitions(frontier.size())) {
+      // Representative of each block: the first frontier variable with
+      // that block index.
+      std::vector<Value> representative(frontier.size());
+      std::vector<bool> have(frontier.size(), false);
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        size_t block = partition[i];
+        if (!have[block]) {
+          representative[block] = frontier[i];
+          have[block] = true;
+        }
+      }
+      std::vector<std::pair<Value, Value>> substitution;
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        substitution.emplace_back(frontier[i], representative[partition[i]]);
+      }
+      Tgd collapsed;
+      collapsed.lhs = SubstituteConjunction(tgd.lhs, substitution);
+      collapsed.rhs = SubstituteConjunction(tgd.rhs, substitution);
+      add_unique(std::move(collapsed));
+    }
+  }
+  return out;
+}
+
+}  // namespace qimap

@@ -1,0 +1,28 @@
+#ifndef QIMAP_CORE_SIGMA_STAR_H_
+#define QIMAP_CORE_SIGMA_STAR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dependency/schema_mapping.h"
+
+namespace qimap {
+
+/// All set partitions of `{0, ..., n-1}`, each encoded as a restricted
+/// growth string: `out[k][i]` is the block index of item `i`, with block
+/// indices appearing in first-use order. `SetPartitions(0)` is the single
+/// empty partition.
+std::vector<std::vector<size_t>> SetPartitions(size_t n);
+
+/// The paper's `Sigma*` (Section 4): for each tgd `sigma` of the mapping
+/// and each complete description `delta` (a consistent specification of
+/// equalities/inequalities, i.e. a set partition) of the variables that
+/// appear on both sides of `sigma`, the formula `f(sigma, delta)` replaces
+/// every such variable by the representative of its block. Returns
+/// `Sigma ∪ { f(sigma, delta) }`, deduplicated, and logically equivalent
+/// to `Sigma`.
+std::vector<Tgd> SigmaStar(const SchemaMapping& m);
+
+}  // namespace qimap
+
+#endif  // QIMAP_CORE_SIGMA_STAR_H_

@@ -1,0 +1,47 @@
+#ifndef QIMAP_CORE_SO_COMPOSITION_H_
+#define QIMAP_CORE_SO_COMPOSITION_H_
+
+#include "base/status.h"
+#include "dependency/schema_mapping.h"
+#include "dependency/so_tgd.h"
+#include "relational/instance.h"
+
+namespace qimap {
+
+/// Skolemizes a schema mapping given by s-t tgds into an SO tgd: each
+/// existential variable `y` of a dependency becomes the term
+/// `f_<i>_<y>(x)` over the dependency's frontier variables. The result
+/// specifies the same mapping (Fagin-Kolaitis-Popa-Tan [5]).
+SoMapping Skolemize(const SchemaMapping& m);
+
+/// Composes two consecutive schema mappings given by s-t tgds into a
+/// single SO tgd — the general composition algorithm of the paper's [5],
+/// with no fullness restriction (contrast ComposeFullFirst). Both
+/// mappings are skolemized; every way of resolving each `m23`-lhs atom
+/// against a rhs atom of skolemized `m12` yields one implication whose
+/// lhs collects the chosen `m12` lhs copies plus the term equalities the
+/// resolution forces (e.g. the famous `e = f(e)` self-manager equality).
+///
+/// `m23.source` must declare the same relations in the same order as
+/// `m12.target`.
+Result<SoMapping> ComposeSo(const SchemaMapping& m12,
+                            const SchemaMapping& m23);
+
+/// Options for the SO chase.
+struct SoChaseOptions {
+  /// Label of the first fresh Skolem null; 0 means "above the input's".
+  uint32_t first_null_label = 0;
+  size_t max_steps = 1u << 20;
+};
+
+/// Chases a source instance with an SO tgd under the free (term-algebra)
+/// interpretation of the function symbols: each distinct ground Skolem
+/// term denotes a distinct fresh labeled null. For SO tgds produced by
+/// Skolemize or ComposeSo this yields a universal solution of the
+/// specified mapping ([5]).
+Result<Instance> SoChase(const Instance& source_inst, const SoMapping& m,
+                         const SoChaseOptions& options = {});
+
+}  // namespace qimap
+
+#endif  // QIMAP_CORE_SO_COMPOSITION_H_

@@ -1,0 +1,40 @@
+#include "core/solution_space.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dependency/satisfaction.h"
+
+namespace qimap {
+
+bool IsSolution(const SchemaMapping& m, const Instance& source_inst,
+                const Instance& target_inst) {
+  return SatisfiesAll(source_inst, target_inst, m);
+}
+
+Result<bool> SolutionsContained(const SchemaMapping& m,
+                                const Instance& inner,
+                                const Instance& outer) {
+  QIMAP_ASSIGN_OR_RETURN(Instance inner_chase, Chase(inner, m));
+  return IsSolution(m, outer, inner_chase);
+}
+
+Result<bool> SimEquivalent(const SchemaMapping& m, const Instance& i1,
+                           const Instance& i2) {
+  QIMAP_ASSIGN_OR_RETURN(bool forward, SolutionsContained(m, i1, i2));
+  if (!forward) return false;
+  return SolutionsContained(m, i2, i1);
+}
+
+bool MustSimEquivalent(const SchemaMapping& m, const Instance& i1,
+                       const Instance& i2) {
+  Result<bool> result = SimEquivalent(m, i1, i2);
+  if (!result.ok()) {
+    std::fprintf(stderr, "MustSimEquivalent: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return *result;
+}
+
+}  // namespace qimap

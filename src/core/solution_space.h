@@ -1,0 +1,38 @@
+#ifndef QIMAP_CORE_SOLUTION_SPACE_H_
+#define QIMAP_CORE_SOLUTION_SPACE_H_
+
+#include "base/status.h"
+#include "chase/chase.h"
+#include "dependency/schema_mapping.h"
+#include "relational/instance.h"
+
+namespace qimap {
+
+/// True iff `target_inst` is a solution for `source_inst` under `m`, i.e.
+/// `(source_inst, target_inst) |= Sigma` (paper, Section 2).
+bool IsSolution(const SchemaMapping& m, const Instance& source_inst,
+                const Instance& target_inst);
+
+/// Decides `Sol(M, inner) ⊆ Sol(M, outer)`.
+///
+/// For s-t tgds the solution space is closed under target homomorphisms
+/// that fix constants and under adding facts, and `chase(inner)` is
+/// universal for `inner`; hence the containment holds iff `chase(inner)`
+/// is a solution for `outer`. This turns a statement quantified over all
+/// target instances into one chase plus one satisfaction check.
+Result<bool> SolutionsContained(const SchemaMapping& m,
+                                const Instance& inner,
+                                const Instance& outer);
+
+/// Decides the paper's data-exchange equivalence `I1 ~M I2`
+/// (Definition 3.1): `Sol(M, I1) = Sol(M, I2)`.
+Result<bool> SimEquivalent(const SchemaMapping& m, const Instance& i1,
+                           const Instance& i2);
+
+/// Like SimEquivalent but aborts on error (tests/benchmarks).
+bool MustSimEquivalent(const SchemaMapping& m, const Instance& i1,
+                       const Instance& i2);
+
+}  // namespace qimap
+
+#endif  // QIMAP_CORE_SOLUTION_SPACE_H_

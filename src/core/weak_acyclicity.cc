@@ -1,0 +1,132 @@
+#include "core/weak_acyclicity.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace qimap {
+namespace {
+
+using Position = std::pair<RelationId, size_t>;
+
+// Collects, per variable, the set of positions it occupies in the
+// conjunction.
+std::map<Value, std::set<Position>> PositionsOf(const Conjunction& conj) {
+  std::map<Value, std::set<Position>> out;
+  for (const Atom& atom : conj) {
+    for (size_t p = 0; p < atom.args.size(); ++p) {
+      if (atom.args[p].IsVariable()) {
+        out[atom.args[p]].insert({atom.relation, p});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsWeaklyAcyclic(const std::vector<Tgd>& tgds, const Schema& schema) {
+  // Dense node ids for positions.
+  std::map<Position, size_t> node_of;
+  for (RelationId r = 0; r < schema.size(); ++r) {
+    for (size_t p = 0; p < schema.relation(r).arity; ++p) {
+      size_t id = node_of.size();
+      node_of[{r, p}] = id;
+    }
+  }
+  size_t n = node_of.size();
+  // adjacency[u] = set of (v, special?) edges.
+  std::vector<std::set<std::pair<size_t, bool>>> adjacency(n);
+
+  for (const Tgd& tgd : tgds) {
+    std::map<Value, std::set<Position>> lhs_positions =
+        PositionsOf(tgd.lhs);
+    std::map<Value, std::set<Position>> rhs_positions =
+        PositionsOf(tgd.rhs);
+    std::set<Value> lhs_vars = VariableSetOf(tgd.lhs);
+    // Existential rhs positions.
+    std::set<Position> existential_positions;
+    for (const auto& [v, positions] : rhs_positions) {
+      if (lhs_vars.count(v) == 0) {
+        existential_positions.insert(positions.begin(), positions.end());
+      }
+    }
+    for (const auto& [x, from_positions] : lhs_positions) {
+      auto it = rhs_positions.find(x);
+      if (it == rhs_positions.end()) continue;  // x not exported
+      for (const Position& from : from_positions) {
+        size_t u = node_of[from];
+        for (const Position& to : it->second) {
+          adjacency[u].insert({node_of[to], false});
+        }
+        for (const Position& to : existential_positions) {
+          adjacency[u].insert({node_of[to], true});
+        }
+      }
+    }
+  }
+
+  // Weakly acyclic iff no special edge lies inside a strongly connected
+  // component. Iterative Tarjan SCC.
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  std::vector<size_t> component(n, 0);
+  int next_index = 0;
+  size_t next_component = 1;
+
+  struct Frame {
+    size_t node;
+    std::set<std::pair<size_t, bool>>::const_iterator next;
+  };
+  for (size_t start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    std::vector<Frame> frames;
+    frames.push_back({start, adjacency[start].begin()});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      size_t u = frame.node;
+      if (frame.next != adjacency[u].end()) {
+        size_t v = frame.next->first;
+        ++frame.next;
+        if (index[v] == -1) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          frames.push_back({v, adjacency[v].begin()});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      } else {
+        if (lowlink[u] == index[u]) {
+          size_t member;
+          do {
+            member = stack.back();
+            stack.pop_back();
+            on_stack[member] = false;
+            component[member] = next_component;
+          } while (member != u);
+          ++next_component;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          size_t parent = frames.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        }
+      }
+    }
+  }
+
+  for (size_t u = 0; u < n; ++u) {
+    for (const auto& [v, special] : adjacency[u]) {
+      if (special && component[u] == component[v]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qimap

@@ -1,0 +1,25 @@
+#ifndef QIMAP_CORE_WEAK_ACYCLICITY_H_
+#define QIMAP_CORE_WEAK_ACYCLICITY_H_
+
+#include <vector>
+
+#include "dependency/tgd.h"
+#include "relational/schema.h"
+
+namespace qimap {
+
+/// Decides weak acyclicity of a set of (target) tgds over `schema` — the
+/// classical sufficient condition for chase termination with target
+/// constraints (Fagin-Kolaitis-Miller-Popa, the paper's [4]).
+///
+/// The position graph has a node per (relation, argument position). For
+/// each tgd and each lhs variable `x` at position `p` that also occurs in
+/// the rhs: a regular edge from `p` to every rhs position of `x`, and a
+/// special edge from `p` to every rhs position of every existential
+/// variable. The set is weakly acyclic iff no cycle goes through a
+/// special edge.
+bool IsWeaklyAcyclic(const std::vector<Tgd>& tgds, const Schema& schema);
+
+}  // namespace qimap
+
+#endif  // QIMAP_CORE_WEAK_ACYCLICITY_H_

@@ -1,0 +1,81 @@
+#include "dependency/disjunctive_tgd.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/strings.h"
+
+namespace qimap {
+
+std::vector<Value> DisjunctiveTgd::ExistentialVariablesOf(
+    size_t disjunct_index) const {
+  std::set<Value> lhs_vars = VariableSetOf(lhs);
+  std::vector<Value> out;
+  std::set<Value> seen;
+  for (const Atom& atom : disjuncts[disjunct_index]) {
+    for (const Value& v : atom.args) {
+      if (v.IsVariable() && lhs_vars.count(v) == 0 && seen.insert(v).second) {
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+bool DisjunctiveTgd::IsFull() const {
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (!ExistentialVariablesOf(i).empty()) return false;
+  }
+  return true;
+}
+
+bool DisjunctiveTgd::InequalitiesAmongConstantsOnly() const {
+  for (const auto& [a, b] : inequalities) {
+    bool a_const = std::find(constant_vars.begin(), constant_vars.end(), a) !=
+                   constant_vars.end();
+    bool b_const = std::find(constant_vars.begin(), constant_vars.end(), b) !=
+                   constant_vars.end();
+    if (!a_const || !b_const) return false;
+  }
+  return true;
+}
+
+DisjunctiveTgd FromTgd(const Tgd& tgd) {
+  DisjunctiveTgd out;
+  out.lhs = tgd.lhs;
+  out.disjuncts.push_back(tgd.rhs);
+  return out;
+}
+
+std::string DisjunctiveTgdToString(const DisjunctiveTgd& dep,
+                                   const Schema& from, const Schema& to) {
+  std::vector<std::string> lhs_parts;
+  for (const Atom& atom : dep.lhs) {
+    lhs_parts.push_back(AtomToString(atom, from));
+  }
+  for (const Value& v : dep.constant_vars) {
+    lhs_parts.push_back("Constant(" + v.ToString() + ")");
+  }
+  for (const auto& [a, b] : dep.inequalities) {
+    lhs_parts.push_back(a.ToString() + " != " + b.ToString());
+  }
+  std::string out = Join(lhs_parts, " & ");
+  out += " -> ";
+  std::vector<std::string> disjunct_parts;
+  for (size_t i = 0; i < dep.disjuncts.size(); ++i) {
+    std::vector<Value> existential = dep.ExistentialVariablesOf(i);
+    std::string part;
+    if (!existential.empty()) {
+      std::vector<std::string> names;
+      for (const Value& v : existential) names.push_back(v.ToString());
+      part += "exists " + Join(names, ",") + ": ";
+    }
+    part += ConjunctionToString(dep.disjuncts[i], to);
+    if (dep.disjuncts.size() > 1) part = "(" + part + ")";
+    disjunct_parts.push_back(std::move(part));
+  }
+  out += Join(disjunct_parts, " | ");
+  return out;
+}
+
+}  // namespace qimap

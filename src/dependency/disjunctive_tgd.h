@@ -1,0 +1,75 @@
+#ifndef QIMAP_DEPENDENCY_DISJUNCTIVE_TGD_H_
+#define QIMAP_DEPENDENCY_DISJUNCTIVE_TGD_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/value.h"
+#include "dependency/tgd.h"
+#include "relational/atom.h"
+#include "relational/schema.h"
+
+namespace qimap {
+
+/// A disjunctive tgd with constants and inequalities (Definition 2.1),
+/// written from a "from" schema to a "to" schema:
+///
+///   forall x ( lhs(x) & Constant(xi)... & xi != xj ...
+///              -> OR_i exists yi: disjunct_i(x, yi) )
+///
+/// In the paper these go from the target schema T back to the source
+/// schema S and are the language of quasi-inverses (Theorem 4.1). The
+/// existential variables of each disjunct are implicit: exactly its
+/// variables that do not occur in the lhs atoms.
+struct DisjunctiveTgd {
+  /// Conjunction of atoms over the "from" schema; every lhs variable must
+  /// occur in one of these (Definition 2.1, condition (1)).
+  Conjunction lhs;
+  /// Variables `x` with a `Constant(x)` conjunct.
+  std::vector<Value> constant_vars;
+  /// Pairs `(x, x')` with an `x != x'` conjunct.
+  std::vector<std::pair<Value, Value>> inequalities;
+  /// The disjuncts; each is a conjunction of atoms over the "to" schema.
+  /// Must be nonempty.
+  std::vector<Conjunction> disjuncts;
+
+  /// Existential variables of one disjunct: its variables that are not lhs
+  /// variables, in first-occurrence order.
+  std::vector<Value> ExistentialVariablesOf(size_t disjunct_index) const;
+
+  bool HasDisjunction() const { return disjuncts.size() > 1; }
+  bool HasConstants() const { return !constant_vars.empty(); }
+  bool HasInequalities() const { return !inequalities.empty(); }
+
+  /// True iff no disjunct has existential variables ("full disjunctive
+  /// tgd", Theorem 4.11).
+  bool IsFull() const;
+
+  /// Definition 2.1(2): every inequality `x != x'` comes with both
+  /// `Constant(x)` and `Constant(x')` conjuncts ("inequalities among
+  /// constants"). Required by the soundness theorem (Theorem 6.7).
+  bool InequalitiesAmongConstantsOnly() const;
+
+  /// True iff this is a plain tgd: one disjunct, no Constant conjuncts, no
+  /// inequalities.
+  bool IsPlainTgd() const {
+    return disjuncts.size() == 1 && constant_vars.empty() &&
+           inequalities.empty();
+  }
+
+  friend bool operator==(const DisjunctiveTgd& a,
+                         const DisjunctiveTgd& b) = default;
+};
+
+/// Lifts a plain tgd into the richer language.
+DisjunctiveTgd FromTgd(const Tgd& tgd);
+
+/// Renders using relation names from the two schemas, e.g.
+/// `S(x,y) & Constant(x) & x != y -> (exists z: P(x,z)) | Q(x,y)`.
+std::string DisjunctiveTgdToString(const DisjunctiveTgd& dep,
+                                   const Schema& from, const Schema& to);
+
+}  // namespace qimap
+
+#endif  // QIMAP_DEPENDENCY_DISJUNCTIVE_TGD_H_

@@ -1,0 +1,128 @@
+#include "dependency/egd.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "base/strings.h"
+#include "dependency/parser.h"
+
+namespace qimap {
+
+std::string EgdToString(const Egd& egd, const Schema& schema) {
+  std::string out = ConjunctionToString(egd.lhs, schema);
+  out += " -> ";
+  std::vector<std::string> parts;
+  for (const auto& [a, b] : egd.equalities) {
+    parts.push_back(a.ToString() + " = " + b.ToString());
+  }
+  out += Join(parts, " & ");
+  return out;
+}
+
+Result<Egd> ParseEgd(const Schema& schema, std::string_view text) {
+  size_t arrow = text.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::InvalidArgument("egd needs '->': " + std::string(text));
+  }
+  std::string lhs_text(StripWhitespace(text.substr(0, arrow)));
+  std::string rhs_text(StripWhitespace(text.substr(arrow + 2)));
+
+  // Parse the lhs by round-tripping it through the dependency parser.
+  QIMAP_ASSIGN_OR_RETURN(
+      DisjunctiveTgd round_trip,
+      ParseDisjunctiveTgd(schema, schema, lhs_text + " -> " + lhs_text));
+  if (!round_trip.IsPlainTgd()) {
+    return Status::InvalidArgument(
+        "egd lhs admits neither guards nor disjunction: " +
+        std::string(text));
+  }
+  Egd egd;
+  egd.lhs = std::move(round_trip.lhs);
+  std::set<Value> lhs_vars = VariableSetOf(egd.lhs);
+
+  for (const std::string& piece : SplitAndTrim(rhs_text, '&')) {
+    size_t eq = piece.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("egd rhs must be equalities: " +
+                                     std::string(text));
+    }
+    std::string left(StripWhitespace(piece.substr(0, eq)));
+    std::string right(StripWhitespace(piece.substr(eq + 1)));
+    if (left.empty() || right.empty()) {
+      return Status::InvalidArgument("malformed equality in egd: " + piece);
+    }
+    Value a = Value::MakeVariable(left);
+    Value b = Value::MakeVariable(right);
+    if (lhs_vars.count(a) == 0 || lhs_vars.count(b) == 0) {
+      return Status::InvalidArgument(
+          "egd equality variables must occur in the lhs: " + piece);
+    }
+    egd.equalities.emplace_back(a, b);
+  }
+  if (egd.equalities.empty()) {
+    return Status::InvalidArgument("egd without equalities: " +
+                                   std::string(text));
+  }
+  return egd;
+}
+
+std::string TargetConstraints::ToString(const Schema& target) const {
+  std::string out;
+  for (const Tgd& tgd : tgds) {
+    out += TgdToString(tgd, target, target);
+    out += "\n";
+  }
+  for (const Egd& egd : egds) {
+    out += EgdToString(egd, target);
+    out += "\n";
+  }
+  return out;
+}
+
+Result<TargetConstraints> ParseTargetConstraints(const Schema& target,
+                                                 std::string_view text) {
+  TargetConstraints constraints;
+  // Reuse the list-splitting behavior of the dependency parser: split on
+  // ';' and newlines, strip comments.
+  std::string normalized;
+  bool in_comment = false;
+  for (char c : text) {
+    if (c == '#') in_comment = true;
+    if (c == '\n') {
+      in_comment = false;
+      normalized += ';';
+      continue;
+    }
+    if (!in_comment) normalized += c;
+  }
+  for (const std::string& piece : SplitAndTrim(normalized, ';')) {
+    // Classify: an egd's rhs contains '=' (and no relation atoms).
+    size_t arrow = piece.find("->");
+    bool is_egd = arrow != std::string::npos &&
+                  piece.find('=', arrow) != std::string::npos &&
+                  piece.find('(', arrow) == std::string::npos;
+    if (is_egd) {
+      QIMAP_ASSIGN_OR_RETURN(Egd egd, ParseEgd(target, piece));
+      constraints.egds.push_back(std::move(egd));
+    } else {
+      QIMAP_ASSIGN_OR_RETURN(Tgd tgd, ParseTgd(target, target, piece));
+      constraints.tgds.push_back(std::move(tgd));
+    }
+  }
+  return constraints;
+}
+
+TargetConstraints MustParseTargetConstraints(const Schema& target,
+                                             std::string_view text) {
+  Result<TargetConstraints> constraints =
+      ParseTargetConstraints(target, text);
+  if (!constraints.ok()) {
+    std::fprintf(stderr, "MustParseTargetConstraints: %s\n",
+                 constraints.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(constraints).value();
+}
+
+}  // namespace qimap

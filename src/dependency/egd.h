@@ -1,0 +1,56 @@
+#ifndef QIMAP_DEPENDENCY_EGD_H_
+#define QIMAP_DEPENDENCY_EGD_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "dependency/tgd.h"
+#include "relational/atom.h"
+#include "relational/schema.h"
+
+namespace qimap {
+
+/// An equality-generating dependency over one schema:
+/// `forall x ( lhs(x) -> x_i = x_j & ... )` — the constraint language of
+/// the data-exchange setting this paper builds on
+/// (Fagin-Kolaitis-Miller-Popa, the paper's [4]); keys and functional
+/// dependencies are the typical instances.
+struct Egd {
+  Conjunction lhs;
+  std::vector<std::pair<Value, Value>> equalities;
+
+  friend bool operator==(const Egd& a, const Egd& b) = default;
+};
+
+/// Renders `Q(x,y) & Q(x,z) -> y = z`.
+std::string EgdToString(const Egd& egd, const Schema& schema);
+
+/// Parses an egd; both sides resolve in `schema`, the rhs is a
+/// `&`-separated list of `x = y` equalities over lhs variables.
+Result<Egd> ParseEgd(const Schema& schema, std::string_view text);
+
+/// Target constraints for data exchange: target-to-target tgds plus egds
+/// (the `(Sigma, Sigma_t)` setting of [4]).
+struct TargetConstraints {
+  std::vector<Tgd> tgds;  ///< lhs and rhs both over the target schema
+  std::vector<Egd> egds;
+
+  /// Multi-line rendering.
+  std::string ToString(const Schema& target) const;
+};
+
+/// Parses a `;`/newline-separated list of target tgds and egds (each line
+/// is classified by whether its rhs is an equality list).
+Result<TargetConstraints> ParseTargetConstraints(const Schema& target,
+                                                 std::string_view text);
+
+/// Like ParseTargetConstraints but aborts on error.
+TargetConstraints MustParseTargetConstraints(const Schema& target,
+                                             std::string_view text);
+
+}  // namespace qimap
+
+#endif  // QIMAP_DEPENDENCY_EGD_H_

@@ -1,0 +1,416 @@
+#include "dependency/parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "base/strings.h"
+#include "relational/atom.h"
+
+namespace qimap {
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kLParen,
+  kRParen,
+  kComma,
+  kAmp,
+  kPipe,
+  kColon,
+  kArrow,
+  kNeq,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+};
+
+// Splits the input into tokens; identifiers may contain letters, digits,
+// underscores, and primes (x').
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_' || text[j] == '\'')) {
+        ++j;
+      }
+      tokens.push_back({TokenKind::kIdent, std::string(text.substr(i, j - i))});
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        tokens.push_back({TokenKind::kLParen, "("});
+        ++i;
+        continue;
+      case ')':
+        tokens.push_back({TokenKind::kRParen, ")"});
+        ++i;
+        continue;
+      case ',':
+        tokens.push_back({TokenKind::kComma, ","});
+        ++i;
+        continue;
+      case '&':
+        tokens.push_back({TokenKind::kAmp, "&"});
+        ++i;
+        continue;
+      case '|':
+        tokens.push_back({TokenKind::kPipe, "|"});
+        ++i;
+        continue;
+      case ':':
+        tokens.push_back({TokenKind::kColon, ":"});
+        ++i;
+        continue;
+      case '-':
+        if (i + 1 < text.size() && text[i + 1] == '>') {
+          tokens.push_back({TokenKind::kArrow, "->"});
+          i += 2;
+          continue;
+        }
+        return Status::InvalidArgument("stray '-' in dependency: " +
+                                       std::string(text));
+      case '!':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          tokens.push_back({TokenKind::kNeq, "!="});
+          i += 2;
+          continue;
+        }
+        return Status::InvalidArgument("stray '!' in dependency: " +
+                                       std::string(text));
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' in dependency: " +
+                                       std::string(text));
+    }
+  }
+  tokens.push_back({TokenKind::kEnd, ""});
+  return tokens;
+}
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Schema& from, const Schema& to,
+         std::string_view original)
+      : tokens_(std::move(tokens)),
+        from_(from),
+        to_(to),
+        original_(original) {}
+
+  Result<DisjunctiveTgd> ParseDependency() {
+    DisjunctiveTgd dep;
+    QIMAP_RETURN_IF_ERROR(ParseLhs(&dep));
+    QIMAP_RETURN_IF_ERROR(Expect(TokenKind::kArrow, "'->'"));
+    QIMAP_RETURN_IF_ERROR(ParseRhs(&dep));
+    QIMAP_RETURN_IF_ERROR(Expect(TokenKind::kEnd, "end of dependency"));
+    QIMAP_RETURN_IF_ERROR(Validate(dep));
+    return dep;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(what + " in dependency: " +
+                                   std::string(original_));
+  }
+
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (Peek().kind != kind) {
+      return Error("expected " + what + " near '" + Peek().text + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  // lhs := item ('&' item)*
+  // item := Atom | 'Constant' '(' var ')' | var '!=' var
+  Status ParseLhs(DisjunctiveTgd* dep) {
+    while (true) {
+      QIMAP_RETURN_IF_ERROR(ParseLhsItem(dep));
+      if (Peek().kind == TokenKind::kAmp) {
+        ++pos_;
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Status ParseLhsItem(DisjunctiveTgd* dep) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected atom, Constant(..) or inequality near '" +
+                   Peek().text + "'");
+    }
+    std::string name = Next().text;
+    if (Peek().kind == TokenKind::kNeq) {
+      ++pos_;
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("expected variable after '!='");
+      }
+      std::string rhs_name = Next().text;
+      dep->inequalities.emplace_back(Value::MakeVariable(name),
+                                     Value::MakeVariable(rhs_name));
+      return Status::OK();
+    }
+    if (name == "Constant") {
+      QIMAP_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("expected variable inside Constant(..)");
+      }
+      dep->constant_vars.push_back(Value::MakeVariable(Next().text));
+      QIMAP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return Status::OK();
+    }
+    Atom atom;
+    QIMAP_RETURN_IF_ERROR(ParseAtomArgs(name, from_, &atom));
+    dep->lhs.push_back(std::move(atom));
+    return Status::OK();
+  }
+
+  // rhs := disjunct ('|' disjunct)*
+  Status ParseRhs(DisjunctiveTgd* dep) {
+    while (true) {
+      Conjunction disjunct;
+      QIMAP_RETURN_IF_ERROR(ParseDisjunct(&disjunct));
+      dep->disjuncts.push_back(std::move(disjunct));
+      if (Peek().kind == TokenKind::kPipe) {
+        ++pos_;
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  // disjunct := '(' disjunctBody ')' | disjunctBody
+  // disjunctBody := ['exists' varlist ':'] atom ('&' atom)*
+  Status ParseDisjunct(Conjunction* out) {
+    bool parenthesized = false;
+    if (Peek().kind == TokenKind::kLParen) {
+      parenthesized = true;
+      ++pos_;
+    }
+    if (Peek().kind == TokenKind::kIdent && Peek().text == "exists") {
+      ++pos_;
+      // The explicit variable list is accepted and checked but existential
+      // variables are recomputed from the atoms anyway.
+      while (true) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Error("expected variable in 'exists' list");
+        }
+        declared_existentials_.insert(Value::MakeVariable(Next().text));
+        if (Peek().kind == TokenKind::kComma) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      QIMAP_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'"));
+    }
+    while (true) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("expected atom near '" + Peek().text + "'");
+      }
+      std::string name = Next().text;
+      Atom atom;
+      QIMAP_RETURN_IF_ERROR(ParseAtomArgs(name, to_, &atom));
+      out->push_back(std::move(atom));
+      if (Peek().kind == TokenKind::kAmp) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (parenthesized) {
+      QIMAP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    }
+    return Status::OK();
+  }
+
+  // Parses `(v1, ..., vk)` for relation `name` resolved in `schema`.
+  Status ParseAtomArgs(const std::string& name, const Schema& schema,
+                       Atom* atom) {
+    Result<RelationId> id = schema.FindRelation(name);
+    if (!id.ok()) {
+      return Error("unknown relation '" + name + "' (schema: " +
+                   schema.ToString() + ")");
+    }
+    atom->relation = *id;
+    QIMAP_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    while (true) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("expected variable in atom " + name);
+      }
+      atom->args.push_back(Value::MakeVariable(Next().text));
+      if (Peek().kind == TokenKind::kComma) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    QIMAP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    if (atom->args.size() != schema.relation(atom->relation).arity) {
+      return Error("arity mismatch for relation '" + name + "'");
+    }
+    return Status::OK();
+  }
+
+  // Well-formedness per Definition 2.1: every lhs variable (including the
+  // ones in Constant(..) and inequalities) occurs in an lhs atom.
+  Status Validate(const DisjunctiveTgd& dep) {
+    if (dep.lhs.empty()) return Error("empty lhs");
+    if (dep.disjuncts.empty()) return Error("empty rhs");
+    std::set<Value> lhs_vars = VariableSetOf(dep.lhs);
+    for (const Value& v : dep.constant_vars) {
+      if (lhs_vars.count(v) == 0) {
+        return Error("Constant(" + v.ToString() +
+                     "): variable does not occur in an lhs atom");
+      }
+    }
+    for (const auto& [a, b] : dep.inequalities) {
+      if (lhs_vars.count(a) == 0 || lhs_vars.count(b) == 0) {
+        return Error("inequality " + a.ToString() + " != " + b.ToString() +
+                     ": variable does not occur in an lhs atom");
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const Schema& from_;
+  const Schema& to_;
+  std::string_view original_;
+  std::set<Value> declared_existentials_;
+};
+
+// Splits a dependency list on ';' and newlines, ignoring blank entries and
+// `#`-comments.
+std::vector<std::string> SplitDependencyList(std::string_view text) {
+  std::string normalized;
+  normalized.reserve(text.size());
+  bool in_comment = false;
+  for (char c : text) {
+    if (c == '#') in_comment = true;
+    if (c == '\n') {
+      in_comment = false;
+      normalized += ';';
+      continue;
+    }
+    if (!in_comment) normalized += c;
+  }
+  return SplitAndTrim(normalized, ';');
+}
+
+}  // namespace
+
+Result<DisjunctiveTgd> ParseDisjunctiveTgd(const Schema& from,
+                                           const Schema& to,
+                                           std::string_view text) {
+  QIMAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), from, to, text);
+  return parser.ParseDependency();
+}
+
+Result<std::vector<DisjunctiveTgd>> ParseDisjunctiveTgds(
+    const Schema& from, const Schema& to, std::string_view text) {
+  std::vector<DisjunctiveTgd> out;
+  for (const std::string& piece : SplitDependencyList(text)) {
+    QIMAP_ASSIGN_OR_RETURN(DisjunctiveTgd dep,
+                           ParseDisjunctiveTgd(from, to, piece));
+    out.push_back(std::move(dep));
+  }
+  return out;
+}
+
+Result<Tgd> ParseTgd(const Schema& source, const Schema& target,
+                     std::string_view text) {
+  QIMAP_ASSIGN_OR_RETURN(DisjunctiveTgd dep,
+                         ParseDisjunctiveTgd(source, target, text));
+  if (!dep.IsPlainTgd()) {
+    return Status::InvalidArgument(
+        "s-t tgds admit neither disjunction, Constant(..), nor "
+        "inequalities: " +
+        std::string(text));
+  }
+  Tgd tgd;
+  tgd.lhs = std::move(dep.lhs);
+  tgd.rhs = std::move(dep.disjuncts[0]);
+  return tgd;
+}
+
+Result<std::vector<Tgd>> ParseTgds(const Schema& source,
+                                   const Schema& target,
+                                   std::string_view text) {
+  std::vector<Tgd> out;
+  for (const std::string& piece : SplitDependencyList(text)) {
+    QIMAP_ASSIGN_OR_RETURN(Tgd tgd, ParseTgd(source, target, piece));
+    out.push_back(std::move(tgd));
+  }
+  return out;
+}
+
+Result<SchemaMapping> ParseMapping(std::string_view source_decl,
+                                   std::string_view target_decl,
+                                   std::string_view tgds_text) {
+  QIMAP_ASSIGN_OR_RETURN(Schema source, Schema::Parse(source_decl));
+  QIMAP_ASSIGN_OR_RETURN(Schema target, Schema::Parse(target_decl));
+  SchemaMapping mapping;
+  mapping.source = std::make_shared<const Schema>(std::move(source));
+  mapping.target = std::make_shared<const Schema>(std::move(target));
+  QIMAP_ASSIGN_OR_RETURN(
+      mapping.tgds, ParseTgds(*mapping.source, *mapping.target, tgds_text));
+  return mapping;
+}
+
+SchemaMapping MustParseMapping(std::string_view source_decl,
+                               std::string_view target_decl,
+                               std::string_view tgds_text) {
+  Result<SchemaMapping> mapping =
+      ParseMapping(source_decl, target_decl, tgds_text);
+  if (!mapping.ok()) {
+    std::fprintf(stderr, "MustParseMapping: %s\n",
+                 mapping.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(mapping).value();
+}
+
+Result<ReverseMapping> ParseReverseMapping(const SchemaMapping& m,
+                                           std::string_view deps_text) {
+  ReverseMapping reverse;
+  reverse.from = m.target;
+  reverse.to = m.source;
+  QIMAP_ASSIGN_OR_RETURN(
+      reverse.deps, ParseDisjunctiveTgds(*m.target, *m.source, deps_text));
+  return reverse;
+}
+
+ReverseMapping MustParseReverseMapping(const SchemaMapping& m,
+                                       std::string_view deps_text) {
+  Result<ReverseMapping> reverse = ParseReverseMapping(m, deps_text);
+  if (!reverse.ok()) {
+    std::fprintf(stderr, "MustParseReverseMapping: %s\n",
+                 reverse.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(reverse).value();
+}
+
+}  // namespace qimap

@@ -1,0 +1,56 @@
+#ifndef QIMAP_DEPENDENCY_PARSER_H_
+#define QIMAP_DEPENDENCY_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "dependency/schema_mapping.h"
+
+namespace qimap {
+
+/// Parses one s-t tgd, e.g. `P(x,y) -> Q(x,y) & R(y)` or
+/// `P(x,y) -> exists z: Q(x,z) & Q(z,y)` (the `exists` prefix is optional:
+/// rhs-only variables are existential either way). Lhs atoms are resolved
+/// in `source`, rhs atoms in `target`; all atom arguments are variables.
+Result<Tgd> ParseTgd(const Schema& source, const Schema& target,
+                     std::string_view text);
+
+/// Parses a `;`- or newline-separated list of s-t tgds.
+Result<std::vector<Tgd>> ParseTgds(const Schema& source,
+                                   const Schema& target,
+                                   std::string_view text);
+
+/// Parses one disjunctive tgd with constants and inequalities, e.g.
+/// `S(x,y) & Constant(x) & x != y -> (exists z: P(x,z)) | Q(x,y)`.
+/// Lhs atoms are resolved in `from`, disjunct atoms in `to`.
+Result<DisjunctiveTgd> ParseDisjunctiveTgd(const Schema& from,
+                                           const Schema& to,
+                                           std::string_view text);
+
+/// Parses a `;`- or newline-separated list of disjunctive tgds.
+Result<std::vector<DisjunctiveTgd>> ParseDisjunctiveTgds(
+    const Schema& from, const Schema& to, std::string_view text);
+
+/// Parses a complete schema mapping from schema declarations (see
+/// Schema::Parse) and a dependency list.
+Result<SchemaMapping> ParseMapping(std::string_view source_decl,
+                                   std::string_view target_decl,
+                                   std::string_view tgds_text);
+
+/// Like ParseMapping but aborts on error (tests/examples/benchmarks).
+SchemaMapping MustParseMapping(std::string_view source_decl,
+                               std::string_view target_decl,
+                               std::string_view tgds_text);
+
+/// Parses a reverse mapping (target-to-source) over the schemas of `m`.
+Result<ReverseMapping> ParseReverseMapping(const SchemaMapping& m,
+                                           std::string_view deps_text);
+
+/// Like ParseReverseMapping but aborts on error.
+ReverseMapping MustParseReverseMapping(const SchemaMapping& m,
+                                       std::string_view deps_text);
+
+}  // namespace qimap
+
+#endif  // QIMAP_DEPENDENCY_PARSER_H_

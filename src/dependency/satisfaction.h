@@ -1,0 +1,34 @@
+#ifndef QIMAP_DEPENDENCY_SATISFACTION_H_
+#define QIMAP_DEPENDENCY_SATISFACTION_H_
+
+#include "dependency/schema_mapping.h"
+#include "relational/instance.h"
+
+namespace qimap {
+
+/// True iff `(source_inst, target_inst) |= tgd`: every homomorphic match of
+/// the lhs in the source instance extends to a match of the rhs in the
+/// target instance. Nulls in the instances are treated as ordinary values
+/// (first-order satisfaction).
+bool Satisfies(const Instance& source_inst, const Instance& target_inst,
+               const Tgd& tgd);
+
+/// `(source_inst, target_inst) |= Sigma` for all tgds of the mapping.
+bool SatisfiesAll(const Instance& source_inst, const Instance& target_inst,
+                  const SchemaMapping& m);
+
+/// True iff `(from_inst, to_inst) |= dep` for a disjunctive tgd with
+/// constants and inequalities: every lhs match in `from_inst` that makes
+/// the Constant(..) and inequality conjuncts true extends to a match of
+/// some disjunct in `to_inst`.
+bool SatisfiesDisjunctive(const Instance& from_inst, const Instance& to_inst,
+                          const DisjunctiveTgd& dep);
+
+/// `(from_inst, to_inst) |= Sigma'` for all dependencies of the reverse
+/// mapping (from_inst is a target instance, to_inst a source instance).
+bool SatisfiesAllReverse(const Instance& from_inst, const Instance& to_inst,
+                         const ReverseMapping& m);
+
+}  // namespace qimap
+
+#endif  // QIMAP_DEPENDENCY_SATISFACTION_H_

@@ -1,0 +1,79 @@
+#include "dependency/schema_mapping.h"
+
+namespace qimap {
+
+bool SchemaMapping::IsLav() const {
+  for (const Tgd& tgd : tgds) {
+    if (!tgd.IsLav()) return false;
+  }
+  return true;
+}
+
+bool SchemaMapping::IsFull() const {
+  for (const Tgd& tgd : tgds) {
+    if (!tgd.IsFull()) return false;
+  }
+  return true;
+}
+
+bool SchemaMapping::IsGav() const {
+  for (const Tgd& tgd : tgds) {
+    if (!tgd.IsGav()) return false;
+  }
+  return true;
+}
+
+std::string SchemaMapping::ToString() const {
+  std::string out;
+  for (const Tgd& tgd : tgds) {
+    out += TgdToString(tgd, *source, *target);
+    out += "\n";
+  }
+  return out;
+}
+
+bool ReverseMapping::HasDisjunction() const {
+  for (const DisjunctiveTgd& dep : deps) {
+    if (dep.HasDisjunction()) return true;
+  }
+  return false;
+}
+
+bool ReverseMapping::HasConstants() const {
+  for (const DisjunctiveTgd& dep : deps) {
+    if (dep.HasConstants()) return true;
+  }
+  return false;
+}
+
+bool ReverseMapping::HasInequalities() const {
+  for (const DisjunctiveTgd& dep : deps) {
+    if (dep.HasInequalities()) return true;
+  }
+  return false;
+}
+
+bool ReverseMapping::InequalitiesAmongConstantsOnly() const {
+  for (const DisjunctiveTgd& dep : deps) {
+    if (!dep.InequalitiesAmongConstantsOnly()) return false;
+  }
+  return true;
+}
+
+bool ReverseMapping::IsPlainTgdSet() const {
+  for (const DisjunctiveTgd& dep : deps) {
+    if (!dep.IsPlainTgd()) return false;
+  }
+  return true;
+}
+
+std::string ReverseMapping::ToString() const {
+  std::string out;
+  for (const DisjunctiveTgd& dep : deps) {
+    out += DisjunctiveTgdToString(dep, *from, *to);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace qimap

@@ -1,0 +1,57 @@
+#ifndef QIMAP_DEPENDENCY_SCHEMA_MAPPING_H_
+#define QIMAP_DEPENDENCY_SCHEMA_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "dependency/disjunctive_tgd.h"
+#include "dependency/tgd.h"
+#include "relational/schema.h"
+
+namespace qimap {
+
+/// A schema mapping `M = (S, T, Sigma)` where `Sigma` is a finite set of
+/// s-t tgds (paper, Sections 1-2).
+struct SchemaMapping {
+  SchemaPtr source;
+  SchemaPtr target;
+  std::vector<Tgd> tgds;
+
+  /// LAV: every dependency has a single-atom lhs (Section 3).
+  bool IsLav() const;
+  /// Full: no dependency has existential variables (Section 3).
+  bool IsFull() const;
+  /// GAV: every dependency is full with a single-atom rhs.
+  bool IsGav() const;
+
+  /// Multi-line rendering of the dependencies.
+  std::string ToString() const;
+};
+
+/// A reverse schema mapping `M' = (T, S, Sigma')` where `Sigma'` is a
+/// finite set of disjunctive tgds with constants and inequalities from the
+/// target schema back to the source schema — the language of quasi-inverses
+/// (Theorem 4.1).
+struct ReverseMapping {
+  /// The lhs schema of the dependencies (the original target, `T`).
+  SchemaPtr from;
+  /// The rhs schema of the dependencies (the original source, `S`).
+  SchemaPtr to;
+  std::vector<DisjunctiveTgd> deps;
+
+  bool HasDisjunction() const;
+  bool HasConstants() const;
+  bool HasInequalities() const;
+  /// True iff every dependency satisfies Definition 2.1(2) (inequalities
+  /// among constants), as required by Theorem 6.7.
+  bool InequalitiesAmongConstantsOnly() const;
+  /// True iff every dependency is a plain tgd.
+  bool IsPlainTgdSet() const;
+
+  /// Multi-line rendering of the dependencies.
+  std::string ToString() const;
+};
+
+}  // namespace qimap
+
+#endif  // QIMAP_DEPENDENCY_SCHEMA_MAPPING_H_

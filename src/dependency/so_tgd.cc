@@ -1,0 +1,49 @@
+#include "dependency/so_tgd.h"
+
+#include "base/strings.h"
+
+namespace qimap {
+
+std::string Term::ToString() const {
+  if (IsVariable()) return variable.ToString();
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const Term& t : args) parts.push_back(t.ToString());
+  return function + "(" + Join(parts, ",") + ")";
+}
+
+std::string TermAtomToString(const TermAtom& atom, const Schema& schema) {
+  std::vector<std::string> parts;
+  parts.reserve(atom.args.size());
+  for (const Term& t : atom.args) parts.push_back(t.ToString());
+  return schema.relation(atom.relation).name + "(" + Join(parts, ",") +
+         ")";
+}
+
+std::string SoImplicationToString(const SoImplication& implication,
+                                  const Schema& source,
+                                  const Schema& target) {
+  std::vector<std::string> lhs_parts;
+  for (const Atom& atom : implication.lhs) {
+    lhs_parts.push_back(AtomToString(atom, source));
+  }
+  for (const auto& [a, b] : implication.equalities) {
+    lhs_parts.push_back(a.ToString() + " = " + b.ToString());
+  }
+  std::vector<std::string> rhs_parts;
+  for (const TermAtom& atom : implication.rhs) {
+    rhs_parts.push_back(TermAtomToString(atom, target));
+  }
+  return Join(lhs_parts, " & ") + " -> " + Join(rhs_parts, " & ");
+}
+
+std::string SoMapping::ToString() const {
+  std::string out;
+  for (const SoImplication& implication : implications) {
+    out += SoImplicationToString(implication, *source, *target);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace qimap

@@ -1,0 +1,66 @@
+#include "dependency/tgd.h"
+
+#include <set>
+
+#include "base/strings.h"
+
+namespace qimap {
+
+std::vector<Value> Tgd::FrontierVariables() const {
+  std::set<Value> rhs_vars = VariableSetOf(rhs);
+  std::vector<Value> out;
+  std::set<Value> seen;
+  for (const Atom& atom : lhs) {
+    for (const Value& v : atom.args) {
+      if (v.IsVariable() && rhs_vars.count(v) > 0 && seen.insert(v).second) {
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Value> Tgd::ExistentialVariables() const {
+  std::set<Value> lhs_vars = VariableSetOf(lhs);
+  std::vector<Value> out;
+  std::set<Value> seen;
+  for (const Atom& atom : rhs) {
+    for (const Value& v : atom.args) {
+      if (v.IsVariable() && lhs_vars.count(v) == 0 && seen.insert(v).second) {
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Value> Tgd::LhsOnlyVariables() const {
+  std::set<Value> rhs_vars = VariableSetOf(rhs);
+  std::vector<Value> out;
+  std::set<Value> seen;
+  for (const Atom& atom : lhs) {
+    for (const Value& v : atom.args) {
+      if (v.IsVariable() && rhs_vars.count(v) == 0 && seen.insert(v).second) {
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::string TgdToString(const Tgd& tgd, const Schema& source,
+                        const Schema& target) {
+  std::string out = ConjunctionToString(tgd.lhs, source);
+  out += " -> ";
+  std::vector<Value> existential = tgd.ExistentialVariables();
+  if (!existential.empty()) {
+    std::vector<std::string> names;
+    names.reserve(existential.size());
+    for (const Value& v : existential) names.push_back(v.ToString());
+    out += "exists " + Join(names, ",") + ": ";
+  }
+  out += ConjunctionToString(tgd.rhs, target);
+  return out;
+}
+
+}  // namespace qimap

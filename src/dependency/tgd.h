@@ -1,0 +1,53 @@
+#ifndef QIMAP_DEPENDENCY_TGD_H_
+#define QIMAP_DEPENDENCY_TGD_H_
+
+#include <string>
+#include <vector>
+
+#include "base/value.h"
+#include "relational/atom.h"
+#include "relational/schema.h"
+
+namespace qimap {
+
+/// A source-to-target tuple-generating dependency (s-t tgd):
+/// `forall x ( lhs(x) -> exists y rhs(x, y) )` where `lhs` is a conjunction
+/// of atoms over the source schema and `rhs` a conjunction over the target
+/// schema (paper, Section 2). Universal quantifiers are implicit; the
+/// existential variables are exactly the rhs variables not occurring in the
+/// lhs.
+struct Tgd {
+  Conjunction lhs;
+  Conjunction rhs;
+
+  /// Variables occurring on both sides (the paper's `x`), in order of first
+  /// occurrence in the lhs.
+  std::vector<Value> FrontierVariables() const;
+
+  /// Variables occurring only in the rhs (the paper's `y`), in order of
+  /// first occurrence.
+  std::vector<Value> ExistentialVariables() const;
+
+  /// Variables occurring only in the lhs (the paper's `u`).
+  std::vector<Value> LhsOnlyVariables() const;
+
+  /// A tgd is *full* when the rhs has no existential quantifiers.
+  bool IsFull() const { return ExistentialVariables().empty(); }
+
+  /// A dependency is LAV (local-as-view) when the lhs is a single atom.
+  bool IsLav() const { return lhs.size() == 1; }
+
+  /// A dependency is GAV (global-as-view) when the rhs is a single atom
+  /// and the tgd is full.
+  bool IsGav() const { return rhs.size() == 1 && IsFull(); }
+
+  friend bool operator==(const Tgd& a, const Tgd& b) = default;
+};
+
+/// Renders `P(x,y) & Q(y) -> exists z: R(x,z)` using the two schemas.
+std::string TgdToString(const Tgd& tgd, const Schema& source,
+                        const Schema& target);
+
+}  // namespace qimap
+
+#endif  // QIMAP_DEPENDENCY_TGD_H_

@@ -1,0 +1,84 @@
+#include "relational/atom.h"
+
+#include "base/strings.h"
+
+namespace qimap {
+
+std::string AtomToString(const Atom& atom, const Schema& schema) {
+  std::vector<std::string> args;
+  args.reserve(atom.args.size());
+  for (const Value& v : atom.args) args.push_back(v.ToString());
+  return schema.relation(atom.relation).name + "(" + Join(args, ",") + ")";
+}
+
+std::string ConjunctionToString(const Conjunction& conjunction,
+                                const Schema& schema) {
+  if (conjunction.empty()) return "true";
+  std::vector<std::string> parts;
+  parts.reserve(conjunction.size());
+  for (const Atom& a : conjunction) parts.push_back(AtomToString(a, schema));
+  return Join(parts, " & ");
+}
+
+std::vector<Value> VariablesOf(const Conjunction& conjunction) {
+  std::vector<Value> vars;
+  std::set<Value> seen;
+  for (const Atom& atom : conjunction) {
+    for (const Value& v : atom.args) {
+      if (v.IsVariable() && seen.insert(v).second) {
+        vars.push_back(v);
+      }
+    }
+  }
+  return vars;
+}
+
+std::set<Value> VariableSetOf(const Conjunction& conjunction) {
+  std::set<Value> vars;
+  for (const Atom& atom : conjunction) {
+    for (const Value& v : atom.args) {
+      if (v.IsVariable()) vars.insert(v);
+    }
+  }
+  return vars;
+}
+
+Instance CanonicalInstance(const Conjunction& conjunction,
+                           SchemaPtr schema) {
+  Instance instance(std::move(schema));
+  for (const Atom& atom : conjunction) {
+    // Canonical instances are built from well-formed conjunctions; arity
+    // errors indicate a library bug, so crash loudly in debug builds.
+    Status status = instance.AddFact(atom.relation, atom.args);
+    (void)status;
+  }
+  return instance;
+}
+
+Atom SubstituteAtom(
+    const Atom& atom,
+    const std::vector<std::pair<Value, Value>>& substitution) {
+  Atom out = atom;
+  for (Value& v : out.args) {
+    for (const auto& [from, to] : substitution) {
+      if (v == from) {
+        v = to;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Conjunction SubstituteConjunction(
+    const Conjunction& conjunction,
+    const std::vector<std::pair<Value, Value>>& substitution) {
+  Conjunction out;
+  out.reserve(conjunction.size());
+  for (const Atom& atom : conjunction) {
+    out.push_back(SubstituteAtom(atom, substitution));
+  }
+  return out;
+}
+
+}  // namespace qimap

@@ -1,0 +1,57 @@
+#ifndef QIMAP_RELATIONAL_ATOM_H_
+#define QIMAP_RELATIONAL_ATOM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/value.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+
+namespace qimap {
+
+/// An atom `R(t1, ..., tk)` over some schema; the arguments are values of
+/// any kind (variables in dependencies, constants where needed).
+struct Atom {
+  RelationId relation = 0;
+  std::vector<Value> args;
+
+  friend bool operator==(const Atom& a, const Atom& b) = default;
+  friend auto operator<=>(const Atom& a, const Atom& b) = default;
+};
+
+/// A conjunction of atoms, as used in the bodies and heads of dependencies.
+using Conjunction = std::vector<Atom>;
+
+/// Renders `R(x,y)` using relation names from `schema`.
+std::string AtomToString(const Atom& atom, const Schema& schema);
+
+/// Renders `R(x,y) & S(y)`; returns `"true"` for the empty conjunction.
+std::string ConjunctionToString(const Conjunction& conjunction,
+                                const Schema& schema);
+
+/// All variables occurring in the conjunction, in first-occurrence order.
+std::vector<Value> VariablesOf(const Conjunction& conjunction);
+
+/// All variables of the conjunction, as a set.
+std::set<Value> VariableSetOf(const Conjunction& conjunction);
+
+/// The paper's canonical instance `I_alpha`: the facts are the conjuncts,
+/// with variables kept as first-class values in the active domain
+/// (Section 4, "a type of canonical instance").
+Instance CanonicalInstance(const Conjunction& conjunction, SchemaPtr schema);
+
+/// Applies a variable substitution to every argument; values absent from
+/// `substitution` are left unchanged.
+Atom SubstituteAtom(const Atom& atom,
+                    const std::vector<std::pair<Value, Value>>& substitution);
+
+/// Applies a substitution to a whole conjunction.
+Conjunction SubstituteConjunction(
+    const Conjunction& conjunction,
+    const std::vector<std::pair<Value, Value>>& substitution);
+
+}  // namespace qimap
+
+#endif  // QIMAP_RELATIONAL_ATOM_H_

@@ -1,0 +1,284 @@
+#include "relational/homomorphism.h"
+
+#include <algorithm>
+
+namespace qimap {
+namespace {
+
+// True if this value kind is movable under the options.
+bool IsMovable(const Value& v, const HomSearchOptions& options) {
+  switch (v.kind()) {
+    case ValueKind::kConstant:
+      return false;
+    case ValueKind::kNull:
+      return options.map_nulls;
+    case ValueKind::kVariable:
+      return options.map_variables;
+  }
+  return false;
+}
+
+// Recursive backtracking matcher.
+class Matcher {
+ public:
+  Matcher(const Conjunction& body, const Instance& target,
+          const HomSearchOptions& options,
+          const std::function<bool(const Assignment&)>& fn)
+      : body_(body), target_(target), options_(options), fn_(fn) {}
+
+  // Returns the number of homomorphisms found (may stop early if fn says
+  // so).
+  size_t Run(Assignment assignment) {
+    assignment_ = std::move(assignment);
+    stop_ = false;
+    count_ = 0;
+    Search(0);
+    return count_;
+  }
+
+ private:
+  // Tries to unify atom `index` with each tuple of its relation, then
+  // recurses.
+  void Search(size_t index) {
+    if (stop_) return;
+    if (index == body_.size()) {
+      if (FinalCheck()) {
+        ++count_;
+        if (!fn_(assignment_)) stop_ = true;
+      }
+      return;
+    }
+    const Atom& atom = body_[index];
+    const std::set<Tuple>& tuples = target_.tuples(atom.relation);
+    // Prefix scan: when the first argument is already determined, the
+    // sorted tuple set lets us visit only the matching contiguous range.
+    bool prefix_determined = false;
+    Value prefix_value;
+    auto begin = tuples.begin();
+    if (!atom.args.empty()) {
+      const Value& first = atom.args[0];
+      prefix_determined = !IsMovable(first, options_) ||
+                          assignment_.count(first) > 0;
+      if (prefix_determined) {
+        prefix_value = Resolve(assignment_, first);
+        begin = tuples.lower_bound(Tuple{prefix_value});
+      }
+    }
+    for (auto it = begin; it != tuples.end(); ++it) {
+      if (prefix_determined && !((*it)[0] == prefix_value)) break;
+      std::vector<Value> bound;  // values newly bound by this atom
+      if (UnifyAtom(atom, *it, &bound)) {
+        Search(index + 1);
+      }
+      for (const Value& v : bound) assignment_.erase(v);
+      if (stop_) return;
+    }
+  }
+
+  // Attempts to extend assignment_ so that atom maps onto tuple. On
+  // success, records newly bound values in `bound` and returns true; on
+  // failure, removes any bindings it added and returns false.
+  bool UnifyAtom(const Atom& atom, const Tuple& tuple,
+                 std::vector<Value>* bound) {
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Value& arg = atom.args[i];
+      const Value& val = tuple[i];
+      if (IsMovable(arg, options_)) {
+        auto it = assignment_.find(arg);
+        if (it != assignment_.end()) {
+          if (it->second != val) {
+            Rollback(bound);
+            return false;
+          }
+        } else {
+          if (!BindOk(arg, val)) {
+            Rollback(bound);
+            return false;
+          }
+          assignment_.emplace(arg, val);
+          bound->push_back(arg);
+        }
+      } else {
+        if (arg != val) {
+          Rollback(bound);
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Eagerly rejects bindings that violate a fully-determined side
+  // condition.
+  bool BindOk(const Value& var, const Value& val) {
+    for (const Value& v : options_.must_be_constant) {
+      if (v == var && !val.IsConstant()) return false;
+    }
+    for (const auto& [a, b] : options_.inequalities) {
+      const Value* other = nullptr;
+      if (a == var) {
+        other = &b;
+      } else if (b == var) {
+        other = &a;
+      } else {
+        continue;
+      }
+      Value resolved = Resolve(assignment_, *other);
+      bool other_known = other->IsConstant() ||
+                         assignment_.count(*other) > 0 ||
+                         !IsMovable(*other, options_);
+      if (other_known && resolved == val) return false;
+    }
+    return true;
+  }
+
+  void Rollback(std::vector<Value>* bound) {
+    for (const Value& v : *bound) assignment_.erase(v);
+    bound->clear();
+  }
+
+  // Re-checks every side condition on the complete assignment. This also
+  // covers conditions over non-movable values standing for themselves.
+  bool FinalCheck() {
+    for (const Value& v : options_.must_be_constant) {
+      if (!Resolve(assignment_, v).IsConstant()) return false;
+    }
+    for (const auto& [a, b] : options_.inequalities) {
+      if (Resolve(assignment_, a) == Resolve(assignment_, b)) return false;
+    }
+    return true;
+  }
+
+  const Conjunction& body_;
+  const Instance& target_;
+  const HomSearchOptions& options_;
+  const std::function<bool(const Assignment&)>& fn_;
+  Assignment assignment_;
+  bool stop_ = false;
+  size_t count_ = 0;
+};
+
+// Greedy static atom order: repeatedly pick the atom with the fewest
+// unbound movable arguments (breaking ties by smaller relation extent).
+Conjunction OrderAtoms(const Conjunction& body, const Instance& target,
+                       const Assignment& partial,
+                       const HomSearchOptions& options) {
+  std::vector<bool> used(body.size(), false);
+  std::set<Value> bound;
+  for (const auto& [k, v] : partial) bound.insert(k);
+  Conjunction ordered;
+  ordered.reserve(body.size());
+  for (size_t step = 0; step < body.size(); ++step) {
+    size_t best = body.size();
+    size_t best_unbound = SIZE_MAX;
+    size_t best_extent = SIZE_MAX;
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (used[i]) continue;
+      size_t unbound = 0;
+      for (const Value& v : body[i].args) {
+        if (IsMovable(v, options) && bound.count(v) == 0) ++unbound;
+      }
+      size_t extent = target.tuples(body[i].relation).size();
+      if (unbound < best_unbound ||
+          (unbound == best_unbound && extent < best_extent)) {
+        best = i;
+        best_unbound = unbound;
+        best_extent = extent;
+      }
+    }
+    used[best] = true;
+    ordered.push_back(body[best]);
+    for (const Value& v : body[best].args) {
+      if (IsMovable(v, options)) bound.insert(v);
+    }
+  }
+  return ordered;
+}
+
+}  // namespace
+
+Value Resolve(const Assignment& assignment, const Value& value) {
+  auto it = assignment.find(value);
+  return it != assignment.end() ? it->second : value;
+}
+
+size_t ForEachHomomorphism(const Conjunction& body, const Instance& target,
+                           const Assignment& partial,
+                           const HomSearchOptions& options,
+                           const std::function<bool(const Assignment&)>& fn) {
+  Conjunction ordered = OrderAtoms(body, target, partial, options);
+  Matcher matcher(ordered, target, options, fn);
+  return matcher.Run(partial);
+}
+
+std::optional<Assignment> FindHomomorphism(const Conjunction& body,
+                                           const Instance& target,
+                                           const Assignment& partial,
+                                           const HomSearchOptions& options) {
+  std::optional<Assignment> found;
+  ForEachHomomorphism(body, target, partial, options,
+                      [&](const Assignment& a) {
+                        found = a;
+                        return false;  // stop at the first one
+                      });
+  return found;
+}
+
+std::vector<Assignment> FindAllHomomorphisms(const Conjunction& body,
+                                             const Instance& target,
+                                             const Assignment& partial,
+                                             const HomSearchOptions& options) {
+  std::vector<Assignment> out;
+  ForEachHomomorphism(body, target, partial, options,
+                      [&](const Assignment& a) {
+                        out.push_back(a);
+                        return true;
+                      });
+  return out;
+}
+
+bool ExistsInstanceHomomorphism(const Instance& from, const Instance& to,
+                                bool map_variables) {
+  Conjunction body;
+  for (const Fact& fact : from.Facts()) {
+    body.push_back(Atom{fact.relation, fact.tuple});
+  }
+  HomSearchOptions options;
+  options.map_nulls = true;
+  options.map_variables = map_variables;
+  return FindHomomorphism(body, to, {}, options).has_value();
+}
+
+bool HomomorphicallyEquivalent(const Instance& a, const Instance& b) {
+  return ExistsInstanceHomomorphism(a, b) &&
+         ExistsInstanceHomomorphism(b, a);
+}
+
+Instance ApplyAssignmentToInstance(const Instance& instance,
+                                   const Assignment& assignment) {
+  Instance out(instance.schema());
+  for (const Fact& fact : instance.Facts()) {
+    Tuple mapped;
+    mapped.reserve(fact.tuple.size());
+    for (const Value& v : fact.tuple) {
+      mapped.push_back(Resolve(assignment, v));
+    }
+    Status status = out.AddFact(fact.relation, std::move(mapped));
+    (void)status;  // same schema: cannot fail
+  }
+  return out;
+}
+
+Conjunction ApplyAssignmentToConjunction(const Conjunction& conjunction,
+                                         const Assignment& assignment) {
+  Conjunction out;
+  out.reserve(conjunction.size());
+  for (const Atom& atom : conjunction) {
+    Atom mapped = atom;
+    for (Value& v : mapped.args) v = Resolve(assignment, v);
+    out.push_back(std::move(mapped));
+  }
+  return out;
+}
+
+}  // namespace qimap

@@ -1,0 +1,85 @@
+#ifndef QIMAP_RELATIONAL_HOMOMORPHISM_H_
+#define QIMAP_RELATIONAL_HOMOMORPHISM_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "base/value.h"
+#include "relational/atom.h"
+#include "relational/instance.h"
+
+namespace qimap {
+
+/// A (partial) mapping from values to values. Keys are the movable values
+/// (variables and, for instance-level homomorphisms, nulls); constants are
+/// never keys — they are fixed pointwise, as required by the paper's
+/// definition of homomorphism (Section 2).
+using Assignment = std::map<Value, Value>;
+
+/// Options controlling which value kinds are movable during homomorphism
+/// search, plus side constraints in the style of Definition 6.2.
+struct HomSearchOptions {
+  /// If true, nulls in the body map anywhere; if false they must match
+  /// identically (used when treating nulls as frozen).
+  bool map_nulls = true;
+  /// If true, variables in the body map anywhere; if false they must match
+  /// identically (used for canonical instances with frozen variables).
+  bool map_variables = true;
+  /// `Constant(x)` side conditions: each listed value must be assigned a
+  /// constant (Definition 6.2, condition (3)).
+  std::vector<Value> must_be_constant;
+  /// `x != y` side conditions (Definition 6.2, condition (2)).
+  std::vector<std::pair<Value, Value>> inequalities;
+};
+
+/// Looks the value up in the assignment; constants (and non-movable kinds)
+/// map to themselves when absent.
+Value Resolve(const Assignment& assignment, const Value& value);
+
+/// Searches for a homomorphism extending `partial` that maps every atom of
+/// `body` onto a fact of `target` and satisfies the side conditions in
+/// `options`. Returns the full assignment for the movable values of `body`,
+/// or nullopt.
+std::optional<Assignment> FindHomomorphism(const Conjunction& body,
+                                           const Instance& target,
+                                           const Assignment& partial,
+                                           const HomSearchOptions& options);
+
+/// Invokes `fn` for every homomorphism (conjunctive-query evaluation).
+/// If `fn` returns false the search stops early. Returns the number of
+/// homomorphisms enumerated.
+size_t ForEachHomomorphism(const Conjunction& body, const Instance& target,
+                           const Assignment& partial,
+                           const HomSearchOptions& options,
+                           const std::function<bool(const Assignment&)>& fn);
+
+/// All homomorphisms from `body` into `target` extending `partial`.
+std::vector<Assignment> FindAllHomomorphisms(const Conjunction& body,
+                                             const Instance& target,
+                                             const Assignment& partial,
+                                             const HomSearchOptions& options);
+
+/// True iff there is a homomorphism from `from` to `to`: a map fixing
+/// constants (and, unless `map_variables`, variables) that sends every fact
+/// of `from` to a fact of `to`. This is the paper's instance homomorphism.
+bool ExistsInstanceHomomorphism(const Instance& from, const Instance& to,
+                                bool map_variables = true);
+
+/// True iff there are homomorphisms both ways (paper, Section 2).
+bool HomomorphicallyEquivalent(const Instance& a, const Instance& b);
+
+/// Applies `assignment` to every value of `instance` (unassigned values map
+/// to themselves), producing the homomorphic image h(instance).
+Instance ApplyAssignmentToInstance(const Instance& instance,
+                                   const Assignment& assignment);
+
+/// Applies `assignment` to the arguments of every atom.
+Conjunction ApplyAssignmentToConjunction(const Conjunction& conjunction,
+                                         const Assignment& assignment);
+
+}  // namespace qimap
+
+#endif  // QIMAP_RELATIONAL_HOMOMORPHISM_H_

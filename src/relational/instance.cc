@@ -1,0 +1,197 @@
+#include "relational/instance.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace qimap {
+
+Status Instance::AddFact(RelationId relation, Tuple tuple) {
+  if (relation >= schema_->size()) {
+    return Status::InvalidArgument("bad relation id");
+  }
+  const RelationSymbol& symbol = schema_->relation(relation);
+  if (tuple.size() != symbol.arity) {
+    return Status::InvalidArgument(
+        "arity mismatch for " + symbol.name + ": got " +
+        std::to_string(tuple.size()) + ", want " +
+        std::to_string(symbol.arity));
+  }
+  tuples_[relation].insert(std::move(tuple));
+  return Status::OK();
+}
+
+Status Instance::AddFact(std::string_view relation_name, Tuple tuple) {
+  QIMAP_ASSIGN_OR_RETURN(RelationId id,
+                         schema_->FindRelation(relation_name));
+  return AddFact(id, std::move(tuple));
+}
+
+bool Instance::ContainsFact(RelationId relation, const Tuple& tuple) const {
+  if (relation >= tuples_.size()) return false;
+  return tuples_[relation].count(tuple) > 0;
+}
+
+size_t Instance::NumFacts() const {
+  size_t n = 0;
+  for (const auto& rel : tuples_) n += rel.size();
+  return n;
+}
+
+std::vector<Fact> Instance::Facts() const {
+  std::vector<Fact> out;
+  out.reserve(NumFacts());
+  for (RelationId r = 0; r < tuples_.size(); ++r) {
+    for (const Tuple& t : tuples_[r]) {
+      out.push_back(Fact{r, t});
+    }
+  }
+  return out;
+}
+
+std::vector<Value> Instance::ActiveDomain() const {
+  std::set<Value> domain;
+  for (const auto& rel : tuples_) {
+    for (const Tuple& t : rel) {
+      domain.insert(t.begin(), t.end());
+    }
+  }
+  return std::vector<Value>(domain.begin(), domain.end());
+}
+
+bool Instance::IsGround() const {
+  for (const auto& rel : tuples_) {
+    for (const Tuple& t : rel) {
+      for (const Value& v : t) {
+        if (!v.IsConstant()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+uint32_t Instance::MaxNullLabel() const {
+  uint32_t max_label = 0;
+  for (const auto& rel : tuples_) {
+    for (const Tuple& t : rel) {
+      for (const Value& v : t) {
+        if (v.IsNull()) max_label = std::max(max_label, v.id());
+      }
+    }
+  }
+  return max_label;
+}
+
+bool Instance::IsSubsetOf(const Instance& other) const {
+  if (tuples_.size() != other.tuples_.size()) return false;
+  for (RelationId r = 0; r < tuples_.size(); ++r) {
+    if (!std::includes(other.tuples_[r].begin(), other.tuples_[r].end(),
+                       tuples_[r].begin(), tuples_[r].end())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Instance::UnionWith(const Instance& other) {
+  for (RelationId r = 0; r < tuples_.size() && r < other.tuples_.size();
+       ++r) {
+    tuples_[r].insert(other.tuples_[r].begin(), other.tuples_[r].end());
+  }
+}
+
+std::string Instance::ToString() const {
+  std::vector<std::string> parts;
+  for (RelationId r = 0; r < tuples_.size(); ++r) {
+    const std::string& name = schema_->relation(r).name;
+    for (const Tuple& t : tuples_[r]) {
+      std::vector<std::string> args;
+      args.reserve(t.size());
+      for (const Value& v : t) args.push_back(v.ToString());
+      parts.push_back(name + "(" + Join(args, ",") + ")");
+    }
+  }
+  std::sort(parts.begin(), parts.end());
+  return Join(parts, ", ");
+}
+
+namespace {
+
+// Parses one argument token into a value (see ParseInstance contract).
+Result<Value> ParseValueToken(std::string_view token) {
+  if (token.empty()) {
+    return Status::InvalidArgument("empty value token");
+  }
+  if (token[0] == '_') {
+    std::string_view rest = token.substr(1);
+    if (!rest.empty() && (rest[0] == 'N' || rest[0] == 'n')) {
+      rest = rest.substr(1);
+    }
+    char* end = nullptr;
+    std::string digits(rest);
+    long label = std::strtol(digits.c_str(), &end, 10);
+    if (digits.empty() || end == nullptr || *end != '\0' || label < 0) {
+      return Status::InvalidArgument("bad null token: " + std::string(token));
+    }
+    return Value::MakeNull(static_cast<uint32_t>(label));
+  }
+  if (token[0] == '?') {
+    if (token.size() < 2) {
+      return Status::InvalidArgument("bad variable token: " +
+                                     std::string(token));
+    }
+    return Value::MakeVariable(token.substr(1));
+  }
+  return Value::MakeConstant(token);
+}
+
+}  // namespace
+
+Result<Instance> ParseInstance(SchemaPtr schema, std::string_view text) {
+  Instance instance(schema);
+  std::string_view rest = StripWhitespace(text);
+  while (!rest.empty()) {
+    size_t open = rest.find('(');
+    if (open == std::string_view::npos) {
+      return Status::InvalidArgument("expected '(' in instance text near: " +
+                                     std::string(rest));
+    }
+    std::string name(StripWhitespace(rest.substr(0, open)));
+    size_t close = rest.find(')', open);
+    if (close == std::string_view::npos) {
+      return Status::InvalidArgument("unbalanced '(' in instance text");
+    }
+    std::string args_text(rest.substr(open + 1, close - open - 1));
+    Tuple tuple;
+    for (const std::string& token : SplitAndTrim(args_text, ',')) {
+      QIMAP_ASSIGN_OR_RETURN(Value v, ParseValueToken(token));
+      tuple.push_back(v);
+    }
+    QIMAP_RETURN_IF_ERROR(instance.AddFact(name, std::move(tuple)));
+    rest = StripWhitespace(rest.substr(close + 1));
+    if (!rest.empty()) {
+      if (rest[0] != ',') {
+        return Status::InvalidArgument("expected ',' between facts near: " +
+                                       std::string(rest));
+      }
+      rest = StripWhitespace(rest.substr(1));
+    }
+  }
+  return instance;
+}
+
+Instance MustParseInstance(SchemaPtr schema, std::string_view text) {
+  Result<Instance> instance = ParseInstance(std::move(schema), text);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "MustParseInstance(%.*s): %s\n",
+                 static_cast<int>(text.size()), text.data(),
+                 instance.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(instance).value();
+}
+
+}  // namespace qimap

@@ -1,0 +1,110 @@
+#ifndef QIMAP_RELATIONAL_INSTANCE_H_
+#define QIMAP_RELATIONAL_INSTANCE_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "base/value.h"
+#include "relational/schema.h"
+
+namespace qimap {
+
+/// A tuple of individual values.
+using Tuple = std::vector<Value>;
+
+/// A single fact `R(v1, ..., vk)` of an instance.
+struct Fact {
+  RelationId relation = 0;
+  Tuple tuple;
+
+  friend bool operator==(const Fact& a, const Fact& b) = default;
+  friend auto operator<=>(const Fact& a, const Fact& b) = default;
+};
+
+/// A finite relational instance over a schema (paper, Section 2).
+///
+/// Ground instances contain only constants; target instances typically
+/// contain constants and labeled nulls; canonical instances (the paper's
+/// `I_alpha`) additionally contain variables in their active domain.
+class Instance {
+ public:
+  /// Creates the empty instance over `schema`. The schema is shared, not
+  /// copied.
+  explicit Instance(SchemaPtr schema) : schema_(std::move(schema)) {
+    tuples_.resize(schema_->size());
+  }
+
+  const SchemaPtr& schema() const { return schema_; }
+
+  /// Adds a fact; returns InvalidArgument on arity mismatch or bad id.
+  Status AddFact(RelationId relation, Tuple tuple);
+  /// Adds a fact by relation name.
+  Status AddFact(std::string_view relation_name, Tuple tuple);
+
+  /// Returns true iff the fact is present.
+  bool ContainsFact(RelationId relation, const Tuple& tuple) const;
+
+  /// The set of tuples of one relation.
+  const std::set<Tuple>& tuples(RelationId relation) const {
+    return tuples_[relation];
+  }
+
+  /// Total number of facts across all relations.
+  size_t NumFacts() const;
+
+  /// Returns true iff this instance has no facts.
+  bool Empty() const { return NumFacts() == 0; }
+
+  /// Lists all facts, ordered by (relation, tuple).
+  std::vector<Fact> Facts() const;
+
+  /// The active domain: every value occurring in some fact, ordered.
+  std::vector<Value> ActiveDomain() const;
+
+  /// True iff every value in the instance is a constant (the paper's
+  /// "ground instance").
+  bool IsGround() const;
+
+  /// Largest null label occurring in the instance, or 0 if none. Fresh
+  /// nulls created by chase steps start above this.
+  uint32_t MaxNullLabel() const;
+
+  /// Set-containment of facts; schemas must describe the same relations.
+  bool IsSubsetOf(const Instance& other) const;
+
+  /// Adds every fact of `other` (same schema required).
+  void UnionWith(const Instance& other);
+
+  /// Value-level equality of fact sets.
+  friend bool operator==(const Instance& a, const Instance& b) {
+    return a.tuples_ == b.tuples_;
+  }
+
+  /// Deterministic rendering, e.g. `P(a,b), Q(a)`; facts sorted by
+  /// relation name then by tuple text.
+  std::string ToString() const;
+
+  /// Strict weak order on fact sets (for use in std::set of instances).
+  friend bool operator<(const Instance& a, const Instance& b) {
+    return a.tuples_ < b.tuples_;
+  }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<std::set<Tuple>> tuples_;  // indexed by RelationId
+};
+
+/// Parses `"P(a,b), Q(a)"` into an instance over `schema`. Identifiers and
+/// numbers denote constants; tokens starting with `_` denote nulls
+/// (`_N3` or `_3`); tokens starting with `?` denote variables.
+Result<Instance> ParseInstance(SchemaPtr schema, std::string_view text);
+
+/// Like ParseInstance but aborts on error (tests/examples/benchmarks).
+Instance MustParseInstance(SchemaPtr schema, std::string_view text);
+
+}  // namespace qimap
+
+#endif  // QIMAP_RELATIONAL_INSTANCE_H_

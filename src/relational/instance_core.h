@@ -1,0 +1,31 @@
+#ifndef QIMAP_RELATIONAL_INSTANCE_CORE_H_
+#define QIMAP_RELATIONAL_INSTANCE_CORE_H_
+
+#include "relational/instance.h"
+
+namespace qimap {
+
+/// Computes a core of the instance: a minimal subinstance that the whole
+/// instance maps into homomorphically (constants fixed, nulls and
+/// variables movable). Cores are unique up to isomorphism and are the
+/// canonical representatives of homomorphic-equivalence classes — in
+/// data-exchange terms, the core of `chase(I)` is the smallest universal
+/// solution (Fagin-Kolaitis-Miller-Popa, the paper's [4]).
+///
+/// Ground instances are their own cores. The computation is the standard
+/// greedy retraction: while some fact can be dropped with the remainder
+/// still receiving a homomorphism from the full instance, drop it.
+Instance ComputeCore(const Instance& instance);
+
+/// True iff `instance` equals its own core (no proper retract).
+bool IsCore(const Instance& instance);
+
+/// Homomorphic equivalence via cores: equivalent instances have
+/// isomorphic cores, so comparing `ComputeCore(a)` against `b` directly
+/// can be cheaper than two full homomorphism searches when `a` is highly
+/// redundant. Provided for the ablation benchmarks.
+bool HomomorphicallyEquivalentViaCore(const Instance& a, const Instance& b);
+
+}  // namespace qimap
+
+#endif  // QIMAP_RELATIONAL_INSTANCE_CORE_H_

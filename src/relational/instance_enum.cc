@@ -1,0 +1,83 @@
+#include "relational/instance_enum.h"
+
+namespace qimap {
+namespace {
+
+// Recursively extends `current` by choosing facts with index >= `next`,
+// visiting every subset of size <= remaining. Returns false to propagate
+// an early stop.
+bool EnumerateSubsets(const std::vector<Fact>& facts, size_t next,
+                      size_t remaining, Instance* current, size_t* visited,
+                      const std::function<bool(const Instance&)>& fn) {
+  ++*visited;
+  if (!fn(*current)) return false;
+  if (remaining == 0) return true;
+  for (size_t i = next; i < facts.size(); ++i) {
+    // Skip facts already present (supports superset enumeration).
+    if (current->ContainsFact(facts[i].relation, facts[i].tuple)) continue;
+    Instance extended = *current;
+    Status status = extended.AddFact(facts[i].relation, facts[i].tuple);
+    (void)status;
+    if (!EnumerateSubsets(facts, i + 1, remaining - 1, &extended, visited,
+                          fn)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Value> MakeDomain(const std::vector<std::string>& names) {
+  std::vector<Value> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    out.push_back(Value::MakeConstant(name));
+  }
+  return out;
+}
+
+std::vector<Fact> AllFactsOver(const Schema& schema,
+                               const std::vector<Value>& domain) {
+  std::vector<Fact> out;
+  if (domain.empty()) return out;
+  for (RelationId r = 0; r < schema.size(); ++r) {
+    uint32_t arity = schema.relation(r).arity;
+    // Enumerate domain^arity with an odometer.
+    std::vector<size_t> idx(arity, 0);
+    while (true) {
+      Tuple tuple;
+      tuple.reserve(arity);
+      for (size_t i : idx) tuple.push_back(domain[i]);
+      out.push_back(Fact{r, std::move(tuple)});
+      size_t pos = 0;
+      while (pos < arity) {
+        if (++idx[pos] < domain.size()) break;
+        idx[pos] = 0;
+        ++pos;
+      }
+      if (pos == arity) break;
+    }
+  }
+  return out;
+}
+
+size_t ForEachInstance(const EnumerationSpace& space,
+                       const std::function<bool(const Instance&)>& fn) {
+  std::vector<Fact> facts = AllFactsOver(*space.schema, space.domain);
+  Instance empty(space.schema);
+  size_t visited = 0;
+  EnumerateSubsets(facts, 0, space.max_facts, &empty, &visited, fn);
+  return visited;
+}
+
+size_t ForEachSuperset(const Instance& base, const EnumerationSpace& space,
+                       const std::function<bool(const Instance&)>& fn) {
+  std::vector<Fact> facts = AllFactsOver(*space.schema, space.domain);
+  Instance current = base;
+  size_t visited = 0;
+  EnumerateSubsets(facts, 0, space.max_facts, &current, &visited, fn);
+  return visited;
+}
+
+}  // namespace qimap

@@ -1,0 +1,46 @@
+#ifndef QIMAP_RELATIONAL_INSTANCE_ENUM_H_
+#define QIMAP_RELATIONAL_INSTANCE_ENUM_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/value.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+
+namespace qimap {
+
+/// The space of ground instances over a schema with values drawn from a
+/// finite domain and at most `max_facts` facts. Used by the bounded
+/// verifiers (see DESIGN.md, Section 2: checks that quantify over all
+/// ground instances sweep such a space exhaustively).
+struct EnumerationSpace {
+  SchemaPtr schema;
+  std::vector<Value> domain;
+  size_t max_facts = 2;
+};
+
+/// Builds a constant domain from names, e.g. `MakeDomain({"a", "b"})`.
+std::vector<Value> MakeDomain(const std::vector<std::string>& names);
+
+/// Every possible fact over the schema with arguments from `domain`,
+/// in deterministic order.
+std::vector<Fact> AllFactsOver(const Schema& schema,
+                               const std::vector<Value>& domain);
+
+/// Invokes `fn` on every instance in the space (including the empty one);
+/// stops early when `fn` returns false. Returns the number of instances
+/// visited.
+size_t ForEachInstance(const EnumerationSpace& space,
+                       const std::function<bool(const Instance&)>& fn);
+
+/// Invokes `fn` on every instance J with `base ⊆ J` whose extra facts come
+/// from the space (at most `space.max_facts` extras). Stops early when `fn`
+/// returns false. Returns the number of instances visited.
+size_t ForEachSuperset(const Instance& base, const EnumerationSpace& space,
+                       const std::function<bool(const Instance&)>& fn);
+
+}  // namespace qimap
+
+#endif  // QIMAP_RELATIONAL_INSTANCE_ENUM_H_

@@ -1,0 +1,71 @@
+#ifndef QIMAP_RELATIONAL_SCHEMA_H_
+#define QIMAP_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+
+namespace qimap {
+
+/// Dense index of a relation symbol within a Schema.
+using RelationId = uint32_t;
+
+/// A relation symbol: a name and a fixed arity.
+struct RelationSymbol {
+  std::string name;
+  uint32_t arity = 0;
+};
+
+/// A schema: a finite sequence of relation symbols (paper, Section 2).
+///
+/// Schemas are immutable after construction through the builder-style
+/// AddRelation calls and are typically shared via `SchemaPtr`.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a relation symbol; returns its id. The name must be new.
+  Result<RelationId> AddRelation(std::string_view name, uint32_t arity);
+
+  /// Looks up a relation by name.
+  Result<RelationId> FindRelation(std::string_view name) const;
+
+  /// Returns true if a relation with this name exists.
+  bool Contains(std::string_view name) const;
+
+  /// Returns the symbol for a valid id.
+  const RelationSymbol& relation(RelationId id) const {
+    return relations_[id];
+  }
+
+  /// Number of relation symbols.
+  size_t size() const { return relations_.size(); }
+
+  /// Renders as `P/2, Q/1`.
+  std::string ToString() const;
+
+  /// Parses a comma-separated list of `Name/arity` declarations into a new
+  /// schema, e.g. `"P/2, Q/1"`.
+  static Result<Schema> Parse(std::string_view text);
+
+ private:
+  std::vector<RelationSymbol> relations_;
+  std::unordered_map<std::string, RelationId> by_name_;
+};
+
+/// Shared ownership handle for schemas; instances and mappings keep the
+/// schema alive through this.
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// Convenience: parses a schema and wraps it in a shared pointer. Aborts on
+/// parse failure (intended for tests, examples, and benchmark setup).
+SchemaPtr MakeSchema(std::string_view text);
+
+}  // namespace qimap
+
+#endif  // QIMAP_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,131 @@
+#include "workload/paper_catalog.h"
+
+#include "dependency/parser.h"
+
+namespace qimap {
+namespace catalog {
+
+SchemaMapping Projection() {
+  return MustParseMapping("P/2", "Q/1", "P(x,y) -> Q(x)");
+}
+
+SchemaMapping Union() {
+  return MustParseMapping("P/1, Q/1", "S/1", "P(x) -> S(x); Q(x) -> S(x)");
+}
+
+SchemaMapping Decomposition() {
+  return MustParseMapping("P/3", "Q/2, R/2",
+                          "P(x,y,z) -> Q(x,y) & R(y,z)");
+}
+
+SchemaMapping Prop312() {
+  return MustParseMapping("E/2", "F/2, M/1",
+                          "E(x,z) & E(z,y) -> F(x,y) & M(z)");
+}
+
+SchemaMapping Example45() {
+  return MustParseMapping(
+      "P/3, U/1, T/2, R/3", "S/3, Q/2",
+      "P(x1,x2,x3) -> exists y: S(x1,x2,y) & Q(y,y);"
+      "U(x1) -> exists y: S(x1,x1,y) & Q(y,y) & Q(x1,y);"
+      "T(x3,x4) -> S(x4,x4,x3);"
+      "R(x1,x2,x4) -> Q(x1,x2)");
+}
+
+SchemaMapping Thm48() {
+  return MustParseMapping("P/2", "Q/2",
+                          "P(x,y) -> exists z: Q(x,z) & Q(z,y)");
+}
+
+SchemaMapping Thm49() {
+  return MustParseMapping("P/2, T/1", "P'/2, Q/1, T'/1",
+                          "P(x,y) -> P'(x,y);"
+                          "P(x,x) -> Q(x);"
+                          "T(x) -> T'(x);"
+                          "T(x) -> P'(x,x)");
+}
+
+SchemaMapping Thm410() {
+  return MustParseMapping(
+      "P1/1, P2/1, P3/1, P4/1", "S1/1, S2/1, R13/1, R14/1, R23/1, R24/1",
+      "P1(x) -> S1(x); P2(x) -> S1(x); P3(x) -> S2(x); P4(x) -> S2(x);"
+      "P1(x) & P3(x) -> R13(x);"
+      "P1(x) & P4(x) -> R14(x);"
+      "P2(x) & P3(x) -> R23(x);"
+      "P2(x) & P4(x) -> R24(x)");
+}
+
+SchemaMapping Thm411() {
+  return MustParseMapping("P/2", "R/1, S/1", "P(x,y) -> R(x); P(x,x) -> S(x)");
+}
+
+SchemaMapping Example54() {
+  return MustParseMapping("R/2", "Q/2, S/3, U/1",
+                          "R(x1,x2) & R(x2,x1) -> exists y: Q(x1,y);"
+                          "R(x1,x2) -> exists y: S(x1,x2,y);"
+                          "R(x1,x1) -> U(x1)");
+}
+
+ReverseMapping ProjectionQuasiInverse(const SchemaMapping& m) {
+  return MustParseReverseMapping(m, "Q(x) -> exists y: P(x,y)");
+}
+
+ReverseMapping UnionQuasiInverseDisjunctive(const SchemaMapping& m) {
+  return MustParseReverseMapping(m, "S(x) -> P(x) | Q(x)");
+}
+
+ReverseMapping UnionQuasiInverseP(const SchemaMapping& m) {
+  return MustParseReverseMapping(m, "S(x) -> P(x)");
+}
+
+ReverseMapping UnionQuasiInverseQ(const SchemaMapping& m) {
+  return MustParseReverseMapping(m, "S(x) -> Q(x)");
+}
+
+ReverseMapping UnionQuasiInverseBoth(const SchemaMapping& m) {
+  return MustParseReverseMapping(m, "S(x) -> P(x) & Q(x)");
+}
+
+ReverseMapping DecompositionQuasiInverseJoin(const SchemaMapping& m) {
+  return MustParseReverseMapping(m, "Q(x,y) & R(y,z) -> P(x,y,z)");
+}
+
+ReverseMapping DecompositionQuasiInverseSplit(const SchemaMapping& m) {
+  return MustParseReverseMapping(m,
+                                 "Q(x,y) -> exists z: P(x,y,z);"
+                                 "R(y,z) -> exists x: P(x,y,z)");
+}
+
+ReverseMapping Thm48Inverse(const SchemaMapping& m) {
+  return MustParseReverseMapping(
+      m, "Q(x,z) & Q(z,y) & Constant(x) & Constant(y) -> P(x,y)");
+}
+
+ReverseMapping Example54Inverse(const SchemaMapping& m) {
+  return MustParseReverseMapping(
+      m,
+      "Q(x1,y1) & S(x1,x1,y2) & U(x1) & Constant(x1) -> R(x1,x1);"
+      "S(x1,x2,y) & Constant(x1) & Constant(x2) & x1 != x2 -> R(x1,x2)");
+}
+
+std::vector<std::pair<std::string, SchemaMapping>> AllMappings() {
+  std::vector<std::pair<std::string, SchemaMapping>> out;
+  out.emplace_back("Projection", Projection());
+  out.emplace_back("Union", Union());
+  out.emplace_back("Decomposition", Decomposition());
+  out.emplace_back("Prop3.12", Prop312());
+  out.emplace_back("Example4.5", Example45());
+  out.emplace_back("Thm4.8", Thm48());
+  out.emplace_back("Thm4.9", Thm49());
+  out.emplace_back("Thm4.10", Thm410());
+  out.emplace_back("Thm4.11", Thm411());
+  out.emplace_back("Example5.4", Example54());
+  return out;
+}
+
+Instance Fig1Instance(const SchemaMapping& decomposition) {
+  return MustParseInstance(decomposition.source, "P(a,b,c), P(a',b,c')");
+}
+
+}  // namespace catalog
+}  // namespace qimap

@@ -1,0 +1,77 @@
+#ifndef QIMAP_WORKLOAD_PAPER_CATALOG_H_
+#define QIMAP_WORKLOAD_PAPER_CATALOG_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dependency/schema_mapping.h"
+
+namespace qimap {
+namespace catalog {
+
+/// Every named schema mapping of the paper, built exactly as printed.
+/// These drive the per-experiment benches (DESIGN.md, Section 4) and the
+/// integration tests.
+
+/// Section 1, Projection: `P(x,y) -> Q(x)`.
+SchemaMapping Projection();
+/// Section 1, Union: `P(x) -> S(x); Q(x) -> S(x)`.
+SchemaMapping Union();
+/// Section 1 / Examples 3.10 and 6.1, Decomposition:
+/// `P(x,y,z) -> Q(x,y) & R(y,z)`.
+SchemaMapping Decomposition();
+/// Proposition 3.12: `E(x,z) & E(z,y) -> F(x,y) & M(z)` — a full s-t tgd
+/// with no quasi-inverse.
+SchemaMapping Prop312();
+/// Example 4.5: the four-tgd mapping over `P,U,T,R -> S,Q`.
+SchemaMapping Example45();
+/// Theorem 4.8 (necessity of constants):
+/// `P(x,y) -> exists z: Q(x,z) & Q(z,y)`.
+SchemaMapping Thm48();
+/// Theorem 4.9 (necessity of inequalities): the full LAV mapping over
+/// `P,T -> P',Q,T'`.
+SchemaMapping Thm49();
+/// Theorem 4.10 (necessity of disjunctions): the eight-tgd full mapping
+/// over `P1..P4 -> S1,S2,R13,R14,R23,R24`.
+SchemaMapping Thm410();
+/// Theorem 4.11 (necessity of existential quantifiers):
+/// `P(x,y) -> R(x); P(x,x) -> S(x)`.
+SchemaMapping Thm411();
+/// Example 5.4: the three-tgd mapping over `R -> Q,S,U`.
+SchemaMapping Example54();
+
+/// Paper-stated reverse mappings (each over the schemas of the
+/// corresponding forward mapping, which must be passed in).
+
+/// `Q(x) -> exists y: P(x,y)` (Section 1).
+ReverseMapping ProjectionQuasiInverse(const SchemaMapping& m);
+/// `S(x) -> P(x) | Q(x)` (Section 1).
+ReverseMapping UnionQuasiInverseDisjunctive(const SchemaMapping& m);
+/// `S(x) -> P(x)` (Section 1; quasi-inverses are not unique).
+ReverseMapping UnionQuasiInverseP(const SchemaMapping& m);
+/// `S(x) -> Q(x)` (Section 1).
+ReverseMapping UnionQuasiInverseQ(const SchemaMapping& m);
+/// `S(x) -> P(x) & Q(x)` (Section 1).
+ReverseMapping UnionQuasiInverseBoth(const SchemaMapping& m);
+/// `Q(x,y) & R(y,z) -> P(x,y,z)` — the paper's `M'` (Example 3.10).
+ReverseMapping DecompositionQuasiInverseJoin(const SchemaMapping& m);
+/// `Q(x,y) -> exists z: P(x,y,z); R(y,z) -> exists x: P(x,y,z)` — the
+/// paper's `M''` (Example 3.10).
+ReverseMapping DecompositionQuasiInverseSplit(const SchemaMapping& m);
+/// `Q(x,z) & Q(z,y) & Constant(x) & Constant(y) -> P(x,y)`
+/// (Theorem 4.8).
+ReverseMapping Thm48Inverse(const SchemaMapping& m);
+/// Dependencies (1) and (2) of Example 5.4 — the weakest inverse.
+ReverseMapping Example54Inverse(const SchemaMapping& m);
+
+/// All forward mappings with their paper names, for sweeps.
+std::vector<std::pair<std::string, SchemaMapping>> AllMappings();
+
+/// The ground instance `I = { P(a,b,c), P(a',b,c') }` of Figure 1.
+Instance Fig1Instance(const SchemaMapping& decomposition);
+
+}  // namespace catalog
+}  // namespace qimap
+
+#endif  // QIMAP_WORKLOAD_PAPER_CATALOG_H_

@@ -1,0 +1,148 @@
+#include "workload/random_mappings.h"
+
+#include <string>
+
+#include "relational/instance_enum.h"
+
+namespace qimap {
+namespace {
+
+Value VarX(size_t i) {
+  return Value::MakeVariable("x" + std::to_string(i + 1));
+}
+Value VarY(size_t i) {
+  return Value::MakeVariable("y" + std::to_string(i + 1));
+}
+
+SchemaPtr RandomSchema(Rng* rng, const std::string& prefix, size_t count,
+                       uint32_t max_arity) {
+  Schema schema;
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t arity =
+        static_cast<uint32_t>(rng->UniformInt(1, static_cast<int>(max_arity)));
+    Result<RelationId> id =
+        schema.AddRelation(prefix + std::to_string(i + 1), arity);
+    (void)id;
+  }
+  return std::make_shared<const Schema>(std::move(schema));
+}
+
+}  // namespace
+
+namespace {
+
+void AppendRandomTgds(SchemaMapping* m, Rng* rng,
+                      const RandomMappingConfig& config);
+
+}  // namespace
+
+SchemaMapping RandomMapping(Rng* rng, const RandomMappingConfig& config) {
+  SchemaMapping m;
+  m.source = RandomSchema(rng, "S", config.num_source_relations,
+                          config.max_arity);
+  m.target = RandomSchema(rng, "T", config.num_target_relations,
+                          config.max_arity);
+  AppendRandomTgds(&m, rng, config);
+  return m;
+}
+
+SchemaMapping RandomMappingBetween(SchemaPtr source, SchemaPtr target,
+                                   Rng* rng,
+                                   const RandomMappingConfig& config) {
+  SchemaMapping m;
+  m.source = std::move(source);
+  m.target = std::move(target);
+  AppendRandomTgds(&m, rng, config);
+  return m;
+}
+
+namespace {
+
+void AppendRandomTgds(SchemaMapping* mp, Rng* rng,
+                      const RandomMappingConfig& config) {
+  SchemaMapping& m = *mp;
+  for (size_t t = 0; t < config.num_tgds; ++t) {
+    Tgd tgd;
+    // Lhs: a few source atoms over a shared pool of x-variables. The pool
+    // grows with the lhs width so joins are possible but not forced.
+    size_t lhs_atoms = static_cast<size_t>(
+        rng->UniformInt(1, static_cast<int>(config.max_lhs_atoms)));
+    size_t var_pool = 0;
+    for (size_t a = 0; a < lhs_atoms; ++a) {
+      RelationId r = static_cast<RelationId>(
+          rng->Uniform(m.source->size()));
+      Atom atom{r, {}};
+      uint32_t arity = m.source->relation(r).arity;
+      for (uint32_t i = 0; i < arity; ++i) {
+        // Reuse an existing variable 60% of the time once any exist.
+        if (var_pool > 0 && rng->Chance(3, 5)) {
+          atom.args.push_back(VarX(rng->Uniform(var_pool)));
+        } else {
+          atom.args.push_back(VarX(var_pool++));
+        }
+      }
+      tgd.lhs.push_back(std::move(atom));
+    }
+    // Rhs: target atoms over the lhs variables plus a small existential
+    // pool.
+    size_t rhs_atoms = static_cast<size_t>(
+        rng->UniformInt(1, static_cast<int>(config.max_rhs_atoms)));
+    size_t existential_pool = 0;
+    for (size_t a = 0; a < rhs_atoms; ++a) {
+      RelationId r = static_cast<RelationId>(
+          rng->Uniform(m.target->size()));
+      Atom atom{r, {}};
+      uint32_t arity = m.target->relation(r).arity;
+      for (uint32_t i = 0; i < arity; ++i) {
+        bool use_existential =
+            config.max_existential_vars > 0 && rng->Chance(1, 4);
+        if (use_existential) {
+          if (existential_pool < config.max_existential_vars &&
+              rng->Chance(1, 2)) {
+            ++existential_pool;
+          }
+          if (existential_pool > 0) {
+            atom.args.push_back(VarY(rng->Uniform(existential_pool)));
+            continue;
+          }
+        }
+        atom.args.push_back(VarX(rng->Uniform(var_pool)));
+      }
+      tgd.rhs.push_back(std::move(atom));
+    }
+    m.tgds.push_back(std::move(tgd));
+  }
+}
+
+}  // namespace
+
+SchemaMapping RandomLavMapping(Rng* rng, size_t num_tgds) {
+  RandomMappingConfig config;
+  config.max_lhs_atoms = 1;
+  config.num_tgds = num_tgds;
+  return RandomMapping(rng, config);
+}
+
+SchemaMapping RandomFullMapping(Rng* rng, size_t num_tgds) {
+  RandomMappingConfig config;
+  config.max_lhs_atoms = 2;
+  config.max_existential_vars = 0;
+  config.num_tgds = num_tgds;
+  return RandomMapping(rng, config);
+}
+
+Instance RandomGroundInstance(SchemaPtr schema,
+                              const std::vector<Value>& domain,
+                              size_t num_facts, Rng* rng) {
+  std::vector<Fact> all_facts = AllFactsOver(*schema, domain);
+  Instance out(schema);
+  if (all_facts.empty()) return out;
+  for (size_t i = 0; i < num_facts; ++i) {
+    const Fact& fact = all_facts[rng->Uniform(all_facts.size())];
+    Status status = out.AddFact(fact.relation, fact.tuple);
+    (void)status;
+  }
+  return out;
+}
+
+}  // namespace qimap

@@ -1,0 +1,49 @@
+#ifndef QIMAP_WORKLOAD_RANDOM_MAPPINGS_H_
+#define QIMAP_WORKLOAD_RANDOM_MAPPINGS_H_
+
+#include <cstddef>
+
+#include "base/rng.h"
+#include "dependency/schema_mapping.h"
+#include "relational/instance.h"
+
+namespace qimap {
+
+/// Shape of randomly generated schema mappings. Defaults produce small LAV
+/// mappings of the kind Proposition 3.11 speaks about.
+struct RandomMappingConfig {
+  size_t num_source_relations = 3;
+  size_t num_target_relations = 3;
+  uint32_t max_arity = 2;
+  size_t num_tgds = 3;
+  size_t max_lhs_atoms = 1;         ///< 1 keeps the mapping LAV.
+  size_t max_rhs_atoms = 2;
+  size_t max_existential_vars = 1;  ///< 0 keeps the mapping full.
+};
+
+/// Generates a random schema mapping with relation names `S1..`/`T1..`.
+/// Deterministic in the RNG state.
+SchemaMapping RandomMapping(Rng* rng, const RandomMappingConfig& config);
+
+/// Convenience: a random LAV mapping (single-atom lhs).
+SchemaMapping RandomLavMapping(Rng* rng, size_t num_tgds = 3);
+
+/// Convenience: a random full mapping (no existential variables).
+SchemaMapping RandomFullMapping(Rng* rng, size_t num_tgds = 3);
+
+/// Generates a random mapping between two *given* schemas (e.g. to chain
+/// mappings for composition sweeps: the second hop's source is the first
+/// hop's target). Only the dependency-shape fields of `config` apply.
+SchemaMapping RandomMappingBetween(SchemaPtr source, SchemaPtr target,
+                                   Rng* rng,
+                                   const RandomMappingConfig& config);
+
+/// A random ground instance over the schema with `num_facts` distinct
+/// facts (fewer if the space is smaller) over the given constant domain.
+Instance RandomGroundInstance(SchemaPtr schema,
+                              const std::vector<Value>& domain,
+                              size_t num_facts, Rng* rng);
+
+}  // namespace qimap
+
+#endif  // QIMAP_WORKLOAD_RANDOM_MAPPINGS_H_

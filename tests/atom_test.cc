@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "relational/atom.h"
+
+namespace qimap {
+namespace {
+
+Value Var(const char* name) { return Value::MakeVariable(name); }
+Value Const(const char* name) { return Value::MakeConstant(name); }
+
+SchemaPtr TestSchema() { return MakeSchema("P/2, Q/1"); }
+
+TEST(AtomTest, ToStringRendersArgs) {
+  SchemaPtr schema = TestSchema();
+  Atom atom{0, {Var("x"), Const("a")}};
+  EXPECT_EQ(AtomToString(atom, *schema), "P(x,a)");
+}
+
+TEST(AtomTest, ConjunctionToStringJoinsWithAmp) {
+  SchemaPtr schema = TestSchema();
+  Conjunction conj = {{0, {Var("x"), Var("y")}}, {1, {Var("y")}}};
+  EXPECT_EQ(ConjunctionToString(conj, *schema), "P(x,y) & Q(y)");
+  EXPECT_EQ(ConjunctionToString({}, *schema), "true");
+}
+
+TEST(AtomTest, VariablesInFirstOccurrenceOrder) {
+  Conjunction conj = {{0, {Var("b"), Var("a")}},
+                      {1, {Var("b")}},
+                      {0, {Var("c"), Const("k")}}};
+  std::vector<Value> vars = VariablesOf(conj);
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0], Var("b"));
+  EXPECT_EQ(vars[1], Var("a"));
+  EXPECT_EQ(vars[2], Var("c"));
+  EXPECT_EQ(VariableSetOf(conj).size(), 3u);
+}
+
+TEST(AtomTest, ConstantsAreNotVariables) {
+  Conjunction conj = {{1, {Const("a")}}};
+  EXPECT_TRUE(VariablesOf(conj).empty());
+}
+
+TEST(AtomTest, CanonicalInstanceKeepsVariablesAsValues) {
+  SchemaPtr schema = TestSchema();
+  Conjunction conj = {{0, {Var("x"), Var("y")}}, {1, {Var("x")}}};
+  Instance canonical = CanonicalInstance(conj, schema);
+  EXPECT_EQ(canonical.NumFacts(), 2u);
+  EXPECT_FALSE(canonical.IsGround());
+  EXPECT_TRUE(canonical.ContainsFact(1, {Var("x")}));
+}
+
+TEST(AtomTest, CanonicalInstanceCollapsesDuplicateConjuncts) {
+  SchemaPtr schema = TestSchema();
+  Conjunction conj = {{1, {Var("x")}}, {1, {Var("x")}}};
+  EXPECT_EQ(CanonicalInstance(conj, schema).NumFacts(), 1u);
+}
+
+TEST(AtomTest, SubstituteReplacesAllMatches) {
+  Conjunction conj = {{0, {Var("x"), Var("y")}}, {1, {Var("x")}}};
+  Conjunction out = SubstituteConjunction(
+      conj, {{Var("x"), Var("z")}, {Var("y"), Const("a")}});
+  EXPECT_EQ(out[0].args[0], Var("z"));
+  EXPECT_EQ(out[0].args[1], Const("a"));
+  EXPECT_EQ(out[1].args[0], Var("z"));
+}
+
+TEST(AtomTest, SubstituteLeavesUnmappedValues) {
+  Atom atom{0, {Var("x"), Var("y")}};
+  Atom out = SubstituteAtom(atom, {{Var("x"), Var("w")}});
+  EXPECT_EQ(out.args[0], Var("w"));
+  EXPECT_EQ(out.args[1], Var("y"));
+}
+
+TEST(AtomTest, OrderingIsTotal) {
+  Atom a{0, {Var("x")}};
+  Atom b{1, {Var("x")}};
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_TRUE(a == a);
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/strings.h"
+#include "base/value.h"
+
+namespace qimap {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Doubler(Result<int> input) {
+  QIMAP_ASSIGN_OR_RETURN(int v, input);
+  return 2 * v;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_FALSE(Doubler(Status::Internal("x")).ok());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, SplitAndTrim) {
+  std::vector<std::string> parts = SplitAndTrim(" a ;b; ;c ", ';');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t\n "), "");
+}
+
+TEST(ValueTest, ConstantsInternByName) {
+  Value a1 = Value::MakeConstant("a");
+  Value a2 = Value::MakeConstant("a");
+  Value b = Value::MakeConstant("b");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(a1.ToString(), "a");
+  EXPECT_TRUE(a1.IsConstant());
+}
+
+TEST(ValueTest, KindsAreDisjoint) {
+  Value c = Value::MakeConstant("x");
+  Value v = Value::MakeVariable("x");
+  Value n = Value::MakeNull(1);
+  EXPECT_NE(c, v);
+  EXPECT_NE(c, n);
+  EXPECT_NE(v, n);
+  EXPECT_TRUE(v.IsVariable());
+  EXPECT_TRUE(n.IsNull());
+}
+
+TEST(ValueTest, NullRendering) {
+  EXPECT_EQ(Value::MakeNull(7).ToString(), "_N7");
+}
+
+TEST(ValueTest, OrderingIsTotalAndHashConsistent) {
+  Value a = Value::MakeConstant("a");
+  Value b = Value::MakeConstant("b");
+  EXPECT_TRUE(a < b || b < a);
+  ValueHash hash;
+  EXPECT_EQ(hash(a), hash(Value::MakeConstant("a")));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng r1(123);
+  Rng r2(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(r1.Next(), r2.Next());
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) {
+    int v = rng.UniformInt(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values appear
+}
+
+TEST(RngTest, ZeroSeedRemapped) {
+  Rng rng(0);
+  EXPECT_NE(rng.Next(), 0u);
+}
+
+}  // namespace
+}  // namespace qimap

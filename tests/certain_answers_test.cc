@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chase/chase.h"
+#include "core/certain_answers.h"
+#include "core/quasi_inverse.h"
+#include "core/soundness.h"
+#include "dependency/parser.h"
+#include "relational/instance_enum.h"
+#include "workload/paper_catalog.h"
+#include "workload/random_mappings.h"
+
+namespace qimap {
+namespace {
+
+ConjunctiveQuery MustParseQuery(const Schema& schema, const char* head,
+                                const char* body) {
+  Result<ConjunctiveQuery> q = ParseQuery(schema, head, body);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).value();
+}
+
+TEST(QueryParseTest, HeadMustOccurInBody) {
+  SchemaPtr schema = MakeSchema("Q/2");
+  EXPECT_FALSE(ParseQuery(*schema, "w", "Q(x,y)").ok());
+  EXPECT_TRUE(ParseQuery(*schema, "x, y", "Q(x,y)").ok());
+}
+
+TEST(QueryParseTest, NoGuardsInQueries) {
+  SchemaPtr schema = MakeSchema("Q/2");
+  EXPECT_FALSE(ParseQuery(*schema, "x", "Q(x,y) & Constant(x)").ok());
+}
+
+TEST(QueryEvalTest, JoinQuery) {
+  SchemaPtr schema = MakeSchema("Q/2");
+  Instance inst = MustParseInstance(schema, "Q(a,b), Q(b,c), Q(b,d)");
+  ConjunctiveQuery q = MustParseQuery(*schema, "x, z", "Q(x,y) & Q(y,z)");
+  std::vector<Tuple> answers = EvaluateQuery(q, inst);
+  // Paths: a->b->c, a->b->d.
+  EXPECT_EQ(answers.size(), 2u);
+}
+
+TEST(QueryEvalTest, BooleanQueryEmptyHead) {
+  SchemaPtr schema = MakeSchema("Q/2");
+  Instance inst = MustParseInstance(schema, "Q(a,b)");
+  ConjunctiveQuery q = MustParseQuery(*schema, "", "Q(x,y)");
+  EXPECT_EQ(EvaluateQuery(q, inst).size(), 1u);  // the empty tuple
+  Instance empty(schema);
+  EXPECT_TRUE(EvaluateQuery(q, empty).empty());
+}
+
+TEST(CertainAnswersTest, NullAnswersDropped) {
+  SchemaPtr schema = MakeSchema("Q/2");
+  Instance universal = MustParseInstance(schema, "Q(a,b), Q(a,_N1)");
+  ConjunctiveQuery q = MustParseQuery(*schema, "x, y", "Q(x,y)");
+  EXPECT_EQ(EvaluateQuery(q, universal).size(), 2u);
+  std::vector<Tuple> certain = CertainAnswers(q, universal);
+  ASSERT_EQ(certain.size(), 1u);
+  EXPECT_EQ(certain[0][1], Value::MakeConstant("b"));
+}
+
+TEST(CertainAnswersTest, ExistentialWitnessStillJoins) {
+  // chase(P(a,b)) under Thm 4.8 = Q(a,N), Q(N,b): the join query has the
+  // certain answer (a,b) even though the middle value is a null.
+  SchemaMapping m = catalog::Thm48();
+  Instance u = MustChase(MustParseInstance(m.source, "P(a,b)"), m);
+  ConjunctiveQuery q =
+      MustParseQuery(*m.target, "x, z", "Q(x,y) & Q(y,z)");
+  std::vector<Tuple> certain = CertainAnswers(q, u);
+  ASSERT_EQ(certain.size(), 1u);
+  EXPECT_EQ(certain[0][0], Value::MakeConstant("a"));
+  EXPECT_EQ(certain[0][1], Value::MakeConstant("b"));
+}
+
+TEST(CertainAnswersTest, PreservedByFaithfulRecovery) {
+  // A faithful round trip re-exports a homomorphically equivalent
+  // universal solution, so certain answers of any CQ are preserved.
+  SchemaMapping m = catalog::Decomposition();
+  ReverseMapping rev = MustQuasiInverse(m);
+  ConjunctiveQuery join =
+      MustParseQuery(*m.target, "x, z", "Q(x,y) & R(y,z)");
+  ConjunctiveQuery left = MustParseQuery(*m.target, "x", "Q(x,y)");
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    Instance i = RandomGroundInstance(m.source, MakeDomain({"a", "b", "c"}),
+                                      3, &rng);
+    Result<RoundTrip> trip = CheckRoundTrip(m, rev, i);
+    ASSERT_TRUE(trip.ok());
+    ASSERT_TRUE(trip->faithful);
+    const Instance& reexported =
+        trip->rechased[*trip->faithful_witness];
+    for (const ConjunctiveQuery* q : {&join, &left}) {
+      EXPECT_EQ(CertainAnswers(*q, trip->universal),
+                CertainAnswers(*q, reexported))
+          << i.ToString();
+    }
+  }
+}
+
+TEST(CertainAnswersTest, SoundRecoveryNeverInventsAnswers) {
+  // Soundness alone already guarantees no *new* certain answers appear
+  // in any re-export that maps into U.
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = catalog::UnionQuasiInverseP(m);
+  ConjunctiveQuery q = MustParseQuery(*m.target, "x", "S(x)");
+  Instance i = MustParseInstance(m.source, "P(a), Q(b)");
+  Result<RoundTrip> trip = CheckRoundTrip(m, rev, i);
+  ASSERT_TRUE(trip.ok());
+  ASSERT_TRUE(trip->sound);
+  std::vector<Tuple> original = CertainAnswers(q, trip->universal);
+  for (const Instance& reexport : trip->rechased) {
+    for (const Tuple& answer : CertainAnswers(q, reexport)) {
+      EXPECT_TRUE(std::find(original.begin(), original.end(), answer) !=
+                  original.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qimap

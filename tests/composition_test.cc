@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/composition.h"
+#include "dependency/parser.h"
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+namespace {
+
+bool MustInComposition(const SchemaMapping& m, const ReverseMapping& rev,
+                       const Instance& i1, const Instance& i2) {
+  Result<bool> result = InComposition(m, rev, i1, i2);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() && *result;
+}
+
+TEST(CompositionTest, InverseRoundTripContainsSubsets) {
+  // Thm 4.8 mapping with its inverse: (I1, I2) ∈ Inst(M∘M') iff I1 ⊆ I2
+  // (that is what being an inverse means).
+  SchemaMapping m = catalog::Thm48();
+  ReverseMapping rev = catalog::Thm48Inverse(m);
+  Instance i = MustParseInstance(m.source, "P(a,b)");
+  Instance bigger = MustParseInstance(m.source, "P(a,b), P(c,d)");
+  EXPECT_TRUE(MustInComposition(m, rev, i, i));
+  EXPECT_TRUE(MustInComposition(m, rev, i, bigger));
+  EXPECT_FALSE(MustInComposition(m, rev, bigger, i));
+}
+
+TEST(CompositionTest, DifferentDataNotInComposition) {
+  SchemaMapping m = catalog::Thm48();
+  ReverseMapping rev = catalog::Thm48Inverse(m);
+  Instance i1 = MustParseInstance(m.source, "P(a,b)");
+  Instance i2 = MustParseInstance(m.source, "P(c,d)");
+  EXPECT_FALSE(MustInComposition(m, rev, i1, i2));
+}
+
+TEST(CompositionTest, ProjectionQuasiInverseRecoversUpToNulls) {
+  SchemaMapping m = catalog::Projection();
+  ReverseMapping rev = catalog::ProjectionQuasiInverse(m);
+  Instance i1 = MustParseInstance(m.source, "P(a,b)");
+  // Chasing back yields P(a, null); (i1, i2) is in the composition when
+  // i2 provides some P(a, _)-fact.
+  Instance same_key = MustParseInstance(m.source, "P(a,c)");
+  EXPECT_TRUE(MustInComposition(m, rev, i1, same_key));
+  Instance other_key = MustParseInstance(m.source, "P(b,a)");
+  EXPECT_FALSE(MustInComposition(m, rev, i1, other_key));
+}
+
+TEST(CompositionTest, EmptyPairIsInComposition) {
+  SchemaMapping m = catalog::Projection();
+  ReverseMapping rev = catalog::ProjectionQuasiInverse(m);
+  Instance empty(m.source);
+  EXPECT_TRUE(MustInComposition(m, rev, empty, empty));
+}
+
+TEST(CompositionTest, UnionDisjunctiveWitnessChoosesBranch) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = catalog::UnionQuasiInverseDisjunctive(m);
+  Instance p = MustParseInstance(m.source, "P(a)");
+  Instance q = MustParseInstance(m.source, "Q(a)");
+  // S(a) back-chases to P(a) or Q(a), so both pairs are in.
+  EXPECT_TRUE(MustInComposition(m, rev, p, q));
+  EXPECT_TRUE(MustInComposition(m, rev, p, p));
+  Instance wrong = MustParseInstance(m.source, "P(b)");
+  EXPECT_FALSE(MustInComposition(m, rev, p, wrong));
+}
+
+TEST(CompositionTest, ConstantGuardOnProjection) {
+  // The projection's chase output Q(a) is a constant fact, so the
+  // Constant(x)-guarded reverse dependency demands a P(a,_)-fact in i2.
+  SchemaMapping m = catalog::Projection();
+  ReverseMapping guarded = MustParseReverseMapping(
+      m, "Q(x) & Constant(x) -> exists y: P(x,y)");
+  Instance i1 = MustParseInstance(m.source, "P(a,b)");
+  Instance empty(m.source);
+  EXPECT_FALSE(MustInComposition(m, guarded, i1, empty));
+  Instance good = MustParseInstance(m.source, "P(a,z)");
+  EXPECT_TRUE(MustInComposition(m, guarded, i1, good));
+}
+
+TEST(CompositionTest, NullCollapsingWitnessFound) {
+  // M: P(x) -> exists y: Q(x,y). M': Q(x,y) -> P'(y).
+  // The composition holds iff i2 has a P'-fact for a value the null can
+  // take; collapsing the null onto a constant of i2 is required.
+  SchemaMapping m = MustParseMapping("P/1", "Q/2",
+                                     "P(x) -> exists y: Q(x,y)");
+  ReverseMapping rev = MustParseReverseMapping(m, "Q(x,y) -> P(y)");
+  // Note: reverse goes to the source schema; declare P'/1 as source "P".
+  Instance i1 = MustParseInstance(m.source, "P(a)");
+  Instance i2 = MustParseInstance(m.source, "P(b)");
+  EXPECT_TRUE(MustInComposition(m, rev, i1, i2));
+}
+
+}  // namespace
+}  // namespace qimap

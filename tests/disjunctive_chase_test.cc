@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chase/chase.h"
+#include "chase/disjunctive_chase.h"
+#include "dependency/parser.h"
+#include "dependency/satisfaction.h"
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+namespace {
+
+TEST(DisjunctiveChaseTest, NoDisjunctionSingleLeaf) {
+  SchemaMapping m = catalog::Decomposition();
+  ReverseMapping rev = catalog::DecompositionQuasiInverseJoin(m);
+  Instance u = MustParseInstance(m.target, "Q(a,b), R(b,c)");
+  std::vector<Instance> leaves = MustDisjunctiveChase(u, rev);
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0].ToString(), "P(a,b,c)");
+}
+
+TEST(DisjunctiveChaseTest, DisjunctionBranches) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = catalog::UnionQuasiInverseDisjunctive(m);
+  Instance u = MustParseInstance(m.target, "S(a)");
+  std::vector<Instance> leaves = MustDisjunctiveChase(u, rev);
+  ASSERT_EQ(leaves.size(), 2u);
+  std::vector<std::string> rendered = {leaves[0].ToString(),
+                                       leaves[1].ToString()};
+  std::sort(rendered.begin(), rendered.end());
+  EXPECT_EQ(rendered[0], "P(a)");
+  EXPECT_EQ(rendered[1], "Q(a)");
+}
+
+TEST(DisjunctiveChaseTest, TwoFactsFourLeaves) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = catalog::UnionQuasiInverseDisjunctive(m);
+  Instance u = MustParseInstance(m.target, "S(a), S(b)");
+  std::vector<Instance> leaves = MustDisjunctiveChase(u, rev);
+  EXPECT_EQ(leaves.size(), 4u);
+}
+
+TEST(DisjunctiveChaseTest, LeavesSatisfyTheDependencies) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = catalog::UnionQuasiInverseDisjunctive(m);
+  Instance u = MustParseInstance(m.target, "S(a), S(b), S(c)");
+  for (const Instance& leaf : MustDisjunctiveChase(u, rev)) {
+    EXPECT_TRUE(SatisfiesAllReverse(u, leaf, rev));
+  }
+}
+
+TEST(DisjunctiveChaseTest, ExistentialsBecomeFreshNulls) {
+  SchemaMapping m = catalog::Projection();
+  ReverseMapping rev = catalog::ProjectionQuasiInverse(m);
+  Instance u = MustParseInstance(m.target, "Q(a)");
+  std::vector<Instance> leaves = MustDisjunctiveChase(u, rev);
+  ASSERT_EQ(leaves.size(), 1u);
+  std::vector<Fact> facts = leaves[0].Facts();
+  ASSERT_EQ(facts.size(), 1u);
+  EXPECT_EQ(facts[0].tuple[0], Value::MakeConstant("a"));
+  EXPECT_TRUE(facts[0].tuple[1].IsNull());
+}
+
+TEST(DisjunctiveChaseTest, AlreadySatisfiedStepDoesNotFire) {
+  SchemaMapping m = catalog::Decomposition();
+  // Split quasi-inverse: Q and R rows recovered independently.
+  ReverseMapping rev = catalog::DecompositionQuasiInverseSplit(m);
+  Instance u = MustParseInstance(m.target, "Q(a,b), R(b,c)");
+  std::vector<Instance> leaves = MustDisjunctiveChase(u, rev);
+  ASSERT_EQ(leaves.size(), 1u);
+  // Two facts: P(a,b,N) and P(N',b,c).
+  EXPECT_EQ(leaves[0].NumFacts(), 2u);
+}
+
+TEST(DisjunctiveChaseTest, ConstantGuardBlocksNullMatches) {
+  SchemaMapping m = catalog::Projection();
+  ReverseMapping rev = MustParseReverseMapping(
+      m, "Q(x) & Constant(x) -> exists y: P(x,y)");
+  Instance u = MustParseInstance(m.target, "Q(_N1)");
+  std::vector<Instance> leaves = MustDisjunctiveChase(u, rev);
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_TRUE(leaves[0].Empty());
+}
+
+TEST(DisjunctiveChaseTest, EmptyTargetSingleEmptyLeaf) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = catalog::UnionQuasiInverseDisjunctive(m);
+  Instance u(m.target);
+  std::vector<Instance> leaves = MustDisjunctiveChase(u, rev);
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_TRUE(leaves[0].Empty());
+}
+
+TEST(DisjunctiveChaseTest, MaxLeavesGuard) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = catalog::UnionQuasiInverseDisjunctive(m);
+  Instance u = MustParseInstance(m.target,
+                                 "S(a), S(b), S(c), S(d), S(e)");
+  DisjunctiveChaseOptions options;
+  options.max_leaves = 8;  // 2^5 = 32 leaves needed
+  Result<std::vector<Instance>> result = DisjunctiveChase(u, rev, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DisjunctiveChaseTest, StatsReported) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = catalog::UnionQuasiInverseDisjunctive(m);
+  Instance u = MustParseInstance(m.target, "S(a), S(b)");
+  DisjunctiveChaseStats stats;
+  Result<std::vector<Instance>> result =
+      DisjunctiveChase(u, rev, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.leaves, 4u);
+  EXPECT_GE(stats.steps, 3u);   // 1 root + 2 second-level expansions
+  EXPECT_GE(stats.nodes, 7u);
+}
+
+TEST(DisjunctiveChaseTest, FigureOneSplitRecovery) {
+  // Figure 1's V2: the split quasi-inverse recovers four P-facts with
+  // nulls from U = Q(a,b), Q(a',b), R(b,c), R(b,c').
+  SchemaMapping m = catalog::Decomposition();
+  ReverseMapping rev = catalog::DecompositionQuasiInverseSplit(m);
+  Instance i = catalog::Fig1Instance(m);
+  Instance u = MustChase(i, m);
+  std::vector<Instance> leaves = MustDisjunctiveChase(u, rev);
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0].NumFacts(), 4u);
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "core/equivalence.h"
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+namespace {
+
+TEST(EquivalenceTest, EqualityRelation) {
+  EqualityEquivalence eq;
+  SchemaMapping m = catalog::Projection();
+  Instance a = MustParseInstance(m.source, "P(a,b)");
+  Instance b = MustParseInstance(m.source, "P(a,b)");
+  Instance c = MustParseInstance(m.source, "P(a,c)");
+  EXPECT_TRUE(*eq.Equivalent(a, b));
+  EXPECT_FALSE(*eq.Equivalent(a, c));
+  EXPECT_EQ(eq.Name(), "=");
+}
+
+TEST(EquivalenceTest, SimRelationMatchesOracle) {
+  SchemaMapping m = catalog::Projection();
+  SimEquivalence sim(m);
+  Instance a = MustParseInstance(m.source, "P(a,b)");
+  Instance c = MustParseInstance(m.source, "P(a,c)");
+  Instance d = MustParseInstance(m.source, "P(b,a)");
+  EXPECT_TRUE(*sim.Equivalent(a, c));
+  EXPECT_FALSE(*sim.Equivalent(a, d));
+  EXPECT_EQ(sim.Name(), "~M");
+}
+
+TEST(EquivalenceTest, RefinementChain) {
+  // = refines ~M∩dom refines ~M on concrete witnesses.
+  SchemaMapping m = catalog::Projection();
+  EqualityEquivalence eq;
+  SimSameDomainEquivalence mid(m);
+  SimEquivalence sim(m);
+  Instance a = MustParseInstance(m.source, "P(a,b)");
+  Instance b = MustParseInstance(m.source, "P(a,b), P(a,a)");
+  Instance c = MustParseInstance(m.source, "P(a,c)");
+  // a, b: mid-equivalent but not equal.
+  EXPECT_FALSE(*eq.Equivalent(a, b));
+  EXPECT_TRUE(*mid.Equivalent(a, b));
+  EXPECT_TRUE(*sim.Equivalent(a, b));
+  // a, c: ~M-equivalent but not mid-equivalent.
+  EXPECT_FALSE(*mid.Equivalent(a, c));
+  EXPECT_TRUE(*sim.Equivalent(a, c));
+}
+
+TEST(EquivalenceTest, MidIsReflexiveSymmetric) {
+  SchemaMapping m = catalog::Union();
+  SimSameDomainEquivalence mid(m);
+  Instance a = MustParseInstance(m.source, "P(a)");
+  Instance b = MustParseInstance(m.source, "Q(a)");
+  EXPECT_TRUE(*mid.Equivalent(a, a));
+  EXPECT_EQ(*mid.Equivalent(a, b), *mid.Equivalent(b, a));
+  EXPECT_TRUE(*mid.Equivalent(a, b));  // same domain {a}, same solutions
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "relational/atom.h"
+#include "relational/homomorphism.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+
+namespace qimap {
+namespace {
+
+SchemaPtr TestSchema() { return MakeSchema("P/2, Q/1"); }
+
+Value Var(const char* name) { return Value::MakeVariable(name); }
+Value Const(const char* name) { return Value::MakeConstant(name); }
+
+TEST(HomomorphismTest, SimpleMatch) {
+  SchemaPtr schema = TestSchema();
+  Instance inst = MustParseInstance(schema, "P(a,b)");
+  Conjunction body = {{0, {Var("x"), Var("y")}}};
+  auto h = FindHomomorphism(body, inst, {}, {});
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at(Var("x")), Const("a"));
+  EXPECT_EQ(h->at(Var("y")), Const("b"));
+}
+
+TEST(HomomorphismTest, JoinVariableMustAgree) {
+  SchemaPtr schema = TestSchema();
+  Instance inst = MustParseInstance(schema, "P(a,b), Q(b)");
+  Conjunction body = {{0, {Var("x"), Var("y")}}, {1, {Var("y")}}};
+  EXPECT_TRUE(FindHomomorphism(body, inst, {}, {}).has_value());
+  Conjunction bad = {{0, {Var("x"), Var("y")}}, {1, {Var("x")}}};
+  EXPECT_FALSE(FindHomomorphism(bad, inst, {}, {}).has_value());
+}
+
+TEST(HomomorphismTest, ConstantsAreFixed) {
+  SchemaPtr schema = TestSchema();
+  Instance inst = MustParseInstance(schema, "Q(a)");
+  Conjunction wants_b = {{1, {Const("b")}}};
+  EXPECT_FALSE(FindHomomorphism(wants_b, inst, {}, {}).has_value());
+  Conjunction wants_a = {{1, {Const("a")}}};
+  EXPECT_TRUE(FindHomomorphism(wants_a, inst, {}, {}).has_value());
+}
+
+TEST(HomomorphismTest, PartialAssignmentRespected) {
+  SchemaPtr schema = TestSchema();
+  Instance inst = MustParseInstance(schema, "P(a,b), P(c,d)");
+  Assignment partial = {{Var("x"), Const("c")}};
+  Conjunction body = {{0, {Var("x"), Var("y")}}};
+  auto h = FindHomomorphism(body, inst, partial, {});
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at(Var("y")), Const("d"));
+}
+
+TEST(HomomorphismTest, FindAllEnumeratesEveryMatch) {
+  SchemaPtr schema = TestSchema();
+  Instance inst = MustParseInstance(schema, "P(a,b), P(b,a), P(a,a)");
+  Conjunction body = {{0, {Var("x"), Var("y")}}};
+  EXPECT_EQ(FindAllHomomorphisms(body, inst, {}, {}).size(), 3u);
+  Conjunction diagonal = {{0, {Var("x"), Var("x")}}};
+  EXPECT_EQ(FindAllHomomorphisms(diagonal, inst, {}, {}).size(), 1u);
+}
+
+TEST(HomomorphismTest, MustBeConstantSideCondition) {
+  SchemaPtr schema = TestSchema();
+  Instance inst = MustParseInstance(schema, "Q(_N1), Q(a)");
+  Conjunction body = {{1, {Var("x")}}};
+  HomSearchOptions options;
+  options.must_be_constant = {Var("x")};
+  std::vector<Assignment> all = FindAllHomomorphisms(body, inst, {}, options);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].at(Var("x")), Const("a"));
+}
+
+TEST(HomomorphismTest, InequalitySideCondition) {
+  SchemaPtr schema = TestSchema();
+  Instance inst = MustParseInstance(schema, "P(a,a), P(a,b)");
+  Conjunction body = {{0, {Var("x"), Var("y")}}};
+  HomSearchOptions options;
+  options.inequalities = {{Var("x"), Var("y")}};
+  std::vector<Assignment> all = FindAllHomomorphisms(body, inst, {}, options);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].at(Var("y")), Const("b"));
+}
+
+TEST(HomomorphismTest, FrozenVariablesMatchIdentically) {
+  SchemaPtr schema = TestSchema();
+  Instance inst = MustParseInstance(schema, "Q(?x)");
+  Conjunction body = {{1, {Var("x")}}};
+  HomSearchOptions frozen;
+  frozen.map_variables = false;
+  EXPECT_TRUE(FindHomomorphism(body, inst, {}, frozen).has_value());
+  Conjunction other = {{1, {Var("y")}}};
+  EXPECT_FALSE(FindHomomorphism(other, inst, {}, frozen).has_value());
+}
+
+TEST(HomomorphismTest, EarlyStopViaCallback) {
+  SchemaPtr schema = TestSchema();
+  Instance inst = MustParseInstance(schema, "P(a,b), P(b,a)");
+  Conjunction body = {{0, {Var("x"), Var("y")}}};
+  size_t calls = 0;
+  ForEachHomomorphism(body, inst, {}, {}, [&](const Assignment&) {
+    ++calls;
+    return false;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(InstanceHomomorphismTest, NullsMapAnywhereConstantsFixed) {
+  SchemaPtr schema = TestSchema();
+  Instance from = MustParseInstance(schema, "P(a,_N1)");
+  Instance to = MustParseInstance(schema, "P(a,b)");
+  EXPECT_TRUE(ExistsInstanceHomomorphism(from, to));
+  EXPECT_FALSE(ExistsInstanceHomomorphism(to, from));
+}
+
+TEST(InstanceHomomorphismTest, NullsCanMerge) {
+  SchemaPtr schema = TestSchema();
+  Instance from = MustParseInstance(schema, "P(_N1,_N2)");
+  Instance to = MustParseInstance(schema, "P(c,c)");
+  EXPECT_TRUE(ExistsInstanceHomomorphism(from, to));
+}
+
+TEST(InstanceHomomorphismTest, HomomorphicEquivalenceIgnoresRedundancy) {
+  SchemaPtr schema = TestSchema();
+  Instance a = MustParseInstance(schema, "P(a,b)");
+  Instance b = MustParseInstance(schema, "P(a,b), P(a,_N1)");
+  EXPECT_TRUE(HomomorphicallyEquivalent(a, b));
+  Instance c = MustParseInstance(schema, "P(a,c)");
+  EXPECT_FALSE(HomomorphicallyEquivalent(a, c));
+}
+
+TEST(InstanceHomomorphismTest, EmptyInstanceMapsIntoAnything) {
+  SchemaPtr schema = TestSchema();
+  Instance empty(schema);
+  Instance other = MustParseInstance(schema, "Q(a)");
+  EXPECT_TRUE(ExistsInstanceHomomorphism(empty, other));
+  EXPECT_FALSE(ExistsInstanceHomomorphism(other, empty));
+}
+
+TEST(ApplyAssignmentTest, MapsValuesPointwise) {
+  SchemaPtr schema = TestSchema();
+  Instance inst = MustParseInstance(schema, "P(a,_N1), Q(_N1)");
+  Assignment h = {{Value::MakeNull(1), Const("b")}};
+  Instance image = ApplyAssignmentToInstance(inst, h);
+  EXPECT_EQ(image.ToString(), "P(a,b), Q(b)");
+}
+
+TEST(ApplyAssignmentTest, ImageCanShrink) {
+  SchemaPtr schema = TestSchema();
+  Instance inst = MustParseInstance(schema, "Q(_N1), Q(_N2)");
+  Assignment h = {{Value::MakeNull(1), Const("c")},
+                  {Value::MakeNull(2), Const("c")}};
+  Instance image = ApplyAssignmentToInstance(inst, h);
+  EXPECT_EQ(image.NumFacts(), 1u);
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/implication.h"
+#include "core/inverse.h"
+#include "core/quasi_inverse.h"
+#include "core/sigma_star.h"
+#include "dependency/parser.h"
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+namespace {
+
+bool MustImpliesTgd(const SchemaMapping& m, const Tgd& sigma) {
+  Result<bool> r = ImpliesTgd(m, sigma);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() && *r;
+}
+
+bool MustImpliesRev(const ReverseMapping& premises,
+                    const ReverseMapping& conclusions) {
+  Result<bool> r = ImpliesReverseMapping(premises, conclusions);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() && *r;
+}
+
+TEST(TgdImplicationTest, SelfImplication) {
+  SchemaMapping m = catalog::Decomposition();
+  EXPECT_TRUE(MustImpliesTgd(m, m.tgds[0]));
+}
+
+TEST(TgdImplicationTest, InstanceOfDependencyImplied) {
+  SchemaMapping m = catalog::Thm48();
+  Result<Tgd> collapsed = ParseTgd(
+      *m.source, *m.target, "P(x,x) -> exists z: Q(x,z) & Q(z,x)");
+  ASSERT_TRUE(collapsed.ok());
+  EXPECT_TRUE(MustImpliesTgd(m, *collapsed));
+}
+
+TEST(TgdImplicationTest, StrongerConclusionNotImplied) {
+  SchemaMapping m = catalog::Projection();
+  // P(x,y) -> Q(y) is NOT implied by P(x,y) -> Q(x).
+  Result<Tgd> wrong = ParseTgd(*m.source, *m.target, "P(x,y) -> Q(y)");
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_FALSE(MustImpliesTgd(m, *wrong));
+}
+
+TEST(TgdImplicationTest, TransitiveConsequence) {
+  SchemaMapping m = MustParseMapping(
+      "E/2", "F/2", "E(x,y) -> F(x,y)");
+  // E(x,y) & E(y,z) -> F(x,y) & F(y,z): a conjunction of instances.
+  Result<Tgd> joined = ParseTgd(*m.source, *m.target,
+                                "E(x,y) & E(y,z) -> F(x,y) & F(y,z)");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(MustImpliesTgd(m, *joined));
+}
+
+TEST(TgdImplicationTest, SigmaStarEquivalentToSigma) {
+  // Section 4: Sigma* is logically equivalent to Sigma.
+  std::vector<std::pair<std::string, SchemaMapping>> all =
+      catalog::AllMappings();
+  for (auto& [name, m] : all) {
+    SchemaMapping star = m;
+    star.tgds = SigmaStar(m);
+    Result<bool> equivalent = EquivalentTgdSets(m, star);
+    ASSERT_TRUE(equivalent.ok()) << name;
+    EXPECT_TRUE(*equivalent) << name;
+  }
+}
+
+TEST(TgdImplicationTest, DifferentMappingsNotEquivalent) {
+  SchemaMapping p = catalog::Projection();
+  SchemaMapping other = MustParseMapping("P/2", "Q/1", "P(x,y) -> Q(y)");
+  Result<bool> equivalent = EquivalentTgdSets(p, other);
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_FALSE(*equivalent);
+}
+
+TEST(DisjunctiveImplicationTest, SelfImplication) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = catalog::UnionQuasiInverseDisjunctive(m);
+  EXPECT_TRUE(MustImpliesRev(rev, rev));
+}
+
+TEST(DisjunctiveImplicationTest, StrongerImpliesWeaker) {
+  SchemaMapping m = catalog::Union();
+  // S(x) -> P(x) logically implies S(x) -> P(x) | Q(x).
+  ReverseMapping strong = catalog::UnionQuasiInverseP(m);
+  ReverseMapping weak = catalog::UnionQuasiInverseDisjunctive(m);
+  EXPECT_TRUE(MustImpliesRev(strong, weak));
+  EXPECT_FALSE(MustImpliesRev(weak, strong));
+}
+
+TEST(DisjunctiveImplicationTest, ConjunctionImpliesBothBranches) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping both = catalog::UnionQuasiInverseBoth(m);
+  EXPECT_TRUE(MustImpliesRev(both, catalog::UnionQuasiInverseP(m)));
+  EXPECT_TRUE(MustImpliesRev(both, catalog::UnionQuasiInverseQ(m)));
+  EXPECT_TRUE(
+      MustImpliesRev(both, catalog::UnionQuasiInverseDisjunctive(m)));
+}
+
+TEST(DisjunctiveImplicationTest, GuardedWeakerThanUnguarded) {
+  SchemaMapping m = catalog::Projection();
+  ReverseMapping unguarded =
+      MustParseReverseMapping(m, "Q(x) -> exists y: P(x,y)");
+  ReverseMapping guarded = MustParseReverseMapping(
+      m, "Q(x) & Constant(x) -> exists y: P(x,y)");
+  // The unguarded rule fires on nulls too, so it implies the guarded one
+  // but not vice versa.
+  EXPECT_TRUE(MustImpliesRev(unguarded, guarded));
+  EXPECT_FALSE(MustImpliesRev(guarded, unguarded));
+}
+
+TEST(DisjunctiveImplicationTest, InequalityGuardCaseSplit) {
+  SchemaMapping m = MustParseMapping("P/2", "Q/2", "P(x,y) -> Q(x,y)");
+  ReverseMapping unconditional =
+      MustParseReverseMapping(m, "Q(x,y) -> P(x,y)");
+  ReverseMapping diagonal_and_offdiagonal = MustParseReverseMapping(
+      m, "Q(x,x) -> P(x,x); Q(x,y) & x != y -> P(x,y)");
+  // The case split is equivalent to the unconditional rule.
+  Result<bool> equivalent = EquivalentReverseMappings(
+      unconditional, diagonal_and_offdiagonal);
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_TRUE(*equivalent);
+}
+
+TEST(DisjunctiveImplicationTest, WeakestInverseClaim) {
+  // Section 5: the Inverse algorithm's output M' is the weakest inverse —
+  // any other inverse logically implies it. Check with the paper's
+  // hand-written Thm 4.8 inverse as the "other" inverse.
+  SchemaMapping m = catalog::Thm48();
+  ReverseMapping paper = catalog::Thm48Inverse(m);
+  ReverseMapping algo = MustInverseAlgorithm(m);
+  EXPECT_TRUE(MustImpliesRev(paper, algo));
+}
+
+TEST(DisjunctiveImplicationTest, PrunedQuasiInverseEquivalentToUnpruned) {
+  // Dropping hom-subsumed disjuncts preserves logical equivalence
+  // (Example 4.5's closing remark).
+  SchemaMapping m = catalog::Union();
+  QuasiInverseOptions no_prune;
+  no_prune.prune_subsumed_disjuncts = false;
+  ReverseMapping pruned = MustQuasiInverse(m);
+  ReverseMapping unpruned = MustQuasiInverse(m, no_prune);
+  Result<bool> equivalent = EquivalentReverseMappings(pruned, unpruned);
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_TRUE(*equivalent);
+}
+
+TEST(DisjunctiveImplicationTest, ShapeBudgetEnforced) {
+  SchemaMapping m = MustParseMapping("P/3", "Q/3", "P(x,y,z) -> Q(x,y,z)");
+  ReverseMapping rev = MustParseReverseMapping(m, "Q(x,y,z) -> P(x,y,z)");
+  ImplicationOptions options;
+  options.max_shapes = 2;
+  Result<bool> r = ImpliesDisjunctive(rev, rev.deps[0], options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace qimap

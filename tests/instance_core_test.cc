@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "relational/homomorphism.h"
+#include "relational/instance_core.h"
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+namespace {
+
+SchemaPtr TestSchema() { return MakeSchema("P/2, Q/1"); }
+
+TEST(InstanceCoreTest, GroundInstanceIsItsOwnCore) {
+  Instance inst = MustParseInstance(TestSchema(), "P(a,b), P(b,a), Q(a)");
+  EXPECT_TRUE(IsCore(inst));
+  EXPECT_TRUE(ComputeCore(inst) == inst);
+}
+
+TEST(InstanceCoreTest, RedundantNullFactRemoved) {
+  // P(a,_N1) folds onto P(a,b).
+  Instance inst = MustParseInstance(TestSchema(), "P(a,b), P(a,_N1)");
+  Instance core = ComputeCore(inst);
+  EXPECT_EQ(core.ToString(), "P(a,b)");
+  EXPECT_FALSE(IsCore(inst));
+  EXPECT_TRUE(IsCore(core));
+}
+
+TEST(InstanceCoreTest, ChainOfNullsCollapses) {
+  Instance inst =
+      MustParseInstance(TestSchema(), "P(_N1,_N2), P(_N2,_N3), P(a,b)");
+  Instance core = ComputeCore(inst);
+  // Everything folds onto... P(a,b) cannot absorb the chain (b != a), but
+  // the two null facts fold onto each other only if consistent; verify
+  // hom-equivalence and minimality rather than the exact shape.
+  EXPECT_TRUE(HomomorphicallyEquivalent(core, inst));
+  EXPECT_TRUE(IsCore(core));
+  EXPECT_LE(core.NumFacts(), inst.NumFacts());
+}
+
+TEST(InstanceCoreTest, CoreIsHomEquivalentRetract) {
+  SchemaMapping m = catalog::Thm48();
+  Instance i = MustParseInstance(m.source, "P(a,b), P(b,a), P(a,a)");
+  Instance u = MustChase(i, m);
+  Instance core = ComputeCore(u);
+  EXPECT_TRUE(core.IsSubsetOf(u));
+  EXPECT_TRUE(HomomorphicallyEquivalent(core, u));
+  EXPECT_TRUE(IsCore(core));
+}
+
+TEST(InstanceCoreTest, CoreOfUniversalSolutionIsSmallest) {
+  // chase(P(a,a)) under Thm4.8 yields Q(a,N1), Q(N1,a); the instance
+  // Q(a,a) alone is a smaller solution but NOT a retract of the chase
+  // (no hom maps N1 to a... actually there is: N1 -> a). Check the core
+  // collapses accordingly.
+  SchemaMapping m = catalog::Thm48();
+  Instance i = MustParseInstance(m.source, "P(a,a)");
+  Instance u = MustChase(i, m);
+  Instance core = ComputeCore(u);
+  EXPECT_TRUE(HomomorphicallyEquivalent(core, u));
+  EXPECT_LE(core.NumFacts(), u.NumFacts());
+}
+
+TEST(InstanceCoreTest, EmptyInstance) {
+  Instance empty(TestSchema());
+  EXPECT_TRUE(IsCore(empty));
+  EXPECT_TRUE(ComputeCore(empty).Empty());
+}
+
+TEST(InstanceCoreTest, SingleFactInstance) {
+  Instance inst = MustParseInstance(TestSchema(), "P(_N1,_N2)");
+  EXPECT_TRUE(IsCore(inst));
+  EXPECT_TRUE(ComputeCore(inst) == inst);
+}
+
+TEST(InstanceCoreTest, ViaCoreAgreesWithDirectCheck) {
+  SchemaPtr schema = TestSchema();
+  Instance a = MustParseInstance(schema, "P(a,b), P(a,_N1), P(_N2,b)");
+  Instance b = MustParseInstance(schema, "P(a,b)");
+  Instance c = MustParseInstance(schema, "P(a,c)");
+  EXPECT_EQ(HomomorphicallyEquivalentViaCore(a, b),
+            HomomorphicallyEquivalent(a, b));
+  EXPECT_EQ(HomomorphicallyEquivalentViaCore(a, c),
+            HomomorphicallyEquivalent(a, c));
+  EXPECT_TRUE(HomomorphicallyEquivalentViaCore(a, b));
+  EXPECT_FALSE(HomomorphicallyEquivalentViaCore(a, c));
+}
+
+TEST(InstanceCoreTest, CoreUniqueUpToIsomorphismOnExamples) {
+  // Two hom-equivalent instances have cores of the same size.
+  SchemaPtr schema = TestSchema();
+  Instance a = MustParseInstance(schema, "P(a,_N1), P(a,b)");
+  Instance b = MustParseInstance(schema, "P(a,b), P(a,_N7), P(a,_N9)");
+  ASSERT_TRUE(HomomorphicallyEquivalent(a, b));
+  EXPECT_EQ(ComputeCore(a).NumFacts(), ComputeCore(b).NumFacts());
+}
+
+}  // namespace
+}  // namespace qimap

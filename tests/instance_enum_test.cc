@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "relational/instance_enum.h"
+
+namespace qimap {
+namespace {
+
+TEST(InstanceEnumTest, AllFactsCountsMatchArity) {
+  SchemaPtr schema = MakeSchema("P/2, Q/1");
+  std::vector<Value> domain = MakeDomain({"a", "b"});
+  std::vector<Fact> facts = AllFactsOver(*schema, domain);
+  EXPECT_EQ(facts.size(), 4u + 2u);  // 2^2 for P, 2 for Q
+}
+
+TEST(InstanceEnumTest, EmptyDomainHasNoFacts) {
+  SchemaPtr schema = MakeSchema("P/2");
+  EXPECT_TRUE(AllFactsOver(*schema, {}).empty());
+}
+
+TEST(InstanceEnumTest, CountsSubsetsUpToBound) {
+  SchemaPtr schema = MakeSchema("Q/1");
+  EnumerationSpace space{schema, MakeDomain({"a", "b", "c"}), 2};
+  size_t count = 0;
+  ForEachInstance(space, [&](const Instance&) {
+    ++count;
+    return true;
+  });
+  // Subsets of 3 facts with size <= 2: 1 + 3 + 3 = 7.
+  EXPECT_EQ(count, 7u);
+}
+
+TEST(InstanceEnumTest, InstancesAreDistinct) {
+  SchemaPtr schema = MakeSchema("P/2");
+  EnumerationSpace space{schema, MakeDomain({"a", "b"}), 2};
+  std::set<std::string> seen;
+  ForEachInstance(space, [&](const Instance& inst) {
+    EXPECT_TRUE(seen.insert(inst.ToString()).second)
+        << "duplicate: " << inst.ToString();
+    return true;
+  });
+  // 4 possible facts, subsets of size <= 2: 1 + 4 + 6 = 11.
+  EXPECT_EQ(seen.size(), 11u);
+}
+
+TEST(InstanceEnumTest, EarlyStop) {
+  SchemaPtr schema = MakeSchema("Q/1");
+  EnumerationSpace space{schema, MakeDomain({"a", "b", "c"}), 3};
+  size_t count = 0;
+  ForEachInstance(space, [&](const Instance&) { return ++count < 3; });
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(InstanceEnumTest, SupersetEnumerationKeepsBase) {
+  SchemaPtr schema = MakeSchema("Q/1");
+  Instance base = MustParseInstance(schema, "Q(a)");
+  EnumerationSpace space{schema, MakeDomain({"a", "b"}), 1};
+  size_t count = 0;
+  ForEachSuperset(base, space, [&](const Instance& inst) {
+    EXPECT_TRUE(base.IsSubsetOf(inst));
+    ++count;
+    return true;
+  });
+  // Base itself plus base+Q(b): the fact Q(a) is skipped as present.
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(InstanceEnumTest, MaxFactsZeroYieldsOnlyEmpty) {
+  SchemaPtr schema = MakeSchema("Q/1");
+  EnumerationSpace space{schema, MakeDomain({"a"}), 0};
+  size_t count = 0;
+  ForEachInstance(space, [&](const Instance& inst) {
+    EXPECT_TRUE(inst.Empty());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "core/inverse.h"
+#include "dependency/parser.h"
+#include "relational/instance_enum.h"
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+namespace {
+
+BoundedCheckReport MustCheck(Result<BoundedCheckReport> result) {
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? *result : BoundedCheckReport{};
+}
+
+TEST(ConstantPropagationTest, HoldsForCopyLikeMappings) {
+  EXPECT_TRUE(*HasConstantPropagation(catalog::Thm48()));
+  EXPECT_TRUE(*HasConstantPropagation(catalog::Thm49()));
+  EXPECT_TRUE(*HasConstantPropagation(catalog::Example54()));
+  EXPECT_TRUE(*HasConstantPropagation(catalog::Decomposition()));
+}
+
+TEST(ConstantPropagationTest, FailsForProjection) {
+  // The projection drops its second column, so the chase of P(x1,x2)
+  // mentions only x1.
+  EXPECT_FALSE(*HasConstantPropagation(catalog::Projection()));
+}
+
+TEST(ConstantPropagationTest, FailsForThm411) {
+  // P(x1,x2) chases to R(x1) only.
+  EXPECT_FALSE(*HasConstantPropagation(catalog::Thm411()));
+}
+
+TEST(PrimeAtomsTest, BinaryRelationHasTwo) {
+  SchemaMapping m = catalog::Example54();
+  std::vector<Atom> atoms = PrimeAtoms(*m.source, 0);
+  ASSERT_EQ(atoms.size(), 2u);  // R(x1,x1), R(x1,x2)
+  EXPECT_EQ(AtomToString(atoms[0], *m.source), "R(x1,x1)");
+  EXPECT_EQ(AtomToString(atoms[1], *m.source), "R(x1,x2)");
+}
+
+TEST(PrimeAtomsTest, TernaryRelationHasFive) {
+  SchemaMapping m = catalog::Decomposition();
+  std::vector<Atom> atoms = PrimeAtoms(*m.source, 0);
+  ASSERT_EQ(atoms.size(), 5u);  // Bell(3)
+  EXPECT_EQ(AtomToString(atoms[0], *m.source), "P(x1,x1,x1)");
+  EXPECT_EQ(AtomToString(atoms[4], *m.source), "P(x1,x2,x3)");
+}
+
+TEST(InverseAlgorithmTest, RefusesWithoutConstantPropagation) {
+  Result<ReverseMapping> rev = InverseAlgorithm(catalog::Projection());
+  EXPECT_FALSE(rev.ok());
+  EXPECT_EQ(rev.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(InverseAlgorithmTest, Example54MatchesPaperOutput) {
+  SchemaMapping m = catalog::Example54();
+  ReverseMapping rev = MustInverseAlgorithm(m);
+  ASSERT_EQ(rev.deps.size(), 2u);
+  // Dependency (1): Q(x1,y1) & S(x1,x1,y2) & U(x1) & Constant(x1)
+  //   -> R(x1,x1)
+  EXPECT_EQ(DisjunctiveTgdToString(rev.deps[0], *m.target, *m.source),
+            "Q(x1,y1) & S(x1,x1,y2) & U(x1) & Constant(x1) -> R(x1,x1)");
+  // Dependency (2): S(x1,x2,y) & Constant(x1) & Constant(x2) & x1 != x2
+  //   -> R(x1,x2)
+  EXPECT_EQ(DisjunctiveTgdToString(rev.deps[1], *m.target, *m.source),
+            "S(x1,x2,y1) & Constant(x1) & Constant(x2) & x1 != x2 "
+            "-> R(x1,x2)");
+}
+
+TEST(InverseAlgorithmTest, OutputIsFullTgdsWithConstantsAndInequalities) {
+  SchemaMapping m = catalog::Example54();
+  ReverseMapping rev = MustInverseAlgorithm(m);
+  for (const DisjunctiveTgd& dep : rev.deps) {
+    EXPECT_EQ(dep.disjuncts.size(), 1u);
+    EXPECT_TRUE(dep.IsFull());
+  }
+  EXPECT_TRUE(rev.InequalitiesAmongConstantsOnly());
+}
+
+TEST(InverseAlgorithmTest, Thm48OutputVerifiesAsInverse) {
+  SchemaMapping m = catalog::Thm48();
+  ReverseMapping rev = MustInverseAlgorithm(m);
+  FrameworkChecker checker(m, {MakeDomain({"a", "b"}), 2});
+  EXPECT_TRUE(MustCheck(checker.CheckGeneralizedInverse(
+                            rev, EquivKind::kEquality,
+                            EquivKind::kEquality))
+                  .holds)
+      << rev.ToString();
+}
+
+TEST(InverseAlgorithmTest, Example54OutputVerifiesAsInverse) {
+  SchemaMapping m = catalog::Example54();
+  ReverseMapping rev = MustInverseAlgorithm(m);
+  FrameworkChecker checker(m, {MakeDomain({"a", "b"}), 2});
+  EXPECT_TRUE(MustCheck(checker.CheckGeneralizedInverse(
+                            rev, EquivKind::kEquality,
+                            EquivKind::kEquality))
+                  .holds)
+      << rev.ToString();
+}
+
+TEST(InverseAlgorithmTest, Thm49OutputVerifiesAsInverse) {
+  SchemaMapping m = catalog::Thm49();
+  ReverseMapping rev = MustInverseAlgorithm(m);
+  FrameworkChecker checker(m, {MakeDomain({"a", "b"}), 2});
+  EXPECT_TRUE(MustCheck(checker.CheckGeneralizedInverse(
+                            rev, EquivKind::kEquality,
+                            EquivKind::kEquality))
+                  .holds)
+      << rev.ToString();
+}
+
+TEST(InverseAlgorithmTest, AgreesWithPaperStatedInverseOnThm48) {
+  // Both the algorithm output and the paper's hand-written inverse verify;
+  // inverses need not be syntactically equal.
+  SchemaMapping m = catalog::Thm48();
+  ReverseMapping paper = catalog::Thm48Inverse(m);
+  ReverseMapping algo = MustInverseAlgorithm(m);
+  FrameworkChecker checker(m, {MakeDomain({"a", "b"}), 2});
+  EXPECT_TRUE(MustCheck(checker.CheckGeneralizedInverse(
+                            paper, EquivKind::kEquality,
+                            EquivKind::kEquality))
+                  .holds);
+  EXPECT_TRUE(MustCheck(checker.CheckGeneralizedInverse(
+                            algo, EquivKind::kEquality,
+                            EquivKind::kEquality))
+                  .holds);
+}
+
+TEST(InverseAlgorithmTest, FullVariantOmitsConstants) {
+  // For full mappings, constants are unnecessary in inverses (Section 5).
+  SchemaMapping m = MustParseMapping("P/2", "Q/2, D/1",
+                                     "P(x,y) -> Q(x,y); P(x,x) -> D(x)");
+  InverseOptions options;
+  options.include_constant_predicates = false;
+  ReverseMapping rev = MustInverseAlgorithm(m, options);
+  EXPECT_FALSE(rev.HasConstants());
+  FrameworkChecker checker(m, {MakeDomain({"a", "b"}), 2});
+  EXPECT_TRUE(MustCheck(checker.CheckGeneralizedInverse(
+                            rev, EquivKind::kEquality,
+                            EquivKind::kEquality))
+                  .holds)
+      << rev.ToString();
+}
+
+}  // namespace
+}  // namespace qimap

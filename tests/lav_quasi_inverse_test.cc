@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "core/lav_quasi_inverse.h"
+#include "dependency/parser.h"
+#include "relational/instance_enum.h"
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+namespace {
+
+BoundedCheckReport MustCheck(Result<BoundedCheckReport> result) {
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? *result : BoundedCheckReport{};
+}
+
+TEST(LavQuasiInverseTest, RejectsNonLavMappings) {
+  SchemaMapping m = catalog::Prop312();  // two-atom lhs
+  Result<ReverseMapping> rev = LavQuasiInverse(m);
+  EXPECT_FALSE(rev.ok());
+  EXPECT_EQ(rev.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LavQuasiInverseTest, OutputIsDisjunctionFree) {
+  // Theorem 4.7: no disjunctions are needed for LAV mappings.
+  for (const auto& [name, m] : catalog::AllMappings()) {
+    if (!m.IsLav()) continue;
+    ReverseMapping rev = MustLavQuasiInverse(m);
+    EXPECT_FALSE(rev.HasDisjunction()) << name;
+    EXPECT_TRUE(rev.InequalitiesAmongConstantsOnly()) << name;
+  }
+}
+
+TEST(LavQuasiInverseTest, ProjectionOutput) {
+  SchemaMapping m = catalog::Projection();
+  ReverseMapping rev = MustLavQuasiInverse(m);
+  // One rule per prime atom of P: the diagonal and the generic pattern.
+  ASSERT_EQ(rev.deps.size(), 2u);
+  EXPECT_EQ(DisjunctiveTgdToString(rev.deps[0], *m.target, *m.source),
+            "Q(x1) & Constant(x1) -> P(x1,x1)");
+  EXPECT_EQ(DisjunctiveTgdToString(rev.deps[1], *m.target, *m.source),
+            "Q(x1) & Constant(x1) -> exists x2: P(x1,x2)");
+}
+
+TEST(LavQuasiInverseTest, UnionOutputKeepsBothRules) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = MustLavQuasiInverse(m);
+  // S(x) & Constant(x) -> P(x) and S(x) & Constant(x) -> Q(x).
+  ASSERT_EQ(rev.deps.size(), 2u);
+  EXPECT_EQ(rev.deps[0].disjuncts.size(), 1u);
+  EXPECT_EQ(rev.deps[1].disjuncts.size(), 1u);
+}
+
+TEST(LavQuasiInverseTest, VerifiesOnPaperLavMappings) {
+  for (const char* name : {"Projection", "Union", "Decomposition",
+                           "Thm4.8", "Thm4.9", "Thm4.11"}) {
+    SchemaMapping m = [&]() -> SchemaMapping {
+      std::vector<std::pair<std::string, SchemaMapping>> all =
+          catalog::AllMappings();
+      for (auto& [n, mapping] : all) {
+        if (n == name) return mapping;
+      }
+      ADD_FAILURE() << "missing catalog entry " << name;
+      return catalog::Projection();
+    }();
+    ASSERT_TRUE(m.IsLav()) << name;
+    ReverseMapping rev = MustLavQuasiInverse(m);
+    FrameworkChecker checker(m, {MakeDomain({"a", "b"}), 2});
+    EXPECT_TRUE(MustCheck(checker.CheckGeneralizedInverse(
+                              rev, EquivKind::kSimM, EquivKind::kSimM))
+                    .holds)
+        << name << "\n"
+        << rev.ToString();
+  }
+}
+
+TEST(LavQuasiInverseTest, CollapsedCopiesPresentForRepeatedColumns) {
+  // The diagonal prime atom of Thm 4.8's P gets its own reverse rule with
+  // a single Constant and no inequality.
+  SchemaMapping m = catalog::Thm48();
+  ReverseMapping rev = MustLavQuasiInverse(m);
+  ASSERT_EQ(rev.deps.size(), 2u);
+  bool has_collapsed = false;
+  for (const DisjunctiveTgd& dep : rev.deps) {
+    if (dep.constant_vars.size() == 1 && dep.inequalities.empty()) {
+      has_collapsed = true;
+    }
+  }
+  EXPECT_TRUE(has_collapsed);
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,0 +1,103 @@
+// Miscellaneous robustness tests: interner thread-safety, deterministic
+// chase output, and printer stability.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "chase/chase.h"
+#include "core/quasi_inverse.h"
+#include "dependency/parser.h"
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+namespace {
+
+TEST(InternerConcurrencyTest, ParallelInterningIsConsistent) {
+  // Four threads intern overlapping constant and variable names; all
+  // threads must observe identical Value identities per name.
+  constexpr int kThreads = 4;
+  constexpr int kNames = 64;
+  std::vector<std::vector<Value>> constants(kThreads);
+  std::vector<std::vector<Value>> variables(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &constants, &variables]() {
+      for (int k = 0; k < kNames; ++k) {
+        std::string name = "shared_name_" + std::to_string(k);
+        constants[t].push_back(Value::MakeConstant(name));
+        variables[t].push_back(Value::MakeVariable(name));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) {
+    for (int k = 0; k < kNames; ++k) {
+      EXPECT_EQ(constants[0][k], constants[t][k]);
+      EXPECT_EQ(variables[0][k], variables[t][k]);
+      EXPECT_NE(constants[t][k], variables[t][k]);
+    }
+  }
+  // Names round-trip through the interner.
+  for (int k = 0; k < kNames; ++k) {
+    EXPECT_EQ(constants[0][k].ToString(),
+              "shared_name_" + std::to_string(k));
+  }
+}
+
+TEST(DeterminismTest, ChaseOutputStableAcrossRuns) {
+  SchemaMapping m = catalog::Example54();
+  Instance i = MustParseInstance(m.source, "R(a,b), R(b,a), R(c,c)");
+  std::set<std::string> outputs;
+  for (int run = 0; run < 5; ++run) {
+    outputs.insert(MustChase(i, m).ToString());
+  }
+  EXPECT_EQ(outputs.size(), 1u);
+}
+
+TEST(DeterminismTest, QuasiInverseOutputStableAcrossRuns) {
+  SchemaMapping m = catalog::Union();
+  std::set<std::string> outputs;
+  for (int run = 0; run < 3; ++run) {
+    outputs.insert(MustQuasiInverse(m).ToString());
+  }
+  EXPECT_EQ(outputs.size(), 1u);
+}
+
+TEST(PrinterStabilityTest, MappingToStringRoundTripsThroughParser) {
+  SchemaMapping m = catalog::Example45();
+  SchemaMapping reparsed = MustParseMapping(
+      m.source->ToString(), m.target->ToString(), m.ToString());
+  EXPECT_EQ(m.ToString(), reparsed.ToString());
+  EXPECT_EQ(m.tgds.size(), reparsed.tgds.size());
+}
+
+TEST(SchemaSharingTest, InstancesKeepSchemasAlive) {
+  Instance orphan = [] {
+    SchemaPtr schema = MakeSchema("P/1");
+    Instance inst(schema);
+    Status status = inst.AddFact("P", {Value::MakeConstant("a")});
+    EXPECT_TRUE(status.ok());
+    return inst;
+  }();
+  // The schema pointer went out of scope; the instance's shared_ptr must
+  // keep it valid.
+  EXPECT_EQ(orphan.ToString(), "P(a)");
+  EXPECT_EQ(orphan.schema()->relation(0).name, "P");
+}
+
+TEST(ValueOrderingTest, KindsSortBeforeIds) {
+  // Constants < nulls < variables per the kind enum, giving instances a
+  // stable fact order regardless of interner state.
+  Value c = Value::MakeConstant("zzz");
+  Value n = Value::MakeNull(0);
+  Value v = Value::MakeVariable("aaa");
+  EXPECT_LT(c, n);
+  EXPECT_LT(n, v);
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "core/implication.h"
+#include "core/normalize.h"
+#include "core/quasi_inverse.h"
+#include "dependency/parser.h"
+#include "relational/instance_enum.h"
+#include "workload/paper_catalog.h"
+#include "workload/random_mappings.h"
+
+namespace qimap {
+namespace {
+
+TEST(NormalizeTest, FullConjunctiveHeadSplits) {
+  SchemaMapping m = catalog::Decomposition();
+  SchemaMapping normal = NormalizeMapping(m);
+  ASSERT_EQ(normal.tgds.size(), 2u);
+  EXPECT_EQ(TgdToString(normal.tgds[0], *m.source, *m.target),
+            "P(x,y,z) -> Q(x,y)");
+  EXPECT_EQ(TgdToString(normal.tgds[1], *m.source, *m.target),
+            "P(x,y,z) -> R(y,z)");
+}
+
+TEST(NormalizeTest, SharedExistentialStaysWhole) {
+  SchemaMapping m = catalog::Thm48();  // P(x,y) -> ez Q(x,z) & Q(z,y)
+  SchemaMapping normal = NormalizeMapping(m);
+  ASSERT_EQ(normal.tgds.size(), 1u);
+  EXPECT_TRUE(normal.tgds[0] == m.tgds[0]);
+}
+
+TEST(NormalizeTest, MixedHeadSplitsByComponent) {
+  SchemaMapping m = MustParseMapping(
+      "P/2", "Q/2, R/2, S/1",
+      "P(x,y) -> exists u: Q(x,u) & R(u,y) & S(x)");
+  SchemaMapping normal = NormalizeMapping(m);
+  // Q and R share u; S(x) is its own component.
+  ASSERT_EQ(normal.tgds.size(), 2u);
+  EXPECT_EQ(normal.tgds[0].rhs.size(), 2u);
+  EXPECT_EQ(normal.tgds[1].rhs.size(), 1u);
+}
+
+TEST(NormalizeTest, Example45NormalForm) {
+  SchemaMapping m = catalog::Example45();
+  SchemaMapping normal = NormalizeMapping(m);
+  // sigma1 and sigma2 stay whole (shared y); sigma3, sigma4 are single
+  // atoms already.
+  EXPECT_EQ(normal.tgds.size(), m.tgds.size());
+}
+
+TEST(NormalizeTest, LogicallyEquivalentAcrossCatalog) {
+  std::vector<std::pair<std::string, SchemaMapping>> all =
+      catalog::AllMappings();
+  for (auto& [name, m] : all) {
+    SchemaMapping normal = NormalizeMapping(m);
+    Result<bool> equivalent = EquivalentTgdSets(m, normal);
+    ASSERT_TRUE(equivalent.ok()) << name;
+    EXPECT_TRUE(*equivalent) << name;
+  }
+}
+
+TEST(NormalizeTest, LogicallyEquivalentOnRandomMappings) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    Rng rng(seed * 131071);
+    RandomMappingConfig config;
+    config.max_lhs_atoms = 2;
+    config.max_rhs_atoms = 3;
+    SchemaMapping m = RandomMapping(&rng, config);
+    SchemaMapping normal = NormalizeMapping(m);
+    Result<bool> equivalent = EquivalentTgdSets(m, normal);
+    ASSERT_TRUE(equivalent.ok()) << m.ToString();
+    EXPECT_TRUE(*equivalent) << m.ToString() << "\n" << normal.ToString();
+  }
+}
+
+TEST(NormalizeTest, QuasiInverseOfNormalFormStillVerifies) {
+  SchemaMapping m = catalog::Decomposition();
+  SchemaMapping normal = NormalizeMapping(m);
+  ReverseMapping rev = MustQuasiInverse(normal);
+  FrameworkChecker checker(normal, {MakeDomain({"a", "b"}), 2});
+  Result<BoundedCheckReport> verdict = checker.CheckGeneralizedInverse(
+      rev, EquivKind::kSimM, EquivKind::kSimM);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict->holds);
+}
+
+TEST(NormalizeTest, Idempotent) {
+  SchemaMapping m = catalog::Example45();
+  SchemaMapping once = NormalizeMapping(m);
+  SchemaMapping twice = NormalizeMapping(once);
+  EXPECT_EQ(once.ToString(), twice.ToString());
+}
+
+}  // namespace
+}  // namespace qimap

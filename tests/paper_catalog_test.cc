@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+namespace {
+
+TEST(PaperCatalogTest, AllMappingsWellFormed) {
+  std::vector<std::pair<std::string, SchemaMapping>> all =
+      catalog::AllMappings();
+  EXPECT_EQ(all.size(), 10u);
+  for (const auto& [name, m] : all) {
+    EXPECT_GT(m.source->size(), 0u) << name;
+    EXPECT_GT(m.target->size(), 0u) << name;
+    EXPECT_FALSE(m.tgds.empty()) << name;
+  }
+}
+
+TEST(PaperCatalogTest, ClassificationsMatchPaper) {
+  EXPECT_TRUE(catalog::Projection().IsLav());
+  EXPECT_TRUE(catalog::Projection().IsFull());
+  EXPECT_TRUE(catalog::Union().IsLav());
+  EXPECT_TRUE(catalog::Decomposition().IsLav());
+  EXPECT_TRUE(catalog::Decomposition().IsFull());
+  // Proposition 3.12's mapping is full but not LAV.
+  EXPECT_TRUE(catalog::Prop312().IsFull());
+  EXPECT_FALSE(catalog::Prop312().IsLav());
+  // Theorem 4.8's mapping is LAV but not full.
+  EXPECT_TRUE(catalog::Thm48().IsLav());
+  EXPECT_FALSE(catalog::Thm48().IsFull());
+  // Theorem 4.9: LAV and full.
+  EXPECT_TRUE(catalog::Thm49().IsLav());
+  EXPECT_TRUE(catalog::Thm49().IsFull());
+  // Theorem 4.10: full, not LAV (the Rij rules join two relations).
+  EXPECT_TRUE(catalog::Thm410().IsFull());
+  EXPECT_FALSE(catalog::Thm410().IsLav());
+  // Theorem 4.11: LAV and full.
+  EXPECT_TRUE(catalog::Thm411().IsLav());
+  EXPECT_TRUE(catalog::Thm411().IsFull());
+  EXPECT_FALSE(catalog::Example45().IsFull());
+  EXPECT_TRUE(catalog::Example45().IsLav());
+  EXPECT_FALSE(catalog::Example54().IsFull());
+  EXPECT_FALSE(catalog::Example54().IsLav());
+}
+
+TEST(PaperCatalogTest, DependencyCounts) {
+  EXPECT_EQ(catalog::Projection().tgds.size(), 1u);
+  EXPECT_EQ(catalog::Union().tgds.size(), 2u);
+  EXPECT_EQ(catalog::Decomposition().tgds.size(), 1u);
+  EXPECT_EQ(catalog::Prop312().tgds.size(), 1u);
+  EXPECT_EQ(catalog::Example45().tgds.size(), 4u);
+  EXPECT_EQ(catalog::Thm49().tgds.size(), 4u);
+  EXPECT_EQ(catalog::Thm410().tgds.size(), 8u);
+  EXPECT_EQ(catalog::Thm411().tgds.size(), 2u);
+  EXPECT_EQ(catalog::Example54().tgds.size(), 3u);
+}
+
+TEST(PaperCatalogTest, ReverseMappingsTyped) {
+  SchemaMapping u = catalog::Union();
+  EXPECT_TRUE(catalog::UnionQuasiInverseDisjunctive(u).HasDisjunction());
+  EXPECT_FALSE(catalog::UnionQuasiInverseP(u).HasDisjunction());
+  SchemaMapping t48 = catalog::Thm48();
+  ReverseMapping inv48 = catalog::Thm48Inverse(t48);
+  EXPECT_TRUE(inv48.HasConstants());
+  EXPECT_FALSE(inv48.HasInequalities());
+  SchemaMapping e54 = catalog::Example54();
+  ReverseMapping inv54 = catalog::Example54Inverse(e54);
+  EXPECT_TRUE(inv54.HasConstants());
+  EXPECT_TRUE(inv54.HasInequalities());
+  EXPECT_TRUE(inv54.InequalitiesAmongConstantsOnly());
+}
+
+TEST(PaperCatalogTest, Fig1InstanceAsPrinted) {
+  SchemaMapping m = catalog::Decomposition();
+  Instance i = catalog::Fig1Instance(m);
+  EXPECT_EQ(i.NumFacts(), 2u);
+  EXPECT_TRUE(i.IsGround());
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,0 +1,168 @@
+// Property-based sweeps (parameterized over RNG seeds): randomized
+// mappings and instances exercising the paper's universally-quantified
+// claims.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "chase/chase.h"
+#include "core/framework.h"
+#include "core/lav_quasi_inverse.h"
+#include "core/quasi_inverse.h"
+#include "core/solution_space.h"
+#include "core/soundness.h"
+#include "dependency/satisfaction.h"
+#include "relational/homomorphism.h"
+#include "relational/instance_enum.h"
+#include "workload/random_mappings.h"
+
+namespace qimap {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// The chase produces a universal solution: it is a solution, and it maps
+// homomorphically into every other solution we can find by perturbing it.
+TEST_P(SeededTest, ChaseYieldsUniversalSolution) {
+  Rng rng(GetParam());
+  SchemaMapping m = RandomLavMapping(&rng, 3);
+  Instance i = RandomGroundInstance(m.source, MakeDomain({"a", "b", "c"}),
+                                    3, &rng);
+  Result<Instance> u = Chase(i, m);
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE(IsSolution(m, i, *u));
+  // Ground every null in the universal solution: still a solution, and a
+  // homomorphic image of it.
+  Assignment grounding;
+  for (const Value& v : u->ActiveDomain()) {
+    if (v.IsNull()) grounding.emplace(v, Value::MakeConstant("g"));
+  }
+  Instance grounded = ApplyAssignmentToInstance(*u, grounding);
+  EXPECT_TRUE(IsSolution(m, i, grounded));
+  EXPECT_TRUE(ExistsInstanceHomomorphism(*u, grounded));
+}
+
+// Monotonicity: I1 ⊆ I2 implies Sol(I2) ⊆ Sol(I1) (remark before
+// Theorem 3.5) for arbitrary random mappings.
+TEST_P(SeededTest, SubsetImpliesSolutionContainment) {
+  Rng rng(GetParam() * 977);
+  RandomMappingConfig config;
+  config.max_lhs_atoms = 2;
+  SchemaMapping m = RandomMapping(&rng, config);
+  Instance i1 = RandomGroundInstance(m.source, MakeDomain({"a", "b"}), 2,
+                                     &rng);
+  Instance i2 = i1;
+  Instance extra = RandomGroundInstance(m.source, MakeDomain({"a", "b"}),
+                                        2, &rng);
+  i2.UnionWith(extra);
+  Result<bool> contained = SolutionsContained(m, i2, i1);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_TRUE(*contained) << m.ToString();
+}
+
+// Proposition 3.11 + Theorem 4.7: every random LAV mapping passes the
+// bounded (~M,~M)-subset property, and its disjunction-free LAV
+// quasi-inverse verifies.
+TEST_P(SeededTest, RandomLavMappingQuasiInvertible) {
+  Rng rng(GetParam() * 31337);
+  RandomMappingConfig config;
+  config.num_source_relations = 2;
+  config.num_target_relations = 2;
+  config.num_tgds = 2;
+  SchemaMapping m = RandomMapping(&rng, config);
+  FrameworkChecker checker(m, {MakeDomain({"a", "b"}), 2});
+  EXPECT_TRUE(checker.CheckSubsetProperty(EquivKind::kEquality,
+                                          EquivKind::kSimM)
+                  ->holds)
+      << m.ToString();
+  ReverseMapping rev = MustLavQuasiInverse(m);
+  EXPECT_FALSE(rev.HasDisjunction());
+  Result<BoundedCheckReport> verdict = checker.CheckGeneralizedInverse(
+      rev, EquivKind::kSimM, EquivKind::kSimM);
+  ASSERT_TRUE(verdict.ok()) << verdict.status();
+  EXPECT_TRUE(verdict->holds) << m.ToString() << "\n" << rev.ToString();
+}
+
+// Theorem 6.8: the QuasiInverse output is faithful on random ground
+// instances of random LAV mappings.
+TEST_P(SeededTest, QuasiInverseAlgorithmFaithfulOnRandomInstances) {
+  Rng rng(GetParam() * 7919);
+  RandomMappingConfig config;
+  config.num_source_relations = 2;
+  config.num_target_relations = 2;
+  config.num_tgds = 2;
+  SchemaMapping m = RandomMapping(&rng, config);
+  Result<ReverseMapping> rev = QuasiInverse(m);
+  ASSERT_TRUE(rev.ok()) << m.ToString();
+  for (int trial = 0; trial < 3; ++trial) {
+    Instance i = RandomGroundInstance(m.source, MakeDomain({"a", "b", "c"}),
+                                      3, &rng);
+    Result<RoundTrip> trip = CheckRoundTrip(m, *rev, i);
+    ASSERT_TRUE(trip.ok()) << trip.status();
+    EXPECT_TRUE(trip->sound) << m.ToString() << "\n" << i.ToString();
+    EXPECT_TRUE(trip->faithful) << m.ToString() << "\n"
+                                << rev->ToString() << "\n"
+                                << i.ToString();
+  }
+}
+
+// Theorem 6.7: any quasi-inverse expressed with inequalities among
+// constants is *sound*; exercise with the LAV construction.
+TEST_P(SeededTest, LavQuasiInverseSoundOnRandomInstances) {
+  Rng rng(GetParam() * 104729);
+  SchemaMapping m = RandomLavMapping(&rng, 2);
+  ReverseMapping rev = MustLavQuasiInverse(m);
+  ASSERT_TRUE(rev.InequalitiesAmongConstantsOnly());
+  for (int trial = 0; trial < 3; ++trial) {
+    Instance i = RandomGroundInstance(m.source, MakeDomain({"a", "b", "c"}),
+                                      3, &rng);
+    Result<RoundTrip> trip = CheckRoundTrip(m, rev, i);
+    ASSERT_TRUE(trip.ok()) << trip.status();
+    EXPECT_TRUE(trip->sound) << m.ToString() << "\n" << i.ToString();
+  }
+}
+
+// ~M is an equivalence relation on the bounded space: consistency of the
+// oracle with itself (reflexive, symmetric, transitive on samples).
+TEST_P(SeededTest, SimEquivalenceIsAnEquivalenceRelation) {
+  Rng rng(GetParam() * 271828);
+  SchemaMapping m = RandomLavMapping(&rng, 2);
+  std::vector<Instance> samples;
+  for (int k = 0; k < 4; ++k) {
+    samples.push_back(RandomGroundInstance(m.source, MakeDomain({"a", "b"}),
+                                           2, &rng));
+  }
+  for (const Instance& a : samples) {
+    EXPECT_TRUE(MustSimEquivalent(m, a, a));
+    for (const Instance& b : samples) {
+      EXPECT_EQ(MustSimEquivalent(m, a, b), MustSimEquivalent(m, b, a));
+      for (const Instance& c : samples) {
+        if (MustSimEquivalent(m, a, b) && MustSimEquivalent(m, b, c)) {
+          EXPECT_TRUE(MustSimEquivalent(m, a, c));
+        }
+      }
+    }
+  }
+}
+
+// Satisfaction is monotone in the target for plain tgds: enlarging the
+// target instance never breaks a solution.
+TEST_P(SeededTest, SolutionsClosedUnderTargetSupersets) {
+  Rng rng(GetParam() * 65537);
+  SchemaMapping m = RandomLavMapping(&rng, 3);
+  Instance i = RandomGroundInstance(m.source, MakeDomain({"a", "b"}), 2,
+                                    &rng);
+  Result<Instance> u = Chase(i, m);
+  ASSERT_TRUE(u.ok());
+  Instance enlarged = *u;
+  Instance extra = RandomGroundInstance(m.target, MakeDomain({"a", "b"}),
+                                        2, &rng);
+  enlarged.UnionWith(extra);
+  EXPECT_TRUE(IsSolution(m, i, enlarged));
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "core/quasi_inverse.h"
+#include "dependency/parser.h"
+#include "relational/instance_enum.h"
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+namespace {
+
+Value Var(const char* name) { return Value::MakeVariable(name); }
+
+BoundedCheckReport MustCheck(Result<BoundedCheckReport> result) {
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? *result : BoundedCheckReport{};
+}
+
+TEST(QuasiInverseTest, ProjectionOutputMatchesPaper) {
+  SchemaMapping m = catalog::Projection();
+  ReverseMapping rev = MustQuasiInverse(m);
+  ASSERT_EQ(rev.deps.size(), 1u);
+  EXPECT_EQ(DisjunctiveTgdToString(rev.deps[0], *m.target, *m.source),
+            "Q(x) & Constant(x) -> exists z1: P(x,z1)");
+}
+
+TEST(QuasiInverseTest, UnionOutputIsTheDisjunctiveRule) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = MustQuasiInverse(m);
+  // Both tgds produce the same reverse dependency; it is deduplicated.
+  ASSERT_EQ(rev.deps.size(), 1u);
+  const DisjunctiveTgd& dep = rev.deps[0];
+  EXPECT_EQ(dep.disjuncts.size(), 2u);
+  EXPECT_EQ(dep.constant_vars.size(), 1u);
+  EXPECT_TRUE(dep.inequalities.empty());
+}
+
+TEST(QuasiInverseTest, OutputHasInequalitiesAmongConstantsOnly) {
+  for (const auto& [name, m] : catalog::AllMappings()) {
+    if (name == "Prop3.12") continue;  // no quasi-inverse exists
+    Result<ReverseMapping> rev = QuasiInverse(m);
+    ASSERT_TRUE(rev.ok()) << name << ": " << rev.status();
+    EXPECT_TRUE(rev->InequalitiesAmongConstantsOnly()) << name;
+  }
+}
+
+TEST(QuasiInverseTest, ProjectionOutputVerifies) {
+  SchemaMapping m = catalog::Projection();
+  ReverseMapping rev = MustQuasiInverse(m);
+  FrameworkChecker checker(m, {MakeDomain({"a", "b"}), 2});
+  EXPECT_TRUE(MustCheck(checker.CheckGeneralizedInverse(
+                            rev, EquivKind::kSimM, EquivKind::kSimM))
+                  .holds);
+}
+
+TEST(QuasiInverseTest, UnionOutputVerifies) {
+  SchemaMapping m = catalog::Union();
+  ReverseMapping rev = MustQuasiInverse(m);
+  FrameworkChecker checker(m, {MakeDomain({"a", "b"}), 2});
+  EXPECT_TRUE(MustCheck(checker.CheckGeneralizedInverse(
+                            rev, EquivKind::kSimM, EquivKind::kSimM))
+                  .holds);
+}
+
+TEST(QuasiInverseTest, DecompositionOutputVerifies) {
+  SchemaMapping m = catalog::Decomposition();
+  ReverseMapping rev = MustQuasiInverse(m);
+  FrameworkChecker checker(m, {MakeDomain({"a", "b"}), 2});
+  EXPECT_TRUE(MustCheck(checker.CheckGeneralizedInverse(
+                            rev, EquivKind::kSimM, EquivKind::kSimM))
+                  .holds);
+}
+
+TEST(QuasiInverseTest, Thm48OutputIsEvenAnInverse) {
+  // Theorem 4.8's mapping is invertible; by Proposition 3.9 its
+  // quasi-inverses are inverses, and the algorithm output must verify
+  // under (=,=).
+  SchemaMapping m = catalog::Thm48();
+  ReverseMapping rev = MustQuasiInverse(m);
+  FrameworkChecker checker(m, {MakeDomain({"a", "b"}), 2});
+  EXPECT_TRUE(MustCheck(checker.CheckGeneralizedInverse(
+                            rev, EquivKind::kEquality,
+                            EquivKind::kEquality))
+                  .holds);
+}
+
+TEST(QuasiInverseTest, Thm410OutputUsesDisjunctionAndVerifies) {
+  SchemaMapping m = catalog::Thm410();
+  ReverseMapping rev = MustQuasiInverse(m);
+  EXPECT_TRUE(rev.HasDisjunction());
+  FrameworkChecker checker(m, {MakeDomain({"a", "b"}), 2});
+  EXPECT_TRUE(MustCheck(checker.CheckGeneralizedInverse(
+                            rev, EquivKind::kSimM, EquivKind::kSimM))
+                  .holds);
+}
+
+TEST(QuasiInverseTest, Example45SigmaOnePrinted) {
+  SchemaMapping m = catalog::Example45();
+  ReverseMapping rev = MustQuasiInverse(m);
+  // sigma'_1 (the paper's first output dependency, up to variable names):
+  // S(x1,x2,y) & Q(y,y) & Constant(x1) & Constant(x2) & x1 != x2
+  //   -> exists z1: P(x1,x2,z1)
+  bool found = false;
+  for (const DisjunctiveTgd& dep : rev.deps) {
+    if (DisjunctiveTgdToString(dep, *m.target, *m.source) ==
+        "S(x1,x2,y) & Q(y,y) & Constant(x1) & Constant(x2) & x1 != x2 "
+        "-> exists z1: P(x1,x2,z1)") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << rev.ToString();
+}
+
+TEST(QuasiInverseTest, Example45SigmaTwoDisjunctsPruned) {
+  // After subsumption pruning, sigma'_2 keeps the generators
+  // P(x1,x1,_), U(x1) and the general T/R pair; the specialized
+  // T(x1,x1) & R(x1,x1,_) disjunct is dropped (end of Example 4.5).
+  SchemaMapping m = catalog::Example45();
+  ReverseMapping rev = MustQuasiInverse(m);
+  const DisjunctiveTgd* sigma2_out = nullptr;
+  Result<RelationId> s_rel = m.target->FindRelation("S");
+  ASSERT_TRUE(s_rel.ok());
+  for (const DisjunctiveTgd& dep : rev.deps) {
+    // Identify sigma'_2 by its lhs: S(x1,x1,y) & Q(y,y) with a single
+    // constant variable and no inequalities.
+    if (dep.lhs.size() == 2 && dep.lhs[0].relation == *s_rel &&
+        dep.lhs[0].args[0] == dep.lhs[0].args[1] &&
+        dep.constant_vars.size() == 1 && dep.inequalities.empty() &&
+        dep.lhs[0].args[0] == Var("x1")) {
+      sigma2_out = &dep;
+    }
+  }
+  ASSERT_NE(sigma2_out, nullptr) << rev.ToString();
+  // The specialized T(x1,x1) & R(x1,x1,_) disjunct must be gone; the
+  // general two-variable T/R disjunct must survive.
+  Result<RelationId> t_rel = m.source->FindRelation("T");
+  ASSERT_TRUE(t_rel.ok());
+  bool has_specialized = false;
+  bool has_general = false;
+  for (const Conjunction& d : sigma2_out->disjuncts) {
+    for (const Atom& atom : d) {
+      if (atom.relation == *t_rel && atom.args.size() == 2) {
+        if (atom.args[0] == Var("x1") && atom.args[1] == Var("x1")) {
+          has_specialized = true;
+        }
+        if (atom.args[0] != atom.args[1] && atom.args[1] == Var("x1")) {
+          has_general = true;
+        }
+      }
+    }
+  }
+  EXPECT_FALSE(has_specialized) << sigma2_out->disjuncts.size();
+  EXPECT_TRUE(has_general);
+}
+
+TEST(QuasiInverseTest, PruningCanBeDisabled) {
+  SchemaMapping m = catalog::Example45();
+  QuasiInverseOptions options;
+  options.prune_subsumed_disjuncts = false;
+  ReverseMapping unpruned = MustQuasiInverse(m, options);
+  ReverseMapping pruned = MustQuasiInverse(m);
+  size_t unpruned_disjuncts = 0;
+  size_t pruned_disjuncts = 0;
+  for (const DisjunctiveTgd& dep : unpruned.deps) {
+    unpruned_disjuncts += dep.disjuncts.size();
+  }
+  for (const DisjunctiveTgd& dep : pruned.deps) {
+    pruned_disjuncts += dep.disjuncts.size();
+  }
+  EXPECT_GT(unpruned_disjuncts, pruned_disjuncts);
+}
+
+TEST(QuasiInverseTest, FullVariantOmitsConstants) {
+  SchemaMapping m = catalog::Decomposition();
+  QuasiInverseOptions options;
+  options.include_constant_predicates = false;
+  ReverseMapping rev = MustQuasiInverse(m, options);
+  EXPECT_FALSE(rev.HasConstants());
+  // Theorem 4.6: for full mappings the Constant-free output still
+  // verifies as a quasi-inverse.
+  FrameworkChecker checker(m, {MakeDomain({"a", "b"}), 2});
+  EXPECT_TRUE(MustCheck(checker.CheckGeneralizedInverse(
+                            rev, EquivKind::kSimM, EquivKind::kSimM))
+                  .holds);
+}
+
+TEST(QuasiInverseTest, AgreesWithSubsetPropertyOnExample45) {
+  // Theorems 3.5 + 4.1: the algorithm output is a quasi-inverse exactly
+  // when the (~M,~M)-subset property holds; check agreement on a bounded
+  // space.
+  SchemaMapping m = catalog::Example45();
+  ReverseMapping rev = MustQuasiInverse(m);
+  FrameworkChecker checker(m, {MakeDomain({"a", "b"}), 1});
+  bool subset = MustCheck(checker.CheckSubsetProperty(EquivKind::kSimM,
+                                                      EquivKind::kSimM))
+                    .holds;
+  bool verifies = MustCheck(checker.CheckGeneralizedInverse(
+                                rev, EquivKind::kSimM, EquivKind::kSimM))
+                      .holds;
+  EXPECT_EQ(subset, verifies);
+}
+
+TEST(DisjunctSubsumesTest, PaperExample) {
+  SchemaMapping m = catalog::Example45();
+  Result<RelationId> t = m.source->FindRelation("T");
+  Result<RelationId> r = m.source->FindRelation("R");
+  ASSERT_TRUE(t.ok() && r.ok());
+  Conjunction specialized = {{*t, {Var("x1"), Var("x1")}},
+                             {*r, {Var("x1"), Var("x1"), Var("x4")}}};
+  Conjunction general = {{*t, {Var("x3"), Var("x1")}},
+                         {*r, {Var("x3"), Var("x3"), Var("x4")}}};
+  std::vector<Value> x = {Var("x1")};
+  EXPECT_TRUE(DisjunctSubsumes(general, specialized, x, m.source));
+  EXPECT_FALSE(DisjunctSubsumes(specialized, general, x, m.source));
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "workload/random_mappings.h"
+
+#include "relational/instance_enum.h"
+
+namespace qimap {
+namespace {
+
+TEST(RandomMappingsTest, DeterministicForSeed) {
+  Rng r1(42);
+  Rng r2(42);
+  SchemaMapping m1 = RandomLavMapping(&r1);
+  SchemaMapping m2 = RandomLavMapping(&r2);
+  EXPECT_EQ(m1.ToString(), m2.ToString());
+}
+
+TEST(RandomMappingsTest, LavMappingsAreLav) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    SchemaMapping m = RandomLavMapping(&rng);
+    EXPECT_TRUE(m.IsLav()) << "seed " << seed << "\n" << m.ToString();
+    EXPECT_EQ(m.tgds.size(), 3u);
+  }
+}
+
+TEST(RandomMappingsTest, FullMappingsAreFull) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    SchemaMapping m = RandomFullMapping(&rng);
+    EXPECT_TRUE(m.IsFull()) << "seed " << seed << "\n" << m.ToString();
+  }
+}
+
+TEST(RandomMappingsTest, ConfigShapesRespected) {
+  Rng rng(7);
+  RandomMappingConfig config;
+  config.num_source_relations = 5;
+  config.num_target_relations = 2;
+  config.max_arity = 3;
+  config.num_tgds = 4;
+  SchemaMapping m = RandomMapping(&rng, config);
+  EXPECT_EQ(m.source->size(), 5u);
+  EXPECT_EQ(m.target->size(), 2u);
+  EXPECT_EQ(m.tgds.size(), 4u);
+  for (RelationId r = 0; r < m.source->size(); ++r) {
+    EXPECT_LE(m.source->relation(r).arity, 3u);
+    EXPECT_GE(m.source->relation(r).arity, 1u);
+  }
+}
+
+TEST(RandomMappingsTest, TgdsAreWellFormed) {
+  // Every rhs-only variable is existential; every frontier variable occurs
+  // in the lhs — structural invariants of the generator.
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    RandomMappingConfig config;
+    config.max_lhs_atoms = 2;
+    SchemaMapping m = RandomMapping(&rng, config);
+    for (const Tgd& tgd : m.tgds) {
+      EXPECT_FALSE(tgd.lhs.empty());
+      EXPECT_FALSE(tgd.rhs.empty());
+      for (const Value& v : tgd.FrontierVariables()) {
+        EXPECT_TRUE(v.IsVariable());
+      }
+    }
+  }
+}
+
+TEST(RandomGroundInstanceTest, SizeAndGroundness) {
+  Rng rng(11);
+  SchemaPtr schema = MakeSchema("P/2, Q/1");
+  std::vector<Value> domain = MakeDomain({"a", "b", "c"});
+  Instance inst = RandomGroundInstance(schema, domain, 5, &rng);
+  EXPECT_LE(inst.NumFacts(), 5u);
+  EXPECT_GT(inst.NumFacts(), 0u);
+  EXPECT_TRUE(inst.IsGround());
+}
+
+TEST(RandomGroundInstanceTest, EmptyDomainGivesEmptyInstance) {
+  Rng rng(11);
+  SchemaPtr schema = MakeSchema("P/2");
+  Instance inst = RandomGroundInstance(schema, {}, 5, &rng);
+  EXPECT_TRUE(inst.Empty());
+}
+
+}  // namespace
+}  // namespace qimap

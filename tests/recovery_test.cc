@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/lav_quasi_inverse.h"
+#include "core/quasi_inverse.h"
+#include "core/recovery.h"
+#include "dependency/parser.h"
+#include "relational/instance_enum.h"
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+namespace {
+
+BoundedSpace SmallSpace() { return {MakeDomain({"a", "b"}), 2}; }
+
+bool MustRecovery(const SchemaMapping& m, const ReverseMapping& rev) {
+  Result<BoundedCheckReport> report = CheckRecovery(m, rev, SmallSpace());
+  EXPECT_TRUE(report.ok()) << report.status();
+  return report.ok() && report->holds;
+}
+
+bool MustInformative(const SchemaMapping& m, const ReverseMapping& a,
+                     const ReverseMapping& b) {
+  Result<bool> result = AtLeastAsInformative(m, a, b, SmallSpace());
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() && *result;
+}
+
+TEST(RecoveryTest, QuasiInversesAndRecoveriesAreIncomparableNotions) {
+  // Quasi-inverse does NOT imply recovery: the single-branch and
+  // conjunctive Union rules, and the Decomposition join rule, are
+  // quasi-inverses (framework_test) yet fail the recovery check —
+  // the round trip forces facts the original instance lacks. The
+  // disjunctive Union rule and the Decomposition split rules are both.
+  SchemaMapping projection = catalog::Projection();
+  EXPECT_TRUE(MustRecovery(projection,
+                           catalog::ProjectionQuasiInverse(projection)));
+  SchemaMapping union_m = catalog::Union();
+  EXPECT_TRUE(MustRecovery(
+      union_m, catalog::UnionQuasiInverseDisjunctive(union_m)));
+  EXPECT_FALSE(MustRecovery(union_m, catalog::UnionQuasiInverseP(union_m)));
+  EXPECT_FALSE(MustRecovery(union_m, catalog::UnionQuasiInverseQ(union_m)));
+  EXPECT_FALSE(
+      MustRecovery(union_m, catalog::UnionQuasiInverseBoth(union_m)));
+  SchemaMapping decomposition = catalog::Decomposition();
+  EXPECT_FALSE(MustRecovery(
+      decomposition, catalog::DecompositionQuasiInverseJoin(decomposition)));
+  EXPECT_TRUE(MustRecovery(
+      decomposition,
+      catalog::DecompositionQuasiInverseSplit(decomposition)));
+}
+
+TEST(RecoveryTest, AlgorithmOutputsAreRecoveries) {
+  // Empirically, every QuasiInverse-algorithm output is also a recovery
+  // (consistent with its faithfulness, Theorem 6.8: the round trip never
+  // invents facts the original lacks).
+  std::vector<std::pair<std::string, SchemaMapping>> all =
+      catalog::AllMappings();
+  for (auto& [name, m] : all) {
+    if (name == "Prop3.12" || name == "Example4.5") continue;
+    Result<ReverseMapping> rev = QuasiInverse(m);
+    ASSERT_TRUE(rev.ok()) << name;
+    EXPECT_TRUE(MustRecovery(m, *rev)) << name;
+  }
+}
+
+TEST(RecoveryTest, NonRecoveryDetected) {
+  // A reverse mapping inventing a wrong fact rules the original out:
+  // Q(x) -> P(x,x) is still a recovery of the projection? No — for
+  // I = {P(a,b)} the round trip requires P(a,a) ∈ I, which fails.
+  SchemaMapping m = catalog::Projection();
+  ReverseMapping collapsing = MustParseReverseMapping(m, "Q(x) -> P(x,x)");
+  Result<BoundedCheckReport> report =
+      CheckRecovery(m, collapsing, SmallSpace());
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->holds);
+  ASSERT_TRUE(report->counterexample.has_value());
+}
+
+TEST(RecoveryTest, InformativenessRanksUnionQuasiInverses) {
+  // S(x) -> P(x) & Q(x) relates the fewest pairs; the disjunctive rule
+  // the most; the single-branch rules sit in between (incomparable with
+  // each other).
+  SchemaMapping m = catalog::Union();
+  ReverseMapping both = catalog::UnionQuasiInverseBoth(m);
+  ReverseMapping p_only = catalog::UnionQuasiInverseP(m);
+  ReverseMapping q_only = catalog::UnionQuasiInverseQ(m);
+  ReverseMapping disjunctive = catalog::UnionQuasiInverseDisjunctive(m);
+  EXPECT_TRUE(MustInformative(m, both, p_only));
+  EXPECT_TRUE(MustInformative(m, both, q_only));
+  EXPECT_TRUE(MustInformative(m, both, disjunctive));
+  EXPECT_TRUE(MustInformative(m, p_only, disjunctive));
+  EXPECT_TRUE(MustInformative(m, q_only, disjunctive));
+  EXPECT_FALSE(MustInformative(m, disjunctive, p_only));
+  EXPECT_FALSE(MustInformative(m, p_only, q_only));
+  EXPECT_FALSE(MustInformative(m, q_only, p_only));
+}
+
+TEST(RecoveryTest, InformativenessIsReflexive) {
+  SchemaMapping m = catalog::Decomposition();
+  ReverseMapping rev = catalog::DecompositionQuasiInverseJoin(m);
+  EXPECT_TRUE(MustInformative(m, rev, rev));
+}
+
+TEST(RecoveryTest, WeakestInverseIsLeastInformativeAmongInverses) {
+  // Among inverses of Thm 4.8's mapping, the hand-written one and the
+  // algorithm output relate the same pairs on the bounded space (both
+  // are inverses, so Inst(M∘M') agrees with ⊆ there).
+  SchemaMapping m = catalog::Thm48();
+  ReverseMapping paper = catalog::Thm48Inverse(m);
+  ReverseMapping algo = MustLavQuasiInverse(m);
+  EXPECT_TRUE(MustInformative(m, paper, algo));
+  EXPECT_TRUE(MustInformative(m, algo, paper));
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "dependency/parser.h"
+#include "dependency/satisfaction.h"
+
+namespace qimap {
+namespace {
+
+TEST(SatisfactionTest, FullTgd) {
+  SchemaMapping m = MustParseMapping("P/2", "Q/1", "P(x,y) -> Q(x)");
+  Instance src = MustParseInstance(m.source, "P(a,b), P(c,d)");
+  Instance good = MustParseInstance(m.target, "Q(a), Q(c)");
+  Instance bad = MustParseInstance(m.target, "Q(a)");
+  EXPECT_TRUE(SatisfiesAll(src, good, m));
+  EXPECT_FALSE(SatisfiesAll(src, bad, m));
+}
+
+TEST(SatisfactionTest, ExistentialWitnessedByAnyValue) {
+  SchemaMapping m =
+      MustParseMapping("P/1", "Q/2", "P(x) -> exists y: Q(x,y)");
+  Instance src = MustParseInstance(m.source, "P(a)");
+  EXPECT_TRUE(SatisfiesAll(src, MustParseInstance(m.target, "Q(a,b)"), m));
+  EXPECT_TRUE(SatisfiesAll(src, MustParseInstance(m.target, "Q(a,_N1)"), m));
+  EXPECT_TRUE(SatisfiesAll(src, MustParseInstance(m.target, "Q(a,a)"), m));
+  EXPECT_FALSE(SatisfiesAll(src, MustParseInstance(m.target, "Q(b,a)"), m));
+}
+
+TEST(SatisfactionTest, EmptySourceSatisfiedByEmptyTarget) {
+  SchemaMapping m = MustParseMapping("P/2", "Q/1", "P(x,y) -> Q(x)");
+  Instance src(m.source);
+  Instance tgt(m.target);
+  EXPECT_TRUE(SatisfiesAll(src, tgt, m));
+}
+
+TEST(SatisfactionTest, JoinLhsNeedsBothFacts) {
+  SchemaMapping m = MustParseMapping("E/2", "F/2, M/1",
+                                     "E(x,z) & E(z,y) -> F(x,y) & M(z)");
+  Instance one = MustParseInstance(m.source, "E(a,b)");
+  Instance empty_target(m.target);
+  // No join match: E(a,b) with E(b,?) missing, except E(a,b)&E(b,...)...
+  // Here only x=a,z=b requires E(b,y): absent, so vacuously satisfied.
+  EXPECT_TRUE(SatisfiesAll(one, empty_target, m));
+  Instance two = MustParseInstance(m.source, "E(a,b), E(b,c)");
+  EXPECT_FALSE(SatisfiesAll(two, empty_target, m));
+  Instance witness = MustParseInstance(m.target, "F(a,c), M(b)");
+  // The match x=a,z=b,y=c is satisfied, but self-joins E(a,b)&E(b,c)
+  // also induce no other matches; still need nothing more.
+  EXPECT_TRUE(SatisfiesAll(two, witness, m));
+}
+
+TEST(SatisfactionTest, SolutionsClosedUnderSupersets) {
+  SchemaMapping m = MustParseMapping("P/2", "Q/1", "P(x,y) -> Q(x)");
+  Instance src = MustParseInstance(m.source, "P(a,b)");
+  Instance minimal = MustParseInstance(m.target, "Q(a)");
+  Instance bigger = MustParseInstance(m.target, "Q(a), Q(z)");
+  EXPECT_TRUE(SatisfiesAll(src, minimal, m));
+  EXPECT_TRUE(SatisfiesAll(src, bigger, m));
+}
+
+TEST(DisjunctiveSatisfactionTest, AnyDisjunctSuffices) {
+  SchemaMapping m = MustParseMapping("P/1, Q/1", "S/1",
+                                     "P(x) -> S(x); Q(x) -> S(x)");
+  ReverseMapping rev = MustParseReverseMapping(m, "S(x) -> P(x) | Q(x)");
+  Instance target_inst = MustParseInstance(m.target, "S(a), S(b)");
+  EXPECT_TRUE(SatisfiesAllReverse(
+      target_inst, MustParseInstance(m.source, "P(a), Q(b)"), rev));
+  EXPECT_TRUE(SatisfiesAllReverse(
+      target_inst, MustParseInstance(m.source, "P(a), P(b)"), rev));
+  EXPECT_FALSE(SatisfiesAllReverse(
+      target_inst, MustParseInstance(m.source, "P(a)"), rev));
+}
+
+TEST(DisjunctiveSatisfactionTest, ConstantGuardSkipsNulls) {
+  SchemaMapping m = MustParseMapping("P/1", "S/1", "P(x) -> S(x)");
+  ReverseMapping rev =
+      MustParseReverseMapping(m, "S(x) & Constant(x) -> P(x)");
+  Instance with_null = MustParseInstance(m.target, "S(_N1), S(a)");
+  // Only the constant match imposes an obligation.
+  EXPECT_TRUE(SatisfiesAllReverse(
+      with_null, MustParseInstance(m.source, "P(a)"), rev));
+  EXPECT_FALSE(SatisfiesAllReverse(
+      with_null, Instance(m.source), rev));
+}
+
+TEST(DisjunctiveSatisfactionTest, InequalityGuard) {
+  SchemaMapping m = MustParseMapping("P/2", "Q/2", "P(x,y) -> Q(x,y)");
+  ReverseMapping rev =
+      MustParseReverseMapping(m, "Q(x,y) & x != y -> P(x,y)");
+  Instance diag = MustParseInstance(m.target, "Q(a,a)");
+  EXPECT_TRUE(SatisfiesAllReverse(diag, Instance(m.source), rev));
+  Instance off_diag = MustParseInstance(m.target, "Q(a,b)");
+  EXPECT_FALSE(SatisfiesAllReverse(off_diag, Instance(m.source), rev));
+  EXPECT_TRUE(SatisfiesAllReverse(
+      off_diag, MustParseInstance(m.source, "P(a,b)"), rev));
+}
+
+TEST(DisjunctiveSatisfactionTest, ExistentialInDisjunct) {
+  SchemaMapping m = MustParseMapping("P/2", "Q/1", "P(x,y) -> Q(x)");
+  ReverseMapping rev =
+      MustParseReverseMapping(m, "Q(x) -> exists y: P(x,y)");
+  Instance target_inst = MustParseInstance(m.target, "Q(a)");
+  EXPECT_TRUE(SatisfiesAllReverse(
+      target_inst, MustParseInstance(m.source, "P(a,_N1)"), rev));
+  EXPECT_TRUE(SatisfiesAllReverse(
+      target_inst, MustParseInstance(m.source, "P(a,b)"), rev));
+  EXPECT_FALSE(SatisfiesAllReverse(
+      target_inst, MustParseInstance(m.source, "P(b,a)"), rev));
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chase/chase.h"
+#include "core/sigma_star.h"
+#include "dependency/parser.h"
+#include "relational/homomorphism.h"
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+namespace {
+
+size_t Bell(size_t n) {
+  // Bell numbers via the triangle.
+  std::vector<std::vector<size_t>> tri = {{1}};
+  for (size_t i = 1; i <= n; ++i) {
+    std::vector<size_t> row = {tri.back().back()};
+    for (size_t j = 0; j < i; ++j) row.push_back(row[j] + tri.back()[j]);
+    tri.push_back(row);
+  }
+  return tri[n][0];
+}
+
+TEST(SetPartitionsTest, CountsAreBellNumbers) {
+  for (size_t n = 0; n <= 6; ++n) {
+    EXPECT_EQ(SetPartitions(n).size(), Bell(n)) << "n=" << n;
+  }
+}
+
+TEST(SetPartitionsTest, AllAreRestrictedGrowthStrings) {
+  for (const std::vector<size_t>& p : SetPartitions(5)) {
+    size_t max_seen = 0;
+    ASSERT_EQ(p[0], 0u);
+    for (size_t v : p) {
+      ASSERT_LE(v, max_seen + 1);
+      max_seen = std::max(max_seen, v);
+    }
+  }
+}
+
+TEST(SetPartitionsTest, AllDistinct) {
+  std::vector<std::vector<size_t>> parts = SetPartitions(5);
+  std::sort(parts.begin(), parts.end());
+  EXPECT_EQ(std::adjacent_find(parts.begin(), parts.end()), parts.end());
+}
+
+TEST(SigmaStarTest, SingleFrontierVariableIsFixpoint) {
+  SchemaMapping m = catalog::Projection();  // frontier {x}
+  std::vector<Tgd> star = SigmaStar(m);
+  EXPECT_EQ(star.size(), 1u);
+  EXPECT_TRUE(star[0] == m.tgds[0]);
+}
+
+TEST(SigmaStarTest, TwoFrontierVariablesAddCollapsedCopy) {
+  SchemaMapping m = catalog::Thm48();  // P(x,y) -> ez Q(x,z) & Q(z,y)
+  std::vector<Tgd> star = SigmaStar(m);
+  ASSERT_EQ(star.size(), 2u);
+  // The collapsed copy P(x,x) -> exists z: Q(x,z) & Q(z,x).
+  Result<Tgd> collapsed = ParseTgd(*m.source, *m.target,
+                                   "P(x,x) -> exists z: Q(x,z) & Q(z,x)");
+  ASSERT_TRUE(collapsed.ok());
+  EXPECT_TRUE(std::find(star.begin(), star.end(), *collapsed) != star.end());
+}
+
+TEST(SigmaStarTest, Example45HasSevenMembers) {
+  SchemaMapping m = catalog::Example45();
+  std::vector<Tgd> star = SigmaStar(m);
+  // sigma1 and sigma3/sigma4 each have a two-element frontier (one extra
+  // collapsed copy each); sigma2's frontier is a single variable.
+  EXPECT_EQ(star.size(), 7u);
+  Result<Tgd> sigma2 = ParseTgd(
+      *m.source, *m.target, "P(x1,x1,x3) -> exists y: S(x1,x1,y) & Q(y,y)");
+  ASSERT_TRUE(sigma2.ok());
+  EXPECT_TRUE(std::find(star.begin(), star.end(), *sigma2) != star.end());
+}
+
+TEST(SigmaStarTest, LogicallyEquivalentOnInstances) {
+  // Sigma* is logically equivalent to Sigma: the collapsed copies are
+  // instances of the originals, so chases agree.
+  SchemaMapping m = catalog::Thm48();
+  SchemaMapping star_mapping = m;
+  star_mapping.tgds = SigmaStar(m);
+  for (const char* text : {"P(a,b)", "P(a,a)", "P(a,b), P(b,a)"}) {
+    Instance i = MustParseInstance(m.source, text);
+    // Same solutions: each chase satisfies the other's dependency set.
+    Instance u1 = MustChase(i, m);
+    Instance u2 = MustChase(i, star_mapping);
+    EXPECT_TRUE(HomomorphicallyEquivalent(u1, u2)) << text;
+  }
+}
+
+TEST(SigmaStarTest, ThreeWayFrontierGetsAllPartitions) {
+  SchemaMapping m = MustParseMapping("P/3", "Q/3",
+                                     "P(x,y,z) -> Q(x,y,z)");
+  // Bell(3) = 5 partitions, all collapses distinct.
+  EXPECT_EQ(SigmaStar(m).size(), 5u);
+}
+
+}  // namespace
+}  // namespace qimap

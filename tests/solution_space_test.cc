@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/solution_space.h"
+#include "dependency/parser.h"
+#include "workload/paper_catalog.h"
+
+namespace qimap {
+namespace {
+
+TEST(SolutionSpaceTest, SubsetImpliesContainment) {
+  // If I1 ⊆ I2 then Sol(I2) ⊆ Sol(I1) (remark before Theorem 3.5).
+  SchemaMapping m = catalog::Decomposition();
+  Instance i1 = MustParseInstance(m.source, "P(a,b,c)");
+  Instance i2 = MustParseInstance(m.source, "P(a,b,c), P(d,e,f)");
+  Result<bool> contained = SolutionsContained(m, i2, i1);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_TRUE(*contained);
+  Result<bool> reverse = SolutionsContained(m, i1, i2);
+  ASSERT_TRUE(reverse.ok());
+  EXPECT_FALSE(*reverse);
+}
+
+TEST(SolutionSpaceTest, Example310Equivalence) {
+  // Example 3.10: P^I1 = {(0,0,0),(0,0,1),(1,0,0)} and I2 adds (1,0,1);
+  // the two instances have exactly the same solutions.
+  SchemaMapping m = catalog::Decomposition();
+  Instance i1 = MustParseInstance(m.source,
+                                  "P(c0,c0,c0), P(c0,c0,c1), P(c1,c0,c0)");
+  Instance i2 = MustParseInstance(
+      m.source, "P(c0,c0,c0), P(c0,c0,c1), P(c1,c0,c0), P(c1,c0,c1)");
+  EXPECT_TRUE(MustSimEquivalent(m, i1, i2));
+}
+
+TEST(SolutionSpaceTest, DistinctProjectionsNotEquivalent) {
+  SchemaMapping m = catalog::Decomposition();
+  Instance i1 = MustParseInstance(m.source, "P(a,b,c)");
+  Instance i2 = MustParseInstance(m.source, "P(a,b,d)");
+  EXPECT_FALSE(MustSimEquivalent(m, i1, i2));
+}
+
+TEST(SolutionSpaceTest, ProjectionLosesSecondColumn) {
+  // Projection maps both instances to Q(a), so they are ~M-equivalent.
+  SchemaMapping m = catalog::Projection();
+  Instance i1 = MustParseInstance(m.source, "P(a,b)");
+  Instance i2 = MustParseInstance(m.source, "P(a,c)");
+  EXPECT_TRUE(MustSimEquivalent(m, i1, i2));
+}
+
+TEST(SolutionSpaceTest, UnionMergesRelations) {
+  SchemaMapping m = catalog::Union();
+  Instance p = MustParseInstance(m.source, "P(a)");
+  Instance q = MustParseInstance(m.source, "Q(a)");
+  EXPECT_TRUE(MustSimEquivalent(m, p, q));
+  Instance other = MustParseInstance(m.source, "P(b)");
+  EXPECT_FALSE(MustSimEquivalent(m, p, other));
+}
+
+TEST(SolutionSpaceTest, EquivalenceIsReflexiveAndSymmetric) {
+  SchemaMapping m = catalog::Thm48();
+  Instance i = MustParseInstance(m.source, "P(a,b)");
+  Instance j = MustParseInstance(m.source, "P(b,a)");
+  EXPECT_TRUE(MustSimEquivalent(m, i, i));
+  EXPECT_EQ(MustSimEquivalent(m, i, j), MustSimEquivalent(m, j, i));
+}
+
+TEST(SolutionSpaceTest, EmptyInstanceHasAllTargetsAsSolutions) {
+  SchemaMapping m = catalog::Projection();
+  Instance empty(m.source);
+  Instance any_target = MustParseInstance(m.target, "Q(w)");
+  EXPECT_TRUE(IsSolution(m, empty, any_target));
+  Instance nonempty = MustParseInstance(m.source, "P(a,b)");
+  Result<bool> contained = SolutionsContained(m, empty, nonempty);
+  ASSERT_TRUE(contained.ok());
+  EXPECT_FALSE(*contained);  // Sol(empty) ⊄ Sol(P(a,b))
+}
+
+TEST(SolutionSpaceTest, Thm48InvertibleMappingSeparatesInstances) {
+  // An invertible mapping has the unique-solutions property; spot-check
+  // several distinct pairs.
+  SchemaMapping m = catalog::Thm48();
+  Instance a = MustParseInstance(m.source, "P(a,b)");
+  Instance b = MustParseInstance(m.source, "P(a,b), P(b,a)");
+  Instance c = MustParseInstance(m.source, "P(a,a)");
+  EXPECT_FALSE(MustSimEquivalent(m, a, b));
+  EXPECT_FALSE(MustSimEquivalent(m, a, c));
+  EXPECT_FALSE(MustSimEquivalent(m, b, c));
+}
+
+}  // namespace
+}  // namespace qimap

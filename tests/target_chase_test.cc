@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "chase/target_chase.h"
+#include "core/weak_acyclicity.h"
+#include "dependency/parser.h"
+#include "dependency/satisfaction.h"
+#include "relational/homomorphism.h"
+
+namespace qimap {
+namespace {
+
+TEST(EgdParseTest, KeyConstraint) {
+  SchemaPtr schema = MakeSchema("Q/2");
+  Result<Egd> egd = ParseEgd(*schema, "Q(x,y) & Q(x,z) -> y = z");
+  ASSERT_TRUE(egd.ok());
+  EXPECT_EQ(egd->lhs.size(), 2u);
+  EXPECT_EQ(egd->equalities.size(), 1u);
+  EXPECT_EQ(EgdToString(*egd, *schema), "Q(x,y) & Q(x,z) -> y = z");
+}
+
+TEST(EgdParseTest, Rejections) {
+  SchemaPtr schema = MakeSchema("Q/2");
+  EXPECT_FALSE(ParseEgd(*schema, "Q(x,y) -> y = w").ok());  // w not in lhs
+  EXPECT_FALSE(ParseEgd(*schema, "Q(x,y) -> Q(y,x)").ok());  // not an egd
+  EXPECT_FALSE(ParseEgd(*schema, "Q(x,y)").ok());            // no arrow
+}
+
+TEST(TargetConstraintsParseTest, MixedList) {
+  SchemaPtr schema = MakeSchema("Q/2, Boss/1");
+  TargetConstraints constraints = MustParseTargetConstraints(
+      *schema,
+      "Q(x,y) & Q(x,z) -> y = z\n"
+      "Q(x,y) -> Boss(y)");
+  EXPECT_EQ(constraints.egds.size(), 1u);
+  EXPECT_EQ(constraints.tgds.size(), 1u);
+}
+
+TEST(WeakAcyclicityTest, CopyRulesAreAcyclic) {
+  SchemaPtr schema = MakeSchema("Q/2, Boss/1");
+  TargetConstraints constraints =
+      MustParseTargetConstraints(*schema, "Q(x,y) -> Boss(y)");
+  EXPECT_TRUE(IsWeaklyAcyclic(constraints.tgds, *schema));
+}
+
+TEST(WeakAcyclicityTest, SelfFeedingExistentialCycles) {
+  // The classical divergent rule E(x,y) -> exists z: E(y,z).
+  SchemaPtr schema = MakeSchema("E/2");
+  TargetConstraints constraints = MustParseTargetConstraints(
+      *schema, "E(x,y) -> exists z: E(y,z)");
+  EXPECT_FALSE(IsWeaklyAcyclic(constraints.tgds, *schema));
+}
+
+TEST(WeakAcyclicityTest, NonPropagatingExistentialsAreAcyclic) {
+  // A(x) -> exists y: B(y) exports no lhs variable, so the position
+  // graph has no edges at all: weakly acyclic, and indeed the restricted
+  // chase saturates after one round.
+  SchemaPtr schema = MakeSchema("A/1, B/1");
+  TargetConstraints constraints = MustParseTargetConstraints(
+      *schema, "A(x) -> exists y: B(y); B(x) -> exists y: A(y)");
+  EXPECT_TRUE(IsWeaklyAcyclic(constraints.tgds, *schema));
+  SchemaMapping m = MustParseMapping("A0/1", "A/1, B/1", "A0(x) -> A(x)");
+  Instance i = MustParseInstance(m.source, "A0(a)");
+  Result<TargetChaseResult> result =
+      ChaseWithTargetConstraints(i, m, constraints);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->solution.NumFacts(), 2u);  // A(a) and one B-null
+}
+
+TEST(WeakAcyclicityTest, TwoRelationSpecialCycle) {
+  // P(x) -> exists y: Q(x,y) and Q(x,y) -> P(y): the special edge
+  // (P,1)->(Q,2) closes a cycle with the regular edge (Q,2)->(P,1), and
+  // the chase genuinely diverges (P(a), Q(a,N1), P(N1), Q(N1,N2), ...).
+  SchemaPtr schema = MakeSchema("P/1, Q/2");
+  TargetConstraints constraints = MustParseTargetConstraints(
+      *schema, "P(x) -> exists y: Q(x,y); Q(x,y) -> P(y)");
+  EXPECT_FALSE(IsWeaklyAcyclic(constraints.tgds, *schema));
+}
+
+TEST(WeakAcyclicityTest, RegularCycleAloneIsFine) {
+  SchemaPtr schema = MakeSchema("E/2");
+  // Full rule: E(x,y) -> E(y,x) — a regular cycle, no special edges.
+  TargetConstraints constraints =
+      MustParseTargetConstraints(*schema, "E(x,y) -> E(y,x)");
+  EXPECT_TRUE(IsWeaklyAcyclic(constraints.tgds, *schema));
+}
+
+TEST(TargetChaseTest, TargetTgdClosesTransitively) {
+  SchemaMapping m = MustParseMapping("E0/2", "E/2", "E0(x,y) -> E(x,y)");
+  TargetConstraints constraints = MustParseTargetConstraints(
+      *m.target, "E(x,y) & E(y,z) -> E(x,z)");
+  ASSERT_TRUE(IsWeaklyAcyclic(constraints.tgds, *m.target));
+  Instance i = MustParseInstance(m.source, "E0(a,b), E0(b,c), E0(c,d)");
+  Result<TargetChaseResult> result =
+      ChaseWithTargetConstraints(i, m, constraints);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->failed);
+  // Transitive closure of a 4-chain: 3 + 2 + 1 = 6 edges.
+  EXPECT_EQ(result->solution.NumFacts(), 6u);
+}
+
+TEST(TargetChaseTest, EgdMergesNullWithConstant) {
+  // Each person has one invented department, and a constraint binds it
+  // to the declared department.
+  SchemaMapping m = MustParseMapping(
+      "Emp/2", "Works/2, Dept/2",
+      "Emp(e,d) -> exists u: Works(e,u) & Dept(e,d)");
+  TargetConstraints constraints = MustParseTargetConstraints(
+      *m.target, "Works(e,u) & Dept(e,d) -> u = d");
+  Instance i = MustParseInstance(m.source, "Emp(alice,sales)");
+  Result<TargetChaseResult> result =
+      ChaseWithTargetConstraints(i, m, constraints);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->failed);
+  EXPECT_EQ(result->solution.ToString(),
+            "Dept(alice,sales), Works(alice,sales)");
+}
+
+TEST(TargetChaseTest, KeyViolationFails) {
+  SchemaMapping m = MustParseMapping("Emp/2", "Works/2",
+                                     "Emp(e,d) -> Works(e,d)");
+  TargetConstraints constraints = MustParseTargetConstraints(
+      *m.target, "Works(e,d) & Works(e,d2) -> d = d2");
+  Instance conflicting =
+      MustParseInstance(m.source, "Emp(alice,sales), Emp(alice,hr)");
+  Result<TargetChaseResult> result =
+      ChaseWithTargetConstraints(conflicting, m, constraints);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->failed);
+  // A consistent source succeeds.
+  Instance fine = MustParseInstance(m.source, "Emp(alice,sales)");
+  Result<TargetChaseResult> ok_result =
+      ChaseWithTargetConstraints(fine, m, constraints);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_FALSE(ok_result->failed);
+}
+
+TEST(TargetChaseTest, EgdMergesTwoNulls) {
+  SchemaMapping m = MustParseMapping(
+      "P/1", "Q/2",
+      "P(x) -> exists y: Q(x,y); P(x) -> exists z: Q(x,z)");
+  TargetConstraints constraints = MustParseTargetConstraints(
+      *m.target, "Q(x,y) & Q(x,z) -> y = z");
+  Instance i = MustParseInstance(m.source, "P(a)");
+  Result<TargetChaseResult> result =
+      ChaseWithTargetConstraints(i, m, constraints);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->failed);
+  EXPECT_EQ(result->solution.NumFacts(), 1u);
+}
+
+TEST(TargetChaseTest, SolutionSatisfiesEverything) {
+  SchemaMapping m = MustParseMapping(
+      "R/2", "S/2, T/1",
+      "R(x,y) -> S(x,y)");
+  TargetConstraints constraints = MustParseTargetConstraints(
+      *m.target,
+      "S(x,y) -> T(y)\n"
+      "S(x,y) & S(x,z) -> y = z");
+  Instance i = MustParseInstance(m.source, "R(a,b), R(c,b)");
+  Result<TargetChaseResult> result =
+      ChaseWithTargetConstraints(i, m, constraints);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->failed);
+  const Instance& j = result->solution;
+  EXPECT_TRUE(SatisfiesAll(i, j, m));
+  for (const Tgd& tgd : constraints.tgds) {
+    EXPECT_TRUE(Satisfies(j, j, tgd));
+  }
+}
+
+TEST(TargetChaseTest, DivergentRulesHitStepBound) {
+  SchemaMapping m = MustParseMapping("E0/2", "E/2", "E0(x,y) -> E(x,y)");
+  TargetConstraints constraints = MustParseTargetConstraints(
+      *m.target, "E(x,y) -> exists z: E(y,z)");
+  ASSERT_FALSE(IsWeaklyAcyclic(constraints.tgds, *m.target));
+  Instance i = MustParseInstance(m.source, "E0(a,b)");
+  TargetChaseOptions options;
+  options.max_steps = 64;
+  Result<TargetChaseResult> result =
+      ChaseWithTargetConstraints(i, m, constraints, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(TargetChaseTest, NoConstraintsReducesToPlainChase) {
+  SchemaMapping m = MustParseMapping("P/2", "Q/1", "P(x,y) -> Q(x)");
+  Instance i = MustParseInstance(m.source, "P(a,b)");
+  Result<TargetChaseResult> result =
+      ChaseWithTargetConstraints(i, m, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->failed);
+  EXPECT_EQ(result->solution.ToString(), "Q(a)");
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "dependency/parser.h"
+#include "dependency/tgd.h"
+
+namespace qimap {
+namespace {
+
+Value Var(const char* name) { return Value::MakeVariable(name); }
+
+TEST(TgdTest, VariableClassification) {
+  SchemaMapping m = MustParseMapping(
+      "P/3", "Q/2", "P(x,y,u) -> exists z: Q(x,z) & Q(z,y)");
+  const Tgd& tgd = m.tgds[0];
+  EXPECT_EQ(tgd.FrontierVariables(), (std::vector<Value>{Var("x"), Var("y")}));
+  EXPECT_EQ(tgd.ExistentialVariables(), (std::vector<Value>{Var("z")}));
+  EXPECT_EQ(tgd.LhsOnlyVariables(), (std::vector<Value>{Var("u")}));
+}
+
+TEST(TgdTest, FullAndLavDetection) {
+  SchemaMapping lav_full =
+      MustParseMapping("P/2", "Q/1", "P(x,y) -> Q(x)");
+  EXPECT_TRUE(lav_full.tgds[0].IsFull());
+  EXPECT_TRUE(lav_full.tgds[0].IsLav());
+  EXPECT_TRUE(lav_full.tgds[0].IsGav());
+
+  SchemaMapping existential =
+      MustParseMapping("P/1", "Q/2", "P(x) -> exists y: Q(x,y)");
+  EXPECT_FALSE(existential.tgds[0].IsFull());
+  EXPECT_FALSE(existential.tgds[0].IsGav());
+
+  SchemaMapping join = MustParseMapping(
+      "P/1, R/1", "Q/1", "P(x) & R(x) -> Q(x)");
+  EXPECT_FALSE(join.tgds[0].IsLav());
+  EXPECT_TRUE(join.tgds[0].IsGav());
+}
+
+TEST(TgdTest, MappingLevelClassification) {
+  SchemaMapping lav = MustParseMapping(
+      "P/1, Q/1", "S/1", "P(x) -> S(x); Q(x) -> S(x)");
+  EXPECT_TRUE(lav.IsLav());
+  EXPECT_TRUE(lav.IsFull());
+  EXPECT_TRUE(lav.IsGav());
+
+  SchemaMapping mixed = MustParseMapping(
+      "P/1, R/1", "S/1, T/2",
+      "P(x) -> S(x); P(x) & R(x) -> exists y: T(x,y)");
+  EXPECT_FALSE(mixed.IsLav());
+  EXPECT_FALSE(mixed.IsFull());
+}
+
+TEST(TgdTest, ToStringShowsExistentials) {
+  SchemaMapping m =
+      MustParseMapping("P/1", "Q/2", "P(x) -> exists y: Q(x,y)");
+  EXPECT_EQ(TgdToString(m.tgds[0], *m.source, *m.target),
+            "P(x) -> exists y: Q(x,y)");
+}
+
+TEST(TgdTest, ToStringFullHasNoExists) {
+  SchemaMapping m = MustParseMapping("P/2", "Q/1", "P(x,y) -> Q(x)");
+  EXPECT_EQ(TgdToString(m.tgds[0], *m.source, *m.target),
+            "P(x,y) -> Q(x)");
+}
+
+TEST(TgdTest, RepeatedFrontierVariableCountedOnce) {
+  SchemaMapping m = MustParseMapping("P/2", "Q/2", "P(x,x) -> Q(x,x)");
+  EXPECT_EQ(m.tgds[0].FrontierVariables().size(), 1u);
+}
+
+TEST(DisjunctiveTgdTest, ExistentialsPerDisjunct) {
+  SchemaMapping m = MustParseMapping("P/3", "Q/2, R/2",
+                                     "P(x,y,z) -> Q(x,y) & R(y,z)");
+  ReverseMapping rev = MustParseReverseMapping(
+      m, "Q(x,y) -> (exists z: P(x,y,z)) | P(x,y,y)");
+  const DisjunctiveTgd& dep = rev.deps[0];
+  ASSERT_EQ(dep.disjuncts.size(), 2u);
+  EXPECT_EQ(dep.ExistentialVariablesOf(0),
+            (std::vector<Value>{Var("z")}));
+  EXPECT_TRUE(dep.ExistentialVariablesOf(1).empty());
+  EXPECT_FALSE(dep.IsFull());
+  EXPECT_TRUE(dep.HasDisjunction());
+}
+
+TEST(DisjunctiveTgdTest, InequalitiesAmongConstants) {
+  SchemaMapping m = MustParseMapping("P/2", "Q/2", "P(x,y) -> Q(x,y)");
+  ReverseMapping good = MustParseReverseMapping(
+      m, "Q(x,y) & Constant(x) & Constant(y) & x != y -> P(x,y)");
+  EXPECT_TRUE(good.deps[0].InequalitiesAmongConstantsOnly());
+  ReverseMapping bad = MustParseReverseMapping(
+      m, "Q(x,y) & Constant(x) & x != y -> P(x,y)");
+  EXPECT_FALSE(bad.deps[0].InequalitiesAmongConstantsOnly());
+}
+
+TEST(DisjunctiveTgdTest, FromTgdIsPlain) {
+  SchemaMapping m =
+      MustParseMapping("P/1", "Q/2", "P(x) -> exists y: Q(x,y)");
+  DisjunctiveTgd lifted = FromTgd(m.tgds[0]);
+  EXPECT_TRUE(lifted.IsPlainTgd());
+  EXPECT_FALSE(lifted.IsFull());
+}
+
+}  // namespace
+}  // namespace qimap

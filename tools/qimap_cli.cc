@@ -1,0 +1,233 @@
+// qimap_cli — command-line front end for the qimap library.
+//
+// Subcommands (all take --source/--target schema declarations and --tgds):
+//   chase              --instance "P(a,b)"         print chase_Sigma(I)
+//   quasi-inverse                                  run algorithm QuasiInverse
+//   lav-quasi-inverse                              run the Theorem 4.7 construction
+//   inverse                                        run algorithm Inverse
+//   verify             --reverse "..." [--mode quasi|inverse]
+//                      [--domain a,b] [--max-facts 2]
+//   roundtrip          --reverse "..." --instance "P(a,b)"
+//   analyze            [--domain a,b] [--max-facts 2]   invertibility report
+//
+// Example:
+//   qimap_cli quasi-inverse --source "P/2" --target "Q/1"
+//       --tgds "P(x,y) -> Q(x)"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "base/strings.h"
+#include "chase/chase.h"
+#include "core/framework.h"
+#include "core/inverse.h"
+#include "core/lav_quasi_inverse.h"
+#include "core/quasi_inverse.h"
+#include "core/soundness.h"
+#include "dependency/parser.h"
+#include "relational/instance_enum.h"
+
+// Like QIMAP_ASSIGN_OR_RETURN but reports to stderr and returns exit code
+// 1 (CLI handlers return int).
+#define QIMAP_ASSIGN_OR_RETURN_CLI(lhs, expr)                         \
+  auto QIMAP_STATUS_CONCAT(_cli_res, __LINE__) = (expr);              \
+  if (!QIMAP_STATUS_CONCAT(_cli_res, __LINE__).ok()) {                \
+    std::fprintf(stderr, "%s\n",                                      \
+                 QIMAP_STATUS_CONCAT(_cli_res, __LINE__)              \
+                     .status()                                        \
+                     .ToString()                                      \
+                     .c_str());                                       \
+    return 1;                                                         \
+  }                                                                   \
+  lhs = std::move(QIMAP_STATUS_CONCAT(_cli_res, __LINE__)).value()
+
+namespace qimap {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  const char* Get(const std::string& key,
+                  const char* fallback = nullptr) const {
+    auto it = flags.find(key);
+    return it != flags.end() ? it->second.c_str() : fallback;
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: qimap_cli <chase|quasi-inverse|lav-quasi-inverse|inverse|"
+      "verify|roundtrip|analyze> \\\n"
+      "         --source \"P/2\" --target \"Q/1\" --tgds \"P(x,y) -> "
+      "Q(x)\" [options]\n"
+      "options: --instance \"P(a,b)\"  --reverse \"Q(x) -> exists y: "
+      "P(x,y)\"\n"
+      "         --mode quasi|inverse  --domain a,b  --max-facts 2\n");
+  return 2;
+}
+
+Result<SchemaMapping> LoadMapping(const Args& args) {
+  const char* source = args.Get("source");
+  const char* target = args.Get("target");
+  const char* tgds = args.Get("tgds");
+  if (source == nullptr || target == nullptr || tgds == nullptr) {
+    return Status::InvalidArgument(
+        "--source, --target, and --tgds are required");
+  }
+  return ParseMapping(source, target, tgds);
+}
+
+BoundedSpace LoadSpace(const Args& args) {
+  BoundedSpace space;
+  std::vector<std::string> names =
+      SplitAndTrim(args.Get("domain", "a,b"), ',');
+  space.domain = MakeDomain(names);
+  space.max_facts =
+      static_cast<size_t>(std::atoi(args.Get("max-facts", "2")));
+  return space;
+}
+
+int RunChase(const Args& args, const SchemaMapping& m) {
+  const char* text = args.Get("instance");
+  if (text == nullptr) {
+    std::fprintf(stderr, "chase requires --instance\n");
+    return 2;
+  }
+  QIMAP_ASSIGN_OR_RETURN_CLI(Instance i, ParseInstance(m.source, text));
+  QIMAP_ASSIGN_OR_RETURN_CLI(Instance u, Chase(i, m));
+  std::printf("%s\n", u.ToString().c_str());
+  return 0;
+}
+
+int RunQuasiInverse(const SchemaMapping& m, bool lav_variant) {
+  Result<ReverseMapping> rev =
+      lav_variant ? LavQuasiInverse(m) : QuasiInverse(m);
+  if (!rev.ok()) {
+    std::fprintf(stderr, "%s\n", rev.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", rev->ToString().c_str());
+  return 0;
+}
+
+int RunInverse(const SchemaMapping& m) {
+  Result<ReverseMapping> rev = InverseAlgorithm(m);
+  if (!rev.ok()) {
+    std::fprintf(stderr, "%s\n", rev.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", rev->ToString().c_str());
+  return 0;
+}
+
+int RunVerify(const Args& args, const SchemaMapping& m) {
+  const char* reverse_text = args.Get("reverse");
+  if (reverse_text == nullptr) {
+    std::fprintf(stderr, "verify requires --reverse\n");
+    return 2;
+  }
+  QIMAP_ASSIGN_OR_RETURN_CLI(ReverseMapping rev,
+                             ParseReverseMapping(m, reverse_text));
+  EquivKind kind = std::strcmp(args.Get("mode", "quasi"), "inverse") == 0
+                       ? EquivKind::kEquality
+                       : EquivKind::kSimM;
+  FrameworkChecker checker(m, LoadSpace(args));
+  Result<BoundedCheckReport> report =
+      checker.CheckGeneralizedInverse(rev, kind, kind);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("(%s,%s)-inverse over the bounded space: %s\n",
+              EquivKindName(kind), EquivKindName(kind),
+              report->holds ? "yes" : "NO");
+  if (report->counterexample.has_value()) {
+    std::printf("counterexample:\n  I1 = {%s}\n  I2 = {%s}\n  %s\n",
+                report->counterexample->i1.ToString().c_str(),
+                report->counterexample->i2.ToString().c_str(),
+                report->counterexample->detail.c_str());
+  }
+  return report->holds ? 0 : 1;
+}
+
+int RunRoundTrip(const Args& args, const SchemaMapping& m) {
+  const char* reverse_text = args.Get("reverse");
+  const char* instance_text = args.Get("instance");
+  if (reverse_text == nullptr || instance_text == nullptr) {
+    std::fprintf(stderr, "roundtrip requires --reverse and --instance\n");
+    return 2;
+  }
+  QIMAP_ASSIGN_OR_RETURN_CLI(ReverseMapping rev,
+                             ParseReverseMapping(m, reverse_text));
+  QIMAP_ASSIGN_OR_RETURN_CLI(Instance i,
+                             ParseInstance(m.source, instance_text));
+  QIMAP_ASSIGN_OR_RETURN_CLI(RoundTrip trip, CheckRoundTrip(m, rev, i));
+  std::printf("U  = %s\n", trip.universal.ToString().c_str());
+  for (size_t k = 0; k < trip.recovered.size(); ++k) {
+    std::printf("V%zu = %s\n", k + 1, trip.recovered[k].ToString().c_str());
+  }
+  std::printf("sound: %s   faithful: %s\n", trip.sound ? "yes" : "no",
+              trip.faithful ? "yes" : "no");
+  return trip.sound ? 0 : 1;
+}
+
+int RunAnalyze(const Args& args, const SchemaMapping& m) {
+  std::printf("Sigma:\n%s", m.ToString().c_str());
+  std::printf("class: %s%s%s\n", m.IsLav() ? "LAV " : "",
+              m.IsFull() ? "full " : "", m.IsGav() ? "GAV" : "");
+  Result<bool> propagation = HasConstantPropagation(m);
+  if (propagation.ok()) {
+    std::printf("constant propagation: %s\n",
+                *propagation ? "holds" : "fails");
+  }
+  FrameworkChecker checker(m, LoadSpace(args));
+  Result<BoundedCheckReport> unique = checker.CheckUniqueSolutions();
+  if (unique.ok()) {
+    std::printf("unique solutions (bounded): %s\n",
+                unique->holds ? "holds" : "fails");
+  }
+  Result<BoundedCheckReport> subset =
+      checker.CheckSubsetProperty(EquivKind::kSimM, EquivKind::kSimM);
+  if (subset.ok()) {
+    std::printf("(~M,~M)-subset property (bounded): %s\n",
+                subset->holds ? "holds -> quasi-invertible"
+                              : "fails -> no quasi-inverse");
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const char* key = argv[i];
+    if (std::strncmp(key, "--", 2) != 0) return Usage();
+    args.flags[key + 2] = argv[i + 1];
+  }
+
+  Result<SchemaMapping> mapping = LoadMapping(args);
+  if (!mapping.ok()) {
+    std::fprintf(stderr, "%s\n", mapping.status().ToString().c_str());
+    return 2;
+  }
+  const SchemaMapping& m = *mapping;
+
+  if (args.command == "chase") return RunChase(args, m);
+  if (args.command == "quasi-inverse") return RunQuasiInverse(m, false);
+  if (args.command == "lav-quasi-inverse") return RunQuasiInverse(m, true);
+  if (args.command == "inverse") return RunInverse(m);
+  if (args.command == "verify") return RunVerify(args, m);
+  if (args.command == "roundtrip") return RunRoundTrip(args, m);
+  if (args.command == "analyze") return RunAnalyze(args, m);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace qimap
+
+int main(int argc, char** argv) { return qimap::Main(argc, argv); }
