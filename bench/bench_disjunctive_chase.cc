@@ -104,6 +104,11 @@ BENCHMARK(BM_DisjunctiveChaseGuards)->RangeMultiplier(2)->Range(2, 32);
 int main(int argc, char** argv) {
   qimap::PrintReport();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  qimap::bench::JsonReporter reporter("disjunctive_chase");
+  {
+    qimap::bench::JsonReporter::ScopedPhase phase(reporter, "benchmarks");
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  reporter.Write();
   return 0;
 }

@@ -133,6 +133,11 @@ BENCHMARK(BM_MinGenVsGeneratorWidth)->DenseRange(1, 3)->Complexity();
 int main(int argc, char** argv) {
   qimap::PrintReport();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  qimap::bench::JsonReporter reporter("mingen");
+  {
+    qimap::bench::JsonReporter::ScopedPhase phase(reporter, "benchmarks");
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  reporter.Write();
   return 0;
 }

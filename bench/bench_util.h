@@ -1,8 +1,14 @@
 #ifndef QIMAP_BENCH_BENCH_UTIL_H_
 #define QIMAP_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
 
 namespace qimap {
 namespace bench {
@@ -33,6 +39,93 @@ inline const char* YesNo(bool b) { return b ? "yes" : "no"; }
 inline void Verdict(bool agrees) {
   std::printf("  => %s\n\n", agrees ? "REPRODUCED" : "MISMATCH");
 }
+
+/// Machine-readable companion of the printed report: collects named,
+/// timed phases and writes `BENCH_<name>.json` containing the phases plus
+/// a full metrics snapshot, so CI can diff counters across runs. The file
+/// lands in `QIMAP_BENCH_OUT_DIR` when that env var is set, else the
+/// working directory.
+///
+///   bench::JsonReporter reporter("chase_scaling");
+///   { bench::JsonReporter::ScopedPhase p(reporter, "n=64"); Run(64); }
+///   reporter.Write();
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string name) : name_(std::move(name)) {}
+
+  void AddPhase(const std::string& phase, double seconds) {
+    phases_.emplace_back(phase, seconds);
+  }
+
+  /// RAII phase timer (steady-clock wall time).
+  class ScopedPhase {
+   public:
+    ScopedPhase(JsonReporter& reporter, std::string phase)
+        : reporter_(reporter), phase_(std::move(phase)),
+          start_(std::chrono::steady_clock::now()) {}
+    ScopedPhase(const ScopedPhase&) = delete;
+    ScopedPhase& operator=(const ScopedPhase&) = delete;
+    ~ScopedPhase() {
+      std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start_;
+      reporter_.AddPhase(phase_, elapsed.count());
+    }
+
+   private:
+    JsonReporter& reporter_;
+    std::string phase_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Writes the report; false (with a stderr diagnostic) on I/O failure.
+  bool Write() const {
+    std::string path = OutputPath();
+    std::string json = ToJson();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    bool ok = f != nullptr &&
+              std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    if (f != nullptr) std::fclose(f);
+    if (!ok) {
+      std::fprintf(stderr, "JsonReporter: cannot write '%s'\n",
+                   path.c_str());
+    } else {
+      std::printf("  bench report: %s\n", path.c_str());
+    }
+    return ok;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"bench\":\"" + Escape(name_) + "\",\"phases\":[";
+    for (size_t i = 0; i < phases_.size(); ++i) {
+      if (i > 0) out += ',';
+      char seconds[64];
+      std::snprintf(seconds, sizeof(seconds), "%.6f", phases_[i].second);
+      out += "{\"name\":\"" + Escape(phases_[i].first) +
+             "\",\"seconds\":" + seconds + "}";
+    }
+    out += "],\"metrics\":" + obs::SnapshotMetrics().ToJson() + "}\n";
+    return out;
+  }
+
+ private:
+  std::string OutputPath() const {
+    const char* dir = std::getenv("QIMAP_BENCH_OUT_DIR");
+    std::string path = dir != nullptr ? std::string(dir) + "/" : "";
+    return path + "BENCH_" + name_ + ".json";
+  }
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, double>> phases_;
+};
 
 }  // namespace bench
 }  // namespace qimap

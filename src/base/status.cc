@@ -1,6 +1,27 @@
 #include "base/status.h"
 
+#include <atomic>
+
 namespace qimap {
+namespace {
+
+std::atomic<StatusErrorHook> g_status_error_hook{nullptr};
+
+}  // namespace
+
+void SetStatusErrorHook(StatusErrorHook hook) {
+  g_status_error_hook.store(hook, std::memory_order_relaxed);
+}
+
+namespace status_internal {
+
+void NotifyError(StatusCode code, const std::string& message) {
+  StatusErrorHook hook =
+      g_status_error_hook.load(std::memory_order_relaxed);
+  if (hook != nullptr) hook(code, message);
+}
+
+}  // namespace status_internal
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {

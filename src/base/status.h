@@ -23,6 +23,19 @@ enum class StatusCode {
 /// Returns a human-readable name for a status code.
 const char* StatusCodeName(StatusCode code);
 
+/// Observer invoked whenever a non-OK Status is constructed (obs/log.h
+/// installs one under `--verbose` so errors are logged where they
+/// originate). nullptr disables. Not thread-safe to swap while statuses
+/// are being constructed concurrently; install once at startup.
+using StatusErrorHook = void (*)(StatusCode code,
+                                 const std::string& message);
+void SetStatusErrorHook(StatusErrorHook hook);
+
+namespace status_internal {
+/// Calls the installed hook, if any (out-of-line; error paths only).
+void NotifyError(StatusCode code, const std::string& message);
+}  // namespace status_internal
+
 /// A lightweight success-or-error value, in the style of database engines
 /// such as RocksDB and Arrow. Cheap to copy in the OK case.
 class Status {
@@ -31,7 +44,11 @@ class Status {
   Status() : code_(StatusCode::kOk) {}
   /// Constructs a status with the given code and message.
   Status(StatusCode code, std::string message)
-      : code_(code), message_(std::move(message)) {}
+      : code_(code), message_(std::move(message)) {
+    if (code_ != StatusCode::kOk) {
+      status_internal::NotifyError(code_, message_);
+    }
+  }
 
   static Status OK() { return Status(); }
   static Status InvalidArgument(std::string msg) {

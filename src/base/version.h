@@ -1,0 +1,16 @@
+#ifndef QIMAP_BASE_VERSION_H_
+#define QIMAP_BASE_VERSION_H_
+
+// Library version, bumped per release-worthy change set.
+#define QIMAP_VERSION_MAJOR 0
+#define QIMAP_VERSION_MINOR 2
+#define QIMAP_VERSION_PATCH 0
+
+namespace qimap {
+
+/// "major.minor.patch", e.g. "0.2.0" (`qimap_cli --version`).
+inline const char* VersionString() { return "0.2.0"; }
+
+}  // namespace qimap
+
+#endif  // QIMAP_BASE_VERSION_H_

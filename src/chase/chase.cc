@@ -3,20 +3,80 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/step_limit.h"
+#include "obs/trace.h"
 #include "relational/homomorphism.h"
 #include "relational/instance_core.h"
 
 namespace qimap {
+namespace {
+
+const char* VariantName(ChaseVariant variant) {
+  switch (variant) {
+    case ChaseVariant::kStandard:
+      return "standard chase";
+    case ChaseVariant::kOblivious:
+      return "oblivious chase";
+    case ChaseVariant::kCore:
+      return "core chase";
+  }
+  return "chase";
+}
+
+const char* VariantSpanName(ChaseVariant variant) {
+  switch (variant) {
+    case ChaseVariant::kStandard:
+      return "chase/standard";
+    case ChaseVariant::kOblivious:
+      return "chase/oblivious";
+    case ChaseVariant::kCore:
+      return "chase/core";
+  }
+  return "chase/unknown";
+}
+
+// Mirrors one run's totals into the process-wide metrics registry.
+void FlushChaseMetrics(const ChaseStats& st) {
+  static const obs::MetricId kRuns = obs::RegisterCounter("chase.runs");
+  static const obs::MetricId kSteps = obs::RegisterCounter("chase.steps");
+  static const obs::MetricId kFired =
+      obs::RegisterCounter("chase.triggers_fired");
+  static const obs::MetricId kHits =
+      obs::RegisterCounter("chase.satisfaction_hits");
+  static const obs::MetricId kNulls =
+      obs::RegisterCounter("chase.nulls_minted");
+  static const obs::MetricId kFacts =
+      obs::RegisterCounter("chase.facts_added");
+  obs::CounterAdd(kRuns);
+  obs::CounterAdd(kSteps, st.steps);
+  obs::CounterAdd(kFired, st.triggers_fired);
+  obs::CounterAdd(kHits, st.satisfaction_hits);
+  obs::CounterAdd(kNulls, st.nulls_minted);
+  obs::CounterAdd(kFacts, st.facts_added);
+}
+
+}  // namespace
 
 Result<Instance> ChaseWithTgds(const Instance& source_inst,
                                const std::vector<Tgd>& tgds,
                                SchemaPtr target_schema,
-                               const ChaseOptions& options) {
+                               const ChaseOptions& options,
+                               ChaseStats* stats) {
+  static const obs::MetricId kLatency =
+      obs::RegisterHistogram("chase.latency_us");
+  obs::ScopedLatency latency(kLatency);
+  QIMAP_TRACE_SPAN(VariantSpanName(options.variant));
+
   Instance target_inst(std::move(target_schema));
   uint32_t next_null = options.first_null_label != 0
                            ? options.first_null_label
                            : source_inst.MaxNullLabel() + 1;
-  size_t steps = 0;
+  obs::StepLimiter limiter(VariantName(options.variant),
+                           options.max_steps);
+  ChaseStats local_stats;
+  ChaseStats& st = stats != nullptr ? *stats : local_stats;
+  st = ChaseStats{};
   Status overflow = Status::OK();
 
   // s-t tgds read only the source, so one pass over all (tgd, match) pairs
@@ -26,8 +86,9 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
     ForEachHomomorphism(
         tgd.lhs, source_inst, {}, lhs_options,
         [&](const Assignment& h) {
-          if (++steps > options.max_steps) {
-            overflow = Status::ResourceExhausted("chase step limit reached");
+          Status tick = limiter.Tick();
+          if (!tick.ok()) {
+            overflow = std::move(tick);
             return false;
           }
           // Standard-chase applicability: skip when some extension of h
@@ -37,18 +98,22 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
             HomSearchOptions rhs_options;
             if (FindHomomorphism(tgd.rhs, target_inst, h, rhs_options)
                     .has_value()) {
+              ++st.satisfaction_hits;
               return true;
             }
           }
           // Fire: instantiate the rhs, using fresh nulls for the
           // existential variables.
+          ++st.triggers_fired;
           Assignment extended = h;
           for (const Value& y : tgd.ExistentialVariables()) {
             extended.emplace(y, Value::MakeNull(next_null++));
+            ++st.nulls_minted;
           }
           for (const Atom& atom :
                ApplyAssignmentToConjunction(tgd.rhs, extended)) {
             Status status = target_inst.AddFact(atom.relation, atom.args);
+            ++st.facts_added;
             if (!status.ok()) {
               overflow = status;
               return false;
@@ -56,17 +121,21 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
           }
           return true;
         });
-    if (!overflow.ok()) return overflow;
+    if (!overflow.ok()) break;
   }
+  st.steps = limiter.steps();
+  FlushChaseMetrics(st);
+  if (!overflow.ok()) return overflow;
   if (options.variant == ChaseVariant::kCore) {
+    QIMAP_TRACE_SPAN("chase/core_minimize");
     return ComputeCore(target_inst);
   }
   return target_inst;
 }
 
 Result<Instance> Chase(const Instance& source_inst, const SchemaMapping& m,
-                       const ChaseOptions& options) {
-  return ChaseWithTgds(source_inst, m.tgds, m.target, options);
+                       const ChaseOptions& options, ChaseStats* stats) {
+  return ChaseWithTgds(source_inst, m.tgds, m.target, options, stats);
 }
 
 Instance MustChase(const Instance& source_inst, const SchemaMapping& m,

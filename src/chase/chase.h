@@ -37,6 +37,24 @@ struct ChaseOptions {
   size_t max_steps = 1u << 20;
 };
 
+/// Per-run statistics of one chase (the repo-wide stats convention: every
+/// pipeline exposes an out-param stats struct and mirrors the totals into
+/// the obs metrics registry — see docs/observability.md).
+struct ChaseStats {
+  /// Lhs matches examined (fired or skipped); equals the step count
+  /// checked against ChaseOptions::max_steps.
+  size_t steps = 0;
+  /// Triggers that fired (facts were instantiated).
+  size_t triggers_fired = 0;
+  /// Standard-chase triggers skipped because the rhs was already
+  /// witnessed (always 0 for the oblivious variant).
+  size_t satisfaction_hits = 0;
+  /// Fresh nulls minted for existential variables.
+  size_t nulls_minted = 0;
+  /// Facts passed to AddFact (including duplicates the instance absorbs).
+  size_t facts_added = 0;
+};
+
 /// The standard (restricted) chase of a source instance with a finite set
 /// of s-t tgds. Returns `chase_Sigma(I)`, a universal solution for the
 /// instance under the mapping (paper, Section 2). The result is unique up
@@ -46,14 +64,16 @@ struct ChaseOptions {
 /// instances); they are treated as ordinary values, as in the paper's
 /// chase of `I_beta`.
 Result<Instance> Chase(const Instance& source_inst, const SchemaMapping& m,
-                       const ChaseOptions& options = {});
+                       const ChaseOptions& options = {},
+                       ChaseStats* stats = nullptr);
 
 /// Chase with an explicit dependency list and target schema; used on
 /// canonical instances during generator search (Section 4).
 Result<Instance> ChaseWithTgds(const Instance& source_inst,
                                const std::vector<Tgd>& tgds,
                                SchemaPtr target_schema,
-                               const ChaseOptions& options = {});
+                               const ChaseOptions& options = {},
+                               ChaseStats* stats = nullptr);
 
 /// Like Chase but aborts on error (tests/examples/benchmarks).
 Instance MustChase(const Instance& source_inst, const SchemaMapping& m,

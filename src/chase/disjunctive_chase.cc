@@ -6,10 +6,35 @@
 #include <optional>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/step_limit.h"
+#include "obs/trace.h"
 #include "relational/homomorphism.h"
 
 namespace qimap {
 namespace {
+
+// Mirrors one run's totals into the process-wide metrics registry.
+void FlushDisjunctiveChaseMetrics(const DisjunctiveChaseStats& st) {
+  static const obs::MetricId kRuns = obs::RegisterCounter("dchase.runs");
+  static const obs::MetricId kSteps = obs::RegisterCounter("dchase.steps");
+  static const obs::MetricId kNodes = obs::RegisterCounter("dchase.nodes");
+  static const obs::MetricId kLeaves =
+      obs::RegisterCounter("dchase.leaves");
+  static const obs::MetricId kBranches =
+      obs::RegisterCounter("dchase.branches");
+  static const obs::MetricId kDropped =
+      obs::RegisterCounter("dchase.dedup_dropped");
+  static const obs::MetricId kNulls =
+      obs::RegisterCounter("dchase.nulls_minted");
+  obs::CounterAdd(kRuns);
+  obs::CounterAdd(kSteps, st.steps);
+  obs::CounterAdd(kNodes, st.nodes);
+  obs::CounterAdd(kLeaves, st.leaves);
+  obs::CounterAdd(kBranches, st.branches);
+  obs::CounterAdd(kDropped, st.dedup_dropped);
+  obs::CounterAdd(kNulls, st.nulls_minted);
+}
 
 // One applicable chase step: a dependency together with the lhs match.
 struct ApplicableStep {
@@ -53,12 +78,27 @@ std::optional<ApplicableStep> FindApplicableStep(
 Result<std::vector<Instance>> DisjunctiveChase(
     const Instance& target_inst, const ReverseMapping& m,
     const DisjunctiveChaseOptions& options, DisjunctiveChaseStats* stats) {
+  static const obs::MetricId kLatency =
+      obs::RegisterHistogram("dchase.latency_us");
+  obs::ScopedLatency latency(kLatency);
+  QIMAP_TRACE_SPAN("chase/disjunctive");
+
   uint32_t next_null = options.first_null_label != 0
                            ? options.first_null_label
                            : target_inst.MaxNullLabel() + 1;
   DisjunctiveChaseStats local_stats;
   DisjunctiveChaseStats& st = stats != nullptr ? *stats : local_stats;
   st = DisjunctiveChaseStats{};
+  obs::StepLimiter limiter("disjunctive chase", options.max_steps);
+  // Flush whatever was counted on every exit path, including errors.
+  struct Flusher {
+    DisjunctiveChaseStats* st;
+    obs::StepLimiter* limiter;
+    ~Flusher() {
+      st->steps = limiter->steps();
+      FlushDisjunctiveChaseMetrics(*st);
+    }
+  } flusher{&st, &limiter};
 
   std::vector<Instance> leaves;
   std::set<Instance> seen_leaves;
@@ -86,15 +126,15 @@ Result<std::vector<Instance>> DisjunctiveChase(
         ++st.leaves;
         if (leaves.size() > options.max_leaves) {
           return Status::ResourceExhausted(
-              "disjunctive chase exceeded max_leaves");
+              "disjunctive chase exceeded max_leaves (" +
+              std::to_string(options.max_leaves) + " leaves)");
         }
+      } else {
+        ++st.dedup_dropped;
       }
       continue;
     }
-    if (++st.steps > options.max_steps) {
-      return Status::ResourceExhausted(
-          "disjunctive chase exceeded max_steps");
-    }
+    QIMAP_RETURN_IF_ERROR(limiter.Tick());
     // Branch: one child per disjunct (Definition 6.3).
     const DisjunctiveTgd& dep = *step->dep;
     for (size_t i = 0; i < dep.disjuncts.size(); ++i) {
@@ -102,6 +142,7 @@ Result<std::vector<Instance>> DisjunctiveChase(
       Assignment extended = step->match;
       for (const Value& y : dep.ExistentialVariablesOf(i)) {
         extended.emplace(y, Value::MakeNull(next_null++));
+        ++st.nulls_minted;
       }
       for (const Atom& atom :
            ApplyAssignmentToConjunction(dep.disjuncts[i], extended)) {
@@ -110,6 +151,7 @@ Result<std::vector<Instance>> DisjunctiveChase(
       }
       worklist.push_back(std::move(child));
       ++st.nodes;
+      ++st.branches;
     }
   }
   return leaves;

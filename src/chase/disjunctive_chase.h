@@ -28,11 +28,22 @@ struct DisjunctiveChaseOptions {
   bool dedup_equivalent_leaves = false;
 };
 
-/// Statistics about a disjunctive chase run.
+/// Statistics about a disjunctive chase run (same convention as
+/// ChaseStats; totals are mirrored into the `dchase.*` metrics).
 struct DisjunctiveChaseStats {
+  /// Chase steps over the whole tree (internal-node expansions).
   size_t steps = 0;
+  /// Tree nodes created (root + all children).
   size_t nodes = 0;
+  /// Distinct leaves kept.
   size_t leaves = 0;
+  /// Children spawned across all expansions; `branches / steps` is the
+  /// average branch factor of the chase tree.
+  size_t branches = 0;
+  /// Leaves dropped by value-level or homomorphic deduplication.
+  size_t dedup_dropped = 0;
+  /// Fresh nulls minted for disjunct existentials.
+  size_t nulls_minted = 0;
 };
 
 /// The disjunctive chase of `(target_inst, ∅)` with the reverse mapping's

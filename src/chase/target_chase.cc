@@ -2,10 +2,30 @@
 
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/step_limit.h"
+#include "obs/trace.h"
 #include "relational/homomorphism.h"
 
 namespace qimap {
 namespace {
+
+// Mirrors one run's totals into the process-wide metrics registry.
+void FlushTargetChaseMetrics(const TargetChaseStats& st) {
+  static const obs::MetricId kRuns = obs::RegisterCounter("tchase.runs");
+  static const obs::MetricId kSteps = obs::RegisterCounter("tchase.steps");
+  static const obs::MetricId kMerges =
+      obs::RegisterCounter("tchase.egd_merges");
+  static const obs::MetricId kFires =
+      obs::RegisterCounter("tchase.tgd_fires");
+  static const obs::MetricId kNulls =
+      obs::RegisterCounter("tchase.nulls_minted");
+  obs::CounterAdd(kRuns);
+  obs::CounterAdd(kSteps, st.steps);
+  obs::CounterAdd(kMerges, st.egd_merges);
+  obs::CounterAdd(kFires, st.tgd_fires);
+  obs::CounterAdd(kNulls, st.nulls_minted);
+}
 
 // One applicable target-tgd trigger: the lhs matches but no extension
 // satisfies the rhs.
@@ -53,6 +73,11 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
     const Instance& source_inst, const SchemaMapping& m,
     const TargetConstraints& constraints,
     const TargetChaseOptions& options) {
+  static const obs::MetricId kLatency =
+      obs::RegisterHistogram("tchase.latency_us");
+  obs::ScopedLatency latency(kLatency);
+  QIMAP_TRACE_SPAN("chase/target");
+
   ChaseOptions st_options;
   st_options.first_null_label = options.first_null_label;
   QIMAP_ASSIGN_OR_RETURN(Instance target_inst,
@@ -60,15 +85,24 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
   uint32_t next_null =
       std::max(target_inst.MaxNullLabel(), source_inst.MaxNullLabel()) + 1;
 
-  TargetChaseResult result{Instance(m.target), false, 0};
+  TargetChaseResult result{Instance(m.target), false, 0, {}};
+  obs::StepLimiter limiter("target chase", options.max_steps,
+                           " (are the target tgds weakly acyclic?)");
+  TargetChaseStats st;
+  // Flush whatever was counted on every exit path, including errors.
+  struct Flusher {
+    TargetChaseStats* st;
+    obs::StepLimiter* limiter;
+    ~Flusher() {
+      st->steps = limiter->steps();
+      FlushTargetChaseMetrics(*st);
+    }
+  } flusher{&st, &limiter};
+
   // Fixpoint loop: egds first (cheap, and merging can satisfy tgds),
   // then target tgds.
   while (true) {
-    if (++result.steps > options.max_steps) {
-      return Status::ResourceExhausted(
-          "target chase exceeded max_steps (are the target tgds weakly "
-          "acyclic?)");
-    }
+    QIMAP_RETURN_IF_ERROR(limiter.Tick());
     bool fired = false;
     for (const Egd& egd : constraints.egds) {
       std::optional<std::pair<Value, Value>> merge =
@@ -79,6 +113,9 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
         // Two distinct constants: the exchange has no solution.
         result.failed = true;
         result.solution = std::move(target_inst);
+        result.steps = limiter.steps();
+        st.steps = limiter.steps();
+        result.stats = st;
         return result;
       }
       // Nulls yield to constants; between nulls, the younger label
@@ -90,6 +127,7 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
         drop = a;
       }
       target_inst = ApplyAssignmentToInstance(target_inst, {{drop, keep}});
+      ++st.egd_merges;
       fired = true;
       break;
     }
@@ -100,17 +138,22 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
       Assignment extended = *trigger;
       for (const Value& y : tgd.ExistentialVariables()) {
         extended.emplace(y, Value::MakeNull(next_null++));
+        ++st.nulls_minted;
       }
       for (const Atom& atom :
            ApplyAssignmentToConjunction(tgd.rhs, extended)) {
         QIMAP_RETURN_IF_ERROR(target_inst.AddFact(atom.relation, atom.args));
       }
+      ++st.tgd_fires;
       fired = true;
       break;
     }
     if (!fired) break;
   }
   result.solution = std::move(target_inst);
+  result.steps = limiter.steps();
+  st.steps = limiter.steps();
+  result.stats = st;
   return result;
 }
 

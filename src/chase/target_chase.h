@@ -18,6 +18,21 @@ struct TargetChaseOptions {
   size_t max_steps = 1u << 16;
 };
 
+/// Per-run statistics of the target-constraint fixpoint loop (same
+/// convention as ChaseStats; totals are mirrored into the `tchase.*`
+/// metrics). Steps of the s-t phase are reported separately through the
+/// ChaseStats of the inner Chase call.
+struct TargetChaseStats {
+  /// Fixpoint iterations (each applies at most one egd or tgd step).
+  size_t steps = 0;
+  /// Egd steps applied (two values merged).
+  size_t egd_merges = 0;
+  /// Target-tgd triggers fired.
+  size_t tgd_fires = 0;
+  /// Fresh nulls minted for target-tgd existentials.
+  size_t nulls_minted = 0;
+};
+
 /// The result of a constraint-aware data exchange.
 struct TargetChaseResult {
   /// Set when the chase succeeded: a universal solution satisfying the
@@ -27,6 +42,7 @@ struct TargetChaseResult {
   /// exchange problem has NO solution (the paper's [4], chase failure).
   bool failed = false;
   size_t steps = 0;
+  TargetChaseStats stats;
 };
 
 /// Data exchange in the full setting of the paper's [4]: chases `source`

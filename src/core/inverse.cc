@@ -8,6 +8,8 @@
 
 #include "chase/chase.h"
 #include "core/sigma_star.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qimap {
 namespace {
@@ -56,6 +58,17 @@ std::vector<Atom> PrimeAtoms(const Schema& schema, RelationId r) {
 
 Result<ReverseMapping> InverseAlgorithm(const SchemaMapping& m,
                                         const InverseOptions& options) {
+  static const obs::MetricId kLatency =
+      obs::RegisterHistogram("inv.latency_us");
+  static const obs::MetricId kRuns = obs::RegisterCounter("inv.runs");
+  static const obs::MetricId kPrimes =
+      obs::RegisterCounter("inv.prime_instances");
+  static const obs::MetricId kRules =
+      obs::RegisterCounter("inv.rules_emitted");
+  obs::ScopedLatency latency(kLatency);
+  QIMAP_TRACE_SPAN("inverse/run");
+  obs::CounterAdd(kRuns);
+
   // Step 1: the constant-propagation property is necessary for
   // invertibility (Proposition 5.3); without it the algorithm's
   // dependencies would be ill-formed (rhs variables missing from the lhs).
@@ -73,6 +86,7 @@ Result<ReverseMapping> InverseAlgorithm(const SchemaMapping& m,
   // Steps 2-4: one full tgd per prime instance.
   for (RelationId r = 0; r < m.source->size(); ++r) {
     for (const Atom& alpha : PrimeAtoms(*m.source, r)) {
+      obs::CounterAdd(kPrimes);
       Instance canonical = CanonicalInstance({alpha}, m.source);
       QIMAP_ASSIGN_OR_RETURN(Instance chased, Chase(canonical, m));
 
@@ -119,6 +133,7 @@ Result<ReverseMapping> InverseAlgorithm(const SchemaMapping& m,
       }
       dep.disjuncts.push_back(Conjunction{alpha});
       reverse.deps.push_back(std::move(dep));
+      obs::CounterAdd(kRules);
     }
   }
   return reverse;

@@ -9,11 +9,24 @@
 
 #include "chase/chase.h"
 #include "core/inverse.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/atom.h"
 
 namespace qimap {
 
 Result<ReverseMapping> LavQuasiInverse(const SchemaMapping& m) {
+  static const obs::MetricId kLatency =
+      obs::RegisterHistogram("lavqinv.latency_us");
+  static const obs::MetricId kRuns = obs::RegisterCounter("lavqinv.runs");
+  static const obs::MetricId kPrimes =
+      obs::RegisterCounter("lavqinv.prime_instances");
+  static const obs::MetricId kRules =
+      obs::RegisterCounter("lavqinv.rules_emitted");
+  obs::ScopedLatency latency(kLatency);
+  QIMAP_TRACE_SPAN("lav_quasi_inverse/run");
+  obs::CounterAdd(kRuns);
+
   if (!m.IsLav()) {
     return Status::FailedPrecondition(
         "LavQuasiInverse requires a LAV schema mapping");
@@ -31,6 +44,7 @@ Result<ReverseMapping> LavQuasiInverse(const SchemaMapping& m) {
   // triggers, which recovers the atom exactly up to ~M (Theorem 4.7).
   for (RelationId r = 0; r < m.source->size(); ++r) {
     for (const Atom& alpha : PrimeAtoms(*m.source, r)) {
+      obs::CounterAdd(kPrimes);
       Instance canonical = CanonicalInstance({alpha}, m.source);
       QIMAP_ASSIGN_OR_RETURN(Instance chased, Chase(canonical, m));
       if (chased.Empty()) {
@@ -82,6 +96,7 @@ Result<ReverseMapping> LavQuasiInverse(const SchemaMapping& m) {
       if (std::find(reverse.deps.begin(), reverse.deps.end(), dep) ==
           reverse.deps.end()) {
         reverse.deps.push_back(std::move(dep));
+        obs::CounterAdd(kRules);
       }
     }
   }

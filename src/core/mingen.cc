@@ -6,10 +6,33 @@
 #include <string>
 
 #include "chase/chase.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/homomorphism.h"
 
 namespace qimap {
 namespace {
+
+// Mirrors one run's totals into the process-wide metrics registry.
+void FlushMinGenMetrics(const MinGenStats& st) {
+  static const obs::MetricId kRuns = obs::RegisterCounter("mingen.runs");
+  static const obs::MetricId kCandidates =
+      obs::RegisterCounter("mingen.candidates");
+  static const obs::MetricId kDedup =
+      obs::RegisterCounter("mingen.dedup_pruned");
+  static const obs::MetricId kDominated =
+      obs::RegisterCounter("mingen.dominated_pruned");
+  static const obs::MetricId kTests =
+      obs::RegisterCounter("mingen.generator_tests");
+  static const obs::MetricId kGenerators =
+      obs::RegisterCounter("mingen.generators");
+  obs::CounterAdd(kRuns);
+  obs::CounterAdd(kCandidates, st.candidates);
+  obs::CounterAdd(kDedup, st.dedup_pruned);
+  obs::CounterAdd(kDominated, st.dominated_pruned);
+  obs::CounterAdd(kTests, st.generator_tests);
+  obs::CounterAdd(kGenerators, st.generators);
+}
 
 // Fresh generator variables #z1, #z2, ... ('#' cannot appear in parsed
 // dependencies, so they never collide with user variables).
@@ -191,6 +214,11 @@ Result<std::vector<Conjunction>> MinGen(const SchemaMapping& m,
                                         const Conjunction& psi,
                                         const std::vector<Value>& x,
                                         const MinGenOptions& options) {
+  static const obs::MetricId kLatency =
+      obs::RegisterHistogram("mingen.latency_us");
+  obs::ScopedLatency latency(kLatency);
+  QIMAP_TRACE_SPAN("mingen/search");
+
   // Lemma 4.4: minimal generators have at most s1*s2 conjuncts.
   size_t s1 = 0;
   for (const Tgd& tgd : m.tgds) s1 = std::max(s1, tgd.lhs.size());
@@ -198,10 +226,18 @@ Result<std::vector<Conjunction>> MinGen(const SchemaMapping& m,
       options.max_atoms != 0 ? options.max_atoms : s1 * psi.size();
   std::set<Value> x_set(x.begin(), x.end());
 
+  MinGenStats local_stats;
+  MinGenStats& st = options.stats != nullptr ? *options.stats : local_stats;
+  st = MinGenStats{};
+  // Flush whatever was counted on every exit path, including errors.
+  struct Flusher {
+    MinGenStats* st;
+    ~Flusher() { FlushMinGenMetrics(*st); }
+  } flusher{&st};
+
   std::vector<Conjunction> generators;
   std::vector<Conjunction> frontier = {Conjunction{}};
   std::set<std::string> seen;
-  size_t candidates = 0;
 
   for (size_t size = 1; size <= max_atoms && !frontier.empty(); ++size) {
     std::vector<Conjunction> next_frontier;
@@ -218,7 +254,10 @@ Result<std::vector<Conjunction>> MinGen(const SchemaMapping& m,
         child.push_back(atom);
         if (options.dedup_candidates) {
           std::string key = CanonicalKey(child, x_set);
-          if (!seen.insert(std::move(key)).second) continue;
+          if (!seen.insert(std::move(key)).second) {
+            ++st.dedup_pruned;
+            continue;
+          }
         }
         // Strict supersets of a found generator are never minimal.
         bool dominated = false;
@@ -228,14 +267,18 @@ Result<std::vector<Conjunction>> MinGen(const SchemaMapping& m,
             break;
           }
         }
-        if (dominated) continue;
-        if (++candidates > options.max_candidates) {
+        if (dominated) {
+          ++st.dominated_pruned;
+          continue;
+        }
+        if (++st.candidates > options.max_candidates) {
           return Status::ResourceExhausted(
               "MinGen candidate budget exceeded (" +
               std::to_string(options.max_candidates) + ")");
         }
         bool is_generator = false;
         if (ContainsAllX(child, x)) {
+          ++st.generator_tests;
           QIMAP_ASSIGN_OR_RETURN(is_generator, IsGenerator(m, child, psi, x));
         }
         if (is_generator) {
@@ -263,6 +306,7 @@ Result<std::vector<Conjunction>> MinGen(const SchemaMapping& m,
     }
     if (!drop) minimal.push_back(g);
   }
+  st.generators = minimal.size();
   return minimal;
 }
 

@@ -9,6 +9,22 @@
 
 namespace qimap {
 
+/// Per-run statistics of the MinGen search (same convention as
+/// ChaseStats; totals are mirrored into the `mingen.*` metrics).
+struct MinGenStats {
+  /// Candidate conjunctions whose generator property was tested (the
+  /// budget checked against MinGenOptions::max_candidates).
+  size_t candidates = 0;
+  /// Candidates dropped by the near-canonical dedup key.
+  size_t dedup_pruned = 0;
+  /// Candidates dropped as strict supersets of a found generator.
+  size_t dominated_pruned = 0;
+  /// Chase-based IsGenerator tests actually run.
+  size_t generator_tests = 0;
+  /// Minimal generators returned.
+  size_t generators = 0;
+};
+
 /// Options for the MinGen search.
 struct MinGenOptions {
   /// Bound on the number of conjuncts of a generator. 0 means the
@@ -23,6 +39,8 @@ struct MinGenOptions {
   /// deduplicated regardless — but the search revisits permuted copies;
   /// exposed as an ablation knob for the benchmarks.
   bool dedup_candidates = true;
+  /// Optional out-param: filled with this run's search statistics.
+  MinGenStats* stats = nullptr;
 };
 
 /// Decides whether `beta` (a conjunction of source atoms over variables

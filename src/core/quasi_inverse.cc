@@ -8,6 +8,8 @@
 #include <string>
 
 #include "core/sigma_star.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/homomorphism.h"
 
 namespace qimap {
@@ -92,11 +94,23 @@ bool DisjunctSubsumes(const Conjunction& general,
 
 Result<ReverseMapping> QuasiInverse(const SchemaMapping& m,
                                     const QuasiInverseOptions& options) {
+  static const obs::MetricId kLatency =
+      obs::RegisterHistogram("qinv.latency_us");
+  static const obs::MetricId kRuns = obs::RegisterCounter("qinv.runs");
+  static const obs::MetricId kSigmaStar =
+      obs::RegisterCounter("qinv.sigma_star_rules");
+  static const obs::MetricId kRules =
+      obs::RegisterCounter("qinv.rules_emitted");
+  obs::ScopedLatency latency(kLatency);
+  QIMAP_TRACE_SPAN("quasi_inverse/run");
+  obs::CounterAdd(kRuns);
+
   ReverseMapping reverse;
   reverse.from = m.target;
   reverse.to = m.source;
 
   for (const Tgd& sigma : SigmaStar(m)) {
+    obs::CounterAdd(kSigmaStar);
     std::vector<Value> x = sigma.FrontierVariables();
 
     DisjunctiveTgd dep;
@@ -127,6 +141,7 @@ Result<ReverseMapping> QuasiInverse(const SchemaMapping& m,
     if (std::find(reverse.deps.begin(), reverse.deps.end(), dep) ==
         reverse.deps.end()) {
       reverse.deps.push_back(std::move(dep));
+      obs::CounterAdd(kRules);
     }
   }
   return reverse;

@@ -1,0 +1,214 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qimap {
+namespace obs {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    QIMAP_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber();
+    }
+    JsonValue value;
+    if (ConsumeWord("true")) {
+      value.type = JsonValue::Type::kBool;
+      value.bool_value = true;
+      return value;
+    }
+    if (ConsumeWord("false")) {
+      value.type = JsonValue::Type::kBool;
+      return value;
+    }
+    if (ConsumeWord("null")) return value;
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return value;
+    while (true) {
+      SkipWhitespace();
+      QIMAP_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      QIMAP_ASSIGN_OR_RETURN(JsonValue member, ParseValue());
+      value.members.emplace_back(std::move(key.string_value),
+                                 std::move(member));
+      SkipWhitespace();
+      if (Consume('}')) return value;
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return value;
+    while (true) {
+      QIMAP_ASSIGN_OR_RETURN(JsonValue item, ParseValue());
+      value.items.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return value;
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    JsonValue value;
+    value.type = JsonValue::Type::kString;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c != '\\') {
+        value.string_value.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          value.string_value.push_back(esc);
+          break;
+        case 'n':
+          value.string_value.push_back('\n');
+          break;
+        case 't':
+          value.string_value.push_back('\t');
+          break;
+        case 'r':
+          value.string_value.push_back('\r');
+          break;
+        case 'b':
+          value.string_value.push_back('\b');
+          break;
+        case 'f':
+          value.string_value.push_back('\f');
+          break;
+        case 'u':
+          // Pass the escape through undecoded; validation callers only
+          // care about well-formedness.
+          value.string_value += "\\u";
+          break;
+        default:
+          return Error("invalid escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    (void)Consume('-');
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double parsed = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      return Error("malformed number '" + token + "'");
+    }
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    value.number_value = parsed;
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+Result<JsonValue> ParseJsonFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string contents;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+  return ParseJson(contents);
+}
+
+}  // namespace obs
+}  // namespace qimap

@@ -1,0 +1,47 @@
+#ifndef QIMAP_OBS_JSON_H_
+#define QIMAP_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace qimap {
+namespace obs {
+
+/// A minimal JSON DOM, just rich enough to validate the telemetry files
+/// the obs layer emits (trace-event JSON, metrics snapshots, bench
+/// reports). Not a general-purpose parser: numbers are doubles, strings
+/// decode the common escapes, and \uXXXX escapes are passed through
+/// verbatim.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;                             // arrays
+  std::vector<std::pair<std::string, JsonValue>> members;   // objects
+
+  bool IsObject() const { return type == Type::kObject; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsString() const { return type == Type::kString; }
+  bool IsNumber() const { return type == Type::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (rejects trailing garbage).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Reads and parses a JSON file.
+Result<JsonValue> ParseJsonFile(const std::string& path);
+
+}  // namespace obs
+}  // namespace qimap
+
+#endif  // QIMAP_OBS_JSON_H_

@@ -1,0 +1,250 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <mutex>
+
+namespace qimap {
+namespace obs {
+namespace {
+
+// Fixed per-shard capacity keeps the increment path branch-free apart
+// from a bounds check: shards never reallocate, so readers can walk them
+// without synchronizing with writers. Registrations past the cap are
+// accepted but their updates are dropped (far above current usage).
+constexpr size_t kMaxCounters = 256;
+constexpr size_t kMaxGauges = 64;
+constexpr size_t kMaxHistograms = 64;
+constexpr size_t kHistBuckets = 64;
+
+struct HistogramSlot {
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> sum{0};
+  std::atomic<uint64_t> min{UINT64_MAX};
+  std::atomic<uint64_t> max{0};
+  std::atomic<uint64_t> buckets[kHistBuckets] = {};
+};
+
+// One thread's slice of every metric. Single writer (the owning thread),
+// many readers (snapshots); all accesses are relaxed atomics.
+struct Shard {
+  std::atomic<uint64_t> counters[kMaxCounters] = {};
+  HistogramSlot histograms[kMaxHistograms];
+};
+
+struct Registry {
+  std::mutex mu;  // guards names and the shard list, never increments
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> histogram_names;
+  std::vector<Shard*> shards;
+  // Gauges are global last-write-wins values, not per-shard sums.
+  std::atomic<int64_t> gauges[kMaxGauges] = {};
+
+  static Registry& Get() {
+    // Leaked on purpose: metrics must outlive every static destructor.
+    static Registry* registry = new Registry;
+    return *registry;
+  }
+};
+
+Shard& LocalShard() {
+  thread_local Shard* shard = [] {
+    Shard* s = new Shard;  // retained for the life of the process so a
+                           // thread's counts survive its exit
+    Registry& reg = Registry::Get();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.shards.push_back(s);
+    return s;
+  }();
+  return *shard;
+}
+
+MetricId RegisterIn(std::vector<std::string>* names,
+                    const std::string& name) {
+  Registry& reg = Registry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (size_t i = 0; i < names->size(); ++i) {
+    if ((*names)[i] == name) return static_cast<MetricId>(i);
+  }
+  names->push_back(name);
+  return static_cast<MetricId>(names->size() - 1);
+}
+
+size_t BucketIndex(uint64_t value) {
+  size_t index = static_cast<size_t>(std::bit_width(value));
+  return index < kHistBuckets ? index : kHistBuckets - 1;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+MetricId RegisterCounter(const std::string& name) {
+  return RegisterIn(&Registry::Get().counter_names, name);
+}
+
+MetricId RegisterGauge(const std::string& name) {
+  return RegisterIn(&Registry::Get().gauge_names, name);
+}
+
+MetricId RegisterHistogram(const std::string& name) {
+  return RegisterIn(&Registry::Get().histogram_names, name);
+}
+
+void CounterAdd(MetricId id, uint64_t delta) {
+  if (id >= kMaxCounters) return;
+  LocalShard().counters[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void GaugeSet(MetricId id, int64_t value) {
+  if (id >= kMaxGauges) return;
+  Registry::Get().gauges[id].store(value, std::memory_order_relaxed);
+}
+
+void HistogramRecord(MetricId id, uint64_t value) {
+  if (id >= kMaxHistograms) return;
+  HistogramSlot& slot = LocalShard().histograms[id];
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  slot.sum.fetch_add(value, std::memory_order_relaxed);
+  // Single writer per shard: load-compare-store needs no CAS loop.
+  if (value < slot.min.load(std::memory_order_relaxed)) {
+    slot.min.store(value, std::memory_order_relaxed);
+  }
+  if (value > slot.max.load(std::memory_order_relaxed)) {
+    slot.max.store(value, std::memory_order_relaxed);
+  }
+  slot.buckets[BucketIndex(value)].fetch_add(1,
+                                             std::memory_order_relaxed);
+}
+
+MetricsSnapshot SnapshotMetrics() {
+  Registry& reg = Registry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  MetricsSnapshot snapshot;
+  for (size_t i = 0; i < reg.counter_names.size() && i < kMaxCounters;
+       ++i) {
+    uint64_t total = 0;
+    for (Shard* shard : reg.shards) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snapshot.counters[reg.counter_names[i]] = total;
+  }
+  for (size_t i = 0; i < reg.gauge_names.size() && i < kMaxGauges; ++i) {
+    snapshot.gauges[reg.gauge_names[i]] =
+        reg.gauges[i].load(std::memory_order_relaxed);
+  }
+  for (size_t i = 0;
+       i < reg.histogram_names.size() && i < kMaxHistograms; ++i) {
+    HistogramSnapshot hist;
+    hist.min = UINT64_MAX;
+    uint64_t bucket_totals[kHistBuckets] = {};
+    for (Shard* shard : reg.shards) {
+      const HistogramSlot& slot = shard->histograms[i];
+      hist.count += slot.count.load(std::memory_order_relaxed);
+      hist.sum += slot.sum.load(std::memory_order_relaxed);
+      uint64_t lo = slot.min.load(std::memory_order_relaxed);
+      uint64_t hi = slot.max.load(std::memory_order_relaxed);
+      if (lo < hist.min) hist.min = lo;
+      if (hi > hist.max) hist.max = hi;
+      for (size_t b = 0; b < kHistBuckets; ++b) {
+        bucket_totals[b] += slot.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    if (hist.count == 0) hist.min = 0;
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+      if (bucket_totals[b] == 0) continue;
+      uint64_t upper = b >= 63 ? UINT64_MAX : (uint64_t{1} << b);
+      hist.buckets.emplace_back(upper, bucket_totals[b]);
+    }
+    snapshot.histograms[reg.histogram_names[i]] = std::move(hist);
+  }
+  return snapshot;
+}
+
+void ResetMetrics() {
+  Registry& reg = Registry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (Shard* shard : reg.shards) {
+    for (size_t i = 0; i < kMaxCounters; ++i) {
+      shard->counters[i].store(0, std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < kMaxHistograms; ++i) {
+      HistogramSlot& slot = shard->histograms[i];
+      slot.count.store(0, std::memory_order_relaxed);
+      slot.sum.store(0, std::memory_order_relaxed);
+      slot.min.store(UINT64_MAX, std::memory_order_relaxed);
+      slot.max.store(0, std::memory_order_relaxed);
+      for (size_t b = 0; b < kHistBuckets; ++b) {
+        slot.buckets[b].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+  for (size_t i = 0; i < kMaxGauges; ++i) {
+    reg.gauges[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": {\"count\": " + std::to_string(hist.count) +
+           ", \"sum\": " + std::to_string(hist.sum) +
+           ", \"min\": " + std::to_string(hist.min) +
+           ", \"max\": " + std::to_string(hist.max) + ", \"buckets\": [";
+    for (size_t b = 0; b < hist.buckets.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += "{\"lt\": " + std::to_string(hist.buckets[b].first) +
+             ", \"count\": " + std::to_string(hist.buckets[b].second) +
+             "}";
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace qimap

@@ -1,0 +1,52 @@
+#ifndef QIMAP_OBS_STEP_LIMIT_H_
+#define QIMAP_OBS_STEP_LIMIT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "base/status.h"
+
+namespace qimap {
+namespace obs {
+
+/// Shared step-budget guard for the chase engines. Every variant used to
+/// hand-roll `++steps > max_steps` with its own error text; this gives
+/// them one counter and one ResourceExhausted message shape that always
+/// names the variant and the limit that was hit:
+///
+///   "standard chase exceeded its step limit (1048576 steps)"
+///
+/// The OK-path Tick() is an increment, a compare, and an empty Status.
+class StepLimiter {
+ public:
+  /// `what` names the guarded loop (e.g. "disjunctive chase"); `hint` is
+  /// appended verbatim to the error message when the limit trips.
+  StepLimiter(const char* what, size_t max_steps, const char* hint = "")
+      : what_(what), hint_(hint), max_steps_(max_steps) {}
+
+  /// Counts one step; ResourceExhausted once the budget is exceeded.
+  Status Tick() {
+    if (++steps_ > max_steps_) return Exhausted();
+    return Status::OK();
+  }
+
+  size_t steps() const { return steps_; }
+  size_t max_steps() const { return max_steps_; }
+
+ private:
+  Status Exhausted() const {
+    return Status::ResourceExhausted(
+        std::string(what_) + " exceeded its step limit (" +
+        std::to_string(max_steps_) + " steps)" + hint_);
+  }
+
+  const char* what_;
+  const char* hint_;
+  size_t max_steps_;
+  size_t steps_ = 0;
+};
+
+}  // namespace obs
+}  // namespace qimap
+
+#endif  // QIMAP_OBS_STEP_LIMIT_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace qimap {
 namespace {
 
@@ -36,6 +38,11 @@ class Matcher {
     return count_;
   }
 
+  // Candidate tuples rejected by unification (accumulated locally so the
+  // inner loop stays free of shared-state writes; the caller flushes the
+  // total to the metrics registry once per search).
+  size_t backtracks() const { return backtracks_; }
+
  private:
   // Tries to unify atom `index` with each tuple of its relation, then
   // recurses.
@@ -69,6 +76,8 @@ class Matcher {
       std::vector<Value> bound;  // values newly bound by this atom
       if (UnifyAtom(atom, *it, &bound)) {
         Search(index + 1);
+      } else {
+        ++backtracks_;
       }
       for (const Value& v : bound) assignment_.erase(v);
       if (stop_) return;
@@ -156,6 +165,7 @@ class Matcher {
   Assignment assignment_;
   bool stop_ = false;
   size_t count_ = 0;
+  size_t backtracks_ = 0;
 };
 
 // Greedy static atom order: repeatedly pick the atom with the fewest
@@ -206,9 +216,19 @@ size_t ForEachHomomorphism(const Conjunction& body, const Instance& target,
                            const Assignment& partial,
                            const HomSearchOptions& options,
                            const std::function<bool(const Assignment&)>& fn) {
+  static const obs::MetricId kSearches =
+      obs::RegisterCounter("hom.searches");
+  static const obs::MetricId kMatches =
+      obs::RegisterCounter("hom.matches");
+  static const obs::MetricId kBacktracks =
+      obs::RegisterCounter("hom.backtracks");
   Conjunction ordered = OrderAtoms(body, target, partial, options);
   Matcher matcher(ordered, target, options, fn);
-  return matcher.Run(partial);
+  size_t count = matcher.Run(partial);
+  obs::CounterAdd(kSearches);
+  obs::CounterAdd(kMatches, count);
+  obs::CounterAdd(kBacktracks, matcher.backtracks());
+  return count;
 }
 
 std::optional<Assignment> FindHomomorphism(const Conjunction& body,

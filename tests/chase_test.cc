@@ -153,6 +153,54 @@ TEST(ChaseVariantTest, CoreVariantIsSmallestUniversalSolution) {
   EXPECT_TRUE(IsSolution(m, src, *core));
 }
 
+TEST(ChaseStatsTest, DecompositionCountsTriggersAndFacts) {
+  SchemaMapping m = MustParseMapping("P/3", "Q/2, R/2",
+                                     "P(x,y,z) -> Q(x,y) & R(y,z)");
+  Instance src = MustParseInstance(m.source, "P(a,b,c), P(a',b,c')");
+  ChaseStats stats;
+  Result<Instance> result = Chase(src, m, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  // Two matches of the single tgd, both firing; no existentials, and the
+  // four target facts Q(a,b), Q(a',b), R(b,c), R(b,c') are all distinct.
+  EXPECT_EQ(stats.steps, 2u);
+  EXPECT_EQ(stats.triggers_fired, 2u);
+  EXPECT_EQ(stats.satisfaction_hits, 0u);
+  EXPECT_EQ(stats.nulls_minted, 0u);
+  EXPECT_EQ(stats.facts_added, 4u);
+}
+
+TEST(ChaseStatsTest, SatisfiedExistentialCountsAsHit) {
+  SchemaMapping m = MustParseMapping(
+      "P/1, W/2", "Q/2", "W(x,y) -> Q(x,y); P(x) -> exists y: Q(x,y)");
+  Instance src = MustParseInstance(m.source, "W(a,b), P(a)");
+  ChaseStats stats;
+  Result<Instance> result = Chase(src, m, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  // W(a,b) fires; Q(a,b) then witnesses the existential for P(a), so that
+  // trigger is a satisfaction hit and no null is minted.
+  EXPECT_EQ(stats.steps, 2u);
+  EXPECT_EQ(stats.triggers_fired, 1u);
+  EXPECT_EQ(stats.satisfaction_hits, 1u);
+  EXPECT_EQ(stats.nulls_minted, 0u);
+  EXPECT_EQ(stats.facts_added, 1u);
+}
+
+TEST(ChaseStatsTest, ObliviousFiresEveryTrigger) {
+  SchemaMapping m = MustParseMapping(
+      "P/1, W/2", "Q/2", "W(x,y) -> Q(x,y); P(x) -> exists y: Q(x,y)");
+  Instance src = MustParseInstance(m.source, "W(a,b), P(a)");
+  ChaseOptions options;
+  options.variant = ChaseVariant::kOblivious;
+  ChaseStats stats;
+  Result<Instance> result = Chase(src, m, options, &stats);
+  ASSERT_TRUE(result.ok());
+  // The oblivious chase never checks satisfaction: both triggers fire and
+  // the existential mints a null even though Q(a,b) already witnesses it.
+  EXPECT_EQ(stats.triggers_fired, 2u);
+  EXPECT_EQ(stats.satisfaction_hits, 0u);
+  EXPECT_EQ(stats.nulls_minted, 1u);
+}
+
 TEST(ChaseVariantTest, AllVariantsHomEquivalent) {
   SchemaMapping m = MustParseMapping(
       "P/2", "Q/2", "P(x,y) -> exists z: Q(x,z) & Q(z,y)");

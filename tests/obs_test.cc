@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/step_limit.h"
+#include "obs/trace.h"
+
+namespace qimap {
+namespace {
+
+TEST(MetricsTest, RegistrationIsIdempotentByName) {
+  obs::MetricId a = obs::RegisterCounter("test.idempotent");
+  obs::MetricId b = obs::RegisterCounter("test.idempotent");
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsTest, CounterSumsAcrossConcurrentThreads) {
+  obs::ResetMetrics();
+  obs::MetricId id = obs::RegisterCounter("test.concurrent");
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([id] {
+      for (int i = 0; i < kIncrements; ++i) obs::CounterAdd(id);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  obs::MetricsSnapshot snapshot = obs::SnapshotMetrics();
+  EXPECT_EQ(snapshot.counters.at("test.concurrent"),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsTest, CounterAddWithDelta) {
+  obs::ResetMetrics();
+  obs::MetricId id = obs::RegisterCounter("test.delta");
+  obs::CounterAdd(id, 5);
+  obs::CounterAdd(id, 7);
+  EXPECT_EQ(obs::SnapshotMetrics().counters.at("test.delta"), 12u);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  obs::ResetMetrics();
+  obs::MetricId id = obs::RegisterGauge("test.gauge");
+  obs::GaugeSet(id, 41);
+  obs::GaugeSet(id, -3);
+  EXPECT_EQ(obs::SnapshotMetrics().gauges.at("test.gauge"), -3);
+}
+
+TEST(MetricsTest, HistogramBucketsAndStatistics) {
+  obs::ResetMetrics();
+  obs::MetricId id = obs::RegisterHistogram("test.hist");
+  obs::HistogramRecord(id, 0);
+  obs::HistogramRecord(id, 5);   // bit_width 3 -> bucket [4, 8)
+  obs::HistogramRecord(id, 6);   // same bucket
+  obs::HistogramRecord(id, 100);  // bit_width 7 -> bucket [64, 128)
+  obs::HistogramSnapshot hist =
+      obs::SnapshotMetrics().histograms.at("test.hist");
+  EXPECT_EQ(hist.count, 4u);
+  EXPECT_EQ(hist.sum, 111u);
+  EXPECT_EQ(hist.min, 0u);
+  EXPECT_EQ(hist.max, 100u);
+  // Nonempty buckets only, as (exclusive upper bound, count).
+  ASSERT_EQ(hist.buckets.size(), 3u);
+  EXPECT_EQ(hist.buckets[0], std::make_pair(uint64_t{1}, uint64_t{1}));
+  EXPECT_EQ(hist.buckets[1], std::make_pair(uint64_t{8}, uint64_t{2}));
+  EXPECT_EQ(hist.buckets[2], std::make_pair(uint64_t{128}, uint64_t{1}));
+}
+
+TEST(MetricsTest, ResetClearsEverything) {
+  obs::MetricId counter = obs::RegisterCounter("test.reset_counter");
+  obs::MetricId gauge = obs::RegisterGauge("test.reset_gauge");
+  obs::MetricId hist = obs::RegisterHistogram("test.reset_hist");
+  obs::CounterAdd(counter, 9);
+  obs::GaugeSet(gauge, 9);
+  obs::HistogramRecord(hist, 9);
+  obs::ResetMetrics();
+  obs::MetricsSnapshot snapshot = obs::SnapshotMetrics();
+  EXPECT_EQ(snapshot.counters.at("test.reset_counter"), 0u);
+  EXPECT_EQ(snapshot.gauges.at("test.reset_gauge"), 0);
+  EXPECT_EQ(snapshot.histograms.at("test.reset_hist").count, 0u);
+  EXPECT_EQ(snapshot.histograms.at("test.reset_hist").min, 0u);
+}
+
+TEST(MetricsTest, SnapshotJsonParses) {
+  obs::ResetMetrics();
+  obs::CounterAdd(obs::RegisterCounter("test.json_counter"), 3);
+  obs::HistogramRecord(obs::RegisterHistogram("test.json_hist"), 42);
+  Result<obs::JsonValue> doc =
+      obs::ParseJson(obs::SnapshotMetrics().ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* value = counters->Find("test.json_counter");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->number_value, 3.0);
+  const obs::JsonValue* hists = doc->Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const obs::JsonValue* hist = hists->Find("test.json_hist");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_NE(hist->Find("buckets"), nullptr);
+  EXPECT_TRUE(hist->Find("buckets")->IsArray());
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Trace::Disable();
+    obs::Trace::Clear();
+  }
+  void TearDown() override {
+    obs::Trace::Disable();
+    obs::Trace::Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledTracingRecordsNothing) {
+  { QIMAP_TRACE_SPAN("test/should_not_appear"); }
+  EXPECT_EQ(obs::Trace::NumEvents(), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansAreContained) {
+  obs::Trace::Enable();
+  {
+    QIMAP_TRACE_SPAN("test/outer");
+    { QIMAP_TRACE_SPAN("test/inner"); }
+  }
+  obs::Trace::Disable();
+  std::vector<obs::TraceEvent> events = obs::Trace::Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans complete innermost-first.
+  EXPECT_EQ(events[0].name, "test/inner");
+  EXPECT_EQ(events[1].name, "test/outer");
+  // The inner interval is contained in the outer one.
+  EXPECT_GE(events[0].ts_us, events[1].ts_us);
+  EXPECT_LE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us);
+}
+
+TEST_F(TraceTest, ClearDropsBufferedEvents) {
+  obs::Trace::Enable();
+  { QIMAP_TRACE_SPAN("test/span"); }
+  EXPECT_EQ(obs::Trace::NumEvents(), 1u);
+  obs::Trace::Clear();
+  EXPECT_EQ(obs::Trace::NumEvents(), 0u);
+}
+
+TEST_F(TraceTest, WriteJsonRoundTripsAsChromeTraceFormat) {
+  obs::Trace::Enable();
+  {
+    QIMAP_TRACE_SPAN("test/write_outer");
+    { QIMAP_TRACE_SPAN("test/write_inner"); }
+  }
+  obs::Trace::Disable();
+  std::string path = ::testing::TempDir() + "/qimap_trace_test.json";
+  ASSERT_TRUE(obs::Trace::WriteJson(path));
+  Result<obs::JsonValue> doc = obs::ParseJsonFile(path);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->IsObject());
+  const obs::JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+  ASSERT_EQ(events->items.size(), 2u);
+  for (const obs::JsonValue& event : events->items) {
+    ASSERT_TRUE(event.IsObject());
+    const obs::JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_EQ(ph->string_value, "X");  // complete events
+    EXPECT_NE(event.Find("name"), nullptr);
+    ASSERT_NE(event.Find("ts"), nullptr);
+    EXPECT_TRUE(event.Find("ts")->IsNumber());
+    ASSERT_NE(event.Find("dur"), nullptr);
+    EXPECT_TRUE(event.Find("dur")->IsNumber());
+    ASSERT_NE(event.Find("pid"), nullptr);
+    ASSERT_NE(event.Find("tid"), nullptr);
+  }
+}
+
+TEST(JsonTest, ParsesScalarsArraysAndObjects) {
+  Result<obs::JsonValue> doc = obs::ParseJson(
+      R"({"a": [1, 2.5, -3], "b": {"c": "x\"y"}, "d": true, "e": null})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 3u);
+  EXPECT_EQ(a->items[1].number_value, 2.5);
+  EXPECT_EQ(a->items[2].number_value, -3.0);
+  const obs::JsonValue* b = doc->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(b->Find("c"), nullptr);
+  EXPECT_EQ(b->Find("c")->string_value, "x\"y");
+  EXPECT_EQ(doc->Find("d")->type, obs::JsonValue::Type::kBool);
+  EXPECT_TRUE(doc->Find("d")->bool_value);
+  EXPECT_EQ(doc->Find("e")->type, obs::JsonValue::Type::kNull);
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(obs::ParseJson("").ok());
+  EXPECT_FALSE(obs::ParseJson("{").ok());
+  EXPECT_FALSE(obs::ParseJson("[1,]").ok());
+  EXPECT_FALSE(obs::ParseJson("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(obs::ParseJson("{'single': 1}").ok());
+  EXPECT_FALSE(obs::ParseJsonFile("/nonexistent/qimap.json").ok());
+}
+
+TEST(StepLimiterTest, TicksUpToTheLimitThenExhausts) {
+  obs::StepLimiter limiter("test chase", 3);
+  EXPECT_TRUE(limiter.Tick().ok());
+  EXPECT_TRUE(limiter.Tick().ok());
+  EXPECT_TRUE(limiter.Tick().ok());
+  Status overflow = limiter.Tick();
+  EXPECT_EQ(overflow.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(overflow.message().find("test chase"), std::string::npos);
+  EXPECT_NE(overflow.message().find("3 steps"), std::string::npos);
+  EXPECT_EQ(limiter.steps(), 4u);
+}
+
+TEST(StepLimiterTest, HintIsAppendedToTheMessage) {
+  obs::StepLimiter limiter("target chase", 1, " (check acyclicity)");
+  EXPECT_TRUE(limiter.Tick().ok());
+  Status overflow = limiter.Tick();
+  EXPECT_NE(overflow.message().find("(check acyclicity)"),
+            std::string::npos);
+}
+
+TEST(LogTest, LevelGatingIsMonotone) {
+  obs::LogLevel before = obs::CurrentLogLevel();
+  obs::SetLogLevel(obs::LogLevel::kInfo);
+  EXPECT_TRUE(obs::LogEnabled(obs::LogLevel::kError));
+  EXPECT_TRUE(obs::LogEnabled(obs::LogLevel::kInfo));
+  EXPECT_FALSE(obs::LogEnabled(obs::LogLevel::kDebug));
+  obs::SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace qimap

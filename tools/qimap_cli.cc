@@ -17,9 +17,11 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 
 #include "base/strings.h"
+#include "base/version.h"
 #include "chase/chase.h"
 #include "core/framework.h"
 #include "core/inverse.h"
@@ -27,6 +29,9 @@
 #include "core/quasi_inverse.h"
 #include "core/soundness.h"
 #include "dependency/parser.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/instance_enum.h"
 
 // Like QIMAP_ASSIGN_OR_RETURN but reports to stderr and returns exit code
@@ -55,7 +60,22 @@ struct Args {
     auto it = flags.find(key);
     return it != flags.end() ? it->second.c_str() : fallback;
   }
+
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
 };
+
+// Flags taking a value (--key=value or --key value) and boolean flags.
+const std::set<std::string>& ValueFlags() {
+  static const std::set<std::string> kFlags = {
+      "source",  "target",    "tgds",      "instance",   "reverse",
+      "mode",    "domain",    "max-facts", "trace-out",  "metrics-out"};
+  return kFlags;
+}
+
+const std::set<std::string>& BoolFlags() {
+  static const std::set<std::string> kFlags = {"verbose", "version", "help"};
+  return kFlags;
+}
 
 int Usage() {
   std::fprintf(
@@ -66,8 +86,64 @@ int Usage() {
       "Q(x)\" [options]\n"
       "options: --instance \"P(a,b)\"  --reverse \"Q(x) -> exists y: "
       "P(x,y)\"\n"
-      "         --mode quasi|inverse  --domain a,b  --max-facts 2\n");
+      "         --mode quasi|inverse  --domain a,b  --max-facts 2\n"
+      "telemetry: --trace-out FILE    write a Chrome trace-event JSON "
+      "file\n"
+      "           --metrics-out FILE  write a metrics snapshot as JSON\n"
+      "           --verbose           debug logging on stderr\n"
+      "other:     --version           print the library version\n"
+      "Flags accept both --key value and --key=value.\n");
   return 2;
+}
+
+// Parses argv[2..] into args->flags. Returns false (after printing a
+// diagnostic) on an unknown flag, a missing value, or a stray positional.
+bool ParseFlags(int argc, char** argv, Args* args) {
+  for (int i = 2; i < argc; ++i) {
+    const char* raw = argv[i];
+    if (std::strncmp(raw, "--", 2) != 0) {
+      std::fprintf(stderr,
+                   "qimap_cli: unexpected argument '%s' (flags start "
+                   "with --)\n",
+                   raw);
+      return false;
+    }
+    std::string key = raw + 2;
+    std::string value;
+    bool has_value = false;
+    size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      has_value = true;
+    }
+    if (BoolFlags().count(key) > 0) {
+      if (has_value) {
+        std::fprintf(stderr, "qimap_cli: --%s takes no value\n",
+                     key.c_str());
+        return false;
+      }
+      args->flags[key] = "1";
+      continue;
+    }
+    if (ValueFlags().count(key) == 0) {
+      std::fprintf(stderr,
+                   "qimap_cli: unknown flag '--%s' (see --help for the "
+                   "flag list)\n",
+                   key.c_str());
+      return false;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "qimap_cli: --%s requires a value\n",
+                     key.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    args->flags[key] = std::move(value);
+  }
+  return true;
 }
 
 Result<SchemaMapping> LoadMapping(const Args& args) {
@@ -200,23 +276,7 @@ int RunAnalyze(const Args& args, const SchemaMapping& m) {
   return 0;
 }
 
-int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  Args args;
-  args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
-    const char* key = argv[i];
-    if (std::strncmp(key, "--", 2) != 0) return Usage();
-    args.flags[key + 2] = argv[i + 1];
-  }
-
-  Result<SchemaMapping> mapping = LoadMapping(args);
-  if (!mapping.ok()) {
-    std::fprintf(stderr, "%s\n", mapping.status().ToString().c_str());
-    return 2;
-  }
-  const SchemaMapping& m = *mapping;
-
+int Dispatch(const Args& args, const SchemaMapping& m) {
   if (args.command == "chase") return RunChase(args, m);
   if (args.command == "quasi-inverse") return RunQuasiInverse(m, false);
   if (args.command == "lav-quasi-inverse") return RunQuasiInverse(m, true);
@@ -225,6 +285,74 @@ int Main(int argc, char** argv) {
   if (args.command == "roundtrip") return RunRoundTrip(args, m);
   if (args.command == "analyze") return RunAnalyze(args, m);
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "--version") == 0) {
+    std::printf("qimap %s\n", VersionString());
+    return 0;
+  }
+  if (std::strcmp(argv[1], "--help") == 0) {
+    Usage();
+    return 0;
+  }
+  Args args;
+  args.command = argv[1];
+  if (!ParseFlags(argc, argv, &args)) return 2;
+  if (args.Has("version")) {
+    std::printf("qimap %s\n", VersionString());
+    return 0;
+  }
+  if (args.Has("help")) {
+    Usage();
+    return 0;
+  }
+  if (args.Has("verbose")) {
+    obs::SetLogLevel(obs::LogLevel::kDebug);
+    obs::InstallStatusLogging();
+    obs::Log(obs::LogLevel::kDebug, "qimap %s, command '%s'",
+             VersionString(), args.command.c_str());
+  }
+  const char* trace_out = args.Get("trace-out");
+  const char* metrics_out = args.Get("metrics-out");
+  if (trace_out != nullptr) obs::Trace::Enable();
+
+  int code;
+  {
+    Result<SchemaMapping> mapping = [&] {
+      QIMAP_TRACE_SPAN("cli/parse");
+      return LoadMapping(args);
+    }();
+    if (!mapping.ok()) {
+      std::fprintf(stderr, "%s\n", mapping.status().ToString().c_str());
+      code = 2;
+    } else {
+      std::string span_name = "cli/" + args.command;
+      QIMAP_TRACE_SPAN(span_name.c_str());
+      code = Dispatch(args, *mapping);
+    }
+  }
+
+  // Telemetry files are written on every exit path (including failures):
+  // a failing run's partial trace is exactly what one wants to look at.
+  if (trace_out != nullptr && !obs::Trace::WriteJson(trace_out)) {
+    std::fprintf(stderr, "qimap_cli: cannot write trace to '%s'\n",
+                 trace_out);
+    if (code == 0) code = 1;
+  }
+  if (metrics_out != nullptr) {
+    std::string json = obs::SnapshotMetrics().ToJson();
+    std::FILE* f = std::fopen(metrics_out, "wb");
+    if (f == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      std::fprintf(stderr, "qimap_cli: cannot write metrics to '%s'\n",
+                   metrics_out);
+      if (code == 0) code = 1;
+    }
+    if (f != nullptr) std::fclose(f);
+  }
+  return code;
 }
 
 }  // namespace

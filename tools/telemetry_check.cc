@@ -1,0 +1,100 @@
+// telemetry_check — validates the telemetry files written by qimap_cli.
+//
+//   telemetry_check <trace.json> <metrics.json>
+//
+// Exit 0 iff the trace file is well-formed Chrome trace-event JSON with at
+// least one complete event and the metrics file is a metrics snapshot with
+// nonzero chase and homomorphism counters. Used by the
+// qimap_cli_telemetry_validate ctest case; diagnostics go to stderr.
+
+#include <cstdio>
+#include <string>
+
+#include "obs/json.h"
+
+namespace qimap {
+namespace {
+
+bool Fail(const char* file, const std::string& why) {
+  std::fprintf(stderr, "telemetry_check: %s: %s\n", file, why.c_str());
+  return false;
+}
+
+bool CheckTrace(const char* path) {
+  Result<obs::JsonValue> doc = obs::ParseJsonFile(path);
+  if (!doc.ok()) return Fail(path, doc.status().ToString());
+  if (!doc->IsObject()) return Fail(path, "top level is not an object");
+  const obs::JsonValue* events = doc->Find("traceEvents");
+  if (events == nullptr || !events->IsArray()) {
+    return Fail(path, "missing 'traceEvents' array");
+  }
+  if (events->items.empty()) {
+    return Fail(path, "'traceEvents' is empty (no spans recorded)");
+  }
+  for (const obs::JsonValue& event : events->items) {
+    if (!event.IsObject()) {
+      return Fail(path, "trace event is not an object");
+    }
+    const obs::JsonValue* name = event.Find("name");
+    const obs::JsonValue* ph = event.Find("ph");
+    const obs::JsonValue* ts = event.Find("ts");
+    if (name == nullptr || !name->IsString() ||
+        name->string_value.empty()) {
+      return Fail(path, "trace event lacks a string 'name'");
+    }
+    if (ph == nullptr || !ph->IsString()) {
+      return Fail(path, "trace event lacks a string 'ph'");
+    }
+    if (ts == nullptr || !ts->IsNumber()) {
+      return Fail(path, "trace event lacks a numeric 'ts'");
+    }
+  }
+  return true;
+}
+
+// True iff `counters` has at least one key with the given dotted prefix
+// mapped to a number > 0.
+bool HasNonzeroWithPrefix(const obs::JsonValue& counters,
+                          const std::string& prefix) {
+  for (const auto& [key, value] : counters.members) {
+    if (key.rfind(prefix, 0) == 0 && value.IsNumber() &&
+        value.number_value > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CheckMetrics(const char* path) {
+  Result<obs::JsonValue> doc = obs::ParseJsonFile(path);
+  if (!doc.ok()) return Fail(path, doc.status().ToString());
+  if (!doc->IsObject()) return Fail(path, "top level is not an object");
+  const obs::JsonValue* counters = doc->Find("counters");
+  if (counters == nullptr || !counters->IsObject()) {
+    return Fail(path, "missing 'counters' object");
+  }
+  if (!HasNonzeroWithPrefix(*counters, "chase.")) {
+    return Fail(path, "no nonzero 'chase.*' counter");
+  }
+  if (!HasNonzeroWithPrefix(*counters, "hom.")) {
+    return Fail(path, "no nonzero 'hom.*' counter");
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: telemetry_check <trace.json> <metrics.json>\n");
+    return 2;
+  }
+  bool ok = CheckTrace(argv[1]);
+  ok = CheckMetrics(argv[2]) && ok;
+  if (ok) std::printf("telemetry_check: OK\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace qimap
+
+int main(int argc, char** argv) { return qimap::Main(argc, argv); }
