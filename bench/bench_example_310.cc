@@ -96,6 +96,11 @@ BENCHMARK(BM_SaturateClassDecomposition);
 int main(int argc, char** argv) {
   qimap::PrintReport();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  qimap::bench::JsonReporter reporter("example_310");
+  {
+    qimap::bench::JsonReporter::ScopedPhase phase(reporter, "benchmarks");
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  reporter.Write();
   return 0;
 }

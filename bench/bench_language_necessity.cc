@@ -136,6 +136,11 @@ BENCHMARK(BM_NecessityCheckThm410);
 int main(int argc, char** argv) {
   qimap::PrintReport();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  qimap::bench::JsonReporter reporter("language_necessity");
+  {
+    qimap::bench::JsonReporter::ScopedPhase phase(reporter, "benchmarks");
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  reporter.Write();
   return 0;
 }

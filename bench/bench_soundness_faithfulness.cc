@@ -120,6 +120,11 @@ BENCHMARK(BM_FaithfulnessCheckQuasiInverseOutput)->DenseRange(1, 5);
 int main(int argc, char** argv) {
   qimap::PrintReport();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  qimap::bench::JsonReporter reporter("soundness_faithfulness");
+  {
+    qimap::bench::JsonReporter::ScopedPhase phase(reporter, "benchmarks");
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  reporter.Write();
   return 0;
 }

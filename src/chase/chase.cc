@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/step_limit.h"
 #include "obs/trace.h"
@@ -67,6 +68,7 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
       obs::RegisterHistogram("chase.latency_us");
   obs::ScopedLatency latency(kLatency);
   QIMAP_TRACE_SPAN(VariantSpanName(options.variant));
+  obs::JournalRun journal(VariantSpanName(options.variant));
 
   Instance target_inst(std::move(target_schema));
   uint32_t next_null = options.first_null_label != 0
@@ -79,9 +81,23 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
   st = ChaseStats{};
   Status overflow = Status::OK();
 
+  // Provenance: register the input facts and pre-render the dependencies
+  // once; the per-fire records below then only resolve parent ids.
+  std::vector<std::string> dep_texts;
+  if (journal.active()) {
+    for (const Fact& fact : source_inst.Facts()) {
+      journal.RecordBaseFact(FactToString(*source_inst.schema(), fact));
+    }
+    for (const Tgd& tgd : tgds) {
+      dep_texts.push_back(
+          TgdToString(tgd, *source_inst.schema(), *target_inst.schema()));
+    }
+  }
+
   // s-t tgds read only the source, so one pass over all (tgd, match) pairs
   // reaches a terminal chase state: no new lhs matches can ever appear.
-  for (const Tgd& tgd : tgds) {
+  for (size_t dep_index = 0; dep_index < tgds.size(); ++dep_index) {
+    const Tgd& tgd = tgds[dep_index];
     HomSearchOptions lhs_options;
     ForEachHomomorphism(
         tgd.lhs, source_inst, {}, lhs_options,
@@ -105,15 +121,36 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
           // Fire: instantiate the rhs, using fresh nulls for the
           // existential variables.
           ++st.triggers_fired;
+          std::vector<uint64_t> parent_ids;
+          std::vector<uint64_t> null_ids;
+          if (journal.active()) {
+            for (const Atom& atom :
+                 ApplyAssignmentToConjunction(tgd.lhs, h)) {
+              parent_ids.push_back(journal.RecordBaseFact(
+                  AtomToString(atom, *source_inst.schema())));
+            }
+          }
           Assignment extended = h;
           for (const Value& y : tgd.ExistentialVariables()) {
-            extended.emplace(y, Value::MakeNull(next_null++));
+            Value fresh = Value::MakeNull(next_null++);
+            extended.emplace(y, fresh);
             ++st.nulls_minted;
+            if (journal.active()) {
+              null_ids.push_back(journal.RecordNull(
+                  fresh.ToString(), y.ToString(), dep_texts[dep_index],
+                  static_cast<int32_t>(dep_index)));
+            }
           }
           for (const Atom& atom :
                ApplyAssignmentToConjunction(tgd.rhs, extended)) {
             Status status = target_inst.AddFact(atom.relation, atom.args);
             ++st.facts_added;
+            if (journal.active()) {
+              journal.RecordDerivedFact(
+                  AtomToString(atom, *target_inst.schema()),
+                  dep_texts[dep_index], static_cast<int32_t>(dep_index),
+                  AssignmentToString(h), parent_ids, null_ids);
+            }
             if (!status.ok()) {
               overflow = status;
               return false;

@@ -5,7 +5,9 @@
 #include <deque>
 #include <optional>
 #include <set>
+#include <string>
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/step_limit.h"
 #include "obs/trace.h"
@@ -39,6 +41,7 @@ void FlushDisjunctiveChaseMetrics(const DisjunctiveChaseStats& st) {
 // One applicable chase step: a dependency together with the lhs match.
 struct ApplicableStep {
   const DisjunctiveTgd* dep = nullptr;
+  size_t dep_index = 0;
   Assignment match;
 };
 
@@ -50,7 +53,8 @@ struct ApplicableStep {
 std::optional<ApplicableStep> FindApplicableStep(
     const Instance& target_inst, const Instance& current,
     const ReverseMapping& m) {
-  for (const DisjunctiveTgd& dep : m.deps) {
+  for (size_t dep_index = 0; dep_index < m.deps.size(); ++dep_index) {
+    const DisjunctiveTgd& dep = m.deps[dep_index];
     HomSearchOptions lhs_options;
     lhs_options.must_be_constant = dep.constant_vars;
     lhs_options.inequalities = dep.inequalities;
@@ -65,7 +69,7 @@ std::optional<ApplicableStep> FindApplicableStep(
               return true;  // already satisfied; keep scanning matches
             }
           }
-          found = ApplicableStep{&dep, h};
+          found = ApplicableStep{&dep, dep_index, h};
           return false;
         });
     if (found.has_value()) return found;
@@ -82,6 +86,7 @@ Result<std::vector<Instance>> DisjunctiveChase(
       obs::RegisterHistogram("dchase.latency_us");
   obs::ScopedLatency latency(kLatency);
   QIMAP_TRACE_SPAN("chase/disjunctive");
+  obs::JournalRun journal("chase/disjunctive");
 
   uint32_t next_null = options.first_null_label != 0
                            ? options.first_null_label
@@ -100,9 +105,24 @@ Result<std::vector<Instance>> DisjunctiveChase(
     }
   } flusher{&st, &limiter};
 
+  // Provenance: the lhs of every step matches the fixed target instance,
+  // so its facts are the only possible parents — register them up front.
+  std::vector<std::string> dep_texts;
+  if (journal.active()) {
+    for (const Fact& fact : target_inst.Facts()) {
+      journal.RecordBaseFact(FactToString(*m.from, fact));
+    }
+    for (const DisjunctiveTgd& dep : m.deps) {
+      dep_texts.push_back(DisjunctiveTgdToString(dep, *m.from, *m.to));
+    }
+  }
+
   std::vector<Instance> leaves;
   std::set<Instance> seen_leaves;
   std::deque<Instance> worklist;
+  // Chase-tree node ids, labeling each branch's journal events (the root
+  // is node 1; every branched child gets the next id).
+  uint64_t next_node = 2;
   worklist.emplace_back(m.to);  // the root's source part is empty
   ++st.nodes;
 
@@ -137,17 +157,41 @@ Result<std::vector<Instance>> DisjunctiveChase(
     QIMAP_RETURN_IF_ERROR(limiter.Tick());
     // Branch: one child per disjunct (Definition 6.3).
     const DisjunctiveTgd& dep = *step->dep;
+    std::vector<uint64_t> parent_ids;
+    if (journal.active()) {
+      for (const Atom& atom :
+           ApplyAssignmentToConjunction(dep.lhs, step->match)) {
+        parent_ids.push_back(
+            journal.RecordBaseFact(AtomToString(atom, *m.from)));
+      }
+    }
     for (size_t i = 0; i < dep.disjuncts.size(); ++i) {
       Instance child = current;
+      uint64_t child_node = next_node++;
+      std::vector<uint64_t> null_ids;
       Assignment extended = step->match;
       for (const Value& y : dep.ExistentialVariablesOf(i)) {
-        extended.emplace(y, Value::MakeNull(next_null++));
+        Value fresh = Value::MakeNull(next_null++);
+        extended.emplace(y, fresh);
         ++st.nulls_minted;
+        if (journal.active()) {
+          null_ids.push_back(journal.RecordNull(
+              fresh.ToString(), y.ToString(),
+              dep_texts[step->dep_index],
+              static_cast<int32_t>(step->dep_index), child_node));
+        }
       }
       for (const Atom& atom :
            ApplyAssignmentToConjunction(dep.disjuncts[i], extended)) {
         Status status = child.AddFact(atom.relation, atom.args);
         if (!status.ok()) return status;
+        if (journal.active()) {
+          journal.RecordDerivedFact(
+              AtomToString(atom, *m.to), dep_texts[step->dep_index],
+              static_cast<int32_t>(step->dep_index),
+              AssignmentToString(step->match), parent_ids, null_ids,
+              static_cast<int32_t>(i), child_node);
+        }
       }
       worklist.push_back(std::move(child));
       ++st.nodes;

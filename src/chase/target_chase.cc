@@ -1,7 +1,10 @@
 #include "chase/target_chase.h"
 
 #include <optional>
+#include <string>
+#include <vector>
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/step_limit.h"
 #include "obs/trace.h"
@@ -47,10 +50,17 @@ std::optional<Assignment> FindTgdTrigger(const Instance& inst,
 }
 
 // One applicable egd trigger: a match whose required equalities do not
-// all hold. Returns the two distinct values to merge.
-std::optional<std::pair<Value, Value>> FindEgdTrigger(const Instance& inst,
-                                                      const Egd& egd) {
-  std::optional<std::pair<Value, Value>> trigger;
+// all hold. Carries the two distinct values to merge plus the match
+// itself (the provenance journal records the trigger bindings).
+struct EgdTrigger {
+  Value a;
+  Value b;
+  Assignment match;
+};
+
+std::optional<EgdTrigger> FindEgdTrigger(const Instance& inst,
+                                         const Egd& egd) {
+  std::optional<EgdTrigger> trigger;
   HomSearchOptions options;
   ForEachHomomorphism(egd.lhs, inst, {}, options,
                       [&](const Assignment& h) {
@@ -58,7 +68,7 @@ std::optional<std::pair<Value, Value>> FindEgdTrigger(const Instance& inst,
                           Value a = Resolve(h, x);
                           Value b = Resolve(h, y);
                           if (!(a == b)) {
-                            trigger = std::make_pair(a, b);
+                            trigger = EgdTrigger{a, b, h};
                             return false;
                           }
                         }
@@ -77,6 +87,7 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
       obs::RegisterHistogram("tchase.latency_us");
   obs::ScopedLatency latency(kLatency);
   QIMAP_TRACE_SPAN("chase/target");
+  obs::JournalRun journal("chase/target");
 
   ChaseOptions st_options;
   st_options.first_null_label = options.first_null_label;
@@ -99,18 +110,42 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
     }
   } flusher{&st, &limiter};
 
+  // Provenance: register the s-t chase output as this run's base facts
+  // and pre-render the target constraints.
+  std::vector<std::string> egd_texts;
+  std::vector<std::string> ttgd_texts;
+  if (journal.active()) {
+    for (const Fact& fact : target_inst.Facts()) {
+      journal.RecordBaseFact(FactToString(*m.target, fact));
+    }
+    for (const Egd& egd : constraints.egds) {
+      egd_texts.push_back(EgdToString(egd, *m.target));
+    }
+    for (const Tgd& tgd : constraints.tgds) {
+      ttgd_texts.push_back(TgdToString(tgd, *m.target, *m.target));
+    }
+  }
+
   // Fixpoint loop: egds first (cheap, and merging can satisfy tgds),
   // then target tgds.
   while (true) {
     QIMAP_RETURN_IF_ERROR(limiter.Tick());
     bool fired = false;
-    for (const Egd& egd : constraints.egds) {
-      std::optional<std::pair<Value, Value>> merge =
-          FindEgdTrigger(target_inst, egd);
+    for (size_t ei = 0; ei < constraints.egds.size(); ++ei) {
+      const Egd& egd = constraints.egds[ei];
+      std::optional<EgdTrigger> merge = FindEgdTrigger(target_inst, egd);
       if (!merge.has_value()) continue;
-      auto [a, b] = *merge;
+      Value a = merge->a;
+      Value b = merge->b;
       if (a.IsConstant() && b.IsConstant()) {
-        // Two distinct constants: the exchange has no solution.
+        // Two distinct constants: the exchange has no solution. The
+        // journal keeps the failing merge — the audit trail of *why*
+        // there is no solution.
+        if (journal.active()) {
+          journal.RecordMerge(a.ToString(), b.ToString(), egd_texts[ei],
+                              static_cast<int32_t>(ei),
+                              AssignmentToString(merge->match));
+        }
         result.failed = true;
         result.solution = std::move(target_inst);
         result.steps = limiter.steps();
@@ -128,21 +163,60 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
       }
       target_inst = ApplyAssignmentToInstance(target_inst, {{drop, keep}});
       ++st.egd_merges;
+      if (journal.active()) {
+        uint64_t merge_id = journal.RecordMerge(
+            keep.ToString(), drop.ToString(), egd_texts[ei],
+            static_cast<int32_t>(ei), AssignmentToString(merge->match));
+        // The merge rewrote facts in place: register every rendering the
+        // run has not seen, parented on the merge event, so later
+        // triggers resolve their parents.
+        for (const Fact& fact : target_inst.Facts()) {
+          std::string text = FactToString(*m.target, fact);
+          if (journal.IdForFact(text) == 0) {
+            journal.RecordDerivedFact(text, egd_texts[ei],
+                                      static_cast<int32_t>(ei), "",
+                                      {merge_id});
+          }
+        }
+      }
       fired = true;
       break;
     }
     if (fired) continue;
-    for (const Tgd& tgd : constraints.tgds) {
+    for (size_t ti = 0; ti < constraints.tgds.size(); ++ti) {
+      const Tgd& tgd = constraints.tgds[ti];
       std::optional<Assignment> trigger = FindTgdTrigger(target_inst, tgd);
       if (!trigger.has_value()) continue;
+      std::vector<uint64_t> parent_ids;
+      std::vector<uint64_t> null_ids;
+      if (journal.active()) {
+        for (const Atom& atom :
+             ApplyAssignmentToConjunction(tgd.lhs, *trigger)) {
+          parent_ids.push_back(
+              journal.RecordBaseFact(AtomToString(atom, *m.target)));
+        }
+      }
       Assignment extended = *trigger;
       for (const Value& y : tgd.ExistentialVariables()) {
-        extended.emplace(y, Value::MakeNull(next_null++));
+        Value fresh = Value::MakeNull(next_null++);
+        extended.emplace(y, fresh);
         ++st.nulls_minted;
+        if (journal.active()) {
+          null_ids.push_back(journal.RecordNull(
+              fresh.ToString(), y.ToString(), ttgd_texts[ti],
+              static_cast<int32_t>(ti)));
+        }
       }
       for (const Atom& atom :
            ApplyAssignmentToConjunction(tgd.rhs, extended)) {
         QIMAP_RETURN_IF_ERROR(target_inst.AddFact(atom.relation, atom.args));
+        if (journal.active()) {
+          journal.RecordDerivedFact(AtomToString(atom, *m.target),
+                                    ttgd_texts[ti],
+                                    static_cast<int32_t>(ti),
+                                    AssignmentToString(*trigger),
+                                    parent_ids, null_ids);
+        }
       }
       ++st.tgd_fires;
       fired = true;

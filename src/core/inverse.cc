@@ -8,6 +8,7 @@
 
 #include "chase/chase.h"
 #include "core/sigma_star.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -67,6 +68,7 @@ Result<ReverseMapping> InverseAlgorithm(const SchemaMapping& m,
       obs::RegisterCounter("inv.rules_emitted");
   obs::ScopedLatency latency(kLatency);
   QIMAP_TRACE_SPAN("inverse/run");
+  obs::JournalRun journal("inverse");
   obs::CounterAdd(kRuns);
 
   // Step 1: the constant-propagation property is necessary for
@@ -132,6 +134,17 @@ Result<ReverseMapping> InverseAlgorithm(const SchemaMapping& m,
         }
       }
       dep.disjuncts.push_back(Conjunction{alpha});
+      if (journal.active()) {
+        // Attribute the rule to the prime instance whose chase built its
+        // lhs (the Section 5 construction, Theorem 5.4).
+        std::string alpha_text = AtomToString(alpha, *m.source);
+        uint64_t prime_id = journal.RecordBaseFact(alpha_text);
+        journal.RecordRule(DisjunctiveTgdToString(dep, *m.target, *m.source),
+                           alpha_text,
+                           static_cast<int32_t>(reverse.deps.size()),
+                           ConjunctionToString(dep.lhs, *m.target),
+                           {prime_id});
+      }
       reverse.deps.push_back(std::move(dep));
       obs::CounterAdd(kRules);
     }

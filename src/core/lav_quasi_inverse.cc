@@ -9,6 +9,7 @@
 
 #include "chase/chase.h"
 #include "core/inverse.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "relational/atom.h"
@@ -25,6 +26,7 @@ Result<ReverseMapping> LavQuasiInverse(const SchemaMapping& m) {
       obs::RegisterCounter("lavqinv.rules_emitted");
   obs::ScopedLatency latency(kLatency);
   QIMAP_TRACE_SPAN("lav_quasi_inverse/run");
+  obs::JournalRun journal("lav_quasi_inverse");
   obs::CounterAdd(kRuns);
 
   if (!m.IsLav()) {
@@ -95,6 +97,16 @@ Result<ReverseMapping> LavQuasiInverse(const SchemaMapping& m) {
       dep.disjuncts.push_back(Conjunction{alpha});
       if (std::find(reverse.deps.begin(), reverse.deps.end(), dep) ==
           reverse.deps.end()) {
+        if (journal.active()) {
+          // Attribute the rule to the prime instance whose chase built
+          // its lhs (Theorem 4.7 construction).
+          std::string alpha_text = AtomToString(alpha, *m.source);
+          uint64_t prime_id = journal.RecordBaseFact(alpha_text);
+          journal.RecordRule(
+              DisjunctiveTgdToString(dep, *m.target, *m.source), alpha_text,
+              static_cast<int32_t>(reverse.deps.size()),
+              ConjunctionToString(dep.lhs, *m.target), {prime_id});
+        }
         reverse.deps.push_back(std::move(dep));
         obs::CounterAdd(kRules);
       }

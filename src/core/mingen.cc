@@ -6,6 +6,7 @@
 #include <string>
 
 #include "chase/chase.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "relational/homomorphism.h"
@@ -307,6 +308,22 @@ Result<std::vector<Conjunction>> MinGen(const SchemaMapping& m,
     if (!drop) minimal.push_back(g);
   }
   st.generators = minimal.size();
+  // Provenance: one rule event per minimal generator, attributing it to
+  // the conjunction it generates; ids flow back through the stats so
+  // QuasiInverse can parent its emitted rules on them.
+  obs::JournalRun journal("mingen");
+  if (journal.active()) {
+    std::string psi_text = ConjunctionToString(psi, *m.target);
+    std::string x_text;
+    for (const Value& v : x) {
+      if (!x_text.empty()) x_text += ", ";
+      x_text += v.ToString();
+    }
+    for (const Conjunction& g : minimal) {
+      st.generator_event_ids.push_back(journal.RecordRule(
+          ConjunctionToString(g, *m.source), psi_text, -1, x_text, {}));
+    }
+  }
   return minimal;
 }
 

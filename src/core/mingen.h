@@ -1,6 +1,7 @@
 #ifndef QIMAP_CORE_MINGEN_H_
 #define QIMAP_CORE_MINGEN_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "base/status.h"
@@ -23,6 +24,10 @@ struct MinGenStats {
   size_t generator_tests = 0;
   /// Minimal generators returned.
   size_t generators = 0;
+  /// When the provenance journal is enabled: the journal event id of each
+  /// returned minimal generator, parallel to the result vector. Callers
+  /// (QuasiInverse) attribute their emitted rules to these events.
+  std::vector<uint64_t> generator_event_ids;
 };
 
 /// Options for the MinGen search.

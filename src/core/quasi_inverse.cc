@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/sigma_star.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "relational/homomorphism.h"
@@ -103,13 +104,16 @@ Result<ReverseMapping> QuasiInverse(const SchemaMapping& m,
       obs::RegisterCounter("qinv.rules_emitted");
   obs::ScopedLatency latency(kLatency);
   QIMAP_TRACE_SPAN("quasi_inverse/run");
+  obs::JournalRun journal("quasi_inverse");
   obs::CounterAdd(kRuns);
 
   ReverseMapping reverse;
   reverse.from = m.target;
   reverse.to = m.source;
 
-  for (const Tgd& sigma : SigmaStar(m)) {
+  std::vector<Tgd> sigma_star = SigmaStar(m);
+  for (size_t si = 0; si < sigma_star.size(); ++si) {
+    const Tgd& sigma = sigma_star[si];
     obs::CounterAdd(kSigmaStar);
     std::vector<Value> x = sigma.FrontierVariables();
 
@@ -124,8 +128,15 @@ Result<ReverseMapping> QuasiInverse(const SchemaMapping& m,
       }
     }
 
+    // Route the MinGen stats through a local struct when the caller did
+    // not ask for them: the generator event ids attribute this rule.
+    MinGenOptions mingen_options = options.mingen;
+    MinGenStats local_mingen_stats;
+    if (mingen_options.stats == nullptr) {
+      mingen_options.stats = &local_mingen_stats;
+    }
     QIMAP_ASSIGN_OR_RETURN(std::vector<Conjunction> generators,
-                           MinGen(m, sigma.rhs, x, options.mingen));
+                           MinGen(m, sigma.rhs, x, mingen_options));
     if (generators.empty()) {
       // The lhs of sigma is itself a generator, so MinGen cannot come back
       // empty (see the remark after the algorithm in Section 4).
@@ -140,6 +151,20 @@ Result<ReverseMapping> QuasiInverse(const SchemaMapping& m,
     PrettifyFreshVariables(&dep);
     if (std::find(reverse.deps.begin(), reverse.deps.end(), dep) ==
         reverse.deps.end()) {
+      if (journal.active()) {
+        // Attribute the emitted rule to the sigma-star member it inverts,
+        // parented on the MinGen generator events that supplied its
+        // disjuncts (Theorem 4.1 construction).
+        std::string x_text;
+        for (const Value& v : x) {
+          if (!x_text.empty()) x_text += ", ";
+          x_text += v.ToString();
+        }
+        journal.RecordRule(DisjunctiveTgdToString(dep, *m.target, *m.source),
+                           TgdToString(sigma, *m.source, *m.target),
+                           static_cast<int32_t>(si), x_text,
+                           mingen_options.stats->generator_event_ids);
+      }
       reverse.deps.push_back(std::move(dep));
       obs::CounterAdd(kRules);
     }

@@ -212,6 +212,15 @@ Value Resolve(const Assignment& assignment, const Value& value) {
   return it != assignment.end() ? it->second : value;
 }
 
+std::string AssignmentToString(const Assignment& assignment) {
+  std::string out;
+  for (const auto& [from, to] : assignment) {
+    if (!out.empty()) out += ", ";
+    out += from.ToString() + "=" + to.ToString();
+  }
+  return out;
+}
+
 size_t ForEachHomomorphism(const Conjunction& body, const Instance& target,
                            const Assignment& partial,
                            const HomSearchOptions& options,

@@ -39,6 +39,10 @@ struct HomSearchOptions {
 /// map to themselves when absent.
 Value Resolve(const Assignment& assignment, const Value& value);
 
+/// Renders an assignment as `x=a, y=_N1` in key order (used by the
+/// provenance journal to record trigger bindings).
+std::string AssignmentToString(const Assignment& assignment);
+
 /// Searches for a homomorphism extending `partial` that maps every atom of
 /// `body` onto a fact of `target` and satisfies the side conditions in
 /// `options`. Returns the full assignment for the movable values of `body`,

@@ -118,6 +118,13 @@ std::string Instance::ToString() const {
   return Join(parts, ", ");
 }
 
+std::string FactToString(const Schema& schema, const Fact& fact) {
+  std::vector<std::string> args;
+  args.reserve(fact.tuple.size());
+  for (const Value& v : fact.tuple) args.push_back(v.ToString());
+  return schema.relation(fact.relation).name + "(" + Join(args, ",") + ")";
+}
+
 namespace {
 
 // Parses one argument token into a value (see ParseInstance contract).

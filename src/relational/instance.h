@@ -97,6 +97,11 @@ class Instance {
   std::vector<std::set<Tuple>> tuples_;  // indexed by RelationId
 };
 
+/// Renders one fact as `R(v1,v2)` — the same text a single-fact
+/// `Instance::ToString()` produces (the provenance journal keys facts by
+/// this rendering).
+std::string FactToString(const Schema& schema, const Fact& fact);
+
 /// Parses `"P(a,b), Q(a)"` into an instance over `schema`. Identifiers and
 /// numbers denote constants; tokens starting with `_` denote nulls
 /// (`_N3` or `_3`); tokens starting with `?` denote variables.

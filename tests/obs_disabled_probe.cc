@@ -1,0 +1,39 @@
+// Compile-only probe for the obs kill-switches. This file — and the chase
+// engines alongside it in the qimap_obs_disabled OBJECT library — is built
+// with QIMAP_OBS_DISABLE_TRACING and QIMAP_OBS_DISABLE_PROVENANCE defined,
+// proving that the instrumented pipelines still compile against the stub
+// span/recorder classes and that the stubs are genuinely inert. Nothing
+// here runs; the build succeeding is the assertion.
+
+#include "obs/journal.h"
+#include "obs/trace.h"
+
+namespace qimap {
+namespace {
+
+static_assert(!obs::JournalRun::active(),
+              "the QIMAP_OBS_DISABLE_PROVENANCE stub must report inactive "
+              "so instrumentation folds away");
+
+// Exercises every stub recorder method the chase engines call, the way
+// they call it (guarded, ids collected), so a signature drift between the
+// real and stub JournalRun classes fails this build leg.
+[[maybe_unused]] uint64_t ProbeJournalStubs() {
+  QIMAP_TRACE_SPAN("probe/disabled");
+  obs::JournalRun journal("probe");
+  uint64_t sum = 0;
+  if (journal.active()) {
+    sum += journal.RecordBaseFact("P(a)");
+    sum += journal.RecordDerivedFact("Q(a)", "P(x) -> Q(x)", 0, "x=a", {1});
+    sum += journal.RecordDerivedFact("Q(a,_N1)", "dep", 0, "x=a", {1}, {2},
+                                     1, 3);
+    sum += journal.RecordNull("_N1", "y", "dep", 0);
+    sum += journal.RecordMerge("_N1", "_N2", "egd", 0, "x=a");
+    sum += journal.RecordRule("rule", "sigma", 0, "x", {1, 2});
+    sum += journal.IdForFact("P(a)");
+  }
+  return sum;
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +34,50 @@ TEST(MetricsTest, CounterSumsAcrossConcurrentThreads) {
   for (std::thread& t : threads) t.join();
   obs::MetricsSnapshot snapshot = obs::SnapshotMetrics();
   EXPECT_EQ(snapshot.counters.at("test.concurrent"),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+// Stress for the thread-local shard design: heavy concurrent increments
+// on shared and per-thread metrics while another thread keeps forcing
+// merge-on-snapshot. Totals must come out exact — a lost update anywhere
+// in shard registration, relaxed increments, or the merge would show.
+TEST(MetricsTest, StressShardedCountersSurviveConcurrentSnapshots) {
+  obs::ResetMetrics();
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  obs::MetricId shared = obs::RegisterCounter("test.stress_shared");
+  obs::MetricId hist = obs::RegisterHistogram("test.stress_hist");
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      obs::MetricsSnapshot snapshot = obs::SnapshotMetrics();
+      (void)snapshot;
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([shared, hist, t] {
+      obs::MetricId mine =
+          obs::RegisterCounter("test.stress_t" + std::to_string(t));
+      for (int i = 0; i < kIncrements; ++i) {
+        obs::CounterAdd(shared);
+        obs::CounterAdd(mine, 2);
+        obs::HistogramRecord(hist, static_cast<uint64_t>(i) & 1023u);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  obs::MetricsSnapshot snapshot = obs::SnapshotMetrics();
+  EXPECT_EQ(snapshot.counters.at("test.stress_shared"),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snapshot.counters.at("test.stress_t" + std::to_string(t)),
+              static_cast<uint64_t>(kIncrements) * 2);
+  }
+  EXPECT_EQ(snapshot.histograms.at("test.stress_hist").count,
             static_cast<uint64_t>(kThreads) * kIncrements);
 }
 

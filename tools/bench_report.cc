@@ -1,0 +1,189 @@
+// bench_report — merges the machine-readable BENCH_<name>.json reports
+// the benchmarks write (bench/bench_util.h JsonReporter) into one
+// BENCH_summary.json for CI to archive and diff.
+//
+//   bench_report [--out FILE] BENCH_a.json BENCH_b.json ...
+//
+// The summary lists every bench with its phase timings and sums all
+// metrics counters across the runs:
+//
+//   {"count":2,"total_seconds":3.14,
+//    "benches":[{"bench":"chase_scaling","seconds":1.2,
+//                "phases":[{"name":"benchmarks","seconds":1.2}]},...],
+//    "counters":{"chase.steps":123,...}}
+//
+// Without --out the summary lands in $QIMAP_BENCH_OUT_DIR (or the working
+// directory), mirroring where JsonReporter puts the per-bench files.
+// Exit 0 iff every input parsed; a malformed report is a hard error so CI
+// notices a bench that wrote garbage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace qimap {
+namespace {
+
+struct BenchEntry {
+  std::string name;
+  double seconds = 0.0;
+  std::vector<std::pair<std::string, double>> phases;
+};
+
+bool Fail(const char* file, const std::string& why) {
+  std::fprintf(stderr, "bench_report: %s: %s\n", file, why.c_str());
+  return false;
+}
+
+bool LoadReport(const char* path, std::vector<BenchEntry>* benches,
+                std::map<std::string, double>* counters) {
+  Result<obs::JsonValue> doc = obs::ParseJsonFile(path);
+  if (!doc.ok()) return Fail(path, doc.status().ToString());
+  if (!doc->IsObject()) return Fail(path, "top level is not an object");
+  const obs::JsonValue* name = doc->Find("bench");
+  if (name == nullptr || !name->IsString() || name->string_value.empty()) {
+    return Fail(path, "missing string 'bench'");
+  }
+  const obs::JsonValue* phases = doc->Find("phases");
+  if (phases == nullptr || !phases->IsArray()) {
+    return Fail(path, "missing 'phases' array");
+  }
+  BenchEntry entry;
+  entry.name = name->string_value;
+  for (const obs::JsonValue& phase : phases->items) {
+    const obs::JsonValue* phase_name = phase.Find("name");
+    const obs::JsonValue* seconds = phase.Find("seconds");
+    if (phase_name == nullptr || !phase_name->IsString() ||
+        seconds == nullptr || !seconds->IsNumber()) {
+      return Fail(path, "malformed phase entry");
+    }
+    entry.phases.emplace_back(phase_name->string_value,
+                              seconds->number_value);
+    entry.seconds += seconds->number_value;
+  }
+  const obs::JsonValue* metrics = doc->Find("metrics");
+  if (metrics != nullptr) {
+    const obs::JsonValue* metric_counters = metrics->Find("counters");
+    if (metric_counters != nullptr && metric_counters->IsObject()) {
+      for (const auto& [key, value] : metric_counters->members) {
+        if (value.IsNumber()) (*counters)[key] += value.number_value;
+      }
+    }
+  }
+  benches->push_back(std::move(entry));
+  return true;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, double value) {
+  char buffer[64];
+  // Counters are integral; phase timings keep microsecond precision.
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  }
+  *out += buffer;
+}
+
+std::string ToJson(const std::vector<BenchEntry>& benches,
+                   const std::map<std::string, double>& counters) {
+  double total = 0.0;
+  for (const BenchEntry& bench : benches) total += bench.seconds;
+  std::string out =
+      "{\"count\":" + std::to_string(benches.size()) + ",\"total_seconds\":";
+  AppendNumber(&out, total);
+  out += ",\"benches\":[";
+  for (size_t i = 0; i < benches.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += "{\"bench\":";
+    AppendEscaped(&out, benches[i].name);
+    out += ",\"seconds\":";
+    AppendNumber(&out, benches[i].seconds);
+    out += ",\"phases\":[";
+    for (size_t k = 0; k < benches[i].phases.size(); ++k) {
+      if (k > 0) out.push_back(',');
+      out += "{\"name\":";
+      AppendEscaped(&out, benches[i].phases[k].first);
+      out += ",\"seconds\":";
+      AppendNumber(&out, benches[i].phases[k].second);
+      out.push_back('}');
+    }
+    out += "]}";
+  }
+  out += "],\"counters\":{";
+  bool first = true;
+  for (const auto& [key, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendEscaped(&out, key);
+    out.push_back(':');
+    AppendNumber(&out, value);
+  }
+  out += "}}\n";
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<const char*> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_report: --out requires a value\n");
+        return 2;
+      }
+      out_path = argv[++i];
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_report [--out FILE] BENCH_a.json ...\n");
+    return 2;
+  }
+  if (out_path.empty()) {
+    const char* dir = std::getenv("QIMAP_BENCH_OUT_DIR");
+    out_path = dir != nullptr ? std::string(dir) + "/" : "";
+    out_path += "BENCH_summary.json";
+  }
+
+  std::vector<BenchEntry> benches;
+  std::map<std::string, double> counters;
+  for (const char* path : inputs) {
+    if (!LoadReport(path, &benches, &counters)) return 1;
+  }
+  std::string json = ToJson(benches, counters);
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr ||
+      std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+    std::fprintf(stderr, "bench_report: cannot write '%s'\n",
+                 out_path.c_str());
+    if (f != nullptr) std::fclose(f);
+    return 1;
+  }
+  std::fclose(f);
+  std::printf("bench_report: %zu reports -> %s\n", benches.size(),
+              out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace qimap
+
+int main(int argc, char** argv) { return qimap::Main(argc, argv); }

@@ -9,6 +9,9 @@
 //                      [--domain a,b] [--max-facts 2]
 //   roundtrip          --reverse "..." --instance "P(a,b)"
 //   analyze            [--domain a,b] [--max-facts 2]   invertibility report
+//   explain            --instance "P(a,b)" [--fact "Q(a,b)"]
+//                      [--format tree|json] [--explain-out FILE]
+//                          derivation trees for the chase output
 //
 // Example:
 //   qimap_cli quasi-inverse --source "P/2" --target "Q/1"
@@ -17,8 +20,10 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "base/strings.h"
 #include "base/version.h"
@@ -29,6 +34,7 @@
 #include "core/quasi_inverse.h"
 #include "core/soundness.h"
 #include "dependency/parser.h"
+#include "obs/journal.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -67,8 +73,10 @@ struct Args {
 // Flags taking a value (--key=value or --key value) and boolean flags.
 const std::set<std::string>& ValueFlags() {
   static const std::set<std::string> kFlags = {
-      "source",  "target",    "tgds",      "instance",   "reverse",
-      "mode",    "domain",    "max-facts", "trace-out",  "metrics-out"};
+      "source",      "target",    "tgds",        "instance",
+      "reverse",     "mode",      "domain",      "max-facts",
+      "trace-out",   "metrics-out", "journal-out", "fact",
+      "format",      "explain-out"};
   return kFlags;
 }
 
@@ -81,15 +89,21 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: qimap_cli <chase|quasi-inverse|lav-quasi-inverse|inverse|"
-      "verify|roundtrip|analyze> \\\n"
+      "verify|roundtrip|analyze|explain> \\\n"
       "         --source \"P/2\" --target \"Q/1\" --tgds \"P(x,y) -> "
       "Q(x)\" [options]\n"
       "options: --instance \"P(a,b)\"  --reverse \"Q(x) -> exists y: "
       "P(x,y)\"\n"
       "         --mode quasi|inverse  --domain a,b  --max-facts 2\n"
+      "explain:   --fact \"Q(a,b)\"     explain one fact (default: every "
+      "chase fact)\n"
+      "           --format tree|json  stdout rendering (default tree)\n"
+      "           --explain-out FILE  write the derivation trees as JSON\n"
       "telemetry: --trace-out FILE    write a Chrome trace-event JSON "
       "file\n"
       "           --metrics-out FILE  write a metrics snapshot as JSON\n"
+      "           --journal-out FILE  write the provenance journal as "
+      "JSONL\n"
       "           --verbose           debug logging on stderr\n"
       "other:     --version           print the library version\n"
       "Flags accept both --key value and --key=value.\n");
@@ -251,6 +265,71 @@ int RunRoundTrip(const Args& args, const SchemaMapping& m) {
   return trip.sound ? 0 : 1;
 }
 
+// Chases --instance with the provenance journal on and prints the
+// derivation tree of --fact (or of every fact of the chase result).
+int RunExplain(const Args& args, const SchemaMapping& m) {
+  const char* text = args.Get("instance");
+  if (text == nullptr) {
+    std::fprintf(stderr, "explain requires --instance\n");
+    return 2;
+  }
+  const char* format = args.Get("format", "tree");
+  bool as_json = std::strcmp(format, "json") == 0;
+  if (!as_json && std::strcmp(format, "tree") != 0) {
+    std::fprintf(stderr, "explain: --format must be 'tree' or 'json'\n");
+    return 2;
+  }
+  QIMAP_ASSIGN_OR_RETURN_CLI(Instance i, ParseInstance(m.source, text));
+  obs::Journal::Enable();
+  QIMAP_ASSIGN_OR_RETURN_CLI(Instance u, Chase(i, m));
+  std::vector<obs::JournalEvent> events = obs::Journal::Events();
+
+  std::vector<std::string> facts;
+  const char* fact_flag = args.Get("fact");
+  if (fact_flag != nullptr) {
+    facts.push_back(fact_flag);
+  } else {
+    for (const Fact& fact : u.Facts()) {
+      facts.push_back(FactToString(*m.target, fact));
+    }
+  }
+
+  std::string json = "[";
+  for (size_t k = 0; k < facts.size(); ++k) {
+    std::optional<obs::DerivationNode> tree =
+        obs::ExplainFact(events, facts[k]);
+    if (!tree.has_value()) {
+      std::fprintf(stderr,
+                   "explain: no journal event for fact '%s' (is it a "
+                   "chase fact?)\n",
+                   facts[k].c_str());
+      return 1;
+    }
+    if (k > 0) json += ",";
+    json += obs::DerivationToJson(*tree);
+    if (!as_json) {
+      if (k > 0) std::printf("\n");
+      std::printf("%s", obs::DerivationToText(*tree).c_str());
+    }
+  }
+  json += "]";
+  if (as_json) std::printf("%s\n", json.c_str());
+
+  const char* explain_out = args.Get("explain-out");
+  if (explain_out != nullptr) {
+    std::FILE* f = std::fopen(explain_out, "wb");
+    if (f == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      std::fprintf(stderr, "qimap_cli: cannot write explain to '%s'\n",
+                   explain_out);
+      if (f != nullptr) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+  }
+  return 0;
+}
+
 int RunAnalyze(const Args& args, const SchemaMapping& m) {
   std::printf("Sigma:\n%s", m.ToString().c_str());
   std::printf("class: %s%s%s\n", m.IsLav() ? "LAV " : "",
@@ -284,6 +363,7 @@ int Dispatch(const Args& args, const SchemaMapping& m) {
   if (args.command == "verify") return RunVerify(args, m);
   if (args.command == "roundtrip") return RunRoundTrip(args, m);
   if (args.command == "analyze") return RunAnalyze(args, m);
+  if (args.command == "explain") return RunExplain(args, m);
   return Usage();
 }
 
@@ -316,7 +396,18 @@ int Main(int argc, char** argv) {
   }
   const char* trace_out = args.Get("trace-out");
   const char* metrics_out = args.Get("metrics-out");
+  const char* journal_out = args.Get("journal-out");
   if (trace_out != nullptr) obs::Trace::Enable();
+  if (journal_out != nullptr) {
+    // Spill-to-JSONL: a full ring flushes to the file mid-run; the final
+    // Flush() below appends whatever is still buffered.
+    if (!obs::Journal::SetSpillPath(journal_out)) {
+      std::fprintf(stderr, "qimap_cli: cannot open journal file '%s'\n",
+                   journal_out);
+      return 1;
+    }
+    obs::Journal::Enable();
+  }
 
   int code;
   {
@@ -351,6 +442,11 @@ int Main(int argc, char** argv) {
       if (code == 0) code = 1;
     }
     if (f != nullptr) std::fclose(f);
+  }
+  if (journal_out != nullptr && !obs::Journal::Flush()) {
+    std::fprintf(stderr, "qimap_cli: cannot write journal to '%s'\n",
+                 journal_out);
+    if (code == 0) code = 1;
   }
   return code;
 }

@@ -1,13 +1,23 @@
 // telemetry_check — validates the telemetry files written by qimap_cli.
 //
-//   telemetry_check <trace.json> <metrics.json>
+//   telemetry_check [--trace F] [--metrics F] [--journal F] [--explain F]
+//   telemetry_check <trace.json> <metrics.json>            (legacy form)
 //
-// Exit 0 iff the trace file is well-formed Chrome trace-event JSON with at
-// least one complete event and the metrics file is a metrics snapshot with
-// nonzero chase and homomorphism counters. Used by the
-// qimap_cli_telemetry_validate ctest case; diagnostics go to stderr.
+// Exit 0 iff every named file passes its check:
+//   --trace    well-formed Chrome trace-event JSON with >= 1 event
+//   --metrics  metrics snapshot with nonzero chase.* and hom.* counters
+//   --journal  provenance JSONL: monotone event ids, known kinds, every
+//              parent/null reference resolves to an earlier event
+//   --explain  qimap_cli explain JSON: every tree bottoms out in base
+//              facts, and every derived node names its dependency and
+//              parents
+// Used by the qimap_cli_telemetry_validate and qimap_cli_explain_validate
+// ctest cases; diagnostics go to stderr.
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <set>
 #include <string>
 
 #include "obs/json.h"
@@ -82,14 +92,219 @@ bool CheckMetrics(const char* path) {
   return true;
 }
 
-int Main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr,
-                 "usage: telemetry_check <trace.json> <metrics.json>\n");
-    return 2;
+bool ReadFile(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out->append(buffer, n);
   }
-  bool ok = CheckTrace(argv[1]);
-  ok = CheckMetrics(argv[2]) && ok;
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+// Each id-array member ("parents", "nulls") must reference an event that
+// appeared earlier in the journal (parent-before-child).
+bool CheckIdArray(const char* path, const obs::JsonValue& event,
+                  const char* key, uint64_t id,
+                  const std::set<uint64_t>& seen) {
+  const obs::JsonValue* ids = event.Find(key);
+  if (ids == nullptr) return true;
+  if (!ids->IsArray()) {
+    return Fail(path, "event " + std::to_string(id) + ": '" + key +
+                          "' is not an array");
+  }
+  for (const obs::JsonValue& ref : ids->items) {
+    if (!ref.IsNumber()) {
+      return Fail(path, "event " + std::to_string(id) + ": non-numeric '" +
+                            key + "' entry");
+    }
+    uint64_t ref_id = static_cast<uint64_t>(ref.number_value);
+    if (ref_id >= id) {
+      return Fail(path, "event " + std::to_string(id) + ": '" + key +
+                            "' reference " + std::to_string(ref_id) +
+                            " is not earlier than the event");
+    }
+    if (seen.count(ref_id) == 0) {
+      return Fail(path, "event " + std::to_string(id) + ": '" + key +
+                            "' reference " + std::to_string(ref_id) +
+                            " does not resolve to any journal event");
+    }
+  }
+  return true;
+}
+
+bool IsKnownKind(const std::string& kind) {
+  return kind == "base" || kind == "fact" || kind == "null" ||
+         kind == "merge" || kind == "rule";
+}
+
+// Validates one provenance JSONL file (qimap_cli --journal-out): one JSON
+// object per line, strictly increasing ids, known kinds, and every
+// parent/null reference resolvable to an earlier event.
+bool CheckJournal(const char* path) {
+  std::string text;
+  if (!ReadFile(path, &text)) return Fail(path, "cannot read file");
+  std::set<uint64_t> seen;
+  uint64_t last_id = 0;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    Result<obs::JsonValue> event = obs::ParseJson(line);
+    if (!event.ok()) {
+      return Fail(path, "line " + std::to_string(line_no) + ": " +
+                            event.status().ToString());
+    }
+    if (!event->IsObject()) {
+      return Fail(path,
+                  "line " + std::to_string(line_no) + ": not an object");
+    }
+    const obs::JsonValue* id = event->Find("id");
+    if (id == nullptr || !id->IsNumber() || id->number_value < 1) {
+      return Fail(path, "line " + std::to_string(line_no) +
+                            ": missing numeric 'id' >= 1");
+    }
+    uint64_t id_value = static_cast<uint64_t>(id->number_value);
+    if (id_value <= last_id) {
+      return Fail(path, "line " + std::to_string(line_no) + ": id " +
+                            std::to_string(id_value) +
+                            " is not strictly increasing (previous " +
+                            std::to_string(last_id) + ")");
+    }
+    last_id = id_value;
+    const obs::JsonValue* kind = event->Find("kind");
+    if (kind == nullptr || !kind->IsString() ||
+        !IsKnownKind(kind->string_value)) {
+      return Fail(path, "line " + std::to_string(line_no) +
+                            ": missing or unknown 'kind'");
+    }
+    const obs::JsonValue* run = event->Find("run");
+    if (run == nullptr || !run->IsNumber()) {
+      return Fail(path, "line " + std::to_string(line_no) +
+                            ": missing numeric 'run'");
+    }
+    const obs::JsonValue* pipeline = event->Find("pipeline");
+    if (pipeline == nullptr || !pipeline->IsString() ||
+        pipeline->string_value.empty()) {
+      return Fail(path, "line " + std::to_string(line_no) +
+                            ": missing string 'pipeline'");
+    }
+    const obs::JsonValue* fact = event->Find("fact");
+    if (fact == nullptr || !fact->IsString() ||
+        fact->string_value.empty()) {
+      return Fail(path, "line " + std::to_string(line_no) +
+                            ": missing string 'fact'");
+    }
+    if (!CheckIdArray(path, *event, "parents", id_value, seen) ||
+        !CheckIdArray(path, *event, "nulls", id_value, seen)) {
+      return false;
+    }
+    seen.insert(id_value);
+  }
+  if (seen.empty()) return Fail(path, "journal has no events");
+  return true;
+}
+
+// Validates one derivation-tree node (and recursively its parents): a
+// base node is an input leaf; a derived node must name the dependency
+// that fired and the parent facts the trigger matched.
+bool CheckExplainNode(const char* path, const obs::JsonValue& node) {
+  if (!node.IsObject()) return Fail(path, "tree node is not an object");
+  const obs::JsonValue* fact = node.Find("fact");
+  if (fact == nullptr || !fact->IsString() || fact->string_value.empty()) {
+    return Fail(path, "tree node lacks a string 'fact'");
+  }
+  const obs::JsonValue* event = node.Find("event");
+  if (event == nullptr || !event->IsNumber()) {
+    return Fail(path, "tree node '" + fact->string_value +
+                          "' lacks a numeric 'event'");
+  }
+  const obs::JsonValue* kind = node.Find("kind");
+  if (kind == nullptr || !kind->IsString() ||
+      !IsKnownKind(kind->string_value)) {
+    return Fail(path, "tree node '" + fact->string_value +
+                          "' lacks a known 'kind'");
+  }
+  if (kind->string_value == "base") return true;  // input leaf
+  const obs::JsonValue* dependency = node.Find("dependency");
+  if (dependency == nullptr || !dependency->IsString() ||
+      dependency->string_value.empty()) {
+    return Fail(path, "derived node '" + fact->string_value +
+                          "' does not name its dependency");
+  }
+  const obs::JsonValue* parents = node.Find("parents");
+  if (kind->string_value == "fact") {
+    if (parents == nullptr || !parents->IsArray() ||
+        parents->items.empty()) {
+      return Fail(path, "derived node '" + fact->string_value +
+                            "' has no parents");
+    }
+  }
+  if (parents != nullptr && parents->IsArray()) {
+    for (const obs::JsonValue& parent : parents->items) {
+      if (!CheckExplainNode(path, parent)) return false;
+    }
+  }
+  return true;
+}
+
+// Validates a qimap_cli explain JSON file (--explain-out): a nonempty
+// array of derivation trees.
+bool CheckExplain(const char* path) {
+  Result<obs::JsonValue> doc = obs::ParseJsonFile(path);
+  if (!doc.ok()) return Fail(path, doc.status().ToString());
+  if (!doc->IsArray()) return Fail(path, "top level is not an array");
+  if (doc->items.empty()) return Fail(path, "no derivation trees");
+  for (const obs::JsonValue& tree : doc->items) {
+    if (!CheckExplainNode(path, tree)) return false;
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: telemetry_check [--trace FILE] [--metrics FILE] "
+               "[--journal FILE] [--explain FILE]\n"
+               "       telemetry_check <trace.json> <metrics.json>\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  bool ok = true;
+  bool checked = false;
+  if (argc == 3 && argv[1][0] != '-') {
+    // Legacy positional form.
+    ok = CheckTrace(argv[1]);
+    ok = CheckMetrics(argv[2]) && ok;
+    checked = true;
+  } else {
+    for (int i = 1; i < argc; i += 2) {
+      if (i + 1 >= argc) return Usage();
+      const char* flag = argv[i];
+      const char* file = argv[i + 1];
+      if (std::strcmp(flag, "--trace") == 0) {
+        ok = CheckTrace(file) && ok;
+      } else if (std::strcmp(flag, "--metrics") == 0) {
+        ok = CheckMetrics(file) && ok;
+      } else if (std::strcmp(flag, "--journal") == 0) {
+        ok = CheckJournal(file) && ok;
+      } else if (std::strcmp(flag, "--explain") == 0) {
+        ok = CheckExplain(file) && ok;
+      } else {
+        return Usage();
+      }
+      checked = true;
+    }
+  }
+  if (!checked) return Usage();
   if (ok) std::printf("telemetry_check: OK\n");
   return ok ? 0 : 1;
 }
