@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "chase/chase.h"
 #include "core/framework.h"
 #include "core/solution_space.h"
 #include "relational/instance_enum.h"
@@ -66,16 +67,21 @@ void BM_Prop312CounterexampleSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_Prop312CounterexampleSearch)->DenseRange(2, 4);
 
-void BM_Prop312ChaseOfPaths(benchmark::State& state) {
-  // Chase throughput on a growing E-chain a1 -> a2 -> ... -> an.
-  SchemaMapping m = catalog::Prop312();
+Instance Chain(const SchemaMapping& m, int edges) {
   Instance chain(m.source);
-  for (int i = 0; i < state.range(0); ++i) {
+  for (int i = 0; i < edges; ++i) {
     Status status = chain.AddFact(
         "E", {Value::MakeConstant("v" + std::to_string(i)),
               Value::MakeConstant("v" + std::to_string(i + 1))});
     (void)status;
   }
+  return chain;
+}
+
+void BM_Prop312ChaseOfPaths(benchmark::State& state) {
+  // Chase throughput on a growing E-chain a1 -> a2 -> ... -> an.
+  SchemaMapping m = catalog::Prop312();
+  Instance chain = Chain(m, static_cast<int>(state.range(0)));
   for (auto _ : state) {
     Result<Instance> u = Chase(chain, m);
     benchmark::DoNotOptimize(u.ok());
@@ -83,12 +89,53 @@ void BM_Prop312ChaseOfPaths(benchmark::State& state) {
 }
 BENCHMARK(BM_Prop312ChaseOfPaths)->RangeMultiplier(4)->Range(4, 256);
 
+void BM_Prop312ChaseOfPathsNoIndex(benchmark::State& state) {
+  // Same chain, but with the per-relation hash index disabled so the
+  // matcher falls back to full scans — the differential partner of
+  // BM_Prop312ChaseOfPaths.
+  SchemaMapping m = catalog::Prop312();
+  Instance chain = Chain(m, static_cast<int>(state.range(0)));
+  ChaseOptions naive;
+  naive.use_index = false;
+  for (auto _ : state) {
+    Result<Instance> u = Chase(chain, m, naive);
+    benchmark::DoNotOptimize(u.ok());
+  }
+}
+BENCHMARK(BM_Prop312ChaseOfPathsNoIndex)->RangeMultiplier(4)->Range(4, 256);
+
+// Timed indexed-vs-naive differential on a long chain, recorded as
+// chase_indexed / chase_noindex phases in BENCH_prop_312.json. The lhs
+// E(x,z) & E(z,y) is a genuine join: the full-scan matcher re-reads the
+// whole E relation for the second atom of every candidate, the indexed
+// matcher probes E by its first column.
+void DifferentialPhases(bench::JsonReporter& reporter) {
+  SchemaMapping m = catalog::Prop312();
+  Instance chain = Chain(m, 2000);
+  ChaseOptions indexed;
+  indexed.use_index = true;
+  ChaseOptions naive;
+  naive.use_index = false;
+  std::string with_index, without_index;
+  {
+    bench::JsonReporter::ScopedPhase phase(reporter, "chase_indexed");
+    with_index = MustChase(chain, m, indexed).ToString();
+  }
+  {
+    bench::JsonReporter::ScopedPhase phase(reporter, "chase_noindex");
+    without_index = MustChase(chain, m, naive).ToString();
+  }
+  bench::Row("indexed chase output matches full-scan", "identical",
+             with_index == without_index ? "identical" : "different");
+}
+
 }  // namespace qimap
 
 int main(int argc, char** argv) {
   qimap::PrintReport();
   benchmark::Initialize(&argc, argv);
   qimap::bench::JsonReporter reporter("prop_312");
+  qimap::DifferentialPhases(reporter);
   {
     qimap::bench::JsonReporter::ScopedPhase phase(reporter, "benchmarks");
     benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,95 @@
+#include "base/thread_pool.h"
+
+#include <cstdlib>
+
+namespace qimap {
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested > 0) return requested;
+  const char* env = std::getenv("QIMAP_CHASE_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  long parsed = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0' || parsed < 1) return 1;
+  return static_cast<size_t>(parsed);
+}
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  // The calling thread participates in every batch, so spawn one fewer
+  // worker than the requested parallelism.
+  for (size_t i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n < 2) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    cursor_ = 0;
+    active_ = workers_.size();
+    ++batch_;
+  }
+  work_ready_.notify_all();
+  // The caller works the same cursor as the pool threads.
+  while (true) {
+    size_t index;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cursor_ >= n_) break;
+      index = cursor_++;
+    }
+    fn(index);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  work_done_.wait(lock, [this] { return active_ == 0; });
+  fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t last_batch = 0;
+  while (true) {
+    const std::function<void(size_t)>* fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || (fn_ != nullptr && batch_ != last_batch);
+      });
+      if (shutdown_) return;
+      last_batch = batch_;
+      fn = fn_;
+    }
+    while (true) {
+      size_t index;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (cursor_ >= n_) break;
+        index = cursor_++;
+      }
+      (*fn)(index);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace qimap

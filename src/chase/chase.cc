@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "base/thread_pool.h"
+#include "chase/trigger_finder.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/step_limit.h"
@@ -96,69 +98,84 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
 
   // s-t tgds read only the source, so one pass over all (tgd, match) pairs
   // reaches a terminal chase state: no new lhs matches can ever appear.
-  for (size_t dep_index = 0; dep_index < tgds.size(); ++dep_index) {
+  //
+  // Phase 1 — collect every dependency's sorted trigger batch. Collection
+  // is side-effect-free (it reads only the fixed source instance), so the
+  // per-dependency fan-out is safe to parallelize; the canonical sort
+  // makes phase 2 independent of collection order.
+  ThreadPool pool(ResolveThreadCount(options.num_threads));
+  HomSearchOptions lhs_options;
+  lhs_options.use_index = options.use_index;
+  std::vector<const Conjunction*> bodies;
+  bodies.reserve(tgds.size());
+  for (const Tgd& tgd : tgds) bodies.push_back(&tgd.lhs);
+  std::vector<std::vector<Assignment>> batches =
+      FindTriggerBatches(bodies, {lhs_options}, source_inst, pool);
+
+  // Phase 2 — fire serially in (dependency, canonical match) order. The
+  // satisfaction check reads the growing target instance, and fresh-null
+  // labels and journal records depend on firing order, so this phase
+  // stays single-threaded by design.
+  for (size_t dep_index = 0;
+       dep_index < tgds.size() && overflow.ok(); ++dep_index) {
     const Tgd& tgd = tgds[dep_index];
-    HomSearchOptions lhs_options;
-    ForEachHomomorphism(
-        tgd.lhs, source_inst, {}, lhs_options,
-        [&](const Assignment& h) {
-          Status tick = limiter.Tick();
-          if (!tick.ok()) {
-            overflow = std::move(tick);
-            return false;
-          }
-          // Standard-chase applicability: skip when some extension of h
-          // already maps the rhs into the target instance. The oblivious
-          // variant fires unconditionally.
-          if (options.variant != ChaseVariant::kOblivious) {
-            HomSearchOptions rhs_options;
-            if (FindHomomorphism(tgd.rhs, target_inst, h, rhs_options)
-                    .has_value()) {
-              ++st.satisfaction_hits;
-              return true;
-            }
-          }
-          // Fire: instantiate the rhs, using fresh nulls for the
-          // existential variables.
-          ++st.triggers_fired;
-          std::vector<uint64_t> parent_ids;
-          std::vector<uint64_t> null_ids;
-          if (journal.active()) {
-            for (const Atom& atom :
-                 ApplyAssignmentToConjunction(tgd.lhs, h)) {
-              parent_ids.push_back(journal.RecordBaseFact(
-                  AtomToString(atom, *source_inst.schema())));
-            }
-          }
-          Assignment extended = h;
-          for (const Value& y : tgd.ExistentialVariables()) {
-            Value fresh = Value::MakeNull(next_null++);
-            extended.emplace(y, fresh);
-            ++st.nulls_minted;
-            if (journal.active()) {
-              null_ids.push_back(journal.RecordNull(
-                  fresh.ToString(), y.ToString(), dep_texts[dep_index],
-                  static_cast<int32_t>(dep_index)));
-            }
-          }
-          for (const Atom& atom :
-               ApplyAssignmentToConjunction(tgd.rhs, extended)) {
-            Status status = target_inst.AddFact(atom.relation, atom.args);
-            ++st.facts_added;
-            if (journal.active()) {
-              journal.RecordDerivedFact(
-                  AtomToString(atom, *target_inst.schema()),
-                  dep_texts[dep_index], static_cast<int32_t>(dep_index),
-                  AssignmentToString(h), parent_ids, null_ids);
-            }
-            if (!status.ok()) {
-              overflow = status;
-              return false;
-            }
-          }
-          return true;
-        });
-    if (!overflow.ok()) break;
+    for (const Assignment& h : batches[dep_index]) {
+      Status tick = limiter.Tick();
+      if (!tick.ok()) {
+        overflow = std::move(tick);
+        break;
+      }
+      // Standard-chase applicability: skip when some extension of h
+      // already maps the rhs into the target instance. The oblivious
+      // variant fires unconditionally.
+      if (options.variant != ChaseVariant::kOblivious) {
+        HomSearchOptions rhs_options;
+        rhs_options.use_index = options.use_index;
+        if (FindHomomorphism(tgd.rhs, target_inst, h, rhs_options)
+                .has_value()) {
+          ++st.satisfaction_hits;
+          continue;
+        }
+      }
+      // Fire: instantiate the rhs, using fresh nulls for the existential
+      // variables.
+      ++st.triggers_fired;
+      std::vector<uint64_t> parent_ids;
+      std::vector<uint64_t> null_ids;
+      if (journal.active()) {
+        for (const Atom& atom : ApplyAssignmentToConjunction(tgd.lhs, h)) {
+          parent_ids.push_back(journal.RecordBaseFact(
+              AtomToString(atom, *source_inst.schema())));
+        }
+      }
+      Assignment extended = h;
+      for (const Value& y : tgd.ExistentialVariables()) {
+        Value fresh = Value::MakeNull(next_null++);
+        extended.emplace(y, fresh);
+        ++st.nulls_minted;
+        if (journal.active()) {
+          null_ids.push_back(journal.RecordNull(
+              fresh.ToString(), y.ToString(), dep_texts[dep_index],
+              static_cast<int32_t>(dep_index)));
+        }
+      }
+      for (const Atom& atom :
+           ApplyAssignmentToConjunction(tgd.rhs, extended)) {
+        Status status = target_inst.AddFact(atom.relation, atom.args);
+        ++st.facts_added;
+        if (journal.active()) {
+          journal.RecordDerivedFact(
+              AtomToString(atom, *target_inst.schema()),
+              dep_texts[dep_index], static_cast<int32_t>(dep_index),
+              AssignmentToString(h), parent_ids, null_ids);
+        }
+        if (!status.ok()) {
+          overflow = status;
+          break;
+        }
+      }
+      if (!overflow.ok()) break;
+    }
   }
   st.steps = limiter.steps();
   FlushChaseMetrics(st);

@@ -35,6 +35,18 @@ struct ChaseOptions {
   /// Safety valve on the number of chase steps (s-t chases always
   /// terminate; this guards against misuse).
   size_t max_steps = 1u << 20;
+  /// If true (default), trigger finding joins lhs atoms through the
+  /// instance's first-column hash index. If false, every atom is matched
+  /// by a full relation scan — the naive oracle the differential tests
+  /// compare against. Both settings produce identical chase output
+  /// (trigger batches are canonically sorted before firing).
+  bool use_index = true;
+  /// Worker threads for trigger collection (per-dependency fan-out).
+  /// 1 (default) runs fully inline, exactly as before the pool existed;
+  /// 0 reads the `QIMAP_CHASE_THREADS` environment variable (defaulting
+  /// to 1). Output is identical for every thread count: collection is
+  /// side-effect-free and firing stays serial, in canonical order.
+  size_t num_threads = 1;
 };
 
 /// Per-run statistics of one chase (the repo-wide stats convention: every

@@ -2,15 +2,18 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <deque>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 
+#include "base/thread_pool.h"
+#include "chase/trigger_finder.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/step_limit.h"
 #include "obs/trace.h"
+#include "relational/hom_cache.h"
 #include "relational/homomorphism.h"
 
 namespace qimap {
@@ -48,31 +51,29 @@ struct ApplicableStep {
 // Finds the first (dependency, homomorphism) pair that is applicable to
 // `current` per Definition 6.3: the lhs matches the (fixed) target
 // instance with the side conditions satisfied, and no disjunct extends the
-// match into `current`. Deterministic: dependencies in order, matches in
-// search order.
+// match into `current`. Dependency bodies read only the fixed target
+// instance, so the per-dependency match lists are computed once per run
+// (`dep_matches`, canonically sorted) and every node only pays for the
+// satisfaction checks against its own source instance. Deterministic:
+// dependencies in order, matches in canonical order.
 std::optional<ApplicableStep> FindApplicableStep(
-    const Instance& target_inst, const Instance& current,
-    const ReverseMapping& m) {
+    const std::vector<std::vector<Assignment>>& dep_matches,
+    const Instance& current, const ReverseMapping& m, bool use_index) {
   for (size_t dep_index = 0; dep_index < m.deps.size(); ++dep_index) {
     const DisjunctiveTgd& dep = m.deps[dep_index];
-    HomSearchOptions lhs_options;
-    lhs_options.must_be_constant = dep.constant_vars;
-    lhs_options.inequalities = dep.inequalities;
-    std::optional<ApplicableStep> found;
-    ForEachHomomorphism(
-        dep.lhs, target_inst, {}, lhs_options,
-        [&](const Assignment& h) {
-          for (const Conjunction& disjunct : dep.disjuncts) {
-            HomSearchOptions rhs_options;
-            if (FindHomomorphism(disjunct, current, h, rhs_options)
-                    .has_value()) {
-              return true;  // already satisfied; keep scanning matches
-            }
-          }
-          found = ApplicableStep{&dep, dep_index, h};
-          return false;
-        });
-    if (found.has_value()) return found;
+    for (const Assignment& h : dep_matches[dep_index]) {
+      bool satisfied = false;
+      for (const Conjunction& disjunct : dep.disjuncts) {
+        HomSearchOptions rhs_options;
+        rhs_options.use_index = use_index;
+        if (FindHomomorphism(disjunct, current, h, rhs_options)
+                .has_value()) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) return ApplicableStep{&dep, dep_index, h};
+    }
   }
   return std::nullopt;
 }
@@ -117,86 +118,121 @@ Result<std::vector<Instance>> DisjunctiveChase(
     }
   }
 
+  // Dependency lhs are over the (fixed) target schema, so every node
+  // shares the same per-dependency match lists — collect them once, in
+  // parallel across dependencies, with the side conditions applied.
+  ThreadPool pool(ResolveThreadCount(options.num_threads));
+  std::vector<const Conjunction*> bodies;
+  std::vector<HomSearchOptions> body_options;
+  bodies.reserve(m.deps.size());
+  body_options.reserve(m.deps.size());
+  for (const DisjunctiveTgd& dep : m.deps) {
+    bodies.push_back(&dep.lhs);
+    HomSearchOptions lhs_options;
+    lhs_options.use_index = options.use_index;
+    lhs_options.must_be_constant = dep.constant_vars;
+    lhs_options.inequalities = dep.inequalities;
+    body_options.push_back(std::move(lhs_options));
+  }
+  std::vector<std::vector<Assignment>> dep_matches =
+      FindTriggerBatches(bodies, body_options, target_inst, pool);
+
   std::vector<Instance> leaves;
   std::set<Instance> seen_leaves;
-  std::deque<Instance> worklist;
   // Chase-tree node ids, labeling each branch's journal events (the root
   // is node 1; every branched child gets the next id).
   uint64_t next_node = 2;
-  worklist.emplace_back(m.to);  // the root's source part is empty
-  ++st.nodes;
 
-  while (!worklist.empty()) {
-    Instance current = std::move(worklist.front());
-    worklist.pop_front();
-    std::optional<ApplicableStep> step =
-        FindApplicableStep(target_inst, current, m);
-    if (!step.has_value()) {
-      bool fresh = !options.dedup_leaves || seen_leaves.insert(current).second;
-      if (fresh && options.dedup_equivalent_leaves) {
-        for (const Instance& leaf : leaves) {
-          if (HomomorphicallyEquivalent(leaf, current)) {
-            fresh = false;
-            break;
+  // Level-synchronous exploration. A FIFO worklist visits the tree in
+  // exactly the order waves do (children always append after every
+  // already-queued node), so examining a whole wave's nodes in parallel
+  // and then expanding them serially in wave order reproduces the serial
+  // traversal byte for byte — leaves, null labels, and journal records
+  // included. The parallel part touches only per-node state; all shared
+  // mutation happens in the serial expansion below.
+  std::vector<Instance> wave;
+  wave.emplace_back(m.to);  // the root's source part is empty
+  ++st.nodes;
+  while (!wave.empty()) {
+    std::vector<std::optional<ApplicableStep>> steps(wave.size());
+    CountParallelFanout(pool, wave.size());
+    pool.ParallelFor(wave.size(), [&](size_t i) {
+      steps[i] =
+          FindApplicableStep(dep_matches, wave[i], m, options.use_index);
+    });
+    std::vector<Instance> next_wave;
+    for (size_t node = 0; node < wave.size(); ++node) {
+      Instance current = std::move(wave[node]);
+      std::optional<ApplicableStep>& step = steps[node];
+      if (!step.has_value()) {
+        bool fresh =
+            !options.dedup_leaves || seen_leaves.insert(current).second;
+        if (fresh && options.dedup_equivalent_leaves) {
+          for (const Instance& leaf : leaves) {
+            if (CachedHomomorphicallyEquivalent(leaf, current)) {
+              fresh = false;
+              break;
+            }
           }
         }
-      }
-      if (fresh) {
-        leaves.push_back(std::move(current));
-        ++st.leaves;
-        if (leaves.size() > options.max_leaves) {
-          return Status::ResourceExhausted(
-              "disjunctive chase exceeded max_leaves (" +
-              std::to_string(options.max_leaves) + " leaves)");
+        if (fresh) {
+          leaves.push_back(std::move(current));
+          ++st.leaves;
+          if (leaves.size() > options.max_leaves) {
+            return Status::ResourceExhausted(
+                "disjunctive chase exceeded max_leaves (" +
+                std::to_string(options.max_leaves) + " leaves)");
+          }
+        } else {
+          ++st.dedup_dropped;
         }
-      } else {
-        ++st.dedup_dropped;
+        continue;
       }
-      continue;
-    }
-    QIMAP_RETURN_IF_ERROR(limiter.Tick());
-    // Branch: one child per disjunct (Definition 6.3).
-    const DisjunctiveTgd& dep = *step->dep;
-    std::vector<uint64_t> parent_ids;
-    if (journal.active()) {
-      for (const Atom& atom :
-           ApplyAssignmentToConjunction(dep.lhs, step->match)) {
-        parent_ids.push_back(
-            journal.RecordBaseFact(AtomToString(atom, *m.from)));
-      }
-    }
-    for (size_t i = 0; i < dep.disjuncts.size(); ++i) {
-      Instance child = current;
-      uint64_t child_node = next_node++;
-      std::vector<uint64_t> null_ids;
-      Assignment extended = step->match;
-      for (const Value& y : dep.ExistentialVariablesOf(i)) {
-        Value fresh = Value::MakeNull(next_null++);
-        extended.emplace(y, fresh);
-        ++st.nulls_minted;
-        if (journal.active()) {
-          null_ids.push_back(journal.RecordNull(
-              fresh.ToString(), y.ToString(),
-              dep_texts[step->dep_index],
-              static_cast<int32_t>(step->dep_index), child_node));
+      QIMAP_RETURN_IF_ERROR(limiter.Tick());
+      // Branch: one child per disjunct (Definition 6.3).
+      const DisjunctiveTgd& dep = *step->dep;
+      std::vector<uint64_t> parent_ids;
+      if (journal.active()) {
+        for (const Atom& atom :
+             ApplyAssignmentToConjunction(dep.lhs, step->match)) {
+          parent_ids.push_back(
+              journal.RecordBaseFact(AtomToString(atom, *m.from)));
         }
       }
-      for (const Atom& atom :
-           ApplyAssignmentToConjunction(dep.disjuncts[i], extended)) {
-        Status status = child.AddFact(atom.relation, atom.args);
-        if (!status.ok()) return status;
-        if (journal.active()) {
-          journal.RecordDerivedFact(
-              AtomToString(atom, *m.to), dep_texts[step->dep_index],
-              static_cast<int32_t>(step->dep_index),
-              AssignmentToString(step->match), parent_ids, null_ids,
-              static_cast<int32_t>(i), child_node);
+      for (size_t i = 0; i < dep.disjuncts.size(); ++i) {
+        Instance child = current;
+        uint64_t child_node = next_node++;
+        std::vector<uint64_t> null_ids;
+        Assignment extended = step->match;
+        for (const Value& y : dep.ExistentialVariablesOf(i)) {
+          Value fresh = Value::MakeNull(next_null++);
+          extended.emplace(y, fresh);
+          ++st.nulls_minted;
+          if (journal.active()) {
+            null_ids.push_back(journal.RecordNull(
+                fresh.ToString(), y.ToString(),
+                dep_texts[step->dep_index],
+                static_cast<int32_t>(step->dep_index), child_node));
+          }
         }
+        for (const Atom& atom :
+             ApplyAssignmentToConjunction(dep.disjuncts[i], extended)) {
+          Status status = child.AddFact(atom.relation, atom.args);
+          if (!status.ok()) return status;
+          if (journal.active()) {
+            journal.RecordDerivedFact(
+                AtomToString(atom, *m.to), dep_texts[step->dep_index],
+                static_cast<int32_t>(step->dep_index),
+                AssignmentToString(step->match), parent_ids, null_ids,
+                static_cast<int32_t>(i), child_node);
+          }
+        }
+        next_wave.push_back(std::move(child));
+        ++st.nodes;
+        ++st.branches;
       }
-      worklist.push_back(std::move(child));
-      ++st.nodes;
-      ++st.branches;
     }
+    wave = std::move(next_wave);
   }
   return leaves;
 }

@@ -26,6 +26,16 @@ struct DisjunctiveChaseOptions {
   /// equivalence) and can shrink `V` dramatically; off by default so the
   /// leaf set matches Definition 6.4 exactly.
   bool dedup_equivalent_leaves = false;
+  /// Index-first trigger finding (see ChaseOptions::use_index).
+  bool use_index = true;
+  /// Worker threads for the per-node applicable-step search. The chase
+  /// tree is explored level-synchronously: each wave's nodes are examined
+  /// in parallel (the searches read only the fixed target instance and
+  /// the node's own source instance), then branched serially in wave
+  /// order, so leaves, null labels, and journal order are identical for
+  /// every thread count. 1 (default) runs fully inline; 0 reads
+  /// `QIMAP_CHASE_THREADS` (defaulting to 1).
+  size_t num_threads = 1;
 };
 
 /// Statistics about a disjunctive chase run (same convention as

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "chase/trigger_finder.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/step_limit.h"
@@ -31,22 +32,20 @@ void FlushTargetChaseMetrics(const TargetChaseStats& st) {
 }
 
 // One applicable target-tgd trigger: the lhs matches but no extension
-// satisfies the rhs.
+// satisfies the rhs. Matches are tested in canonical (sorted) order so
+// the fixpoint fires the same trigger regardless of enumeration order.
 std::optional<Assignment> FindTgdTrigger(const Instance& inst,
-                                         const Tgd& tgd) {
-  std::optional<Assignment> trigger;
+                                         const Tgd& tgd, bool use_index) {
   HomSearchOptions options;
-  ForEachHomomorphism(tgd.lhs, inst, {}, options,
-                      [&](const Assignment& h) {
-                        HomSearchOptions rhs_options;
-                        if (FindHomomorphism(tgd.rhs, inst, h, rhs_options)
-                                .has_value()) {
-                          return true;
-                        }
-                        trigger = h;
-                        return false;
-                      });
-  return trigger;
+  options.use_index = use_index;
+  for (const Assignment& h : FindTriggers(tgd.lhs, inst, options)) {
+    HomSearchOptions rhs_options;
+    rhs_options.use_index = use_index;
+    if (!FindHomomorphism(tgd.rhs, inst, h, rhs_options).has_value()) {
+      return h;
+    }
+  }
+  return std::nullopt;
 }
 
 // One applicable egd trigger: a match whose required equalities do not
@@ -59,22 +58,17 @@ struct EgdTrigger {
 };
 
 std::optional<EgdTrigger> FindEgdTrigger(const Instance& inst,
-                                         const Egd& egd) {
-  std::optional<EgdTrigger> trigger;
+                                         const Egd& egd, bool use_index) {
   HomSearchOptions options;
-  ForEachHomomorphism(egd.lhs, inst, {}, options,
-                      [&](const Assignment& h) {
-                        for (const auto& [x, y] : egd.equalities) {
-                          Value a = Resolve(h, x);
-                          Value b = Resolve(h, y);
-                          if (!(a == b)) {
-                            trigger = EgdTrigger{a, b, h};
-                            return false;
-                          }
-                        }
-                        return true;
-                      });
-  return trigger;
+  options.use_index = use_index;
+  for (const Assignment& h : FindTriggers(egd.lhs, inst, options)) {
+    for (const auto& [x, y] : egd.equalities) {
+      Value a = Resolve(h, x);
+      Value b = Resolve(h, y);
+      if (!(a == b)) return EgdTrigger{a, b, h};
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -91,6 +85,8 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
 
   ChaseOptions st_options;
   st_options.first_null_label = options.first_null_label;
+  st_options.use_index = options.use_index;
+  st_options.num_threads = options.num_threads;
   QIMAP_ASSIGN_OR_RETURN(Instance target_inst,
                          Chase(source_inst, m, st_options));
   uint32_t next_null =
@@ -133,7 +129,8 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
     bool fired = false;
     for (size_t ei = 0; ei < constraints.egds.size(); ++ei) {
       const Egd& egd = constraints.egds[ei];
-      std::optional<EgdTrigger> merge = FindEgdTrigger(target_inst, egd);
+      std::optional<EgdTrigger> merge =
+          FindEgdTrigger(target_inst, egd, options.use_index);
       if (!merge.has_value()) continue;
       Value a = merge->a;
       Value b = merge->b;
@@ -185,7 +182,8 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
     if (fired) continue;
     for (size_t ti = 0; ti < constraints.tgds.size(); ++ti) {
       const Tgd& tgd = constraints.tgds[ti];
-      std::optional<Assignment> trigger = FindTgdTrigger(target_inst, tgd);
+      std::optional<Assignment> trigger =
+          FindTgdTrigger(target_inst, tgd, options.use_index);
       if (!trigger.has_value()) continue;
       std::vector<uint64_t> parent_ids;
       std::vector<uint64_t> null_ids;

@@ -16,6 +16,14 @@ struct TargetChaseOptions {
   /// unlike the s-t chase this can genuinely diverge unless the target
   /// tgds are weakly acyclic (core/weak_acyclicity.h).
   size_t max_steps = 1u << 16;
+  /// Index-first trigger finding (see ChaseOptions::use_index); applies
+  /// to the inner s-t chase and to the fixpoint's egd/tgd trigger search.
+  bool use_index = true;
+  /// Worker threads for the inner s-t chase's trigger collection (see
+  /// ChaseOptions::num_threads). The fixpoint loop itself is inherently
+  /// serial: each step rewrites the instance the next trigger search
+  /// reads.
+  size_t num_threads = 1;
 };
 
 /// Per-run statistics of the target-constraint fixpoint loop (same

@@ -1,0 +1,44 @@
+#include "chase/trigger_finder.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace qimap {
+
+std::vector<Assignment> FindTriggers(const Conjunction& body,
+                                     const Instance& inst,
+                                     const HomSearchOptions& options) {
+  std::vector<Assignment> matches =
+      FindAllHomomorphisms(body, inst, {}, options);
+  // Assignment is an ordered map, so the lexicographic vector sort is a
+  // canonical order on (variable, value) binding lists.
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+std::vector<std::vector<Assignment>> FindTriggerBatches(
+    const std::vector<const Conjunction*>& bodies,
+    const std::vector<HomSearchOptions>& options, const Instance& inst,
+    ThreadPool& pool) {
+  std::vector<std::vector<Assignment>> batches(bodies.size());
+  CountParallelFanout(pool, bodies.size());
+  pool.ParallelFor(bodies.size(), [&](size_t i) {
+    const HomSearchOptions& opts =
+        options.size() == 1 ? options[0] : options[i];
+    batches[i] = FindTriggers(*bodies[i], inst, opts);
+  });
+  return batches;
+}
+
+void CountParallelFanout(const ThreadPool& pool, size_t tasks) {
+  if (pool.num_threads() < 2 || tasks < 2) return;
+  static const obs::MetricId kBatches =
+      obs::RegisterCounter("chase.parallel.batches");
+  static const obs::MetricId kTasks =
+      obs::RegisterCounter("chase.parallel.tasks");
+  obs::CounterAdd(kBatches);
+  obs::CounterAdd(kTasks, tasks);
+}
+
+}  // namespace qimap

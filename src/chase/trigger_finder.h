@@ -1,0 +1,51 @@
+#ifndef QIMAP_CHASE_TRIGGER_FINDER_H_
+#define QIMAP_CHASE_TRIGGER_FINDER_H_
+
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "relational/homomorphism.h"
+#include "relational/instance.h"
+
+namespace qimap {
+
+/// Trigger finding shared by every chase variant: collects all lhs matches
+/// of a dependency body against an instance and canonically sorts them.
+///
+/// The sort is the engines' determinism anchor. Index-first matching (and
+/// the index-informed join order behind it) can enumerate homomorphisms in
+/// a different order than the naive full scan, and parallel collection
+/// adds thread-timing nondeterminism on top; sorting every batch before
+/// any trigger fires makes chase output — including fresh-null labels and
+/// provenance-journal order — a pure function of the input, identical
+/// across `use_index` on/off and any `num_threads`.
+///
+/// All matches are collected before any fires because s-t (and
+/// target-to-source) dependency bodies read only the fixed input side, so
+/// firing cannot create new lhs matches; the target-constraint fixpoint in
+/// target_chase.cc re-collects per iteration instead.
+
+/// All homomorphisms from `body` into `inst`, sorted.
+std::vector<Assignment> FindTriggers(const Conjunction& body,
+                                     const Instance& inst,
+                                     const HomSearchOptions& options);
+
+/// One sorted trigger list per body, collected by fanning the bodies out
+/// over `pool` (inline and in order when the pool has one thread). Every
+/// body is matched with `options[i]` — pass a single-element vector to
+/// share one option set. Mirrors the fan-out into the `chase.parallel.*`
+/// counters when the pool is actually parallel.
+std::vector<std::vector<Assignment>> FindTriggerBatches(
+    const std::vector<const Conjunction*>& bodies,
+    const std::vector<HomSearchOptions>& options, const Instance& inst,
+    ThreadPool& pool);
+
+/// Mirrors one parallel fan-out of `tasks` independent work items into the
+/// `chase.parallel.batches` / `chase.parallel.tasks` counters. No-op for a
+/// single-thread pool, so serial runs report all-zero parallel counters
+/// (what the telemetry_check --parallel leg keys on).
+void CountParallelFanout(const ThreadPool& pool, size_t tasks);
+
+}  // namespace qimap
+
+#endif  // QIMAP_CHASE_TRIGGER_FINDER_H_

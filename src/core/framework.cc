@@ -6,6 +6,7 @@
 #include "chase/chase.h"
 #include "core/solution_space.h"
 #include "dependency/satisfaction.h"
+#include "relational/hom_cache.h"
 #include "relational/homomorphism.h"
 #include "relational/instance_enum.h"
 
@@ -92,7 +93,7 @@ Status FrameworkChecker::Prepare() {
       size_t i = representatives[ri];
       size_t j = representatives[rj];
       if (find(i) == find(j)) continue;
-      if (HomomorphicallyEquivalent(chases_[i], chases_[j])) {
+      if (CachedHomomorphicallyEquivalent(chases_[i], chases_[j])) {
         parent[find(j)] = find(i);
       }
     }

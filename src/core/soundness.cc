@@ -1,6 +1,7 @@
 #include "core/soundness.h"
 
 #include "chase/chase.h"
+#include "relational/hom_cache.h"
 #include "relational/homomorphism.h"
 
 namespace qimap {
@@ -26,11 +27,11 @@ Result<RoundTrip> CheckRoundTrip(const SchemaMapping& m,
         1;
     QIMAP_ASSIGN_OR_RETURN(Instance rechased,
                            Chase(trip.recovered[i], m, chase_options));
-    bool into = ExistsInstanceHomomorphism(rechased, trip.universal);
+    bool into = CachedExistsInstanceHomomorphism(rechased, trip.universal);
     if (into) {
       trip.sound = true;
       if (!trip.faithful &&
-          ExistsInstanceHomomorphism(trip.universal, rechased)) {
+          CachedExistsInstanceHomomorphism(trip.universal, rechased)) {
         trip.faithful = true;
         trip.faithful_witness = i;
       }

@@ -1,0 +1,134 @@
+#include "relational/hom_cache.h"
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "relational/homomorphism.h"
+
+namespace qimap {
+namespace {
+
+struct CacheKey {
+  uint64_t from_fp;
+  uint64_t to_fp;
+  bool map_variables;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) = default;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const {
+    uint64_t h = k.from_fp * 0x9E3779B97F4A7C15ULL;
+    h ^= k.to_fp + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h ^= static_cast<uint64_t>(k.map_variables) + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+struct CacheEntry {
+  // Stored by value so a hit can be verified against the live instances;
+  // Instance copies are row vectors + rebuildable hash maps, cheap at the
+  // sizes the Section 4-6 pipelines pass around.
+  Instance from;
+  Instance to;
+  bool result;
+};
+
+// When the table reaches this many entries it is dropped wholesale (the
+// workloads ask about a small working set of instances; a full clear is
+// simpler than LRU and the next pass re-warms it in one miss per pair).
+constexpr size_t kMaxEntries = 1u << 14;
+
+struct Cache {
+  std::mutex mu;
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> table;
+  HomCacheStats stats;
+};
+
+Cache& GlobalCache() {
+  static Cache* cache = new Cache();  // leaked: alive for process lifetime
+  return *cache;
+}
+
+void FlushMetric(const char* name, size_t delta) {
+  // Registration is memoized inside the registry, so looking the ids up
+  // here (rather than via four function-local statics at every call site)
+  // keeps this file's counters in one place.
+  obs::CounterAdd(obs::RegisterCounter(name), delta);
+}
+
+}  // namespace
+
+bool CachedExistsInstanceHomomorphism(const Instance& from,
+                                      const Instance& to,
+                                      bool map_variables) {
+  Cache& cache = GlobalCache();
+  CacheKey key{from.Fingerprint(), to.Fingerprint(), map_variables};
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto it = cache.table.find(key);
+    if (it != cache.table.end()) {
+      if (it->second.from == from && it->second.to == to) {
+        ++cache.stats.hits;
+        FlushMetric("hom.cache.hits", 1);
+        return it->second.result;
+      }
+      // Same fingerprints, different content: never trust the entry.
+      ++cache.stats.collisions;
+      FlushMetric("hom.cache.collisions", 1);
+    } else {
+      ++cache.stats.misses;
+      FlushMetric("hom.cache.misses", 1);
+    }
+  }
+  // Compute outside the lock — the search can be expensive, and other
+  // threads' lookups should not serialize behind it.
+  bool result = ExistsInstanceHomomorphism(from, to, map_variables);
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    if (cache.table.size() >= kMaxEntries) {
+      cache.stats.evictions += cache.table.size();
+      FlushMetric("hom.cache.evictions", cache.table.size());
+      cache.table.clear();
+    }
+    cache.table.insert_or_assign(key, CacheEntry{from, to, result});
+  }
+  return result;
+}
+
+bool CachedHomomorphicallyEquivalent(const Instance& a, const Instance& b) {
+  return CachedExistsInstanceHomomorphism(a, b) &&
+         CachedExistsInstanceHomomorphism(b, a);
+}
+
+HomCacheStats HomCacheSnapshot() {
+  Cache& cache = GlobalCache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.stats;
+}
+
+void HomCacheClear() {
+  Cache& cache = GlobalCache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.table.clear();
+  cache.stats = HomCacheStats{};
+}
+
+namespace hom_cache_internal {
+
+void InsertForTesting(uint64_t from_fingerprint, uint64_t to_fingerprint,
+                      bool map_variables, const Instance& from,
+                      const Instance& to, bool result) {
+  Cache& cache = GlobalCache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.table.insert_or_assign(
+      CacheKey{from_fingerprint, to_fingerprint, map_variables},
+      CacheEntry{from, to, result});
+}
+
+}  // namespace hom_cache_internal
+
+}  // namespace qimap

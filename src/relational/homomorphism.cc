@@ -1,6 +1,7 @@
 #include "relational/homomorphism.h"
 
 #include <algorithm>
+#include <set>
 
 #include "obs/metrics.h"
 
@@ -42,10 +43,21 @@ class Matcher {
   // inner loop stays free of shared-state writes; the caller flushes the
   // total to the metrics registry once per search).
   size_t backtracks() const { return backtracks_; }
+  // Index telemetry, flushed by the caller into chase.index.*.
+  size_t index_probes() const { return index_probes_; }
+  size_t index_hits() const { return index_hits_; }
+  size_t index_rows() const { return index_rows_; }
+  size_t scan_rows() const { return scan_rows_; }
 
  private:
-  // Tries to unify atom `index` with each tuple of its relation, then
-  // recurses.
+  // Tries to unify atom `index` with each candidate tuple of its
+  // relation, then recurses. Index-first: when the atom's leading
+  // argument is already determined (a constant, a frozen value, or a
+  // variable bound by an earlier atom) and the index is enabled, only the
+  // rows the first-column hash index lists for that value are visited;
+  // otherwise the whole relation is scanned. Both paths visit candidate
+  // rows in ascending row id, so they unify the same matches in the same
+  // order.
   void Search(size_t index) {
     if (stop_) return;
     if (index == body_.size()) {
@@ -56,25 +68,32 @@ class Matcher {
       return;
     }
     const Atom& atom = body_[index];
-    const std::set<Tuple>& tuples = target_.tuples(atom.relation);
-    // Prefix scan: when the first argument is already determined, the
-    // sorted tuple set lets us visit only the matching contiguous range.
-    bool prefix_determined = false;
-    Value prefix_value;
-    auto begin = tuples.begin();
-    if (!atom.args.empty()) {
+    const std::vector<Tuple>& rows = target_.rows(atom.relation);
+    const std::vector<uint32_t>* candidates = nullptr;
+    if (options_.use_index && !atom.args.empty()) {
       const Value& first = atom.args[0];
-      prefix_determined = !IsMovable(first, options_) ||
-                          assignment_.count(first) > 0;
-      if (prefix_determined) {
-        prefix_value = Resolve(assignment_, first);
-        begin = tuples.lower_bound(Tuple{prefix_value});
+      bool determined = !IsMovable(first, options_) ||
+                        assignment_.count(first) > 0;
+      if (determined) {
+        ++index_probes_;
+        candidates =
+            target_.RowsWithFirst(atom.relation, Resolve(assignment_, first));
+        if (candidates == nullptr) return;  // no row has this first column
+        ++index_hits_;
       }
     }
-    for (auto it = begin; it != tuples.end(); ++it) {
-      if (prefix_determined && !((*it)[0] == prefix_value)) break;
+    size_t num_candidates =
+        candidates != nullptr ? candidates->size() : rows.size();
+    for (size_t c = 0; c < num_candidates; ++c) {
+      const Tuple& tuple =
+          candidates != nullptr ? rows[(*candidates)[c]] : rows[c];
+      if (candidates != nullptr) {
+        ++index_rows_;
+      } else {
+        ++scan_rows_;
+      }
       std::vector<Value> bound;  // values newly bound by this atom
-      if (UnifyAtom(atom, *it, &bound)) {
+      if (UnifyAtom(atom, tuple, &bound)) {
         Search(index + 1);
       } else {
         ++backtracks_;
@@ -166,10 +185,18 @@ class Matcher {
   bool stop_ = false;
   size_t count_ = 0;
   size_t backtracks_ = 0;
+  size_t index_probes_ = 0;
+  size_t index_hits_ = 0;
+  size_t index_rows_ = 0;
+  size_t scan_rows_ = 0;
 };
 
 // Greedy static atom order: repeatedly pick the atom with the fewest
-// unbound movable arguments (breaking ties by smaller relation extent).
+// unbound movable arguments, breaking ties by the smaller estimated
+// candidate count. With the index on, an atom whose leading argument
+// will be determined at match time is costed by the first-column index
+// list for that value (when it is a known constant) instead of the full
+// relation extent.
 Conjunction OrderAtoms(const Conjunction& body, const Instance& target,
                        const Assignment& partial,
                        const HomSearchOptions& options) {
@@ -188,7 +215,28 @@ Conjunction OrderAtoms(const Conjunction& body, const Instance& target,
       for (const Value& v : body[i].args) {
         if (IsMovable(v, options) && bound.count(v) == 0) ++unbound;
       }
-      size_t extent = target.tuples(body[i].relation).size();
+      size_t extent = target.rows(body[i].relation).size();
+      if (options.use_index && !body[i].args.empty()) {
+        const Value& first = body[i].args[0];
+        bool determined =
+            !IsMovable(first, options) || bound.count(first) > 0;
+        if (determined) {
+          // The exact probe value is only known here when `first` needs no
+          // lookup (a literal constant, or pinned by `partial`); a
+          // variable bound by an earlier atom still benefits, so estimate
+          // it as half the extent to prefer indexable atoms.
+          auto it = partial.find(first);
+          if (it != partial.end() || !IsMovable(first, options)) {
+            const Value& probe =
+                it != partial.end() ? it->second : first;
+            const std::vector<uint32_t>* ids =
+                target.RowsWithFirst(body[i].relation, probe);
+            extent = ids != nullptr ? ids->size() : 0;
+          } else {
+            extent = extent / 2;
+          }
+        }
+      }
       if (unbound < best_unbound ||
           (unbound == best_unbound && extent < best_extent)) {
         best = i;
@@ -231,12 +279,24 @@ size_t ForEachHomomorphism(const Conjunction& body, const Instance& target,
       obs::RegisterCounter("hom.matches");
   static const obs::MetricId kBacktracks =
       obs::RegisterCounter("hom.backtracks");
+  static const obs::MetricId kIndexLookups =
+      obs::RegisterCounter("chase.index.lookups");
+  static const obs::MetricId kIndexHits =
+      obs::RegisterCounter("chase.index.hits");
+  static const obs::MetricId kIndexRows =
+      obs::RegisterCounter("chase.index.rows");
+  static const obs::MetricId kScanRows =
+      obs::RegisterCounter("chase.index.scan_rows");
   Conjunction ordered = OrderAtoms(body, target, partial, options);
   Matcher matcher(ordered, target, options, fn);
   size_t count = matcher.Run(partial);
   obs::CounterAdd(kSearches);
   obs::CounterAdd(kMatches, count);
   obs::CounterAdd(kBacktracks, matcher.backtracks());
+  obs::CounterAdd(kIndexLookups, matcher.index_probes());
+  obs::CounterAdd(kIndexHits, matcher.index_hits());
+  obs::CounterAdd(kIndexRows, matcher.index_rows());
+  obs::CounterAdd(kScanRows, matcher.scan_rows());
   return count;
 }
 

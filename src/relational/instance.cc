@@ -4,10 +4,27 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 
 #include "base/strings.h"
 
 namespace qimap {
+namespace {
+
+// Mixes one fact into the instance fingerprint. XOR-combining the
+// per-fact hashes keeps the fingerprint independent of insertion order
+// (set semantics); the splitmix64 finalizer spreads the combined tuple
+// hash so single-value differences flip many bits.
+uint64_t FactFingerprint(RelationId relation, const Tuple& tuple) {
+  uint64_t h = (static_cast<uint64_t>(relation) << 32) ^
+               static_cast<uint64_t>(TupleHash{}(tuple));
+  h += 0x9E3779B97F4A7C15ULL;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
 
 Status Instance::AddFact(RelationId relation, Tuple tuple) {
   if (relation >= schema_->size()) {
@@ -20,7 +37,15 @@ Status Instance::AddFact(RelationId relation, Tuple tuple) {
         std::to_string(tuple.size()) + ", want " +
         std::to_string(symbol.arity));
   }
-  tuples_[relation].insert(std::move(tuple));
+  RelationStore& store = stores_[relation];
+  uint32_t row_id = static_cast<uint32_t>(store.rows.size());
+  auto [it, inserted] = store.by_tuple.emplace(tuple, row_id);
+  if (!inserted) return Status::OK();  // duplicate absorbed
+  fingerprint_ ^= FactFingerprint(relation, tuple);
+  if (!tuple.empty()) {
+    store.by_first[tuple[0]].push_back(row_id);
+  }
+  store.rows.push_back(std::move(tuple));
   return Status::OK();
 }
 
@@ -31,22 +56,35 @@ Status Instance::AddFact(std::string_view relation_name, Tuple tuple) {
 }
 
 bool Instance::ContainsFact(RelationId relation, const Tuple& tuple) const {
-  if (relation >= tuples_.size()) return false;
-  return tuples_[relation].count(tuple) > 0;
+  if (relation >= stores_.size()) return false;
+  return stores_[relation].by_tuple.count(tuple) > 0;
+}
+
+const std::vector<uint32_t>* Instance::RowsWithFirst(RelationId relation,
+                                                     const Value& v) const {
+  const RelationStore& store = stores_[relation];
+  auto it = store.by_first.find(v);
+  return it != store.by_first.end() ? &it->second : nullptr;
 }
 
 size_t Instance::NumFacts() const {
   size_t n = 0;
-  for (const auto& rel : tuples_) n += rel.size();
+  for (const RelationStore& store : stores_) n += store.rows.size();
   return n;
+}
+
+std::vector<Tuple> Instance::SortedRows(RelationId relation) const {
+  std::vector<Tuple> sorted = stores_[relation].rows;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
 }
 
 std::vector<Fact> Instance::Facts() const {
   std::vector<Fact> out;
   out.reserve(NumFacts());
-  for (RelationId r = 0; r < tuples_.size(); ++r) {
-    for (const Tuple& t : tuples_[r]) {
-      out.push_back(Fact{r, t});
+  for (RelationId r = 0; r < stores_.size(); ++r) {
+    for (Tuple& t : SortedRows(r)) {
+      out.push_back(Fact{r, std::move(t)});
     }
   }
   return out;
@@ -54,8 +92,8 @@ std::vector<Fact> Instance::Facts() const {
 
 std::vector<Value> Instance::ActiveDomain() const {
   std::set<Value> domain;
-  for (const auto& rel : tuples_) {
-    for (const Tuple& t : rel) {
+  for (const RelationStore& store : stores_) {
+    for (const Tuple& t : store.rows) {
       domain.insert(t.begin(), t.end());
     }
   }
@@ -63,8 +101,8 @@ std::vector<Value> Instance::ActiveDomain() const {
 }
 
 bool Instance::IsGround() const {
-  for (const auto& rel : tuples_) {
-    for (const Tuple& t : rel) {
+  for (const RelationStore& store : stores_) {
+    for (const Tuple& t : store.rows) {
       for (const Value& v : t) {
         if (!v.IsConstant()) return false;
       }
@@ -75,8 +113,8 @@ bool Instance::IsGround() const {
 
 uint32_t Instance::MaxNullLabel() const {
   uint32_t max_label = 0;
-  for (const auto& rel : tuples_) {
-    for (const Tuple& t : rel) {
+  for (const RelationStore& store : stores_) {
+    for (const Tuple& t : store.rows) {
       for (const Value& v : t) {
         if (v.IsNull()) max_label = std::max(max_label, v.id());
       }
@@ -86,28 +124,59 @@ uint32_t Instance::MaxNullLabel() const {
 }
 
 bool Instance::IsSubsetOf(const Instance& other) const {
-  if (tuples_.size() != other.tuples_.size()) return false;
-  for (RelationId r = 0; r < tuples_.size(); ++r) {
-    if (!std::includes(other.tuples_[r].begin(), other.tuples_[r].end(),
-                       tuples_[r].begin(), tuples_[r].end())) {
-      return false;
+  if (stores_.size() != other.stores_.size()) return false;
+  for (RelationId r = 0; r < stores_.size(); ++r) {
+    const RelationStore& mine = stores_[r];
+    const RelationStore& theirs = other.stores_[r];
+    if (mine.rows.size() > theirs.rows.size()) return false;
+    for (const Tuple& t : mine.rows) {
+      if (theirs.by_tuple.count(t) == 0) return false;
     }
   }
   return true;
 }
 
 void Instance::UnionWith(const Instance& other) {
-  for (RelationId r = 0; r < tuples_.size() && r < other.tuples_.size();
+  for (RelationId r = 0; r < stores_.size() && r < other.stores_.size();
        ++r) {
-    tuples_[r].insert(other.tuples_[r].begin(), other.tuples_[r].end());
+    for (const Tuple& t : other.stores_[r].rows) {
+      Status status = AddFact(r, t);
+      (void)status;  // same schema: cannot fail
+    }
   }
+}
+
+bool Instance::EqualFactSets(const Instance& other) const {
+  if (stores_.size() != other.stores_.size()) return false;
+  if (fingerprint_ != other.fingerprint_) return false;
+  for (RelationId r = 0; r < stores_.size(); ++r) {
+    if (stores_[r].rows.size() != other.stores_[r].rows.size()) {
+      return false;
+    }
+    for (const Tuple& t : stores_[r].rows) {
+      if (other.stores_[r].by_tuple.count(t) == 0) return false;
+    }
+  }
+  return true;
+}
+
+bool Instance::LessFactSets(const Instance& other) const {
+  size_t relations = std::max(stores_.size(), other.stores_.size());
+  for (RelationId r = 0; r < relations; ++r) {
+    std::vector<Tuple> mine =
+        r < stores_.size() ? SortedRows(r) : std::vector<Tuple>{};
+    std::vector<Tuple> theirs =
+        r < other.stores_.size() ? other.SortedRows(r) : std::vector<Tuple>{};
+    if (mine != theirs) return mine < theirs;
+  }
+  return false;
 }
 
 std::string Instance::ToString() const {
   std::vector<std::string> parts;
-  for (RelationId r = 0; r < tuples_.size(); ++r) {
+  for (RelationId r = 0; r < stores_.size(); ++r) {
     const std::string& name = schema_->relation(r).name;
-    for (const Tuple& t : tuples_[r]) {
+    for (const Tuple& t : stores_[r].rows) {
       std::vector<std::string> args;
       args.reserve(t.size());
       for (const Value& v : t) args.push_back(v.ToString());

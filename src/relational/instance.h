@@ -1,9 +1,10 @@
 #ifndef QIMAP_RELATIONAL_INSTANCE_H_
 #define QIMAP_RELATIONAL_INSTANCE_H_
 
-#include <set>
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
@@ -14,6 +15,18 @@ namespace qimap {
 
 /// A tuple of individual values.
 using Tuple = std::vector<Value>;
+
+/// Hash functor for Tuple, usable with unordered containers. Combines the
+/// element hashes left to right (boost-style hash_combine).
+struct TupleHash {
+  size_t operator()(const Tuple& tuple) const {
+    size_t h = 0x9E3779B97F4A7C15ULL ^ tuple.size();
+    for (const Value& v : tuple) {
+      h ^= ValueHash{}(v) + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
 
 /// A single fact `R(v1, ..., vk)` of an instance.
 struct Fact {
@@ -29,12 +42,20 @@ struct Fact {
 /// Ground instances contain only constants; target instances typically
 /// contain constants and labeled nulls; canonical instances (the paper's
 /// `I_alpha`) additionally contain variables in their active domain.
+///
+/// Storage is insert-only and hash-indexed: each relation keeps its
+/// distinct tuples in a dense insertion-ordered vector plus two
+/// incrementally maintained hash indexes — a full-tuple key (membership,
+/// duplicate absorption) and a first-column key (the index-first join in
+/// the homomorphism matcher probes it when an atom's leading argument is
+/// already determined). `AddFact` is amortized O(arity); there is no
+/// per-insert log factor.
 class Instance {
  public:
   /// Creates the empty instance over `schema`. The schema is shared, not
   /// copied.
   explicit Instance(SchemaPtr schema) : schema_(std::move(schema)) {
-    tuples_.resize(schema_->size());
+    stores_.resize(schema_->size());
   }
 
   const SchemaPtr& schema() const { return schema_; }
@@ -47,10 +68,18 @@ class Instance {
   /// Returns true iff the fact is present.
   bool ContainsFact(RelationId relation, const Tuple& tuple) const;
 
-  /// The set of tuples of one relation.
-  const std::set<Tuple>& tuples(RelationId relation) const {
-    return tuples_[relation];
+  /// The distinct tuples of one relation, in insertion order. Iteration
+  /// order is deterministic for a fixed construction sequence but is NOT
+  /// sorted; use Facts() for the canonical (relation, tuple) order.
+  const std::vector<Tuple>& rows(RelationId relation) const {
+    return stores_[relation].rows;
   }
+
+  /// Row ids (indexes into rows(relation)) of the tuples whose first
+  /// column equals `v`, or nullptr when there are none. Arity-0-safe:
+  /// never returns entries for empty tuples.
+  const std::vector<uint32_t>* RowsWithFirst(RelationId relation,
+                                             const Value& v) const;
 
   /// Total number of facts across all relations.
   size_t NumFacts() const;
@@ -58,7 +87,8 @@ class Instance {
   /// Returns true iff this instance has no facts.
   bool Empty() const { return NumFacts() == 0; }
 
-  /// Lists all facts, ordered by (relation, tuple).
+  /// Lists all facts, ordered by (relation, tuple) — the canonical order;
+  /// independent of insertion order.
   std::vector<Fact> Facts() const;
 
   /// The active domain: every value occurring in some fact, ordered.
@@ -78,9 +108,16 @@ class Instance {
   /// Adds every fact of `other` (same schema required).
   void UnionWith(const Instance& other);
 
+  /// Order-independent content hash of the fact set, maintained
+  /// incrementally by AddFact (duplicate adds leave it unchanged). Equal
+  /// instances have equal fingerprints; collisions between distinct
+  /// instances are possible, so consumers (the homomorphism cache) must
+  /// verify before trusting a fingerprint match.
+  uint64_t Fingerprint() const { return fingerprint_; }
+
   /// Value-level equality of fact sets.
   friend bool operator==(const Instance& a, const Instance& b) {
-    return a.tuples_ == b.tuples_;
+    return a.EqualFactSets(b);
   }
 
   /// Deterministic rendering, e.g. `P(a,b), Q(a)`; facts sorted by
@@ -88,13 +125,30 @@ class Instance {
   std::string ToString() const;
 
   /// Strict weak order on fact sets (for use in std::set of instances).
+  /// Compares the canonically sorted fact lists lexicographically;
+  /// insertion order does not leak in.
   friend bool operator<(const Instance& a, const Instance& b) {
-    return a.tuples_ < b.tuples_;
+    return a.LessFactSets(b);
   }
 
  private:
+  /// One relation's tuples plus its incremental indexes.
+  struct RelationStore {
+    std::vector<Tuple> rows;  // distinct tuples, insertion order
+    /// Full-tuple key: tuple -> row id; membership and dedup.
+    std::unordered_map<Tuple, uint32_t, TupleHash> by_tuple;
+    /// First-column key: leading value -> row ids with that value.
+    std::unordered_map<Value, std::vector<uint32_t>, ValueHash> by_first;
+  };
+
+  bool EqualFactSets(const Instance& other) const;
+  bool LessFactSets(const Instance& other) const;
+  /// The relation's tuples, sorted (value-level); materialized on demand.
+  std::vector<Tuple> SortedRows(RelationId relation) const;
+
   SchemaPtr schema_;
-  std::vector<std::set<Tuple>> tuples_;  // indexed by RelationId
+  std::vector<RelationStore> stores_;  // indexed by RelationId
+  uint64_t fingerprint_ = 0;
 };
 
 /// Renders one fact as `R(v1,v2)` — the same text a single-fact

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "relational/hom_cache.h"
+#include "relational/homomorphism.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+
+namespace qimap {
+namespace {
+
+class HomCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override { HomCacheClear(); }
+  void TearDown() override { HomCacheClear(); }
+};
+
+TEST_F(HomCacheTest, MissThenHitAccounting) {
+  SchemaPtr schema = MakeSchema("P/2");
+  Instance a = MustParseInstance(schema, "P(a,_N1)");
+  Instance b = MustParseInstance(schema, "P(a,b), P(a,c)");
+
+  EXPECT_TRUE(CachedExistsInstanceHomomorphism(a, b));
+  HomCacheStats after_first = HomCacheSnapshot();
+  EXPECT_EQ(after_first.misses, 1u);
+  EXPECT_EQ(after_first.hits, 0u);
+
+  // Same question again: answered from the cache.
+  EXPECT_TRUE(CachedExistsInstanceHomomorphism(a, b));
+  HomCacheStats after_second = HomCacheSnapshot();
+  EXPECT_EQ(after_second.misses, 1u);
+  EXPECT_EQ(after_second.hits, 1u);
+
+  // The reverse direction is a different key.
+  EXPECT_FALSE(CachedExistsInstanceHomomorphism(b, a));
+  HomCacheStats after_reverse = HomCacheSnapshot();
+  EXPECT_EQ(after_reverse.misses, 2u);
+  EXPECT_EQ(after_reverse.hits, 1u);
+}
+
+TEST_F(HomCacheTest, CachedAnswersMatchUncached) {
+  SchemaPtr schema = MakeSchema("P/2, Q/1");
+  const char* texts[] = {
+      "P(a,b)",
+      "P(a,_N1), Q(a)",
+      "P(_N1,_N2), P(_N2,_N3)",
+      "P(a,b), P(b,a), Q(b)",
+  };
+  for (const char* from_text : texts) {
+    for (const char* to_text : texts) {
+      Instance from = MustParseInstance(schema, from_text);
+      Instance to = MustParseInstance(schema, to_text);
+      bool plain = ExistsInstanceHomomorphism(from, to);
+      EXPECT_EQ(CachedExistsInstanceHomomorphism(from, to), plain)
+          << from_text << " -> " << to_text;
+      // And again, now served from the cache.
+      EXPECT_EQ(CachedExistsInstanceHomomorphism(from, to), plain)
+          << from_text << " -> " << to_text << " (cached)";
+    }
+  }
+}
+
+TEST_F(HomCacheTest, MapVariablesFlagIsPartOfTheKey) {
+  SchemaPtr schema = MakeSchema("P/1");
+  Instance with_var = MustParseInstance(schema, "P(?x)");
+  Instance ground = MustParseInstance(schema, "P(a)");
+  // A variable maps anywhere when movable, nowhere otherwise.
+  EXPECT_TRUE(CachedExistsInstanceHomomorphism(with_var, ground, true));
+  EXPECT_FALSE(CachedExistsInstanceHomomorphism(with_var, ground, false));
+  EXPECT_TRUE(CachedExistsInstanceHomomorphism(with_var, ground, true));
+  EXPECT_FALSE(CachedExistsInstanceHomomorphism(with_var, ground, false));
+  HomCacheStats stats = HomCacheSnapshot();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 2u);
+}
+
+TEST_F(HomCacheTest, FingerprintCollisionReverifiesInsteadOfTrusting) {
+  SchemaPtr schema = MakeSchema("P/2");
+  Instance real_from = MustParseInstance(schema, "P(a,b)");
+  Instance real_to = MustParseInstance(schema, "P(a,b), P(b,c)");
+  Instance planted = MustParseInstance(schema, "P(c,d)");
+
+  // Forge a collision: plant an entry under (real_from, real_to)'s
+  // fingerprints whose stored instances are different and whose stored
+  // answer is WRONG. A cache that trusted fingerprints would return it.
+  hom_cache_internal::InsertForTesting(
+      real_from.Fingerprint(), real_to.Fingerprint(),
+      /*map_variables=*/true, planted, planted, /*result=*/false);
+
+  EXPECT_TRUE(CachedExistsInstanceHomomorphism(real_from, real_to));
+  HomCacheStats stats = HomCacheSnapshot();
+  EXPECT_EQ(stats.collisions, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  // The collision recomputation replaced the entry; now it hits honestly.
+  EXPECT_TRUE(CachedExistsInstanceHomomorphism(real_from, real_to));
+  EXPECT_EQ(HomCacheSnapshot().hits, 1u);
+}
+
+TEST_F(HomCacheTest, AddFactChangesKeySoStaleEntriesAreUnreachable) {
+  SchemaPtr schema = MakeSchema("P/2");
+  Instance from = MustParseInstance(schema, "P(a,_N1)");
+  Instance to = MustParseInstance(schema, "P(a,b)");
+  EXPECT_TRUE(CachedExistsInstanceHomomorphism(from, to));
+
+  // Mutating `from` changes its fingerprint: the next query is a miss
+  // against a fresh key, never a stale hit. P(c,_N2) has no image in
+  // `to`, so a stale "true" would be wrong.
+  uint64_t before = from.Fingerprint();
+  ASSERT_TRUE(from.AddFact("P", {Value::MakeConstant("c"),
+                                 Value::MakeNull(2)}).ok());
+  EXPECT_NE(from.Fingerprint(), before);
+  EXPECT_FALSE(CachedExistsInstanceHomomorphism(from, to));
+  HomCacheStats stats = HomCacheSnapshot();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  // Mutating the target likewise re-keys: adding the missing fact flips
+  // the (freshly computed) answer.
+  ASSERT_TRUE(to.AddFact("P", {Value::MakeConstant("c"),
+                               Value::MakeConstant("d")}).ok());
+  EXPECT_TRUE(CachedExistsInstanceHomomorphism(from, to));
+  EXPECT_EQ(HomCacheSnapshot().misses, 3u);
+}
+
+TEST_F(HomCacheTest, EquivalenceUsesBothDirections) {
+  SchemaPtr schema = MakeSchema("P/2");
+  Instance a = MustParseInstance(schema, "P(a,_N1)");
+  Instance b = MustParseInstance(schema, "P(a,_N2), P(a,_N3)");
+  EXPECT_TRUE(CachedHomomorphicallyEquivalent(a, b));
+  EXPECT_EQ(HomCacheSnapshot().misses, 2u);
+  EXPECT_TRUE(CachedHomomorphicallyEquivalent(a, b));
+  EXPECT_EQ(HomCacheSnapshot().hits, 2u);
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "chase/chase.h"
+#include "core/quasi_inverse.h"
+#include "dependency/parser.h"
+#include "dependency/schema_mapping.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+#include "workload/random_mappings.h"
+
+// Regression tests for the std::set -> hash-container migration of
+// Instance storage: with unordered storage, any place that iterated the
+// old sorted set now sees insertion order, so every observable surface
+// (Facts(), ToString(), equality, fingerprints, chase output, inversion
+// rule lists) must canonicalize. These tests build the same fact set in
+// many permutations and assert nothing leaks.
+
+namespace qimap {
+namespace {
+
+std::vector<Fact> SomeFacts(const SchemaPtr& schema) {
+  Instance parsed = MustParseInstance(
+      schema, "P(a,b), P(b,c), P(c,a), P(a,_N1), Q(a), Q(b), Q(_N2)");
+  return parsed.Facts();
+}
+
+Instance BuildInOrder(const SchemaPtr& schema,
+                      const std::vector<Fact>& facts,
+                      const std::vector<size_t>& order) {
+  Instance out(schema);
+  for (size_t i : order) {
+    EXPECT_TRUE(out.AddFact(facts[i].relation, facts[i].tuple).ok());
+  }
+  return out;
+}
+
+TEST(IterationOrderTest, InsertionOrderInvisibleInAllObservers) {
+  SchemaPtr schema = MakeSchema("P/2, Q/1");
+  std::vector<Fact> facts = SomeFacts(schema);
+  std::vector<size_t> order(facts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Instance reference = BuildInOrder(schema, facts, order);
+
+  Rng rng(99);
+  for (int permutation = 0; permutation < 20; ++permutation) {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.Uniform(i)]);
+    }
+    Instance shuffled = BuildInOrder(schema, facts, order);
+    EXPECT_EQ(shuffled.ToString(), reference.ToString());
+    EXPECT_EQ(shuffled.Facts(), reference.Facts());
+    EXPECT_EQ(shuffled.Fingerprint(), reference.Fingerprint());
+    EXPECT_TRUE(shuffled == reference);
+    EXPECT_FALSE(shuffled < reference);
+    EXPECT_FALSE(reference < shuffled);
+  }
+}
+
+TEST(IterationOrderTest, DuplicateAddsLeaveFingerprintUnchanged) {
+  SchemaPtr schema = MakeSchema("P/2");
+  Instance inst = MustParseInstance(schema, "P(a,b), P(b,c)");
+  uint64_t fp = inst.Fingerprint();
+  EXPECT_TRUE(inst.AddFact("P", {Value::MakeConstant("a"),
+                                 Value::MakeConstant("b")}).ok());
+  EXPECT_EQ(inst.Fingerprint(), fp);
+  EXPECT_EQ(inst.NumFacts(), 2u);
+}
+
+// Chase output (fresh-null labels included) is a function of the fact
+// SET of the source, not of the order the source was assembled in —
+// trigger batches are canonically sorted before firing.
+TEST(IterationOrderTest, ChaseOutputIndependentOfSourceInsertionOrder) {
+  SchemaPtr source_schema = MakeSchema("E/2");
+  SchemaMapping m = MustParseMapping(
+      "E/2", "F/2", "E(x,y) -> exists z: F(x,z) & F(z,y)");
+  std::vector<Fact> facts =
+      MustParseInstance(source_schema, "E(a,b), E(b,c), E(c,d), E(d,a)")
+          .Facts();
+  std::vector<size_t> order(facts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::string reference =
+      MustChase(BuildInOrder(m.source, facts, order), m).ToString();
+  Rng rng(7);
+  for (int permutation = 0; permutation < 10; ++permutation) {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.Uniform(i)]);
+    }
+    std::string chased =
+        MustChase(BuildInOrder(m.source, facts, order), m).ToString();
+    EXPECT_EQ(chased, reference);
+  }
+}
+
+// QuasiInverse internally chases canonical instances and iterates their
+// facts to assemble rule bodies; repeated runs (fresh Instance objects,
+// fresh hash containers each time) must render identical rule lists.
+TEST(IterationOrderTest, QuasiInverseRuleOutputIsStable) {
+  const char* source = "P/2, R/1";
+  const char* target = "Q/2, S/1";
+  const char* tgds = "P(x,y) -> Q(x,y); R(x) -> S(x)";
+  SchemaMapping m = MustParseMapping(source, target, tgds);
+  Result<ReverseMapping> first = QuasiInverse(m);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::string reference = first->ToString();
+  for (int run = 0; run < 3; ++run) {
+    SchemaMapping again = MustParseMapping(source, target, tgds);
+    Result<ReverseMapping> rev = QuasiInverse(again);
+    ASSERT_TRUE(rev.ok());
+    EXPECT_EQ(rev->ToString(), reference);
+  }
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "chase/chase.h"
+#include "chase/disjunctive_chase.h"
+#include "core/lav_quasi_inverse.h"
+#include "obs/journal.h"
+#include "relational/instance_enum.h"
+#include "workload/random_mappings.h"
+
+// Determinism stress test for the parallel chase: the level-synchronous
+// disjunctive chase and the two-phase standard chase promise output that
+// is a pure function of the input — identical leaves (in order), null
+// labels, and provenance-journal records at every thread count. These
+// tests run the same workloads at 1, 2, and 8 threads and diff
+// everything.
+
+namespace qimap {
+namespace {
+
+std::vector<std::string> CanonicalizedLeaves(
+    const std::vector<Instance>& leaves) {
+  std::vector<std::string> out;
+  out.reserve(leaves.size());
+  for (const Instance& leaf : leaves) out.push_back(leaf.ToString());
+  return out;
+}
+
+// One reverse mapping plus the target instance to chase, derived from a
+// seeded random LAV mapping (LavQuasiInverse covers every LAV mapping).
+struct DisjunctiveCase {
+  ReverseMapping reverse;
+  Instance target;
+};
+
+std::optional<DisjunctiveCase> MakeDisjunctiveCase(uint64_t seed) {
+  Rng rng(seed);
+  SchemaMapping m = RandomLavMapping(&rng, /*num_tgds=*/3);
+  Result<ReverseMapping> reverse = LavQuasiInverse(m);
+  if (!reverse.ok()) return std::nullopt;  // e.g. degenerate mapping
+  std::vector<Value> domain = MakeDomain({"a", "b", "c"});
+  Instance source = RandomGroundInstance(m.source, domain, 4, &rng);
+  Instance target = MustChase(source, m);
+  return DisjunctiveCase{std::move(reverse).value(), std::move(target)};
+}
+
+TEST(ParallelChaseTest, DisjunctiveLeavesIdenticalAt1And2And8Threads) {
+  size_t usable_cases = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    std::optional<DisjunctiveCase> c = MakeDisjunctiveCase(seed * 613 + 5);
+    if (!c.has_value()) continue;
+    ++usable_cases;
+    std::vector<std::vector<std::string>> per_thread_leaves;
+    for (size_t threads : {1u, 2u, 8u}) {
+      DisjunctiveChaseOptions options;
+      options.num_threads = threads;
+      options.max_leaves = 1u << 10;
+      Result<std::vector<Instance>> leaves =
+          DisjunctiveChase(c->target, c->reverse, options);
+      if (!leaves.ok()) {
+        // Blowup guard tripped: acceptable for a random case, but it must
+        // trip identically at every thread count.
+        per_thread_leaves.push_back({leaves.status().ToString()});
+        continue;
+      }
+      per_thread_leaves.push_back(CanonicalizedLeaves(*leaves));
+    }
+    ASSERT_EQ(per_thread_leaves.size(), 3u);
+    EXPECT_EQ(per_thread_leaves[0], per_thread_leaves[1])
+        << "1 vs 2 threads diverged at seed " << seed;
+    EXPECT_EQ(per_thread_leaves[0], per_thread_leaves[2])
+        << "1 vs 8 threads diverged at seed " << seed;
+  }
+  // The generator must yield a real workload for most seeds.
+  EXPECT_GE(usable_cases, 10u);
+}
+
+TEST(ParallelChaseTest, StandardChaseIdenticalAcrossThreadCounts) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 97 + 13);
+    RandomMappingConfig config;
+    config.max_lhs_atoms = 2;
+    config.max_existential_vars = 2;
+    config.num_tgds = 5;
+    SchemaMapping m = RandomMapping(&rng, config);
+    std::vector<Value> domain = MakeDomain({"a", "b", "c", "d"});
+    Instance source = RandomGroundInstance(m.source, domain, 6, &rng);
+    std::vector<std::string> outputs;
+    for (size_t threads : {1u, 2u, 8u}) {
+      ChaseOptions options;
+      options.num_threads = threads;
+      outputs.push_back(MustChase(source, m, options).ToString());
+    }
+    EXPECT_EQ(outputs[0], outputs[1]) << "seed " << seed;
+    EXPECT_EQ(outputs[0], outputs[2]) << "seed " << seed;
+  }
+}
+
+// Journal invariants under parallelism: every derived fact's parents have
+// smaller event ids (parent-before-child), and the full event stream is
+// identical to the single-threaded run's — the serial expansion phase is
+// the only writer.
+class ParallelJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Journal::Disable();
+    obs::Journal::Clear();
+  }
+  void TearDown() override {
+    obs::Journal::Disable();
+    obs::Journal::Clear();
+  }
+};
+
+// Renders the buffered journal with event ids rebased to 1 and the run
+// number dropped — the process-wide counters keep growing across runs, so
+// the raw renderings of two identical runs differ by a constant offset.
+std::vector<std::string> NormalizedJournalLines() {
+  std::vector<obs::JournalEvent> events = obs::Journal::Events();
+  if (events.empty()) return {};
+  uint64_t base = events.front().id - 1;
+  std::vector<std::string> lines;
+  lines.reserve(events.size());
+  for (obs::JournalEvent event : events) {
+    event.id -= base;
+    event.run = 0;
+    for (uint64_t& parent : event.parents) parent -= base;
+    for (uint64_t& null_id : event.nulls) null_id -= base;
+    lines.push_back(event.ToJson());
+  }
+  return lines;
+}
+
+TEST_F(ParallelJournalTest, ParentBeforeChildHoldsAtEveryThreadCount) {
+  std::optional<DisjunctiveCase> c = MakeDisjunctiveCase(4242);
+  ASSERT_TRUE(c.has_value());
+  std::vector<std::vector<std::string>> per_thread_journals;
+  for (size_t threads : {1u, 2u, 8u}) {
+    obs::Journal::Clear();
+    obs::Journal::Enable();
+    DisjunctiveChaseOptions options;
+    options.num_threads = threads;
+    Result<std::vector<Instance>> leaves =
+        DisjunctiveChase(c->target, c->reverse, options);
+    ASSERT_TRUE(leaves.ok()) << leaves.status().ToString();
+    std::vector<obs::JournalEvent> events = obs::Journal::Events();
+    ASSERT_FALSE(events.empty());
+    for (const obs::JournalEvent& event : events) {
+      for (uint64_t parent : event.parents) {
+        EXPECT_LT(parent, event.id)
+            << "parent-before-child violated at " << threads << " threads";
+      }
+      for (uint64_t null_id : event.nulls) {
+        EXPECT_LT(null_id, event.id);
+      }
+    }
+    per_thread_journals.push_back(NormalizedJournalLines());
+    obs::Journal::Disable();
+  }
+  ASSERT_EQ(per_thread_journals.size(), 3u);
+  EXPECT_EQ(per_thread_journals[0], per_thread_journals[1]);
+  EXPECT_EQ(per_thread_journals[0], per_thread_journals[2]);
+}
+
+TEST(ParallelChaseTest, ResolveThreadCountReadsEnvironment) {
+  EXPECT_EQ(ResolveThreadCount(3), 3u);
+  unsetenv("QIMAP_CHASE_THREADS");
+  EXPECT_EQ(ResolveThreadCount(0), 1u);
+  setenv("QIMAP_CHASE_THREADS", "4", 1);
+  EXPECT_EQ(ResolveThreadCount(0), 4u);
+  setenv("QIMAP_CHASE_THREADS", "garbage", 1);
+  EXPECT_EQ(ResolveThreadCount(0), 1u);
+  unsetenv("QIMAP_CHASE_THREADS");
+}
+
+TEST(ParallelChaseTest, ThreadPoolRunsEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> counts(257);
+    for (auto& c : counts) c = 0;
+    pool.ParallelFor(counts.size(),
+                     [&](size_t i) { counts[i].fetch_add(1); });
+    for (size_t i = 0; i < counts.size(); ++i) {
+      EXPECT_EQ(counts[i].load(), 1) << "index " << i << " at " << threads
+                                     << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qimap

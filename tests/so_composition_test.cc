@@ -102,10 +102,10 @@ TEST(SoComposeTest, SelfManagerEqualityAppears) {
   ASSERT_TRUE(chased.ok());
   Result<RelationId> selfmgr = m23.target->FindRelation("SelfMgr");
   ASSERT_TRUE(selfmgr.ok());
-  EXPECT_TRUE(chased->tuples(*selfmgr).empty());
+  EXPECT_TRUE(chased->rows(*selfmgr).empty());
   Result<RelationId> mgr = m23.target->FindRelation("Mgr'");
   ASSERT_TRUE(mgr.ok());
-  EXPECT_EQ(chased->tuples(*mgr).size(), 1u);
+  EXPECT_EQ(chased->rows(*mgr).size(), 1u);
 }
 
 TEST(SoComposeTest, ChaseEquivalentToTwoStepChase) {

@@ -76,7 +76,7 @@ const std::set<std::string>& ValueFlags() {
       "source",      "target",    "tgds",        "instance",
       "reverse",     "mode",      "domain",      "max-facts",
       "trace-out",   "metrics-out", "journal-out", "fact",
-      "format",      "explain-out"};
+      "format",      "explain-out", "threads"};
   return kFlags;
 }
 
@@ -95,6 +95,8 @@ int Usage() {
       "options: --instance \"P(a,b)\"  --reverse \"Q(x) -> exists y: "
       "P(x,y)\"\n"
       "         --mode quasi|inverse  --domain a,b  --max-facts 2\n"
+      "         --threads N           chase worker threads (0 reads "
+      "QIMAP_CHASE_THREADS)\n"
       "explain:   --fact \"Q(a,b)\"     explain one fact (default: every "
       "chase fact)\n"
       "           --format tree|json  stdout rendering (default tree)\n"
@@ -108,6 +110,15 @@ int Usage() {
       "other:     --version           print the library version\n"
       "Flags accept both --key value and --key=value.\n");
   return 2;
+}
+
+// Chase options shared by every command that chases: --threads N
+// (default 1; 0 defers to the QIMAP_CHASE_THREADS environment variable).
+ChaseOptions LoadChaseOptions(const Args& args) {
+  ChaseOptions options;
+  options.num_threads =
+      static_cast<size_t>(std::atoi(args.Get("threads", "1")));
+  return options;
 }
 
 // Parses argv[2..] into args->flags. Returns false (after printing a
@@ -188,7 +199,7 @@ int RunChase(const Args& args, const SchemaMapping& m) {
     return 2;
   }
   QIMAP_ASSIGN_OR_RETURN_CLI(Instance i, ParseInstance(m.source, text));
-  QIMAP_ASSIGN_OR_RETURN_CLI(Instance u, Chase(i, m));
+  QIMAP_ASSIGN_OR_RETURN_CLI(Instance u, Chase(i, m, LoadChaseOptions(args)));
   std::printf("%s\n", u.ToString().c_str());
   return 0;
 }
@@ -281,7 +292,7 @@ int RunExplain(const Args& args, const SchemaMapping& m) {
   }
   QIMAP_ASSIGN_OR_RETURN_CLI(Instance i, ParseInstance(m.source, text));
   obs::Journal::Enable();
-  QIMAP_ASSIGN_OR_RETURN_CLI(Instance u, Chase(i, m));
+  QIMAP_ASSIGN_OR_RETURN_CLI(Instance u, Chase(i, m, LoadChaseOptions(args)));
   std::vector<obs::JournalEvent> events = obs::Journal::Events();
 
   std::vector<std::string> facts;

@@ -1,6 +1,7 @@
 // telemetry_check — validates the telemetry files written by qimap_cli.
 //
 //   telemetry_check [--trace F] [--metrics F] [--journal F] [--explain F]
+//                   [--parallel F] [--compare A B]
 //   telemetry_check <trace.json> <metrics.json>            (legacy form)
 //
 // Exit 0 iff every named file passes its check:
@@ -11,12 +12,21 @@
 //   --explain  qimap_cli explain JSON: every tree bottoms out in base
 //              facts, and every derived node names its dependency and
 //              parents
-// Used by the qimap_cli_telemetry_validate and qimap_cli_explain_validate
-// ctest cases; diagnostics go to stderr.
+//   --parallel metrics snapshot (or BENCH_<name>.json report, whose
+//              counters sit under "metrics") with a nonzero
+//              chase.parallel.* counter — proves the thread pool fanned
+//              out
+//   --compare  two such files whose counters must be identical except
+//              for the chase.parallel.* family — the multi-threaded
+//              chase must do exactly the same work as the serial one,
+//              it may only distribute it
+// Used by the qimap_cli_telemetry_validate / qimap_cli_explain_validate /
+// bench_*_parallel_validate ctest cases; diagnostics go to stderr.
 
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <set>
 #include <string>
 
@@ -90,6 +100,82 @@ bool CheckMetrics(const char* path) {
     return Fail(path, "no nonzero 'hom.*' counter");
   }
   return true;
+}
+
+// Locates the "counters" object in either a bare metrics snapshot
+// ({"counters": {...}}) or a bench report ({"metrics": {"counters": ...}}).
+const obs::JsonValue* FindCounters(const obs::JsonValue& doc) {
+  if (!doc.IsObject()) return nullptr;
+  const obs::JsonValue* counters = doc.Find("counters");
+  if (counters != nullptr && counters->IsObject()) return counters;
+  const obs::JsonValue* metrics = doc.Find("metrics");
+  if (metrics != nullptr && metrics->IsObject()) {
+    counters = metrics->Find("counters");
+    if (counters != nullptr && counters->IsObject()) return counters;
+  }
+  return nullptr;
+}
+
+bool LoadCounters(const char* path,
+                  std::map<std::string, double>* out) {
+  Result<obs::JsonValue> doc = obs::ParseJsonFile(path);
+  if (!doc.ok()) return Fail(path, doc.status().ToString());
+  const obs::JsonValue* counters = FindCounters(*doc);
+  if (counters == nullptr) {
+    return Fail(path, "no 'counters' object (top level or under 'metrics')");
+  }
+  for (const auto& [key, value] : counters->members) {
+    if (value.IsNumber()) (*out)[key] = value.number_value;
+  }
+  return true;
+}
+
+// The parallel chase increments chase.parallel.batches / .tasks only when
+// a pool with >= 2 threads actually fanned out >= 2 tasks, so a nonzero
+// counter is proof the run was genuinely multi-threaded.
+bool CheckParallel(const char* path) {
+  Result<obs::JsonValue> doc = obs::ParseJsonFile(path);
+  if (!doc.ok()) return Fail(path, doc.status().ToString());
+  const obs::JsonValue* counters = FindCounters(*doc);
+  if (counters == nullptr) {
+    return Fail(path, "no 'counters' object (top level or under 'metrics')");
+  }
+  if (!HasNonzeroWithPrefix(*counters, "chase.parallel.")) {
+    return Fail(path,
+                "no nonzero 'chase.parallel.*' counter — the run never "
+                "fanned out across threads");
+  }
+  return true;
+}
+
+bool IsParallelCounter(const std::string& key) {
+  return key.rfind("chase.parallel.", 0) == 0;
+}
+
+// Serial-vs-parallel differential check: every counter except the
+// chase.parallel.* family must agree exactly, because thread count may
+// only change how the chase's work is distributed, never what it does.
+bool CheckCompare(const char* path_a, const char* path_b) {
+  std::map<std::string, double> a, b;
+  if (!LoadCounters(path_a, &a) || !LoadCounters(path_b, &b)) return false;
+  bool ok = true;
+  for (const auto& [key, value_a] : a) {
+    if (IsParallelCounter(key)) continue;
+    auto it = b.find(key);
+    double value_b = it == b.end() ? 0.0 : it->second;
+    if (value_a != value_b) {
+      char why[256];
+      std::snprintf(why, sizeof(why),
+                    "counter '%s' differs: %.0f vs %.0f in %s", key.c_str(),
+                    value_a, value_b, path_b);
+      ok = Fail(path_a, why) && ok;
+    }
+  }
+  for (const auto& [key, value_b] : b) {
+    if (IsParallelCounter(key) || a.count(key) > 0 || value_b == 0) continue;
+    ok = Fail(path_b, "counter '" + key + "' missing from " + path_a) && ok;
+  }
+  return ok;
 }
 
 bool ReadFile(const char* path, std::string* out) {
@@ -273,6 +359,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: telemetry_check [--trace FILE] [--metrics FILE] "
                "[--journal FILE] [--explain FILE]\n"
+               "                       [--parallel FILE] "
+               "[--compare FILE_A FILE_B]\n"
                "       telemetry_check <trace.json> <metrics.json>\n");
   return 2;
 }
@@ -298,6 +386,12 @@ int Main(int argc, char** argv) {
         ok = CheckJournal(file) && ok;
       } else if (std::strcmp(flag, "--explain") == 0) {
         ok = CheckExplain(file) && ok;
+      } else if (std::strcmp(flag, "--parallel") == 0) {
+        ok = CheckParallel(file) && ok;
+      } else if (std::strcmp(flag, "--compare") == 0) {
+        if (i + 2 >= argc) return Usage();
+        ok = CheckCompare(file, argv[i + 2]) && ok;
+        ++i;  // --compare consumes two operands
       } else {
         return Usage();
       }
