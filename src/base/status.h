@@ -17,6 +17,7 @@ enum class StatusCode {
   kNotFound,          ///< A named entity does not exist.
   kFailedPrecondition,///< Operation not applicable to the given object.
   kResourceExhausted, ///< A configured search/size limit was exceeded.
+  kCancelled,         ///< Cooperatively cancelled via base/budget.h's token.
   kInternal,          ///< Invariant violation inside the library.
 };
 
@@ -62,6 +63,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "base/budget.h"
+
 namespace qimap {
 
 size_t ResolveThreadCount(size_t requested) {
@@ -33,15 +35,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::ParallelFor(size_t n,
-                             const std::function<void(size_t)>& fn) {
+                             const std::function<void(size_t)>& fn,
+                             const Cancellation* cancel) {
   if (n == 0) return;
   if (workers_.empty() || n < 2) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      fn(i);
+    }
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     fn_ = &fn;
+    cancel_ = cancel;
     n_ = n;
     cursor_ = 0;
     active_ = workers_.size();
@@ -54,6 +61,10 @@ void ThreadPool::ParallelFor(size_t n,
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (cursor_ >= n_) break;
+      if (cancel != nullptr && cancel->cancelled()) {
+        cursor_ = n_;  // park the cursor so workers stop too
+        break;
+      }
       index = cursor_++;
     }
     fn(index);
@@ -61,6 +72,7 @@ void ThreadPool::ParallelFor(size_t n,
   std::unique_lock<std::mutex> lock(mu_);
   work_done_.wait(lock, [this] { return active_ == 0; });
   fn_ = nullptr;
+  cancel_ = nullptr;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -81,6 +93,10 @@ void ThreadPool::WorkerLoop() {
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (cursor_ >= n_) break;
+        if (cancel_ != nullptr && cancel_->cancelled()) {
+          cursor_ = n_;  // park the cursor so peers stop too
+          break;
+        }
         index = cursor_++;
       }
       (*fn)(index);

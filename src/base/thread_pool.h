@@ -11,6 +11,8 @@
 
 namespace qimap {
 
+class Cancellation;  // base/budget.h
+
 /// Resolves a thread-count knob: a positive value is taken as-is; 0 reads
 /// the `QIMAP_CHASE_THREADS` environment variable (falling back to 1 when
 /// unset or unparsable). Lets benches and ctest legs vary the thread count
@@ -42,7 +44,15 @@ class ThreadPool {
   /// the calling thread; returns when all n calls have finished. Inline
   /// and in order when the pool has one thread or n < 2. Exceptions must
   /// not escape `fn`.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  ///
+  /// When `cancel` is non-null, the pool checks the token before handing
+  /// out each index and stops dispatching once it is cancelled: in-flight
+  /// calls finish, remaining indexes are never started. Callers that
+  /// collect into per-index slots must therefore treat untouched slots as
+  /// "not run" after a cancelled batch (the chase engines re-check their
+  /// budget before consuming the slots).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const Cancellation* cancel = nullptr);
 
  private:
   void WorkerLoop();
@@ -57,6 +67,7 @@ class ThreadPool {
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
   const std::function<void(size_t)>* fn_ = nullptr;
+  const Cancellation* cancel_ = nullptr;
   size_t n_ = 0;
   size_t cursor_ = 0;
   size_t active_ = 0;

@@ -3,11 +3,12 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "base/budget.h"
 #include "base/thread_pool.h"
 #include "chase/trigger_finder.h"
+#include "obs/budget_obs.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
-#include "obs/step_limit.h"
 #include "obs/trace.h"
 #include "relational/homomorphism.h"
 #include "relational/instance_core.h"
@@ -76,8 +77,8 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
   uint32_t next_null = options.first_null_label != 0
                            ? options.first_null_label
                            : source_inst.MaxNullLabel() + 1;
-  obs::StepLimiter limiter(VariantName(options.variant),
-                           options.max_steps);
+  RunBudget guard(VariantName(options.variant), options.max_steps,
+                  options.budget);
   ChaseStats local_stats;
   ChaseStats& st = stats != nullptr ? *stats : local_stats;
   st = ChaseStats{};
@@ -109,8 +110,17 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
   std::vector<const Conjunction*> bodies;
   bodies.reserve(tgds.size());
   for (const Tgd& tgd : tgds) bodies.push_back(&tgd.lhs);
-  std::vector<std::vector<Assignment>> batches =
-      FindTriggerBatches(bodies, {lhs_options}, source_inst, pool);
+  std::vector<std::vector<Assignment>> batches(tgds.size());
+  {
+    Result<std::vector<std::vector<Assignment>>> collected =
+        FindTriggerBatches(bodies, {lhs_options}, source_inst, pool,
+                           options.budget);
+    if (collected.ok()) {
+      batches = std::move(collected).value();
+    } else {
+      overflow = collected.status();  // firing is skipped below
+    }
+  }
 
   // Phase 2 — fire serially in (dependency, canonical match) order. The
   // satisfaction check reads the growing target instance, and fresh-null
@@ -120,7 +130,7 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
        dep_index < tgds.size() && overflow.ok(); ++dep_index) {
     const Tgd& tgd = tgds[dep_index];
     for (const Assignment& h : batches[dep_index]) {
-      Status tick = limiter.Tick();
+      Status tick = guard.Tick();
       if (!tick.ok()) {
         overflow = std::move(tick);
         break;
@@ -149,18 +159,28 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
         }
       }
       Assignment extended = h;
+      size_t fresh_nulls = 0;
       for (const Value& y : tgd.ExistentialVariables()) {
         Value fresh = Value::MakeNull(next_null++);
         extended.emplace(y, fresh);
         ++st.nulls_minted;
+        ++fresh_nulls;
         if (journal.active()) {
           null_ids.push_back(journal.RecordNull(
               fresh.ToString(), y.ToString(), dep_texts[dep_index],
               static_cast<int32_t>(dep_index)));
         }
       }
+      if (fresh_nulls > 0) {
+        overflow = guard.ChargeNulls(fresh_nulls);
+        if (!overflow.ok()) break;
+      }
       for (const Atom& atom :
            ApplyAssignmentToConjunction(tgd.rhs, extended)) {
+        overflow =
+            guard.ChargeMemory(ApproxFactBytes(atom.args.size(),
+                                               sizeof(Value)));
+        if (!overflow.ok()) break;
         Status status = target_inst.AddFact(atom.relation, atom.args);
         ++st.facts_added;
         if (journal.active()) {
@@ -177,9 +197,21 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
       if (!overflow.ok()) break;
     }
   }
-  st.steps = limiter.steps();
+  st.steps = guard.steps();
+  st.partial = !overflow.ok() && guard.exhausted();
   FlushChaseMetrics(st);
-  if (!overflow.ok()) return overflow;
+  if (!overflow.ok()) {
+    if (st.partial) {
+      // Budget trip: journal the limit, mirror it into budget.*, and hand
+      // back the instance built so far as a best-effort partial result.
+      obs::ReportBudgetTrip(journal, guard, overflow,
+                            options.partial_out != nullptr);
+      if (options.partial_out != nullptr) {
+        *options.partial_out = std::move(target_inst);
+      }
+    }
+    return overflow;
+  }
   if (options.variant == ChaseVariant::kCore) {
     QIMAP_TRACE_SPAN("chase/core_minimize");
     return ComputeCore(target_inst);

@@ -9,6 +9,8 @@
 
 namespace qimap {
 
+class Budget;  // base/budget.h
+
 /// Which chase variant to run. All variants produce universal solutions
 /// and are pairwise homomorphically equivalent; they differ in size and
 /// cost.
@@ -47,6 +49,18 @@ struct ChaseOptions {
   /// to 1). Output is identical for every thread count: collection is
   /// side-effect-free and firing stays serial, in canonical order.
   size_t num_threads = 1;
+  /// Shared resource governor (base/budget.h) consulted in addition to
+  /// `max_steps`: wall-clock deadline, approximate memory, generated-null
+  /// count, cancellation, and fault injection all flow through it. Not
+  /// owned; one Budget may be shared across a whole pipeline composition
+  /// so the limits bound the end-to-end run. nullptr (default) leaves
+  /// only the local step valve.
+  Budget* budget = nullptr;
+  /// When non-null and the run trips a budget limit, receives the
+  /// best-effort partial result (the target instance built so far) and
+  /// the stats are flagged `partial = true`. Untouched on success and on
+  /// non-budget errors.
+  Instance* partial_out = nullptr;
 };
 
 /// Per-run statistics of one chase (the repo-wide stats convention: every
@@ -65,6 +79,10 @@ struct ChaseStats {
   size_t nulls_minted = 0;
   /// Facts passed to AddFact (including duplicates the instance absorbs).
   size_t facts_added = 0;
+  /// True when a budget limit ended the run early and the result (if
+  /// delivered via ChaseOptions::partial_out) is a prefix of the full
+  /// chase, not a universal solution.
+  bool partial = false;
 };
 
 /// The standard (restricted) chase of a source instance with a finite set

@@ -7,11 +7,12 @@
 #include <string>
 #include <utility>
 
+#include "base/budget.h"
 #include "base/thread_pool.h"
 #include "chase/trigger_finder.h"
+#include "obs/budget_obs.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
-#include "obs/step_limit.h"
 #include "obs/trace.h"
 #include "relational/hom_cache.h"
 #include "relational/homomorphism.h"
@@ -95,16 +96,29 @@ Result<std::vector<Instance>> DisjunctiveChase(
   DisjunctiveChaseStats local_stats;
   DisjunctiveChaseStats& st = stats != nullptr ? *stats : local_stats;
   st = DisjunctiveChaseStats{};
-  obs::StepLimiter limiter("disjunctive chase", options.max_steps);
+  RunBudget guard("disjunctive chase", options.max_steps, options.budget);
   // Flush whatever was counted on every exit path, including errors.
   struct Flusher {
     DisjunctiveChaseStats* st;
-    obs::StepLimiter* limiter;
+    RunBudget* guard;
     ~Flusher() {
-      st->steps = limiter->steps();
+      st->steps = guard->steps();
       FlushDisjunctiveChaseMetrics(*st);
     }
-  } flusher{&st, &limiter};
+  } flusher{&st, &guard};
+
+  std::vector<Instance> leaves;
+  // Ends the exploration on a budget trip: journal + budget.* metrics,
+  // then the leaves completed so far as the best-effort partial result.
+  auto trip = [&](Status status) -> Status {
+    st.partial = true;
+    obs::ReportBudgetTrip(journal, guard, status,
+                          options.partial_out != nullptr);
+    if (options.partial_out != nullptr) {
+      *options.partial_out = std::move(leaves);
+    }
+    return status;
+  };
 
   // Provenance: the lhs of every step matches the fixed target instance,
   // so its facts are the only possible parents — register them up front.
@@ -134,10 +148,15 @@ Result<std::vector<Instance>> DisjunctiveChase(
     lhs_options.inequalities = dep.inequalities;
     body_options.push_back(std::move(lhs_options));
   }
-  std::vector<std::vector<Assignment>> dep_matches =
-      FindTriggerBatches(bodies, body_options, target_inst, pool);
+  std::vector<std::vector<Assignment>> dep_matches;
+  {
+    Result<std::vector<std::vector<Assignment>>> collected =
+        FindTriggerBatches(bodies, body_options, target_inst, pool,
+                           options.budget);
+    if (!collected.ok()) return trip(collected.status());
+    dep_matches = std::move(collected).value();
+  }
 
-  std::vector<Instance> leaves;
   std::set<Instance> seen_leaves;
   // Chase-tree node ids, labeling each branch's journal events (the root
   // is node 1; every branched child gets the next id).
@@ -154,12 +173,31 @@ Result<std::vector<Instance>> DisjunctiveChase(
   wave.emplace_back(m.to);  // the root's source part is empty
   ++st.nodes;
   while (!wave.empty()) {
+    // Cooperative cancellation point between levels: a cancel (or
+    // deadline) lands here before the next wave is examined.
+    Status level = guard.Check();
+    if (!level.ok()) return trip(std::move(level));
     std::vector<std::optional<ApplicableStep>> steps(wave.size());
+    std::vector<Status> task_statuses(wave.size());
     CountParallelFanout(pool, wave.size());
-    pool.ParallelFor(wave.size(), [&](size_t i) {
-      steps[i] =
-          FindApplicableStep(dep_matches, wave[i], m, options.use_index);
-    });
+    pool.ParallelFor(
+        wave.size(),
+        [&](size_t i) {
+          task_statuses[i] = guard.OnPoolTask();
+          if (!task_statuses[i].ok()) return;
+          steps[i] =
+              FindApplicableStep(dep_matches, wave[i], m, options.use_index);
+        },
+        guard.cancellation());
+    // Bail on any failed or skipped task BEFORE consuming the slots: a
+    // cancelled wave leaves untouched nullopt entries that must not be
+    // misread as leaves. Lowest failing index wins (deterministic), and
+    // the trailing Check() catches waves the pool cut short.
+    for (Status& task : task_statuses) {
+      if (!task.ok()) return trip(std::move(task));
+    }
+    Status wave_check = guard.Check();
+    if (!wave_check.ok()) return trip(std::move(wave_check));
     std::vector<Instance> next_wave;
     for (size_t node = 0; node < wave.size(); ++node) {
       Instance current = std::move(wave[node]);
@@ -179,16 +217,26 @@ Result<std::vector<Instance>> DisjunctiveChase(
           leaves.push_back(std::move(current));
           ++st.leaves;
           if (leaves.size() > options.max_leaves) {
-            return Status::ResourceExhausted(
+            Status status = Status::ResourceExhausted(
                 "disjunctive chase exceeded max_leaves (" +
                 std::to_string(options.max_leaves) + " leaves)");
+            // Not a shared-budget trip, but still a bounded-resource
+            // exit: hand back the leaves collected so far.
+            st.partial = true;
+            if (options.partial_out != nullptr) {
+              *options.partial_out = std::move(leaves);
+            }
+            return status;
           }
         } else {
           ++st.dedup_dropped;
         }
         continue;
       }
-      QIMAP_RETURN_IF_ERROR(limiter.Tick());
+      {
+        Status tick = guard.Tick();
+        if (!tick.ok()) return trip(std::move(tick));
+      }
       // Branch: one child per disjunct (Definition 6.3).
       const DisjunctiveTgd& dep = *step->dep;
       std::vector<uint64_t> parent_ids;
@@ -200,20 +248,35 @@ Result<std::vector<Instance>> DisjunctiveChase(
         }
       }
       for (size_t i = 0; i < dep.disjuncts.size(); ++i) {
+        // A branched child duplicates the parent's instance; charge the
+        // approximate copy so the memory budget tracks tree growth, the
+        // dominant cost of a disjunctive blowup.
+        {
+          Status charge = guard.ChargeMemory(
+              (current.NumFacts() + 1) *
+              ApproxFactBytes(2, sizeof(Value)));
+          if (!charge.ok()) return trip(std::move(charge));
+        }
         Instance child = current;
         uint64_t child_node = next_node++;
         std::vector<uint64_t> null_ids;
+        size_t fresh_nulls = 0;
         Assignment extended = step->match;
         for (const Value& y : dep.ExistentialVariablesOf(i)) {
           Value fresh = Value::MakeNull(next_null++);
           extended.emplace(y, fresh);
           ++st.nulls_minted;
+          ++fresh_nulls;
           if (journal.active()) {
             null_ids.push_back(journal.RecordNull(
                 fresh.ToString(), y.ToString(),
                 dep_texts[step->dep_index],
                 static_cast<int32_t>(step->dep_index), child_node));
           }
+        }
+        if (fresh_nulls > 0) {
+          Status charge = guard.ChargeNulls(fresh_nulls);
+          if (!charge.ok()) return trip(std::move(charge));
         }
         for (const Atom& atom :
              ApplyAssignmentToConjunction(dep.disjuncts[i], extended)) {

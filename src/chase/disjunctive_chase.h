@@ -9,6 +9,8 @@
 
 namespace qimap {
 
+class Budget;  // base/budget.h
+
 /// Options for the disjunctive chase.
 struct DisjunctiveChaseOptions {
   /// Upper bound on the number of leaves of the chase tree.
@@ -36,6 +38,15 @@ struct DisjunctiveChaseOptions {
   /// every thread count. 1 (default) runs fully inline; 0 reads
   /// `QIMAP_CHASE_THREADS` (defaulting to 1).
   size_t num_threads = 1;
+  /// Shared resource governor (see ChaseOptions::budget). The wave loop
+  /// checks it between levels, every pool task checks in with it, and
+  /// each branched child charges its approximate copy cost — the places
+  /// a cancelled or exhausted exploration winds down.
+  Budget* budget = nullptr;
+  /// Best-effort partial result on a budget trip: the leaves completed
+  /// so far (in-flight internal nodes are discarded). See
+  /// ChaseOptions::partial_out.
+  std::vector<Instance>* partial_out = nullptr;
 };
 
 /// Statistics about a disjunctive chase run (same convention as
@@ -54,6 +65,9 @@ struct DisjunctiveChaseStats {
   size_t dedup_dropped = 0;
   /// Fresh nulls minted for disjunct existentials.
   size_t nulls_minted = 0;
+  /// True when a budget limit ended the exploration early (see
+  /// ChaseStats::partial).
+  bool partial = false;
 };
 
 /// The disjunctive chase of `(target_inst, ∅)` with the reverse mapping's

@@ -4,10 +4,11 @@
 #include <string>
 #include <vector>
 
+#include "base/budget.h"
 #include "chase/trigger_finder.h"
+#include "obs/budget_obs.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
-#include "obs/step_limit.h"
 #include "obs/trace.h"
 #include "relational/homomorphism.h"
 
@@ -87,24 +88,40 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
   st_options.first_null_label = options.first_null_label;
   st_options.use_index = options.use_index;
   st_options.num_threads = options.num_threads;
+  st_options.budget = options.budget;
+  // A budget trip inside the s-t phase journals and reports itself; the
+  // caller's partial_out then carries the s-t prefix.
+  st_options.partial_out = options.partial_out;
   QIMAP_ASSIGN_OR_RETURN(Instance target_inst,
                          Chase(source_inst, m, st_options));
   uint32_t next_null =
       std::max(target_inst.MaxNullLabel(), source_inst.MaxNullLabel()) + 1;
 
   TargetChaseResult result{Instance(m.target), false, 0, {}};
-  obs::StepLimiter limiter("target chase", options.max_steps,
-                           " (are the target tgds weakly acyclic?)");
+  RunBudget guard("target chase", options.max_steps, options.budget,
+                  "(are the target tgds weakly acyclic?)");
   TargetChaseStats st;
   // Flush whatever was counted on every exit path, including errors.
   struct Flusher {
     TargetChaseStats* st;
-    obs::StepLimiter* limiter;
+    RunBudget* guard;
     ~Flusher() {
-      st->steps = limiter->steps();
+      st->steps = guard->steps();
       FlushTargetChaseMetrics(*st);
     }
-  } flusher{&st, &limiter};
+  } flusher{&st, &guard};
+
+  // Ends the fixpoint on a budget trip: journal + budget.* metrics, then
+  // the instance closed so far as the best-effort partial solution.
+  auto trip = [&](Status status) -> Status {
+    st.partial = true;
+    obs::ReportBudgetTrip(journal, guard, status,
+                          options.partial_out != nullptr);
+    if (options.partial_out != nullptr) {
+      *options.partial_out = std::move(target_inst);
+    }
+    return status;
+  };
 
   // Provenance: register the s-t chase output as this run's base facts
   // and pre-render the target constraints.
@@ -125,7 +142,8 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
   // Fixpoint loop: egds first (cheap, and merging can satisfy tgds),
   // then target tgds.
   while (true) {
-    QIMAP_RETURN_IF_ERROR(limiter.Tick());
+    Status tick = guard.Tick();
+    if (!tick.ok()) return trip(std::move(tick));
     bool fired = false;
     for (size_t ei = 0; ei < constraints.egds.size(); ++ei) {
       const Egd& egd = constraints.egds[ei];
@@ -145,8 +163,8 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
         }
         result.failed = true;
         result.solution = std::move(target_inst);
-        result.steps = limiter.steps();
-        st.steps = limiter.steps();
+        result.steps = guard.steps();
+        st.steps = guard.steps();
         result.stats = st;
         return result;
       }
@@ -195,18 +213,27 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
         }
       }
       Assignment extended = *trigger;
+      size_t fresh_nulls = 0;
       for (const Value& y : tgd.ExistentialVariables()) {
         Value fresh = Value::MakeNull(next_null++);
         extended.emplace(y, fresh);
         ++st.nulls_minted;
+        ++fresh_nulls;
         if (journal.active()) {
           null_ids.push_back(journal.RecordNull(
               fresh.ToString(), y.ToString(), ttgd_texts[ti],
               static_cast<int32_t>(ti)));
         }
       }
+      if (fresh_nulls > 0) {
+        Status charge = guard.ChargeNulls(fresh_nulls);
+        if (!charge.ok()) return trip(std::move(charge));
+      }
       for (const Atom& atom :
            ApplyAssignmentToConjunction(tgd.rhs, extended)) {
+        Status charge = guard.ChargeMemory(
+            ApproxFactBytes(atom.args.size(), sizeof(Value)));
+        if (!charge.ok()) return trip(std::move(charge));
         QIMAP_RETURN_IF_ERROR(target_inst.AddFact(atom.relation, atom.args));
         if (journal.active()) {
           journal.RecordDerivedFact(AtomToString(atom, *m.target),
@@ -223,8 +250,8 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
     if (!fired) break;
   }
   result.solution = std::move(target_inst);
-  result.steps = limiter.steps();
-  st.steps = limiter.steps();
+  result.steps = guard.steps();
+  st.steps = guard.steps();
   result.stats = st;
   return result;
 }

@@ -24,6 +24,12 @@ struct TargetChaseOptions {
   /// serial: each step rewrites the instance the next trigger search
   /// reads.
   size_t num_threads = 1;
+  /// Shared resource governor (see ChaseOptions::budget); also handed to
+  /// the inner s-t chase so one budget bounds the whole exchange.
+  Budget* budget = nullptr;
+  /// Best-effort partial solution on a budget trip (the target instance
+  /// closed so far); see ChaseOptions::partial_out.
+  Instance* partial_out = nullptr;
 };
 
 /// Per-run statistics of the target-constraint fixpoint loop (same
@@ -39,6 +45,9 @@ struct TargetChaseStats {
   size_t tgd_fires = 0;
   /// Fresh nulls minted for target-tgd existentials.
   size_t nulls_minted = 0;
+  /// True when a budget limit ended the fixpoint early (see
+  /// ChaseStats::partial).
+  bool partial = false;
 };
 
 /// The result of a constraint-aware data exchange.

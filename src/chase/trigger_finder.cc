@@ -17,17 +17,39 @@ std::vector<Assignment> FindTriggers(const Conjunction& body,
   return matches;
 }
 
-std::vector<std::vector<Assignment>> FindTriggerBatches(
+Result<std::vector<std::vector<Assignment>>> FindTriggerBatches(
     const std::vector<const Conjunction*>& bodies,
     const std::vector<HomSearchOptions>& options, const Instance& inst,
-    ThreadPool& pool) {
+    ThreadPool& pool, Budget* budget) {
   std::vector<std::vector<Assignment>> batches(bodies.size());
+  std::vector<Status> statuses(bodies.size());
   CountParallelFanout(pool, bodies.size());
-  pool.ParallelFor(bodies.size(), [&](size_t i) {
-    const HomSearchOptions& opts =
-        options.size() == 1 ? options[0] : options[i];
-    batches[i] = FindTriggers(*bodies[i], inst, opts);
-  });
+  const Cancellation* cancel =
+      budget != nullptr ? budget->cancellation() : nullptr;
+  pool.ParallelFor(
+      bodies.size(),
+      [&](size_t i) {
+        if (budget != nullptr) {
+          statuses[i] = budget->OnPoolTask("trigger collection");
+          if (!statuses[i].ok()) return;
+        }
+        const HomSearchOptions& opts =
+            options.size() == 1 ? options[0] : options[i];
+        batches[i] = FindTriggers(*bodies[i], inst, opts);
+      },
+      cancel);
+  if (budget != nullptr) {
+    // Lowest failing index wins so the reported error does not depend on
+    // thread timing. A cancelled ParallelFor leaves later slots OK but
+    // empty; the trailing Check() turns that into the budget's verdict.
+    for (const Status& status : statuses) {
+      QIMAP_RETURN_IF_ERROR(status);
+    }
+    QIMAP_RETURN_IF_ERROR(budget->Check("trigger collection"));
+    for (size_t i = 0; i < bodies.size(); ++i) {
+      QIMAP_RETURN_IF_ERROR(budget->OnTriggerBatch("trigger collection"));
+    }
+  }
   return batches;
 }
 

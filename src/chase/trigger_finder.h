@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "base/budget.h"
+#include "base/status.h"
 #include "base/thread_pool.h"
 #include "relational/homomorphism.h"
 #include "relational/instance.h"
@@ -35,10 +37,18 @@ std::vector<Assignment> FindTriggers(const Conjunction& body,
 /// body is matched with `options[i]` — pass a single-element vector to
 /// share one option set. Mirrors the fan-out into the `chase.parallel.*`
 /// counters when the pool is actually parallel.
-std::vector<std::vector<Assignment>> FindTriggerBatches(
+///
+/// When `budget` is non-null, each pool task first checks in with
+/// `Budget::OnPoolTask` (cancellation, deadline, injected pool-task
+/// faults), the token is handed to `ParallelFor` so a cancelled wave
+/// stops dispatching, and each collected body passes the
+/// `Budget::OnTriggerBatch` fault site. Returns the budget's structured
+/// status (lowest failing body index wins, so the error is deterministic
+/// at any thread count) instead of the batches when a limit trips.
+Result<std::vector<std::vector<Assignment>>> FindTriggerBatches(
     const std::vector<const Conjunction*>& bodies,
     const std::vector<HomSearchOptions>& options, const Instance& inst,
-    ThreadPool& pool);
+    ThreadPool& pool, Budget* budget = nullptr);
 
 /// Mirrors one parallel fan-out of `tasks` independent work items into the
 /// `chase.parallel.batches` / `chase.parallel.tasks` counters. No-op for a

@@ -6,8 +6,10 @@
 #include <set>
 #include <string>
 
+#include "base/budget.h"
 #include "chase/chase.h"
 #include "core/sigma_star.h"
+#include "obs/budget_obs.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -28,11 +30,15 @@ Atom DistinctPrimeAtom(const Schema& schema, RelationId r) {
 
 }  // namespace
 
-Result<bool> HasConstantPropagation(const SchemaMapping& m) {
+Result<bool> HasConstantPropagation(const SchemaMapping& m,
+                                    Budget* budget) {
+  ChaseOptions chase_options;
+  chase_options.budget = budget;
   for (RelationId r = 0; r < m.source->size(); ++r) {
     Atom atom = DistinctPrimeAtom(*m.source, r);
     Instance canonical = CanonicalInstance({atom}, m.source);
-    QIMAP_ASSIGN_OR_RETURN(Instance chased, Chase(canonical, m));
+    QIMAP_ASSIGN_OR_RETURN(Instance chased,
+                           Chase(canonical, m, chase_options));
     std::set<Value> domain;
     for (const Value& v : chased.ActiveDomain()) domain.insert(v);
     for (const Value& v : atom.args) {
@@ -71,26 +77,64 @@ Result<ReverseMapping> InverseAlgorithm(const SchemaMapping& m,
   obs::JournalRun journal("inverse");
   obs::CounterAdd(kRuns);
 
+  ReverseMapping reverse;
+  reverse.from = m.target;
+  reverse.to = m.source;
+
+  RunBudget guard("Inverse", 0, options.budget);
+  // Ends the inversion on a budget trip: journal + budget.* metrics, then
+  // the dependencies derived so far as the best-effort partial result.
+  auto trip = [&](Status status) -> Status {
+    obs::ReportBudgetTrip(journal, guard, status,
+                          options.partial_out != nullptr);
+    reverse.partial = true;
+    if (options.partial_out != nullptr) {
+      *options.partial_out = std::move(reverse);
+    }
+    return status;
+  };
+  // The inner chases journal and report their own trips; `trip` then
+  // hands the caller the rules derived before the budget ran out.
+  auto chase_overflow = [&guard](const Status& status) {
+    return guard.exhausted() ||
+           status.code() == StatusCode::kResourceExhausted ||
+           status.code() == StatusCode::kCancelled;
+  };
+
   // Step 1: the constant-propagation property is necessary for
   // invertibility (Proposition 5.3); without it the algorithm's
   // dependencies would be ill-formed (rhs variables missing from the lhs).
-  QIMAP_ASSIGN_OR_RETURN(bool propagates, HasConstantPropagation(m));
-  if (!propagates) {
+  Result<bool> propagates = HasConstantPropagation(m, options.budget);
+  if (!propagates.ok()) {
+    Status status = propagates.status();
+    if (chase_overflow(status)) return trip(std::move(status));
+    return status;
+  }
+  if (!*propagates) {
     return Status::FailedPrecondition(
         "mapping lacks the constant-propagation property; it has no "
         "inverse (Proposition 5.3)");
   }
 
-  ReverseMapping reverse;
-  reverse.from = m.target;
-  reverse.to = m.source;
+  ChaseOptions chase_options;
+  chase_options.budget = options.budget;
 
   // Steps 2-4: one full tgd per prime instance.
   for (RelationId r = 0; r < m.source->size(); ++r) {
     for (const Atom& alpha : PrimeAtoms(*m.source, r)) {
+      {
+        Status tick = guard.Tick();
+        if (!tick.ok()) return trip(std::move(tick));
+      }
       obs::CounterAdd(kPrimes);
       Instance canonical = CanonicalInstance({alpha}, m.source);
-      QIMAP_ASSIGN_OR_RETURN(Instance chased, Chase(canonical, m));
+      Result<Instance> prime_chase = Chase(canonical, m, chase_options);
+      if (!prime_chase.ok()) {
+        Status status = prime_chase.status();
+        if (chase_overflow(status)) return trip(std::move(status));
+        return status;
+      }
+      Instance chased = std::move(prime_chase).value();
 
       // psi_alpha: the chase facts, with each null renamed to a fresh
       // variable y1, y2, ... (deterministic: sorted-fact order).

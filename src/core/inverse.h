@@ -9,11 +9,15 @@
 
 namespace qimap {
 
+class Budget;  // base/budget.h
+
 /// Decides the constant-propagation property (Definition 5.2 /
 /// Proposition 5.3): for every relation symbol `R` of the source schema,
 /// the chase of `R(x1, ..., xm)` with `Sigma` must mention each of the `m`
 /// distinct variables. A necessary condition for invertibility.
-Result<bool> HasConstantPropagation(const SchemaMapping& m);
+/// `budget`, when non-null, governs the inner chases.
+Result<bool> HasConstantPropagation(const SchemaMapping& m,
+                                    Budget* budget = nullptr);
 
 /// The prime atoms of relation `r` in lexicographic order (Section 5):
 /// atoms `R(xi1, ..., xim)` whose variable pattern is a restricted growth
@@ -25,6 +29,14 @@ struct InverseOptions {
   /// Emit the `Constant(x)` conjuncts. For mappings specified by full s-t
   /// tgds they are not needed (Section 5, discussion after Theorem 5.1).
   bool include_constant_predicates = true;
+  /// Shared resource governor (see ChaseOptions::budget); also handed to
+  /// the inner prime-instance chases, so one budget bounds the whole
+  /// inversion.
+  Budget* budget = nullptr;
+  /// Best-effort partial result on a budget trip: the reverse mapping with
+  /// the dependencies derived so far, flagged `partial`. See
+  /// ChaseOptions::partial_out.
+  ReverseMapping* partial_out = nullptr;
 };
 
 /// The paper's algorithm Inverse (Section 5, Theorem 5.1): produces a

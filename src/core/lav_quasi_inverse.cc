@@ -7,8 +7,10 @@
 #include <set>
 #include <string>
 
+#include "base/budget.h"
 #include "chase/chase.h"
 #include "core/inverse.h"
+#include "obs/budget_obs.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -16,7 +18,8 @@
 
 namespace qimap {
 
-Result<ReverseMapping> LavQuasiInverse(const SchemaMapping& m) {
+Result<ReverseMapping> LavQuasiInverse(
+    const SchemaMapping& m, const LavQuasiInverseOptions& options) {
   static const obs::MetricId kLatency =
       obs::RegisterHistogram("lavqinv.latency_us");
   static const obs::MetricId kRuns = obs::RegisterCounter("lavqinv.runs");
@@ -37,6 +40,21 @@ Result<ReverseMapping> LavQuasiInverse(const SchemaMapping& m) {
   reverse.from = m.target;
   reverse.to = m.source;
 
+  RunBudget guard("LavQuasiInverse", 0, options.budget);
+  // Ends the inversion on a budget trip: journal + budget.* metrics, then
+  // the dependencies derived so far as the best-effort partial result.
+  auto trip = [&](Status status) -> Status {
+    obs::ReportBudgetTrip(journal, guard, status,
+                          options.partial_out != nullptr);
+    reverse.partial = true;
+    if (options.partial_out != nullptr) {
+      *options.partial_out = std::move(reverse);
+    }
+    return status;
+  };
+  ChaseOptions chase_options;
+  chase_options.budget = options.budget;
+
   // One dependency per prime instance, as in algorithm Inverse (Section 5)
   // but without the constant-propagation requirement: variables of the
   // prime atom that the chase does not propagate simply remain
@@ -46,9 +64,25 @@ Result<ReverseMapping> LavQuasiInverse(const SchemaMapping& m) {
   // triggers, which recovers the atom exactly up to ~M (Theorem 4.7).
   for (RelationId r = 0; r < m.source->size(); ++r) {
     for (const Atom& alpha : PrimeAtoms(*m.source, r)) {
+      {
+        Status tick = guard.Tick();
+        if (!tick.ok()) return trip(std::move(tick));
+      }
       obs::CounterAdd(kPrimes);
       Instance canonical = CanonicalInstance({alpha}, m.source);
-      QIMAP_ASSIGN_OR_RETURN(Instance chased, Chase(canonical, m));
+      Result<Instance> prime_chase = Chase(canonical, m, chase_options);
+      if (!prime_chase.ok()) {
+        // The inner chase journals and reports its own trip; `trip` then
+        // hands the caller the rules derived before the budget ran out.
+        Status status = prime_chase.status();
+        if (guard.exhausted() ||
+            status.code() == StatusCode::kResourceExhausted ||
+            status.code() == StatusCode::kCancelled) {
+          return trip(std::move(status));
+        }
+        return status;
+      }
+      Instance chased = std::move(prime_chase).value();
       if (chased.Empty()) {
         // The relation is invisible to the target; nothing can be
         // recovered for it (and no dependency is emitted).

@@ -6,6 +6,20 @@
 
 namespace qimap {
 
+class Budget;  // base/budget.h
+
+/// Options for the LAV quasi-inverse construction.
+struct LavQuasiInverseOptions {
+  /// Shared resource governor (see ChaseOptions::budget); also handed to
+  /// the inner prime-instance chases, so one budget bounds the whole
+  /// inversion.
+  Budget* budget = nullptr;
+  /// Best-effort partial result on a budget trip: the reverse mapping with
+  /// the dependencies derived so far, flagged `partial`. See
+  /// ChaseOptions::partial_out.
+  ReverseMapping* partial_out = nullptr;
+};
+
 /// The disjunction-free quasi-inverse construction for LAV schema mappings
 /// (Theorem 4.7): every LAV mapping has a quasi-inverse specified by tgds
 /// with constants and inequalities. For each prime atom `alpha` of each
@@ -23,7 +37,8 @@ namespace qimap {
 /// original. Relations invisible to the target produce no dependency.
 ///
 /// Returns FailedPrecondition if `m` is not LAV.
-Result<ReverseMapping> LavQuasiInverse(const SchemaMapping& m);
+Result<ReverseMapping> LavQuasiInverse(
+    const SchemaMapping& m, const LavQuasiInverseOptions& options = {});
 
 /// Like LavQuasiInverse but aborts on error.
 ReverseMapping MustLavQuasiInverse(const SchemaMapping& m);

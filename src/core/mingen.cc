@@ -5,7 +5,9 @@
 #include <set>
 #include <string>
 
+#include "base/budget.h"
 #include "chase/chase.h"
+#include "obs/budget_obs.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -190,9 +192,12 @@ size_t CountFreshZ(const Conjunction& conj, const std::set<Value>& x_set) {
 
 Result<bool> IsGenerator(const SchemaMapping& m, const Conjunction& beta,
                          const Conjunction& psi,
-                         const std::vector<Value>& x) {
+                         const std::vector<Value>& x, Budget* budget) {
   Instance canonical = CanonicalInstance(beta, m.source);
-  QIMAP_ASSIGN_OR_RETURN(Instance chased, Chase(canonical, m));
+  ChaseOptions chase_options;
+  chase_options.budget = budget;
+  QIMAP_ASSIGN_OR_RETURN(Instance chased,
+                         Chase(canonical, m, chase_options));
   // The shared variables are frozen: psi must embed into the chase with
   // each x mapped to itself; the existential y map anywhere.
   Assignment partial;
@@ -240,6 +245,25 @@ Result<std::vector<Conjunction>> MinGen(const SchemaMapping& m,
   std::vector<Conjunction> frontier = {Conjunction{}};
   std::set<std::string> seen;
 
+  // The candidate valve doubles as the run's local step limit; the shared
+  // budget adds deadline/memory/null/cancellation governance on top.
+  RunBudget guard("MinGen", options.max_candidates, options.budget,
+                  "(raise MinGenOptions::max_candidates)");
+  // Ends the search on a budget trip: journal + budget.* metrics, then
+  // the generators found so far (unminimized) as the partial result. The
+  // rule events of a tripped run are never emitted, so the ad-hoc journal
+  // run only ever carries this budget event.
+  auto trip = [&](Status status) -> Status {
+    st.partial = true;
+    obs::JournalRun trip_journal("mingen");
+    obs::ReportBudgetTrip(trip_journal, guard, status,
+                          options.partial_out != nullptr);
+    if (options.partial_out != nullptr) {
+      *options.partial_out = std::move(generators);
+    }
+    return status;
+  };
+
   for (size_t size = 1; size <= max_atoms && !frontier.empty(); ++size) {
     std::vector<Conjunction> next_frontier;
     for (const Conjunction& current : frontier) {
@@ -272,15 +296,23 @@ Result<std::vector<Conjunction>> MinGen(const SchemaMapping& m,
           ++st.dominated_pruned;
           continue;
         }
-        if (++st.candidates > options.max_candidates) {
-          return Status::ResourceExhausted(
-              "MinGen candidate budget exceeded (" +
-              std::to_string(options.max_candidates) + ")");
+        {
+          Status tick = guard.Tick();
+          if (!tick.ok()) return trip(std::move(tick));
         }
+        ++st.candidates;
         bool is_generator = false;
         if (ContainsAllX(child, x)) {
           ++st.generator_tests;
-          QIMAP_ASSIGN_OR_RETURN(is_generator, IsGenerator(m, child, psi, x));
+          Result<bool> tested =
+              IsGenerator(m, child, psi, x, options.budget);
+          if (!tested.ok()) {
+            // The inner chase journals its own trip; here we only hand
+            // back the partial generator list.
+            if (guard.exhausted()) return trip(tested.status());
+            return tested.status();
+          }
+          is_generator = *tested;
         }
         if (is_generator) {
           generators.push_back(std::move(child));

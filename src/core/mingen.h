@@ -10,6 +10,8 @@
 
 namespace qimap {
 
+class Budget;  // base/budget.h
+
 /// Per-run statistics of the MinGen search (same convention as
 /// ChaseStats; totals are mirrored into the `mingen.*` metrics).
 struct MinGenStats {
@@ -28,6 +30,9 @@ struct MinGenStats {
   /// returned minimal generator, parallel to the result vector. Callers
   /// (QuasiInverse) attribute their emitted rules to these events.
   std::vector<uint64_t> generator_event_ids;
+  /// True when a budget limit ended the search early (see
+  /// ChaseStats::partial).
+  bool partial = false;
 };
 
 /// Options for the MinGen search.
@@ -46,6 +51,12 @@ struct MinGenOptions {
   bool dedup_candidates = true;
   /// Optional out-param: filled with this run's search statistics.
   MinGenStats* stats = nullptr;
+  /// Shared resource governor (see ChaseOptions::budget); also handed to
+  /// the inner IsGenerator chases so one budget bounds the whole search.
+  Budget* budget = nullptr;
+  /// Best-effort partial result on a budget trip: the (unminimized)
+  /// generators found so far. See ChaseOptions::partial_out.
+  std::vector<Conjunction>* partial_out = nullptr;
 };
 
 /// Decides whether `beta` (a conjunction of source atoms over variables
@@ -54,9 +65,11 @@ struct MinGenOptions {
 /// a logical consequence of Sigma, which holds iff chasing the canonical
 /// instance `I_beta` with Sigma yields at least `I_psi(x, y')` for some
 /// substitution `y'` for `y` (with the `x` frozen).
+/// `budget`, when non-null, governs the inner chase of `I_beta`.
 Result<bool> IsGenerator(const SchemaMapping& m, const Conjunction& beta,
                          const Conjunction& psi,
-                         const std::vector<Value>& x);
+                         const std::vector<Value>& x,
+                         Budget* budget = nullptr);
 
 /// True iff `small` is a sub-conjunction of `big` up to a (bijective)
 /// renaming of the variables not in `x`: some injective renaming of

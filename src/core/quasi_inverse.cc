@@ -7,7 +7,9 @@
 #include <set>
 #include <string>
 
+#include "base/budget.h"
 #include "core/sigma_star.h"
+#include "obs/budget_obs.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -111,9 +113,26 @@ Result<ReverseMapping> QuasiInverse(const SchemaMapping& m,
   reverse.from = m.target;
   reverse.to = m.source;
 
+  RunBudget guard("QuasiInverse", 0, options.budget);
+  // Ends the inversion on a budget trip: journal + budget.* metrics, then
+  // the dependencies derived so far as the best-effort partial result.
+  auto trip = [&](Status status) -> Status {
+    obs::ReportBudgetTrip(journal, guard, status,
+                          options.partial_out != nullptr);
+    reverse.partial = true;
+    if (options.partial_out != nullptr) {
+      *options.partial_out = std::move(reverse);
+    }
+    return status;
+  };
+
   std::vector<Tgd> sigma_star = SigmaStar(m);
   for (size_t si = 0; si < sigma_star.size(); ++si) {
     const Tgd& sigma = sigma_star[si];
+    {
+      Status tick = guard.Tick();
+      if (!tick.ok()) return trip(std::move(tick));
+    }
     obs::CounterAdd(kSigmaStar);
     std::vector<Value> x = sigma.FrontierVariables();
 
@@ -135,8 +154,22 @@ Result<ReverseMapping> QuasiInverse(const SchemaMapping& m,
     if (mingen_options.stats == nullptr) {
       mingen_options.stats = &local_mingen_stats;
     }
-    QIMAP_ASSIGN_OR_RETURN(std::vector<Conjunction> generators,
-                           MinGen(m, sigma.rhs, x, mingen_options));
+    if (mingen_options.budget == nullptr) {
+      mingen_options.budget = options.budget;
+    }
+    Result<std::vector<Conjunction>> found =
+        MinGen(m, sigma.rhs, x, mingen_options);
+    if (!found.ok()) {
+      Status status = found.status();
+      // MinGen already journaled its own trip; `trip` here hands the
+      // caller the rules derived before the search ran out.
+      if (status.code() == StatusCode::kResourceExhausted ||
+          status.code() == StatusCode::kCancelled) {
+        return trip(std::move(status));
+      }
+      return status;
+    }
+    std::vector<Conjunction> generators = std::move(found).value();
     if (generators.empty()) {
       // The lhs of sigma is itself a generator, so MinGen cannot come back
       // empty (see the remark after the algorithm in Section 4).

@@ -7,6 +7,8 @@
 
 namespace qimap {
 
+class Budget;  // base/budget.h
+
 /// Options for the QuasiInverse algorithm.
 struct QuasiInverseOptions {
   MinGenOptions mingen;
@@ -16,6 +18,14 @@ struct QuasiInverseOptions {
   /// Drop disjuncts that are homomorphically subsumed by a more general
   /// disjunct (the paper's remark at the end of Example 4.5).
   bool prune_subsumed_disjuncts = true;
+  /// Shared resource governor (see ChaseOptions::budget); also handed to
+  /// the MinGen searches (and their inner chases) unless `mingen.budget`
+  /// was set explicitly, so one budget bounds the whole inversion.
+  Budget* budget = nullptr;
+  /// Best-effort partial result on a budget trip: the reverse mapping with
+  /// the dependencies derived so far, flagged `partial`. See
+  /// ChaseOptions::partial_out.
+  ReverseMapping* partial_out = nullptr;
 };
 
 /// True iff `general` subsumes `specific` as a disjunct with shared

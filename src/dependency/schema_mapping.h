@@ -38,6 +38,9 @@ struct ReverseMapping {
   /// The rhs schema of the dependencies (the original source, `S`).
   SchemaPtr to;
   std::vector<DisjunctiveTgd> deps;
+  /// True when a budget limit ended the inversion early and `deps` holds
+  /// only the dependencies derived so far (see ChaseStats::partial).
+  bool partial = false;
 
   bool HasDisjunction() const;
   bool HasConstants() const;

@@ -1,0 +1,32 @@
+#include "obs/budget_obs.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace qimap {
+namespace obs {
+
+uint64_t ReportBudgetTrip(JournalRun& journal, const RunBudget& guard,
+                          const Status& status, bool partial) {
+  BudgetLimit limit = guard.tripped();
+  if (limit == BudgetLimit::kNone) return 0;
+
+  static const MetricId kExhausted =
+      RegisterCounter("budget.exhausted");
+  static const MetricId kPartial =
+      RegisterCounter("budget.partial_results");
+  CounterAdd(kExhausted);
+  // Per-limit counters are registered by name on demand — trips are cold
+  // paths, so the registry lookup is fine without a static cache.
+  CounterAdd(RegisterCounter(std::string("budget.exhausted.") +
+                             BudgetLimitName(limit)));
+  if (partial) CounterAdd(kPartial);
+
+  if (!journal.active()) return 0;
+  return journal.RecordBudget(status.message(), BudgetLimitName(limit),
+                              guard.UsageString());
+}
+
+}  // namespace obs
+}  // namespace qimap

@@ -1,0 +1,33 @@
+#ifndef QIMAP_OBS_BUDGET_OBS_H_
+#define QIMAP_OBS_BUDGET_OBS_H_
+
+#include <cstdint>
+
+#include "base/budget.h"
+#include "base/status.h"
+#include "obs/journal.h"
+
+namespace qimap {
+namespace obs {
+
+/// Reports one resource-budget trip: appends a `budget` event to the
+/// run's journal (so a governed run's event stream ends with the limit
+/// that stopped it) and mirrors the trip into the metrics registry:
+///
+///   budget.exhausted           every trip, whatever the limit
+///   budget.exhausted.<limit>   per-limit: steps / deadline / memory /
+///                              nulls / cancelled / fault
+///   budget.partial_results     trips where the engine handed back a
+///                              best-effort partial result
+///
+/// `status` is the structured status the engine is about to return;
+/// `partial` says whether a partial result was delivered. No-op (returns
+/// 0) when `guard` did not actually trip — plain errors are not budget
+/// events. Returns the journal event id (0 when journaling is off).
+uint64_t ReportBudgetTrip(JournalRun& journal, const RunBudget& guard,
+                          const Status& status, bool partial);
+
+}  // namespace obs
+}  // namespace qimap
+
+#endif  // QIMAP_OBS_BUDGET_OBS_H_

@@ -80,6 +80,8 @@ void CountEvent(const JournalEvent& event) {
   static const MetricId kNulls = RegisterCounter("journal.nulls_minted");
   static const MetricId kMerges = RegisterCounter("journal.merges");
   static const MetricId kRules = RegisterCounter("journal.rules");
+  static const MetricId kBudget =
+      RegisterCounter("journal.budget_trips");
   static const MetricId kParents =
       RegisterHistogram("journal.parents_per_fact");
   CounterAdd(kEvents);
@@ -99,6 +101,9 @@ void CountEvent(const JournalEvent& event) {
       break;
     case JournalEventKind::kRuleEmitted:
       CounterAdd(kRules);
+      break;
+    case JournalEventKind::kBudgetTrip:
+      CounterAdd(kBudget);
       break;
   }
 }
@@ -146,6 +151,8 @@ const char* JournalEventKindName(JournalEventKind kind) {
       return "merge";
     case JournalEventKind::kRuleEmitted:
       return "rule";
+    case JournalEventKind::kBudgetTrip:
+      return "budget";
   }
   return "unknown";
 }
@@ -406,6 +413,20 @@ uint64_t JournalRun::RecordRule(const std::string& rule,
   event.dep_index = dep_index;
   event.bindings = bindings;
   event.parents = std::move(parents);
+  return internal::Append(std::move(event));
+}
+
+uint64_t JournalRun::RecordBudget(const std::string& message,
+                                  const std::string& limit,
+                                  const std::string& usage) {
+  if (!active_) return 0;
+  JournalEvent event;
+  event.kind = JournalEventKind::kBudgetTrip;
+  event.run = run_;
+  event.pipeline = pipeline_;
+  event.fact = message;
+  event.dependency = limit;
+  event.bindings = usage;
   return internal::Append(std::move(event));
 }
 

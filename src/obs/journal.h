@@ -44,10 +44,15 @@ enum class JournalEventKind : uint8_t {
   /// A rule emitted by an inversion algorithm, attributed to the prime
   /// instance or generator candidates that produced it.
   kRuleEmitted = 4,
+  /// A resource-budget trip ending the run early: the fact field carries
+  /// the status message, the dependency field names the tripped limit
+  /// ("steps", "deadline", "memory", "nulls", "cancelled", "fault"), and
+  /// the bindings field carries the run's usage counters.
+  kBudgetTrip = 5,
 };
 
 /// Short name used in the JSONL `kind` field: "base", "fact", "null",
-/// "merge", "rule".
+/// "merge", "rule", "budget".
 const char* JournalEventKindName(JournalEventKind kind);
 
 /// One journal event. String fields are rendered with the repo's standard
@@ -159,6 +164,10 @@ class JournalRun {
                       const std::string&, std::vector<uint64_t>) {
     return 0;
   }
+  uint64_t RecordBudget(const std::string&, const std::string&,
+                        const std::string&) {
+    return 0;
+  }
   uint64_t IdForFact(const std::string&) const { return 0; }
 };
 
@@ -216,6 +225,14 @@ class JournalRun {
                       const std::string& dependency, int32_t dep_index,
                       const std::string& bindings,
                       std::vector<uint64_t> parents);
+
+  /// Records a resource-budget trip ending the run: `message` is the
+  /// structured status message, `limit` the tripped limit's short name
+  /// (BudgetLimitName), `usage` the run's usage counters. Always the last
+  /// event a governed run appends.
+  uint64_t RecordBudget(const std::string& message,
+                        const std::string& limit,
+                        const std::string& usage);
 
   /// Event id previously recorded for `fact`, or 0 if unseen.
   uint64_t IdForFact(const std::string& fact) const;

@@ -2,48 +2,45 @@
 #define QIMAP_OBS_STEP_LIMIT_H_
 
 #include <cstddef>
-#include <string>
 
+#include "base/budget.h"
 #include "base/status.h"
 
 namespace qimap {
 namespace obs {
 
-/// Shared step-budget guard for the chase engines. Every variant used to
-/// hand-roll `++steps > max_steps` with its own error text; this gives
-/// them one counter and one ResourceExhausted message shape that always
-/// names the variant and the limit that was hit:
+/// Backward-compatibility shim over base/budget.h: a step-only guard with
+/// the original StepLimiter surface. The engines themselves now hold a
+/// `RunBudget` (their option `max_steps` paired with the optional shared
+/// `Budget`); this class remains for callers that only ever wanted a
+/// step counter, and keeps the historical message shape:
 ///
 ///   "standard chase exceeded its step limit (1048576 steps)"
 ///
-/// The OK-path Tick() is an increment, a compare, and an empty Status.
+/// Two historical bugs are fixed by the Budget underneath: the tick that
+/// trips the limit is refused and NOT counted (steps() used to overreport
+/// by 1 after tripping), and a non-empty `hint` is separated from the
+/// message by exactly one space regardless of how the caller spelled it.
 class StepLimiter {
  public:
   /// `what` names the guarded loop (e.g. "disjunctive chase"); `hint` is
-  /// appended verbatim to the error message when the limit trips.
+  /// appended to the error message when the limit trips.
   StepLimiter(const char* what, size_t max_steps, const char* hint = "")
-      : what_(what), hint_(hint), max_steps_(max_steps) {}
+      : budget_(BudgetSpec::StepsOnly(max_steps)),
+        what_(what),
+        hint_(hint) {}
 
   /// Counts one step; ResourceExhausted once the budget is exceeded.
-  Status Tick() {
-    if (++steps_ > max_steps_) return Exhausted();
-    return Status::OK();
-  }
+  Status Tick() { return budget_.Tick(what_, hint_); }
 
-  size_t steps() const { return steps_; }
-  size_t max_steps() const { return max_steps_; }
+  /// Steps actually performed; a tripped limiter reports max_steps().
+  size_t steps() const { return budget_.steps(); }
+  size_t max_steps() const { return budget_.max_steps(); }
 
  private:
-  Status Exhausted() const {
-    return Status::ResourceExhausted(
-        std::string(what_) + " exceeded its step limit (" +
-        std::to_string(max_steps_) + " steps)" + hint_);
-  }
-
+  Budget budget_;
   const char* what_;
   const char* hint_;
-  size_t max_steps_;
-  size_t steps_ = 0;
 };
 
 }  // namespace obs

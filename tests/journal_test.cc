@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "base/budget.h"
+#include "base/fault.h"
 #include "chase/chase.h"
 #include "chase/disjunctive_chase.h"
 #include "chase/target_chase.h"
@@ -322,6 +325,71 @@ TEST_F(JournalTest, DisjunctiveChaseTagsBranches) {
     }
     ASSERT_NE(parent, nullptr);
     EXPECT_EQ(parent->kind, obs::JournalEventKind::kBaseFact);
+  }
+}
+
+// A fault-injected cancel mid-disjunctive-exploration must leave a
+// well-formed journal: the run's final event is the `budget` trip naming
+// the cancellation, and no node id is orphaned (every node whose nulls
+// were journaled also journaled its facts — the wind-down happens between
+// nodes, never inside one).
+TEST_F(JournalTest, CancelledDisjunctiveWaveEndsWithBudgetEvent) {
+  obs::Journal::Enable();
+  SchemaMapping m =
+      MustParseMapping("P/3", "Q/2, R/2", "P(x,y,z) -> Q(x,y) & R(y,z)");
+  ReverseMapping reverse = MustQuasiInverse(m);
+  Instance target = MustParseInstance(m.target, "Q(a,b), R(b,c), Q(d,b)");
+
+  // Trigger collection runs one pool task per dependency and the root
+  // wave one more; cancelling on the task after those lands inside the
+  // second wave — after the root's expansion journaled derived facts.
+  Cancellation token;
+  BudgetSpec spec;
+  spec.cancellation = &token;
+  Result<FaultPlan> plan = FaultPlan::Parse(
+      "task:" + std::to_string(reverse.deps.size() + 2) + ":cancel");
+  ASSERT_TRUE(plan.ok());
+  spec.fault_plan = *plan;
+  Budget budget(spec);
+
+  DisjunctiveChaseOptions options;
+  options.budget = &budget;
+  std::vector<Instance> partial;
+  options.partial_out = &partial;
+  DisjunctiveChaseStats stats;
+  Result<std::vector<Instance>> run =
+      DisjunctiveChase(target, reverse, options, &stats);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(stats.partial);
+  EXPECT_EQ(budget.tripped(), BudgetLimit::kCancelled);
+
+  std::vector<obs::JournalEvent> events = obs::Journal::Events();
+  ASSERT_FALSE(events.empty());
+  // The budget trip is the last thing a governed run journals.
+  const obs::JournalEvent& last = events.back();
+  EXPECT_EQ(last.kind, obs::JournalEventKind::kBudgetTrip);
+  EXPECT_EQ(last.pipeline, "chase/disjunctive");
+  EXPECT_EQ(last.dependency, "cancelled");
+  EXPECT_EQ(last.fact, run.status().message());
+  EXPECT_NE(last.bindings.find("steps="), std::string::npos);
+
+  // No orphan node ids: a node that journaled a minted null also
+  // journaled at least one derived fact.
+  std::set<uint64_t> fact_nodes;
+  for (const obs::JournalEvent& event : events) {
+    if (event.kind == obs::JournalEventKind::kDerivedFact &&
+        event.node != 0) {
+      fact_nodes.insert(event.node);
+    }
+  }
+  for (const obs::JournalEvent& event : events) {
+    if (event.kind == obs::JournalEventKind::kNullMinted &&
+        event.node != 0) {
+      EXPECT_EQ(fact_nodes.count(event.node), 1u)
+          << "orphan node " << event.node;
+    }
   }
 }
 

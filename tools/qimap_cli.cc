@@ -18,6 +18,7 @@
 //       --tgds "P(x,y) -> Q(x)"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <optional>
@@ -25,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "base/budget.h"
+#include "base/fault.h"
 #include "base/strings.h"
 #include "base/version.h"
 #include "chase/chase.h"
@@ -57,6 +60,11 @@
 namespace qimap {
 namespace {
 
+// Shared resource governor for the whole invocation, built in Main from
+// the --deadline-ms/--max-memory-mb/--max-nulls/--max-steps flags (and
+// QIMAP_FAULT_PLAN); null when no limit was requested.
+Budget* g_budget = nullptr;
+
 struct Args {
   std::string command;
   std::map<std::string, std::string> flags;
@@ -70,13 +78,29 @@ struct Args {
   bool Has(const std::string& key) const { return flags.count(key) > 0; }
 };
 
+// Strict parse for the numeric limit flags: garbage must be an error, not
+// a silent 0 (= "limit off").
+bool ParseLimitFlag(const Args& args, const char* key, uint64_t* out) {
+  const char* text = args.Get(key, "0");
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "qimap_cli: --%s expects a non-negative integer, "
+                 "got '%s'\n", key, text);
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
 // Flags taking a value (--key=value or --key value) and boolean flags.
 const std::set<std::string>& ValueFlags() {
   static const std::set<std::string> kFlags = {
       "source",      "target",    "tgds",        "instance",
       "reverse",     "mode",      "domain",      "max-facts",
       "trace-out",   "metrics-out", "journal-out", "fact",
-      "format",      "explain-out", "threads"};
+      "format",      "explain-out", "threads",     "deadline-ms",
+      "max-memory-mb", "max-nulls", "max-steps"};
   return kFlags;
 }
 
@@ -97,6 +121,15 @@ int Usage() {
       "         --mode quasi|inverse  --domain a,b  --max-facts 2\n"
       "         --threads N           chase worker threads (0 reads "
       "QIMAP_CHASE_THREADS)\n"
+      "limits:    --max-steps N       shared budget on chase/search steps\n"
+      "           --deadline-ms N     wall-clock deadline for the whole "
+      "run\n"
+      "           --max-memory-mb N   approximate memory budget\n"
+      "           --max-nulls N       budget on fresh labeled nulls\n"
+      "           (exhaustion exits 1 with a ResourceExhausted status and "
+      "a partial-result\n"
+      "            summary on stderr; QIMAP_FAULT_PLAN=<site>:<nth>"
+      "[:cancel] injects faults)\n"
       "explain:   --fact \"Q(a,b)\"     explain one fact (default: every "
       "chase fact)\n"
       "           --format tree|json  stdout rendering (default tree)\n"
@@ -118,7 +151,19 @@ ChaseOptions LoadChaseOptions(const Args& args) {
   ChaseOptions options;
   options.num_threads =
       static_cast<size_t>(std::atoi(args.Get("threads", "1")));
+  options.budget = g_budget;
   return options;
+}
+
+// On a budget trip: one stderr line saying which limit ended the run and
+// how much of the result survived (`count` things, e.g. facts or rules).
+void PrintBudgetSummary(const char* what, size_t count) {
+  if (g_budget == nullptr || g_budget->tripped() == BudgetLimit::kNone) {
+    return;
+  }
+  std::fprintf(stderr, "partial %s kept: %zu (budget limit: %s, %s)\n",
+               what, count, BudgetLimitName(g_budget->tripped()),
+               g_budget->UsageString().c_str());
 }
 
 // Parses argv[2..] into args->flags. Returns false (after printing a
@@ -199,16 +244,36 @@ int RunChase(const Args& args, const SchemaMapping& m) {
     return 2;
   }
   QIMAP_ASSIGN_OR_RETURN_CLI(Instance i, ParseInstance(m.source, text));
-  QIMAP_ASSIGN_OR_RETURN_CLI(Instance u, Chase(i, m, LoadChaseOptions(args)));
-  std::printf("%s\n", u.ToString().c_str());
+  ChaseOptions options = LoadChaseOptions(args);
+  Instance partial(m.target);
+  if (g_budget != nullptr) options.partial_out = &partial;
+  Result<Instance> u = Chase(i, m, options);
+  if (!u.ok()) {
+    std::fprintf(stderr, "%s\n", u.status().ToString().c_str());
+    PrintBudgetSummary("chase facts", partial.NumFacts());
+    return 1;
+  }
+  std::printf("%s\n", u->ToString().c_str());
   return 0;
 }
 
 int RunQuasiInverse(const SchemaMapping& m, bool lav_variant) {
-  Result<ReverseMapping> rev =
-      lav_variant ? LavQuasiInverse(m) : QuasiInverse(m);
+  ReverseMapping partial;
+  Result<ReverseMapping> rev = [&] {
+    if (lav_variant) {
+      LavQuasiInverseOptions options;
+      options.budget = g_budget;
+      if (g_budget != nullptr) options.partial_out = &partial;
+      return LavQuasiInverse(m, options);
+    }
+    QuasiInverseOptions options;
+    options.budget = g_budget;
+    if (g_budget != nullptr) options.partial_out = &partial;
+    return QuasiInverse(m, options);
+  }();
   if (!rev.ok()) {
     std::fprintf(stderr, "%s\n", rev.status().ToString().c_str());
+    PrintBudgetSummary("reverse dependencies", partial.deps.size());
     return 1;
   }
   std::printf("%s", rev->ToString().c_str());
@@ -216,9 +281,14 @@ int RunQuasiInverse(const SchemaMapping& m, bool lav_variant) {
 }
 
 int RunInverse(const SchemaMapping& m) {
-  Result<ReverseMapping> rev = InverseAlgorithm(m);
+  InverseOptions options;
+  options.budget = g_budget;
+  ReverseMapping partial;
+  if (g_budget != nullptr) options.partial_out = &partial;
+  Result<ReverseMapping> rev = InverseAlgorithm(m, options);
   if (!rev.ok()) {
     std::fprintf(stderr, "%s\n", rev.status().ToString().c_str());
+    PrintBudgetSummary("reverse dependencies", partial.deps.size());
     return 1;
   }
   std::printf("%s", rev->ToString().c_str());
@@ -405,6 +475,37 @@ int Main(int argc, char** argv) {
     obs::Log(obs::LogLevel::kDebug, "qimap %s, command '%s'",
              VersionString(), args.command.c_str());
   }
+  // Assemble the shared budget from the limit flags (0/absent means the
+  // given limit is off) and the QIMAP_FAULT_PLAN environment variable.
+  // The budget exists only when something was requested, so ungoverned
+  // runs pay nothing.
+  BudgetSpec budget_spec;
+  uint64_t max_steps = 0, deadline_ms = 0, max_memory_mb = 0, max_nulls = 0;
+  if (!ParseLimitFlag(args, "max-steps", &max_steps) ||
+      !ParseLimitFlag(args, "deadline-ms", &deadline_ms) ||
+      !ParseLimitFlag(args, "max-memory-mb", &max_memory_mb) ||
+      !ParseLimitFlag(args, "max-nulls", &max_nulls)) {
+    return 2;
+  }
+  budget_spec.max_steps = static_cast<size_t>(max_steps);
+  budget_spec.deadline_us = deadline_ms * 1000;
+  budget_spec.max_memory_bytes =
+      static_cast<size_t>(max_memory_mb) * 1024 * 1024;
+  budget_spec.max_nulls = static_cast<size_t>(max_nulls);
+  budget_spec.fault_plan = FaultPlan::FromEnv();
+  static Cancellation cancellation;
+  budget_spec.cancellation = &cancellation;
+  bool governed = budget_spec.max_steps != 0 ||
+                  budget_spec.deadline_us != 0 ||
+                  budget_spec.max_memory_bytes != 0 ||
+                  budget_spec.max_nulls != 0 ||
+                  budget_spec.fault_plan.active();
+  std::optional<Budget> budget;
+  if (governed) {
+    budget.emplace(budget_spec);
+    g_budget = &*budget;
+  }
+
   const char* trace_out = args.Get("trace-out");
   const char* metrics_out = args.Get("metrics-out");
   const char* journal_out = args.Get("journal-out");

@@ -20,6 +20,10 @@
 //              for the chase.parallel.* family — the multi-threaded
 //              chase must do exactly the same work as the serial one,
 //              it may only distribute it
+//   --budget   metrics snapshot with a nonzero budget.exhausted counter
+//              AND a nonzero budget.exhausted.<limit> breakdown — proves
+//              a governed run tripped its resource budget and said which
+//              limit
 // Used by the qimap_cli_telemetry_validate / qimap_cli_explain_validate /
 // bench_*_parallel_validate ctest cases; diagnostics go to stderr.
 
@@ -224,7 +228,32 @@ bool CheckIdArray(const char* path, const obs::JsonValue& event,
 
 bool IsKnownKind(const std::string& kind) {
   return kind == "base" || kind == "fact" || kind == "null" ||
-         kind == "merge" || kind == "rule";
+         kind == "merge" || kind == "rule" || kind == "budget";
+}
+
+// A governed run that tripped writes both the aggregate budget.exhausted
+// counter and a per-limit budget.exhausted.<limit> breakdown; requiring
+// both proves the exhaustion path ran end to end, not just the aggregate.
+bool CheckBudget(const char* path) {
+  Result<obs::JsonValue> doc = obs::ParseJsonFile(path);
+  if (!doc.ok()) return Fail(path, doc.status().ToString());
+  const obs::JsonValue* counters = FindCounters(*doc);
+  if (counters == nullptr) {
+    return Fail(path, "no 'counters' object (top level or under 'metrics')");
+  }
+  const obs::JsonValue* exhausted = counters->Find("budget.exhausted");
+  if (exhausted == nullptr || !exhausted->IsNumber() ||
+      exhausted->number_value <= 0) {
+    return Fail(path,
+                "no nonzero 'budget.exhausted' counter — the run never "
+                "tripped its resource budget");
+  }
+  if (!HasNonzeroWithPrefix(*counters, "budget.exhausted.")) {
+    return Fail(path,
+                "no nonzero 'budget.exhausted.<limit>' counter — the trip "
+                "did not record which limit it hit");
+  }
+  return true;
 }
 
 // Validates one provenance JSONL file (qimap_cli --journal-out): one JSON
@@ -359,7 +388,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: telemetry_check [--trace FILE] [--metrics FILE] "
                "[--journal FILE] [--explain FILE]\n"
-               "                       [--parallel FILE] "
+               "                       [--parallel FILE] [--budget FILE] "
                "[--compare FILE_A FILE_B]\n"
                "       telemetry_check <trace.json> <metrics.json>\n");
   return 2;
@@ -388,6 +417,8 @@ int Main(int argc, char** argv) {
         ok = CheckExplain(file) && ok;
       } else if (std::strcmp(flag, "--parallel") == 0) {
         ok = CheckParallel(file) && ok;
+      } else if (std::strcmp(flag, "--budget") == 0) {
+        ok = CheckBudget(file) && ok;
       } else if (std::strcmp(flag, "--compare") == 0) {
         if (i + 2 >= argc) return Usage();
         ok = CheckCompare(file, argv[i + 2]) && ok;
