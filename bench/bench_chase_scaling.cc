@@ -4,8 +4,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "bench/bench_util.h"
 #include "chase/chase.h"
+#include "chase/chase_checkpoint.h"
+#include "dependency/parser.h"
 #include "relational/instance_enum.h"
 #include "workload/paper_catalog.h"
 #include "workload/random_mappings.h"
@@ -108,6 +113,95 @@ void BM_ChaseExistentialWidth(benchmark::State& state) {
 }
 BENCHMARK(BM_ChaseExistentialWidth)->RangeMultiplier(2)->Range(1, 16);
 
+// Append-heavy workload for the incremental delta-chase: entity rows
+// arrive in P and Q keyed by a shared id, joined by a two-atom
+// dependency through that (leading, so the hash index serves both
+// directions) key. Each round appends a few fresh entities and
+// re-derives the solution — the editing pattern the checkpoint is built
+// for. The full-rechase loop pays the whole join again every round; the
+// incremental loop resumes the checkpoint and only pays for the delta
+// (zero-padded ids keep the delta triggers sorted after the recorded
+// ones, so the append-only fast path engages). Both loops must produce
+// the identical final instance.
+void RunIncrementalPhase(bench::JsonReporter& reporter) {
+  bench::Banner("P1b", "Incremental delta-chase vs full re-chase");
+  SchemaMapping m = MustParseMapping(
+      "P/2, Q/2", "T/3", "P(x,y) & Q(x,z) -> exists w: T(y,z,w)");
+  auto name = [](const char* prefix, int i) {
+    char buffer[16];
+    std::snprintf(buffer, sizeof(buffer), "%s%05d", prefix, i);
+    return Value::MakeConstant(buffer);
+  };
+  auto add_entity = [&](Instance* inst, int i) {
+    Status p = inst->AddFact("P", {name("v", i), name("a", i)});
+    Status q = inst->AddFact("Q", {name("v", i), name("b", i)});
+    (void)p;
+    (void)q;
+  };
+  constexpr int kBase = 1600;
+  constexpr int kRounds = 50;
+  constexpr int kAppend = 2;
+  Instance base(m.source);
+  for (int i = 0; i < kBase; ++i) add_entity(&base, i);
+
+  auto now = [] { return std::chrono::steady_clock::now(); };
+  auto seconds = [](std::chrono::steady_clock::time_point a,
+                    std::chrono::steady_clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+
+  Result<Instance> full_final = Chase(base, m);
+  auto full_start = now();
+  {
+    Instance grown = base;
+    full_final = Chase(grown, m);
+    int next = kBase;
+    for (int round = 0; round < kRounds; ++round) {
+      for (int k = 0; k < kAppend; ++k, ++next) add_entity(&grown, next);
+      full_final = Chase(grown, m);
+      benchmark::DoNotOptimize(full_final.ok());
+    }
+  }
+  double full_seconds = seconds(full_start, now());
+  reporter.AddPhase("full_rechase", full_seconds);
+
+  Result<Instance> incremental_final = Chase(base, m);
+  ChaseStats last_stats;
+  auto incr_start = now();
+  {
+    Instance grown = base;
+    ChaseCheckpoint checkpoint;
+    ChaseOptions options;
+    options.incremental = &checkpoint;
+    incremental_final = Chase(grown, m, options);  // records the base run
+    int next = kBase;
+    for (int round = 0; round < kRounds; ++round) {
+      for (int k = 0; k < kAppend; ++k, ++next) add_entity(&grown, next);
+      incremental_final = Chase(grown, m, options, &last_stats);
+      benchmark::DoNotOptimize(incremental_final.ok());
+    }
+  }
+  double incr_seconds = seconds(incr_start, now());
+  reporter.AddPhase("incremental_rechase", incr_seconds);
+
+  bool identical = full_final.ok() && incremental_final.ok() &&
+                   full_final->ToString() == incremental_final->ToString();
+  double speedup = incr_seconds > 0 ? full_seconds / incr_seconds : 0;
+  char speedup_text[64];
+  std::snprintf(speedup_text, sizeof(speedup_text), "%.1fx (%.3fs vs %.3fs)",
+                speedup, full_seconds, incr_seconds);
+  bench::Row("incremental result == full re-chase", "identical",
+             bench::YesNo(identical));
+  bench::Row("incremental speedup (50 append rounds)", ">= 3x", speedup_text);
+  bench::Row("last resume", "resumed",
+             last_stats.resumed
+                 ? "delta_facts=" + std::to_string(last_stats.delta_facts) +
+                       " checks_skipped=" +
+                       std::to_string(last_stats.checks_skipped)
+                 : "NOT RESUMED");
+  bench::Verdict(identical && last_stats.resumed && speedup >= 3.0);
+}
+
 }  // namespace qimap
 
 int main(int argc, char** argv) {
@@ -118,6 +212,7 @@ int main(int argc, char** argv) {
     qimap::bench::JsonReporter::ScopedPhase phase(reporter, "benchmarks");
     benchmark::RunSpecifiedBenchmarks();
   }
+  qimap::RunIncrementalPhase(reporter);
   reporter.Write();
   return 0;
 }

@@ -1,18 +1,61 @@
 #include "base/thread_pool.h"
 
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "base/budget.h"
 
 namespace qimap {
+namespace {
+
+void DefaultThreadConfigWarning(const char* message) {
+  std::fprintf(stderr, "[qimap:warn] %s\n", message);
+}
+
+std::atomic<ThreadConfigWarningHook> g_thread_config_warning_hook{
+    &DefaultThreadConfigWarning};
+
+void WarnThreadConfig(const std::string& message) {
+  g_thread_config_warning_hook.load(std::memory_order_acquire)(
+      message.c_str());
+}
+
+}  // namespace
+
+ThreadConfigWarningHook SetThreadConfigWarningHook(
+    ThreadConfigWarningHook hook) {
+  if (hook == nullptr) hook = &DefaultThreadConfigWarning;
+  return g_thread_config_warning_hook.exchange(hook,
+                                               std::memory_order_acq_rel);
+}
 
 size_t ResolveThreadCount(size_t requested) {
   if (requested > 0) return requested;
   const char* env = std::getenv("QIMAP_CHASE_THREADS");
   if (env == nullptr || *env == '\0') return 1;
   char* end = nullptr;
+  errno = 0;
   long parsed = std::strtol(env, &end, 10);
-  if (end == nullptr || *end != '\0' || parsed < 1) return 1;
+  if (end == env || end == nullptr || *end != '\0' || errno == ERANGE ||
+      parsed < 1) {
+    WarnThreadConfig("QIMAP_CHASE_THREADS='" + std::string(env) +
+                     "' is not a positive integer; using 1 thread");
+    return 1;
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;  // unknown topology: be conservative
+  size_t cap = kMaxHardwareOversubscription * hw;
+  if (static_cast<unsigned long>(parsed) > cap) {
+    WarnThreadConfig("QIMAP_CHASE_THREADS=" + std::string(env) +
+                     " exceeds " +
+                     std::to_string(kMaxHardwareOversubscription) +
+                     "x hardware concurrency; capping at " +
+                     std::to_string(cap) + " threads");
+    return cap;
+  }
   return static_cast<size_t>(parsed);
 }
 

@@ -13,10 +13,32 @@ namespace qimap {
 
 class Cancellation;  // base/budget.h
 
+/// Hook invoked when thread-count resolution has something to warn about
+/// (an unparsable `QIMAP_CHASE_THREADS`, or a value capped for exceeding
+/// the oversubscription limit). Base code cannot call into qimap_obs (the
+/// dependency points the other way), so the default writes the message to
+/// stderr in the obs log format; `obs::InstallStatusLogging` reroutes it
+/// through the structured logger.
+using ThreadConfigWarningHook = void (*)(const char* message);
+
+/// Installs `hook` (nullptr restores the stderr default) and returns the
+/// previous hook.
+ThreadConfigWarningHook SetThreadConfigWarningHook(
+    ThreadConfigWarningHook hook);
+
+/// The largest multiple of std::thread::hardware_concurrency a
+/// `QIMAP_CHASE_THREADS` request may reach before being capped. Requests
+/// beyond it only add contention, and a typo'd value ("100" for "10")
+/// used to oversubscribe the machine silently.
+inline constexpr size_t kMaxHardwareOversubscription = 4;
+
 /// Resolves a thread-count knob: a positive value is taken as-is; 0 reads
-/// the `QIMAP_CHASE_THREADS` environment variable (falling back to 1 when
-/// unset or unparsable). Lets benches and ctest legs vary the thread count
-/// without touching call sites.
+/// the `QIMAP_CHASE_THREADS` environment variable. An unset/empty variable
+/// resolves to 1; an unparsable or non-positive value resolves to 1 with a
+/// warning through the thread-config hook; a parsable value is capped at
+/// `kMaxHardwareOversubscription * hardware_concurrency` (again with a
+/// warning). Lets benches and ctest legs vary the thread count without
+/// touching call sites.
 size_t ResolveThreadCount(size_t requested);
 
 /// A small fixed-size worker pool for fan-out over independent work items.

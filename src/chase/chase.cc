@@ -5,6 +5,7 @@
 
 #include "base/budget.h"
 #include "base/thread_pool.h"
+#include "chase/chase_checkpoint.h"
 #include "chase/trigger_finder.h"
 #include "obs/budget_obs.h"
 #include "obs/journal.h"
@@ -58,6 +59,42 @@ void FlushChaseMetrics(const ChaseStats& st) {
   obs::CounterAdd(kHits, st.satisfaction_hits);
   obs::CounterAdd(kNulls, st.nulls_minted);
   obs::CounterAdd(kFacts, st.facts_added);
+  if (st.resumed) {
+    static const obs::MetricId kDeltaRuns =
+        obs::RegisterCounter("chase.delta.runs");
+    static const obs::MetricId kDeltaFacts =
+        obs::RegisterCounter("chase.delta.facts");
+    static const obs::MetricId kDeltaTriggers =
+        obs::RegisterCounter("chase.delta.triggers");
+    static const obs::MetricId kReplayed =
+        obs::RegisterCounter("chase.delta.replayed");
+    static const obs::MetricId kChecksSkipped =
+        obs::RegisterCounter("chase.delta.checks_skipped");
+    obs::CounterAdd(kDeltaRuns);
+    obs::CounterAdd(kDeltaFacts, st.delta_facts);
+    obs::CounterAdd(kDeltaTriggers, st.delta_triggers);
+    obs::CounterAdd(kReplayed, st.replayed_triggers);
+    obs::CounterAdd(kChecksSkipped, st.checks_skipped);
+  }
+}
+
+// How one entry of the merged firing sequence was resolved in the
+// recorded run: freshly found over the delta, or replayed from a
+// checkpoint record.
+enum class Provenance : uint8_t { kNew, kOldFired, kOldSkipped };
+
+struct MergedTrigger {
+  const Assignment* h;
+  Provenance prov;
+};
+
+// True iff some rhs atom of `tgd` writes into a relation that a fresh
+// (delta) trigger has already fired into during this resume.
+bool TouchesRhs(const Tgd& tgd, const std::vector<bool>& touched) {
+  for (const Atom& atom : tgd.rhs) {
+    if (touched[atom.relation]) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -74,15 +111,36 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
   obs::JournalRun journal(VariantSpanName(options.variant));
 
   Instance target_inst(std::move(target_schema));
-  uint32_t next_null = options.first_null_label != 0
+  uint32_t null_base = options.first_null_label != 0
                            ? options.first_null_label
                            : source_inst.MaxNullLabel() + 1;
+  uint32_t next_null = null_base;
   RunBudget guard(VariantName(options.variant), options.max_steps,
                   options.budget);
   ChaseStats local_stats;
   ChaseStats& st = stats != nullptr ? *stats : local_stats;
   st = ChaseStats{};
   Status overflow = Status::OK();
+
+  // Incremental resume: a checkpoint matches when it was cut from a
+  // prefix of this source instance (proved by the prefix fingerprint —
+  // storage is insert-only, so "the prefix is unchanged" means "the
+  // instance only grew"), under the same dependencies and variant. A
+  // non-matching checkpoint is simply re-recorded below.
+  ChaseCheckpoint* ckpt = options.incremental;
+  const bool record = ckpt != nullptr;
+  uint64_t dep_fp = 0;
+  bool resume = false;
+  if (record) {
+    dep_fp = DependencyFingerprint(tgds, *source_inst.schema(),
+                                   *target_inst.schema());
+    resume = ckpt->valid && ckpt->variant == options.variant &&
+             ckpt->dependency_fingerprint == dep_fp &&
+             ckpt->triggers.size() == tgds.size() &&
+             source_inst.IsValidEpoch(ckpt->source_epoch) &&
+             source_inst.PrefixFingerprint(ckpt->source_epoch) ==
+                 ckpt->source_fingerprint;
+  }
 
   // Provenance: register the input facts and pre-render the dependencies
   // once; the per-fire records below then only resolve parent ids.
@@ -103,7 +161,8 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
   // Phase 1 — collect every dependency's sorted trigger batch. Collection
   // is side-effect-free (it reads only the fixed source instance), so the
   // per-dependency fan-out is safe to parallelize; the canonical sort
-  // makes phase 2 independent of collection order.
+  // makes phase 2 independent of collection order. A resume collects
+  // semi-naively: only matches touching at least one delta fact.
   ThreadPool pool(ResolveThreadCount(options.num_threads));
   HomSearchOptions lhs_options;
   lhs_options.use_index = options.use_index;
@@ -114,7 +173,8 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
   {
     Result<std::vector<std::vector<Assignment>>> collected =
         FindTriggerBatches(bodies, {lhs_options}, source_inst, pool,
-                           options.budget);
+                           options.budget,
+                           resume ? &ckpt->source_epoch : nullptr);
     if (collected.ok()) {
       batches = std::move(collected).value();
     } else {
@@ -122,28 +182,150 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
     }
   }
 
+  // The merged firing sequence per dependency. The full chase fires the
+  // canonically sorted batch; on resume, the recorded triggers (sorted)
+  // and the semi-naive delta triggers (sorted, disjoint from the
+  // records) merge into exactly that sequence, so replay walks the same
+  // positions a full re-chase would.
+  std::vector<std::vector<MergedTrigger>> merged(tgds.size());
+  for (size_t d = 0; d < tgds.size() && overflow.ok(); ++d) {
+    const std::vector<Assignment>& fresh = batches[d];
+    if (!resume) {
+      merged[d].reserve(fresh.size());
+      for (const Assignment& h : fresh) {
+        merged[d].push_back({&h, Provenance::kNew});
+      }
+      continue;
+    }
+    const std::vector<ChaseCheckpoint::TriggerRecord>& olds =
+        ckpt->triggers[d];
+    st.replayed_triggers += olds.size();
+    st.delta_triggers += fresh.size();
+    merged[d].reserve(olds.size() + fresh.size());
+    size_t i = 0;
+    size_t j = 0;
+    while (i < olds.size() || j < fresh.size()) {
+      if (j >= fresh.size() ||
+          (i < olds.size() && olds[i].trigger < fresh[j])) {
+        merged[d].push_back({&olds[i].trigger, olds[i].fired
+                                                   ? Provenance::kOldFired
+                                                   : Provenance::kOldSkipped});
+        ++i;
+      } else {
+        merged[d].push_back({&fresh[j], Provenance::kNew});
+        ++j;
+      }
+    }
+  }
+  if (resume) {
+    st.resumed = true;
+    st.delta_facts = source_inst.NumFactsSince(ckpt->source_epoch);
+  }
+
+  // Append-only fast path: when every delta trigger sorts after every
+  // recorded trigger, no recorded outcome can change and no recorded
+  // null label can shift, so the stored result *is* the replayed prefix
+  // — extend it in place instead of rebuilding it. Journaled runs replay
+  // (the journal must carry every fire) and governed runs replay (memory
+  // and null charges must be faithful).
+  bool fast = resume && overflow.ok() && !journal.active() &&
+              options.budget == nullptr && options.partial_out == nullptr &&
+              ckpt->result.has_value() && ckpt->null_base == null_base;
+  if (fast) {
+    bool seen_new = false;
+    for (size_t d = 0; d < tgds.size() && fast; ++d) {
+      for (const MergedTrigger& mt : merged[d]) {
+        if (mt.prov == Provenance::kNew) {
+          seen_new = true;
+        } else if (seen_new) {
+          fast = false;
+          break;
+        }
+      }
+    }
+  }
+  if (fast) {
+    target_inst = std::move(*ckpt->result);
+    ckpt->result.reset();
+    next_null = ckpt->next_null;
+    st.triggers_fired = ckpt->totals.triggers_fired;
+    st.satisfaction_hits = ckpt->totals.satisfaction_hits;
+    st.nulls_minted = ckpt->totals.nulls_minted;
+    st.facts_added = ckpt->totals.facts_added;
+  }
+
   // Phase 2 — fire serially in (dependency, canonical match) order. The
   // satisfaction check reads the growing target instance, and fresh-null
   // labels and journal records depend on firing order, so this phase
   // stays single-threaded by design.
+  //
+  // Replay discipline (slow resume): a recorded SKIP stays a skip — the
+  // target only gains facts relative to the recorded run (up to an
+  // injective relabeling of minted nulls, which preserves witnesses), so
+  // the recorded witness still witnesses. A recorded FIRE needs a real
+  // satisfaction search only when a delta trigger has already fired into
+  // one of its rhs relations (`touched`); otherwise any new witness
+  // would need a fact that does not exist, and the fire replays without
+  // searching. The first recorded fire that flips to a skip ends the
+  // shortcut regime (`diverged`): the state now differs from the
+  // recorded run by *missing* facts, so every later trigger gets a real
+  // search — which is exactly what a full re-chase does.
+  std::vector<std::vector<ChaseCheckpoint::TriggerRecord>> out_records;
+  if (record) out_records.resize(tgds.size());
+  if (fast) {
+    // Every recorded outcome survives verbatim on the fast path, so the
+    // re-recorded prefix is the old record list itself: recycle the
+    // checkpoint's vectors instead of copying one std::map-backed
+    // Assignment per replayed trigger. `merged` holds pointers into
+    // these records; a vector move keeps the elements in place, so the
+    // fire loop below may still read them.
+    for (size_t d = 0; d < tgds.size(); ++d) {
+      out_records[d] = std::move(ckpt->triggers[d]);
+    }
+  }
+  std::vector<bool> touched(target_inst.schema()->size(), false);
+  bool diverged = false;
   for (size_t dep_index = 0;
        dep_index < tgds.size() && overflow.ok(); ++dep_index) {
     const Tgd& tgd = tgds[dep_index];
-    for (const Assignment& h : batches[dep_index]) {
+    for (const MergedTrigger& mt : merged[dep_index]) {
+      const Assignment& h = *mt.h;
       Status tick = guard.Tick();
       if (!tick.ok()) {
         overflow = std::move(tick);
         break;
       }
+      if (fast && mt.prov != Provenance::kNew) {
+        // The stored result already contains this trigger's effect, and
+        // `out_records` already holds its recycled record.
+        if (options.variant != ChaseVariant::kOblivious) {
+          ++st.checks_skipped;
+        }
+        continue;
+      }
       // Standard-chase applicability: skip when some extension of h
       // already maps the rhs into the target instance. The oblivious
-      // variant fires unconditionally.
+      // variant fires unconditionally; replayed triggers resolve from
+      // their recorded outcome when the replay discipline allows.
+      bool fire = true;
       if (options.variant != ChaseVariant::kOblivious) {
-        HomSearchOptions rhs_options;
-        rhs_options.use_index = options.use_index;
-        if (FindHomomorphism(tgd.rhs, target_inst, h, rhs_options)
-                .has_value()) {
+        if (mt.prov == Provenance::kOldSkipped && !diverged) {
+          fire = false;
+          ++st.checks_skipped;
+        } else if (mt.prov == Provenance::kOldFired && !diverged &&
+                   !TouchesRhs(tgd, touched)) {
+          fire = true;
+          ++st.checks_skipped;
+        } else {
+          HomSearchOptions rhs_options;
+          rhs_options.use_index = options.use_index;
+          fire = !FindHomomorphism(tgd.rhs, target_inst, h, rhs_options)
+                      .has_value();
+        }
+        if (!fire) {
           ++st.satisfaction_hits;
+          if (mt.prov == Provenance::kOldFired) diverged = true;
+          if (record) out_records[dep_index].push_back({h, false});
           continue;
         }
       }
@@ -189,11 +371,15 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
               dep_texts[dep_index], static_cast<int32_t>(dep_index),
               AssignmentToString(h), parent_ids, null_ids);
         }
+        if (mt.prov == Provenance::kNew || diverged) {
+          touched[atom.relation] = true;
+        }
         if (!status.ok()) {
           overflow = status;
           break;
         }
       }
+      if (record) out_records[dep_index].push_back({h, true});
       if (!overflow.ok()) break;
     }
   }
@@ -201,6 +387,7 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
   st.partial = !overflow.ok() && guard.exhausted();
   FlushChaseMetrics(st);
   if (!overflow.ok()) {
+    if (record) ckpt->valid = false;
     if (st.partial) {
       // Budget trip: journal the limit, mirror it into budget.*, and hand
       // back the instance built so far as a best-effort partial result.
@@ -211,6 +398,18 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
       }
     }
     return overflow;
+  }
+  if (record) {
+    ckpt->valid = true;
+    ckpt->variant = options.variant;
+    ckpt->source_epoch = source_inst.RowCounts();
+    ckpt->source_fingerprint = source_inst.Fingerprint();
+    ckpt->dependency_fingerprint = dep_fp;
+    ckpt->null_base = null_base;
+    ckpt->next_null = next_null;
+    ckpt->triggers = std::move(out_records);
+    ckpt->totals = st;
+    ckpt->result = target_inst;  // pre-core; the core is recomputed below
   }
   if (options.variant == ChaseVariant::kCore) {
     QIMAP_TRACE_SPAN("chase/core_minimize");

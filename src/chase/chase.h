@@ -9,7 +9,8 @@
 
 namespace qimap {
 
-class Budget;  // base/budget.h
+class Budget;            // base/budget.h
+struct ChaseCheckpoint;  // chase/chase_checkpoint.h
 
 /// Which chase variant to run. All variants produce universal solutions
 /// and are pairwise homomorphically equivalent; they differ in size and
@@ -61,6 +62,14 @@ struct ChaseOptions {
   /// the stats are flagged `partial = true`. Untouched on success and on
   /// non-budget errors.
   Instance* partial_out = nullptr;
+  /// In/out incremental-resume state (chase/chase_checkpoint.h). A
+  /// non-matching (or default-constructed) checkpoint records this run;
+  /// a matching one resumes it: triggers are collected semi-naively over
+  /// the facts added since the checkpoint epoch and the recorded run is
+  /// extended — byte-identical to a full re-chase of the grown instance
+  /// (facts, null labels, journal events, fingerprint) at every thread
+  /// count. nullptr (default) disables recording and resuming.
+  ChaseCheckpoint* incremental = nullptr;
 };
 
 /// Per-run statistics of one chase (the repo-wide stats convention: every
@@ -83,6 +92,22 @@ struct ChaseStats {
   /// delivered via ChaseOptions::partial_out) is a prefix of the full
   /// chase, not a universal solution.
   bool partial = false;
+  /// True when the run resumed a matching `ChaseOptions::incremental`
+  /// checkpoint instead of chasing from scratch. The counters above then
+  /// report full-run-equivalent totals (what a from-scratch chase of the
+  /// same instance would report); the fields below describe the saving.
+  bool resumed = false;
+  /// Source facts added since the checkpoint epoch (the delta log).
+  size_t delta_facts = 0;
+  /// New triggers found semi-naively over the delta (vs. re-enumerating
+  /// every trigger of every dependency).
+  size_t delta_triggers = 0;
+  /// Recorded triggers replayed from the checkpoint.
+  size_t replayed_triggers = 0;
+  /// Replayed triggers resolved from their recorded outcome alone — no
+  /// satisfaction search was run (always 0 for the oblivious variant,
+  /// which never searches).
+  size_t checks_skipped = 0;
 };
 
 /// The standard (restricted) chase of a source instance with a finite set

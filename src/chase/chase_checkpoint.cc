@@ -1,0 +1,42 @@
+#include "chase/chase_checkpoint.h"
+
+#include <string>
+
+namespace qimap {
+namespace {
+
+// FNV-1a over a string, splitmix64-finalized so near-identical renderings
+// (one relation renamed, one variable swapped) land far apart.
+uint64_t MixString(uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  h += 0x9E3779B97F4A7C15ULL;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+uint64_t MixSchema(uint64_t h, const Schema& schema) {
+  for (RelationId r = 0; r < schema.size(); ++r) {
+    const RelationSymbol& symbol = schema.relation(r);
+    h = MixString(h ^ symbol.arity, symbol.name);
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t DependencyFingerprint(const std::vector<Tgd>& tgds,
+                               const Schema& source, const Schema& target) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  h = MixSchema(h, source);
+  h = MixSchema(h, target);
+  for (const Tgd& tgd : tgds) {
+    h = MixString(h, TgdToString(tgd, source, target));
+  }
+  return h;
+}
+
+}  // namespace qimap

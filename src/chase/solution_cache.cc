@@ -1,0 +1,183 @@
+#include "chase/solution_cache.h"
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "chase/chase_checkpoint.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+
+namespace qimap {
+namespace {
+
+struct CacheKey {
+  uint64_t mapping_fp;
+  uint64_t source_fp;
+  ChaseVariant variant;
+  uint32_t first_null_label;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) = default;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const {
+    uint64_t h = k.mapping_fp * 0x9E3779B97F4A7C15ULL;
+    h ^= k.source_fp + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h ^= static_cast<uint64_t>(k.variant) + (h << 6) + (h >> 2);
+    h ^= static_cast<uint64_t>(k.first_null_label) + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+struct CacheEntry {
+  // Stored by value so a hit can be verified against the live source and
+  // mapping; copies are cheap at the sizes the Section 3-6 pipelines
+  // pass around.
+  Instance source;
+  std::string mapping_text;
+  Instance solution;
+  ChaseStats stats;
+};
+
+// When the table reaches this many entries it is dropped wholesale (the
+// pipelines chase a small working set of instances; a full clear is
+// simpler than LRU and the next pass re-warms it in one miss per pair).
+constexpr size_t kMaxEntries = 1u << 12;
+
+struct Cache {
+  std::mutex mu;
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> table;
+  SolutionCacheStats stats;
+};
+
+Cache& GlobalCache() {
+  static Cache* cache = new Cache();  // leaked: alive for process lifetime
+  return *cache;
+}
+
+void FlushMetric(const char* name, size_t delta) {
+  // Registration is memoized inside the registry, so looking the ids up
+  // here keeps this file's counters in one place.
+  obs::CounterAdd(obs::RegisterCounter(name), delta);
+}
+
+std::string HexKey(const CacheKey& key) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "mapping=%016llx, source=%016llx",
+                static_cast<unsigned long long>(key.mapping_fp),
+                static_cast<unsigned long long>(key.source_fp));
+  return buffer;
+}
+
+}  // namespace
+
+std::string MappingCacheText(const SchemaMapping& m) {
+  std::string text = m.source->ToString() + " => " + m.target->ToString();
+  for (const Tgd& tgd : m.tgds) {
+    text += "; ";
+    text += TgdToString(tgd, *m.source, *m.target);
+  }
+  return text;
+}
+
+uint64_t MappingCacheFingerprint(const SchemaMapping& m) {
+  return DependencyFingerprint(m.tgds, *m.source, *m.target);
+}
+
+Result<Instance> CachedChase(const Instance& source, const SchemaMapping& m,
+                             const ChaseOptions& options,
+                             ChaseStats* stats) {
+  if (options.budget != nullptr || options.partial_out != nullptr ||
+      options.incremental != nullptr) {
+    // Governed / partial / incremental outputs are not pure functions of
+    // the cache key; hand straight through.
+    Cache& cache = GlobalCache();
+    {
+      std::lock_guard<std::mutex> lock(cache.mu);
+      ++cache.stats.bypasses;
+    }
+    FlushMetric("solcache.bypasses", 1);
+    return Chase(source, m, options, stats);
+  }
+  Cache& cache = GlobalCache();
+  std::string mapping_text = MappingCacheText(m);
+  CacheKey key{MappingCacheFingerprint(m), source.Fingerprint(),
+               options.variant, options.first_null_label};
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto it = cache.table.find(key);
+    if (it != cache.table.end()) {
+      if (it->second.source == source &&
+          it->second.mapping_text == mapping_text) {
+        ++cache.stats.hits;
+        FlushMetric("solcache.hits", 1);
+        obs::JournalRun journal("solcache");
+        if (journal.active()) {
+          journal.RecordCache("solution cache hit", "solcache",
+                              HexKey(key));
+        }
+        if (stats != nullptr) *stats = it->second.stats;
+        return it->second.solution;
+      }
+      // Same fingerprints, different content: never trust the entry.
+      ++cache.stats.collisions;
+      FlushMetric("solcache.collisions", 1);
+    } else {
+      ++cache.stats.misses;
+      FlushMetric("solcache.misses", 1);
+    }
+  }
+  // Compute outside the lock — the chase can be expensive, and other
+  // threads' lookups should not serialize behind it.
+  ChaseStats run_stats;
+  Result<Instance> result = Chase(source, m, options, &run_stats);
+  if (stats != nullptr) *stats = run_stats;
+  if (!result.ok()) return result;  // errors are never cached
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    if (cache.table.size() >= kMaxEntries) {
+      cache.stats.evictions += cache.table.size();
+      FlushMetric("solcache.evictions", cache.table.size());
+      cache.table.clear();
+    }
+    cache.table.insert_or_assign(
+        key, CacheEntry{source, std::move(mapping_text), *result,
+                        run_stats});
+  }
+  return result;
+}
+
+SolutionCacheStats SolutionCacheSnapshot() {
+  Cache& cache = GlobalCache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.stats;
+}
+
+void SolutionCacheClear() {
+  Cache& cache = GlobalCache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.table.clear();
+  cache.stats = SolutionCacheStats{};
+}
+
+namespace solution_cache_internal {
+
+void InsertForTesting(uint64_t mapping_fingerprint,
+                      uint64_t source_fingerprint, ChaseVariant variant,
+                      uint32_t first_null_label, const Instance& source,
+                      const std::string& mapping_text,
+                      const Instance& solution) {
+  Cache& cache = GlobalCache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.table.insert_or_assign(
+      CacheKey{mapping_fingerprint, source_fingerprint, variant,
+               first_null_label},
+      CacheEntry{source, mapping_text, solution, ChaseStats{}});
+}
+
+}  // namespace solution_cache_internal
+
+}  // namespace qimap

@@ -92,6 +92,7 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
   // A budget trip inside the s-t phase journals and reports itself; the
   // caller's partial_out then carries the s-t prefix.
   st_options.partial_out = options.partial_out;
+  st_options.incremental = options.incremental;
   QIMAP_ASSIGN_OR_RETURN(Instance target_inst,
                          Chase(source_inst, m, st_options));
   uint32_t next_null =

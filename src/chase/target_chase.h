@@ -30,6 +30,13 @@ struct TargetChaseOptions {
   /// Best-effort partial solution on a budget trip (the target instance
   /// closed so far); see ChaseOptions::partial_out.
   Instance* partial_out = nullptr;
+  /// Incremental resume for the inner s-t chase only (see
+  /// ChaseOptions::incremental): the s-t phase records/resumes through
+  /// this checkpoint, then the egd/tgd fixpoint re-runs — it rewrites
+  /// its instance in place, so there is no per-step state to replay, and
+  /// it is deterministic on the s-t output, keeping the overall result
+  /// byte-identical to a full re-chase. nullptr disables.
+  ChaseCheckpoint* incremental = nullptr;
 };
 
 /// Per-run statistics of the target-constraint fixpoint loop (same

@@ -1,10 +1,33 @@
 #include "chase/trigger_finder.h"
 
 #include <algorithm>
+#include <set>
 
 #include "obs/metrics.h"
 
 namespace qimap {
+namespace {
+
+// Unifies one body atom against one instance tuple into a partial
+// assignment: movable arguments (per the matcher's own predicate) bind
+// consistently, everything else must match literally. False when the
+// tuple cannot be this atom's image.
+bool UnifyAtomTuple(const Atom& atom, const Tuple& tuple,
+                    const HomSearchOptions& options, Assignment* partial) {
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const Value& arg = atom.args[i];
+    const Value& val = tuple[i];
+    if (IsMovableValue(arg, options)) {
+      auto [it, inserted] = partial->emplace(arg, val);
+      if (!inserted && !(it->second == val)) return false;
+    } else if (!(arg == val)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 std::vector<Assignment> FindTriggers(const Conjunction& body,
                                      const Instance& inst,
@@ -17,10 +40,34 @@ std::vector<Assignment> FindTriggers(const Conjunction& body,
   return matches;
 }
 
+std::vector<Assignment> FindDeltaTriggers(
+    const Conjunction& body, const Instance& inst,
+    const std::vector<uint32_t>& epoch, const HomSearchOptions& options) {
+  // std::set iterates in the same lexicographic order std::sort produces,
+  // so the result is canonically sorted for free while deduplicating
+  // matches reachable from several (atom, delta fact) seeds.
+  std::set<Assignment> found;
+  for (const Atom& atom : body) {
+    const std::vector<Tuple>& rows = inst.rows(atom.relation);
+    uint32_t start =
+        atom.relation < epoch.size() ? epoch[atom.relation] : 0;
+    for (uint32_t row = start; row < rows.size(); ++row) {
+      Assignment partial;
+      if (!UnifyAtomTuple(atom, rows[row], options, &partial)) continue;
+      for (Assignment& h :
+           FindAllHomomorphisms(body, inst, partial, options)) {
+        found.insert(std::move(h));
+      }
+    }
+  }
+  return std::vector<Assignment>(found.begin(), found.end());
+}
+
 Result<std::vector<std::vector<Assignment>>> FindTriggerBatches(
     const std::vector<const Conjunction*>& bodies,
     const std::vector<HomSearchOptions>& options, const Instance& inst,
-    ThreadPool& pool, Budget* budget) {
+    ThreadPool& pool, Budget* budget,
+    const std::vector<uint32_t>* delta_epoch) {
   std::vector<std::vector<Assignment>> batches(bodies.size());
   std::vector<Status> statuses(bodies.size());
   CountParallelFanout(pool, bodies.size());
@@ -35,7 +82,10 @@ Result<std::vector<std::vector<Assignment>>> FindTriggerBatches(
         }
         const HomSearchOptions& opts =
             options.size() == 1 ? options[0] : options[i];
-        batches[i] = FindTriggers(*bodies[i], inst, opts);
+        batches[i] =
+            delta_epoch != nullptr
+                ? FindDeltaTriggers(*bodies[i], inst, *delta_epoch, opts)
+                : FindTriggers(*bodies[i], inst, opts);
       },
       cancel);
   if (budget != nullptr) {

@@ -32,6 +32,23 @@ std::vector<Assignment> FindTriggers(const Conjunction& body,
                                      const Instance& inst,
                                      const HomSearchOptions& options);
 
+/// Semi-naive trigger finding: exactly the matches of `body` against
+/// `inst` that use at least one *delta* fact — a row added after `epoch`
+/// (an `Instance::RowCounts` snapshot; see ChaseCheckpoint) — sorted.
+///
+/// `FindTriggers(body, inst)` is the disjoint union of the old matches
+/// (every atom lands in the epoch prefix) and this delta set: rows are
+/// deduplicated, so a match touching any post-epoch row cannot also be a
+/// prefix match. Each (body atom, delta fact) pair is unified into a
+/// partial assignment and handed to the seeded homomorphism search, the
+/// standard semi-naive evaluation step; a match touching several delta
+/// facts is found from several seeds and deduplicated here. Cost is
+/// proportional to the delta and its join fan-out, not to `inst`.
+std::vector<Assignment> FindDeltaTriggers(const Conjunction& body,
+                                          const Instance& inst,
+                                          const std::vector<uint32_t>& epoch,
+                                          const HomSearchOptions& options);
+
 /// One sorted trigger list per body, collected by fanning the bodies out
 /// over `pool` (inline and in order when the pool has one thread). Every
 /// body is matched with `options[i]` — pass a single-element vector to
@@ -45,10 +62,15 @@ std::vector<Assignment> FindTriggers(const Conjunction& body,
 /// `Budget::OnTriggerBatch` fault site. Returns the budget's structured
 /// status (lowest failing body index wins, so the error is deterministic
 /// at any thread count) instead of the batches when a limit trips.
+///
+/// When `delta_epoch` is non-null every body is collected semi-naively
+/// (`FindDeltaTriggers` against that epoch) instead of in full — the
+/// incremental chase's phase 1.
 Result<std::vector<std::vector<Assignment>>> FindTriggerBatches(
     const std::vector<const Conjunction*>& bodies,
     const std::vector<HomSearchOptions>& options, const Instance& inst,
-    ThreadPool& pool, Budget* budget = nullptr);
+    ThreadPool& pool, Budget* budget = nullptr,
+    const std::vector<uint32_t>* delta_epoch = nullptr);
 
 /// Mirrors one parallel fan-out of `tasks` independent work items into the
 /// `chase.parallel.batches` / `chase.parallel.tasks` counters. No-op for a

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "chase/chase.h"
+#include "chase/solution_cache.h"
 #include "core/solution_space.h"
 #include "dependency/satisfaction.h"
 #include "relational/hom_cache.h"
@@ -53,10 +54,12 @@ Status FrameworkChecker::Prepare() {
     }
   }
 
-  // Chase every instance once.
+  // Chase every instance once; later passes (SaturateClass, the
+  // subset-property walk) re-ask for the same Sol(M, I) and hit the
+  // solution cache instead of re-chasing.
   chases_.reserve(instances_.size());
   for (const Instance& inst : instances_) {
-    Result<Instance> chased = Chase(inst, m_);
+    Result<Instance> chased = CachedChase(inst, m_);
     if (!chased.ok()) return chased.status();
     chases_.push_back(std::move(chased).value());
   }
@@ -117,7 +120,7 @@ Status FrameworkChecker::Prepare() {
 
 Result<Instance> FrameworkChecker::SaturateClass(const Instance& inst) {
   QIMAP_RETURN_IF_ERROR(Prepare());
-  QIMAP_ASSIGN_OR_RETURN(Instance chased, Chase(inst, m_));
+  QIMAP_ASSIGN_OR_RETURN(Instance chased, CachedChase(inst, m_));
   // Umax = { f over the domain : Sol(inst) ⊆ Sol({f}) }. For LAV
   // mappings every constraint involves a single fact, so
   // Sol(A) = ⋂_{f ∈ A} Sol({f}); hence Sol(Umax) = Sol(inst), every

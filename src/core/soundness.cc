@@ -1,6 +1,7 @@
 #include "core/soundness.h"
 
 #include "chase/chase.h"
+#include "chase/solution_cache.h"
 #include "relational/hom_cache.h"
 #include "relational/homomorphism.h"
 
@@ -10,7 +11,7 @@ Result<RoundTrip> CheckRoundTrip(const SchemaMapping& m,
                                  const ReverseMapping& m_prime,
                                  const Instance& ground,
                                  const DisjunctiveChaseOptions& options) {
-  QIMAP_ASSIGN_OR_RETURN(Instance universal, Chase(ground, m));
+  QIMAP_ASSIGN_OR_RETURN(Instance universal, CachedChase(ground, m));
   QIMAP_ASSIGN_OR_RETURN(std::vector<Instance> recovered,
                          DisjunctiveChase(universal, m_prime, options));
 
@@ -25,8 +26,9 @@ Result<RoundTrip> CheckRoundTrip(const SchemaMapping& m,
         std::max(trip.recovered[i].MaxNullLabel(),
                  trip.universal.MaxNullLabel()) +
         1;
-    QIMAP_ASSIGN_OR_RETURN(Instance rechased,
-                           Chase(trip.recovered[i], m, chase_options));
+    QIMAP_ASSIGN_OR_RETURN(
+        Instance rechased,
+        CachedChase(trip.recovered[i], m, chase_options));
     bool into = CachedExistsInstanceHomomorphism(rechased, trip.universal);
     if (into) {
       trip.sound = true;

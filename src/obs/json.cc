@@ -1,6 +1,7 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -109,6 +110,78 @@ class Parser {
     }
   }
 
+  /// Reads exactly four hex digits at pos_ into `out`. False (without
+  /// consuming) when fewer than four remain or any is not a hex digit.
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return false;
+    uint32_t code = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      char c = text_[pos_ + i];
+      uint32_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint32_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<uint32_t>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      code = (code << 4) | digit;
+    }
+    pos_ += 4;
+    *out = code;
+    return true;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  /// Decodes a `\uXXXX` escape (the `\u` already consumed) to UTF-8,
+  /// including surrogate pairs: a high surrogate must be followed by a
+  /// `\u`-escaped low surrogate, and unpaired surrogates are rejected.
+  Status ParseUnicodeEscape(std::string* out) {
+    uint32_t code;
+    if (!ParseHex4(&code)) {
+      return Error("\\u escape needs four hex digits");
+    }
+    if (code >= 0xDC00 && code <= 0xDFFF) {
+      return Error("unpaired low surrogate in \\u escape");
+    }
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        return Error("high surrogate not followed by \\u escape");
+      }
+      pos_ += 2;
+      uint32_t low;
+      if (!ParseHex4(&low)) {
+        return Error("\\u escape needs four hex digits");
+      }
+      if (low < 0xDC00 || low > 0xDFFF) {
+        return Error("high surrogate not followed by low surrogate");
+      }
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    }
+    AppendUtf8(code, out);
+    return Status::OK();
+  }
+
   Result<JsonValue> ParseString() {
     if (!Consume('"')) return Error("expected '\"'");
     JsonValue value;
@@ -143,16 +216,45 @@ class Parser {
         case 'f':
           value.string_value.push_back('\f');
           break;
-        case 'u':
-          // Pass the escape through undecoded; validation callers only
-          // care about well-formedness.
-          value.string_value += "\\u";
+        case 'u': {
+          QIMAP_RETURN_IF_ERROR(ParseUnicodeEscape(&value.string_value));
           break;
+        }
         default:
           return Error("invalid escape sequence");
       }
     }
     return Error("unterminated string");
+  }
+
+  /// RFC 8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  /// strtod alone accepts a superset ("1.", "01", ".5", "0x1", "inf"), so
+  /// the token is validated against the grammar before conversion.
+  static bool IsStrictJsonNumber(std::string_view token) {
+    size_t i = 0;
+    auto digit = [&](size_t at) {
+      return at < token.size() &&
+             std::isdigit(static_cast<unsigned char>(token[at]));
+    };
+    if (i < token.size() && token[i] == '-') ++i;
+    if (!digit(i)) return false;
+    if (token[i] == '0') {
+      ++i;  // a leading zero must stand alone
+    } else {
+      while (digit(i)) ++i;
+    }
+    if (i < token.size() && token[i] == '.') {
+      ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    if (i < token.size() && (token[i] == 'e' || token[i] == 'E')) {
+      ++i;
+      if (i < token.size() && (token[i] == '+' || token[i] == '-')) ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    return i == token.size();
   }
 
   Result<JsonValue> ParseNumber() {
@@ -166,6 +268,9 @@ class Parser {
       ++pos_;
     }
     std::string token(text_.substr(start, pos_ - start));
+    if (!IsStrictJsonNumber(token)) {
+      return Error("malformed number '" + token + "'");
+    }
     char* end = nullptr;
     double parsed = std::strtod(token.c_str(), &end);
     if (end == token.c_str() || *end != '\0') {

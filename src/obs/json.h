@@ -13,9 +13,10 @@ namespace obs {
 
 /// A minimal JSON DOM, just rich enough to validate the telemetry files
 /// the obs layer emits (trace-event JSON, metrics snapshots, bench
-/// reports). Not a general-purpose parser: numbers are doubles, strings
-/// decode the common escapes, and \uXXXX escapes are passed through
-/// verbatim.
+/// reports). Not a general-purpose parser, but strict where it counts:
+/// numbers are doubles validated against the RFC 8259 grammar, strings
+/// decode every escape including \uXXXX (surrogate pairs combine and
+/// decode to UTF-8; malformed or unpaired escapes are parse errors).
 struct JsonValue {
   enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
 

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "base/status.h"
+#include "base/thread_pool.h"
 
 namespace qimap {
 namespace obs {
@@ -30,6 +31,10 @@ const char* LevelName(LogLevel level) {
 void LogStatusError(StatusCode code, const std::string& message) {
   Log(LogLevel::kDebug, "status %s: %s", StatusCodeName(code),
       message.c_str());
+}
+
+void LogThreadConfigWarning(const char* message) {
+  Log(LogLevel::kWarn, "%s", message);
 }
 
 }  // namespace
@@ -57,7 +62,10 @@ void Log(LogLevel level, const char* format, ...) {
   std::fputc('\n', stderr);
 }
 
-void InstallStatusLogging() { SetStatusErrorHook(&LogStatusError); }
+void InstallStatusLogging() {
+  SetStatusErrorHook(&LogStatusError);
+  SetThreadConfigWarningHook(&LogThreadConfigWarning);
+}
 
 }  // namespace obs
 }  // namespace qimap

@@ -6,10 +6,8 @@
 #include "obs/metrics.h"
 
 namespace qimap {
-namespace {
 
-// True if this value kind is movable under the options.
-bool IsMovable(const Value& v, const HomSearchOptions& options) {
+bool IsMovableValue(const Value& v, const HomSearchOptions& options) {
   switch (v.kind()) {
     case ValueKind::kConstant:
       return false;
@@ -19,6 +17,13 @@ bool IsMovable(const Value& v, const HomSearchOptions& options) {
       return options.map_variables;
   }
   return false;
+}
+
+namespace {
+
+// True if this value kind is movable under the options.
+bool IsMovable(const Value& v, const HomSearchOptions& options) {
+  return IsMovableValue(v, options);
 }
 
 // Recursive backtracking matcher.

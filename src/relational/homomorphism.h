@@ -45,6 +45,12 @@ struct HomSearchOptions {
   std::vector<std::pair<Value, Value>> inequalities;
 };
 
+/// True iff the matcher may (re)bind `v` under `options`: variables when
+/// `map_variables`, nulls when `map_nulls`; constants never. The semi-naive
+/// trigger seeder uses the same predicate so its partial assignments agree
+/// with the matcher's notion of a binding.
+bool IsMovableValue(const Value& v, const HomSearchOptions& options);
+
 /// Looks the value up in the assignment; constants (and non-movable kinds)
 /// map to themselves when absent.
 Value Resolve(const Assignment& assignment, const Value& value);

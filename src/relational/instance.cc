@@ -73,6 +73,42 @@ size_t Instance::NumFacts() const {
   return n;
 }
 
+std::vector<uint32_t> Instance::RowCounts() const {
+  std::vector<uint32_t> counts(stores_.size());
+  for (RelationId r = 0; r < stores_.size(); ++r) {
+    counts[r] = static_cast<uint32_t>(stores_[r].rows.size());
+  }
+  return counts;
+}
+
+bool Instance::IsValidEpoch(const std::vector<uint32_t>& counts) const {
+  if (counts.size() != stores_.size()) return false;
+  for (RelationId r = 0; r < stores_.size(); ++r) {
+    if (counts[r] > stores_[r].rows.size()) return false;
+  }
+  return true;
+}
+
+uint64_t Instance::PrefixFingerprint(
+    const std::vector<uint32_t>& counts) const {
+  uint64_t fp = 0;
+  for (RelationId r = 0; r < stores_.size(); ++r) {
+    const std::vector<Tuple>& rows = stores_[r].rows;
+    for (uint32_t i = 0; i < counts[r] && i < rows.size(); ++i) {
+      fp ^= FactFingerprint(r, rows[i]);
+    }
+  }
+  return fp;
+}
+
+size_t Instance::NumFactsSince(const std::vector<uint32_t>& counts) const {
+  size_t n = 0;
+  for (RelationId r = 0; r < stores_.size(); ++r) {
+    n += stores_[r].rows.size() - counts[r];
+  }
+  return n;
+}
+
 std::vector<Tuple> Instance::SortedRows(RelationId relation) const {
   std::vector<Tuple> sorted = stores_[relation].rows;
   std::sort(sorted.begin(), sorted.end());

@@ -111,9 +111,34 @@ class Instance {
   /// Order-independent content hash of the fact set, maintained
   /// incrementally by AddFact (duplicate adds leave it unchanged). Equal
   /// instances have equal fingerprints; collisions between distinct
-  /// instances are possible, so consumers (the homomorphism cache) must
-  /// verify before trusting a fingerprint match.
+  /// instances are possible, so consumers (the homomorphism and solution
+  /// caches) must verify before trusting a fingerprint match.
   uint64_t Fingerprint() const { return fingerprint_; }
+
+  /// Per-relation distinct-row counts, indexed by RelationId. Because
+  /// storage is insert-only, deduplicated, and insertion-ordered, a count
+  /// vector is a *checkpoint epoch*: the facts added since it was taken
+  /// are exactly `rows(r)[counts[r]..]` — the delta log is free, no
+  /// per-insert bookkeeping needed.
+  std::vector<uint32_t> RowCounts() const;
+
+  /// True iff `counts` is an epoch of this instance: one entry per
+  /// relation, none exceeding the current row count. (Epochs taken from a
+  /// different or *mutated-then-rebuilt* instance can still pass this
+  /// shape check; pair with PrefixFingerprint for content validation.)
+  bool IsValidEpoch(const std::vector<uint32_t>& counts) const;
+
+  /// Order-independent fingerprint of the epoch-prefix instance — the
+  /// first `counts[r]` rows of each relation. `PrefixFingerprint(epoch)`
+  /// taken now equals the `Fingerprint()` the instance had when `epoch`
+  /// was captured, which is how an incremental-chase checkpoint proves
+  /// the instance only *grew* since the checkpoint was cut. Requires
+  /// IsValidEpoch(counts).
+  uint64_t PrefixFingerprint(const std::vector<uint32_t>& counts) const;
+
+  /// Number of facts added after the epoch (sum over relations of
+  /// rows(r).size() - counts[r]). Requires IsValidEpoch(counts).
+  size_t NumFactsSince(const std::vector<uint32_t>& counts) const;
 
   /// Value-level equality of fact sets.
   friend bool operator==(const Instance& a, const Instance& b) {

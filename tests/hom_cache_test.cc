@@ -122,6 +122,24 @@ TEST_F(HomCacheTest, AddFactChangesKeySoStaleEntriesAreUnreachable) {
   EXPECT_EQ(HomCacheSnapshot().misses, 3u);
 }
 
+// Invalidation is by re-keying, not purging: after a mutation re-keys the
+// live instance, a pristine copy of the pre-mutation value still hits the
+// old entry — and its cached answer is still correct for that value.
+TEST_F(HomCacheTest, PreMutationCopyStillHitsItsOwnEntry) {
+  SchemaPtr schema = MakeSchema("P/2");
+  Instance from = MustParseInstance(schema, "P(a,_N1)");
+  Instance snapshot = from;  // value copy: same fingerprint, same key
+  Instance to = MustParseInstance(schema, "P(a,b)");
+  EXPECT_TRUE(CachedExistsInstanceHomomorphism(from, to));
+  ASSERT_TRUE(from.AddFact("P", {Value::MakeConstant("c"),
+                                 Value::MakeNull(2)}).ok());
+  EXPECT_FALSE(CachedExistsInstanceHomomorphism(from, to));  // fresh key
+  EXPECT_TRUE(CachedExistsInstanceHomomorphism(snapshot, to));
+  HomCacheStats stats = HomCacheSnapshot();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);  // the snapshot's query
+}
+
 TEST_F(HomCacheTest, EquivalenceUsesBothDirections) {
   SchemaPtr schema = MakeSchema("P/2");
   Instance a = MustParseInstance(schema, "P(a,_N1)");

@@ -30,6 +30,8 @@ static_assert(!obs::JournalRun::active(),
     sum += journal.RecordNull("_N1", "y", "dep", 0);
     sum += journal.RecordMerge("_N1", "_N2", "egd", 0, "x=a");
     sum += journal.RecordRule("rule", "sigma", 0, "x", {1, 2});
+    sum += journal.RecordBudget("budget exhausted", "steps", "steps=1");
+    sum += journal.RecordCache("solution cache hit", "solcache", "key");
     sum += journal.IdForFact("P(a)");
   }
   return sum;

@@ -253,6 +253,54 @@ TEST(JsonTest, RejectsMalformedDocuments) {
   EXPECT_FALSE(obs::ParseJsonFile("/nonexistent/qimap.json").ok());
 }
 
+TEST(JsonTest, DecodesUnicodeEscapesToUtf8) {
+  // BMP code points: ASCII, 2-byte, and 3-byte UTF-8 encodings.
+  Result<obs::JsonValue> bmp =
+      obs::ParseJson(R"("A\u00e9\u20AC")");
+  ASSERT_TRUE(bmp.ok()) << bmp.status().ToString();
+  EXPECT_EQ(bmp->string_value, "A\xC3\xA9\xE2\x82\xAC");  // A, e-acute, euro
+  // A surrogate pair combines into one 4-byte code point (U+1D11E,
+  // musical G clef).
+  Result<obs::JsonValue> pair = obs::ParseJson(R"("\uD834\uDD1E")");
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  EXPECT_EQ(pair->string_value, "\xF0\x9D\x84\x9E");
+  // Mixed with ordinary characters and other escapes.
+  Result<obs::JsonValue> mixed = obs::ParseJson(R"("xAy\nz")");
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(mixed->string_value, "xAy\nz");
+}
+
+TEST(JsonTest, RejectsMalformedUnicodeEscapes) {
+  EXPECT_FALSE(obs::ParseJson(R"("\u12")").ok());      // too few digits
+  EXPECT_FALSE(obs::ParseJson(R"("\uZZZZ")").ok());    // not hex
+  EXPECT_FALSE(obs::ParseJson(R"("\u12g4")").ok());    // mixed junk
+  EXPECT_FALSE(obs::ParseJson(R"("\ud834")").ok());    // lone high
+  EXPECT_FALSE(obs::ParseJson(R"("\ud834x")").ok());   // high then text
+  EXPECT_FALSE(obs::ParseJson(R"("\ud834A")").ok());  // high + non-low
+  EXPECT_FALSE(obs::ParseJson(R"("\udd1e")").ok());    // lone low
+}
+
+TEST(JsonTest, RejectsNonStrictNumbers) {
+  // strtod accepts all of these; RFC 8259 does not.
+  EXPECT_FALSE(obs::ParseJson("1.").ok());
+  EXPECT_FALSE(obs::ParseJson("01").ok());
+  EXPECT_FALSE(obs::ParseJson("-01").ok());
+  EXPECT_FALSE(obs::ParseJson("1e").ok());
+  EXPECT_FALSE(obs::ParseJson("1e+").ok());
+  EXPECT_FALSE(obs::ParseJson("1.2.3").ok());
+  EXPECT_FALSE(obs::ParseJson("1e2e3").ok());
+  EXPECT_FALSE(obs::ParseJson("--1").ok());
+  EXPECT_FALSE(obs::ParseJson("-").ok());
+  EXPECT_FALSE(obs::ParseJson("+1").ok());
+  // The strict grammar still admits every shape the telemetry emits.
+  EXPECT_TRUE(obs::ParseJson("0").ok());
+  EXPECT_TRUE(obs::ParseJson("-0.5").ok());
+  EXPECT_TRUE(obs::ParseJson("10.25").ok());
+  EXPECT_TRUE(obs::ParseJson("1e9").ok());
+  EXPECT_TRUE(obs::ParseJson("6.5e-7").ok());
+  EXPECT_TRUE(obs::ParseJson("1E+2").ok());
+}
+
 TEST(StepLimiterTest, TicksUpToTheLimitThenExhausts) {
   obs::StepLimiter limiter("test chase", 3);
   EXPECT_TRUE(limiter.Tick().ok());

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chase/chase.h"
+#include "chase/chase_checkpoint.h"
+#include "chase/solution_cache.h"
+#include "dependency/parser.h"
+#include "dependency/schema_mapping.h"
+#include "relational/instance.h"
+
+// The solution cache memoizes Chase keyed by (mapping fingerprint, source
+// fingerprint, variant, first-null label) with value-level re-verification
+// on every hit — the hom-cache discipline. These tests pin the hit/miss
+// accounting, the mutation-invalidation property (AddFact changes the
+// fingerprint, so stale entries stop matching), and the collision path
+// via a forged entry planted under real fingerprints.
+
+namespace qimap {
+namespace {
+
+SchemaMapping TestMapping() {
+  return MustParseMapping("P/2", "Q/2", "P(x,y) -> exists z: Q(x,z)");
+}
+
+class SolutionCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SolutionCacheClear(); }
+  void TearDown() override { SolutionCacheClear(); }
+};
+
+TEST_F(SolutionCacheTest, SecondLookupHitsAndMatchesDirectChase) {
+  SchemaMapping m = TestMapping();
+  Instance source = MustParseInstance(m.source, "P(a,b), P(b,c)");
+  Result<Instance> first = CachedChase(source, m);
+  ASSERT_TRUE(first.ok());
+  ChaseStats stats;
+  Result<Instance> second = CachedChase(source, m, {}, &stats);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->ToString(), second->ToString());
+  EXPECT_EQ(second->ToString(), MustChase(source, m).ToString());
+  // The hit serves the recorded run's stats too.
+  EXPECT_EQ(stats.triggers_fired, 2u);
+  SolutionCacheStats cache = SolutionCacheSnapshot();
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.hits, 1u);
+  EXPECT_EQ(cache.collisions, 0u);
+}
+
+TEST_F(SolutionCacheTest, DistinctOptionsAreDistinctEntries) {
+  SchemaMapping m = TestMapping();
+  Instance source = MustParseInstance(m.source, "P(a,b)");
+  ChaseOptions standard;
+  ChaseOptions relabeled;
+  relabeled.first_null_label = 100;
+  Result<Instance> a = CachedChase(source, m, standard);
+  Result<Instance> b = CachedChase(source, m, relabeled);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->ToString(), "Q(a,_N1)");
+  EXPECT_EQ(b->ToString(), "Q(a,_N100)");
+  SolutionCacheStats cache = SolutionCacheSnapshot();
+  EXPECT_EQ(cache.misses, 2u);
+  EXPECT_EQ(cache.hits, 0u);
+}
+
+// Mutation invalidation: growing the instance changes its fingerprint, so
+// the stale entry stops matching and the re-query computes fresh.
+TEST_F(SolutionCacheTest, AddFactInvalidatesAndRecomputes) {
+  SchemaMapping m = TestMapping();
+  Instance source = MustParseInstance(m.source, "P(a,b)");
+  Result<Instance> before = CachedChase(source, m);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->ToString(), "Q(a,_N1)");
+  ASSERT_TRUE(source.AddFact("P", {Value::MakeConstant("c"),
+                                   Value::MakeConstant("d")})
+                  .ok());
+  Result<Instance> after = CachedChase(source, m);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->ToString(), MustChase(source, m).ToString());
+  SolutionCacheStats cache = SolutionCacheSnapshot();
+  EXPECT_EQ(cache.misses, 2u);  // the mutated instance is a fresh key
+  EXPECT_EQ(cache.hits, 0u);
+}
+
+// Collision discipline: an entry planted under the *real* fingerprints
+// but holding different content must be detected by the value-level
+// re-verification, counted, and recomputed — never served.
+TEST_F(SolutionCacheTest, ForgedCollisionIsDetectedAndRecomputed) {
+  SchemaMapping m = TestMapping();
+  Instance source = MustParseInstance(m.source, "P(a,b)");
+  Instance forged_source = MustParseInstance(m.source, "P(x,x)");
+  Instance forged_solution = MustParseInstance(m.target, "Q(z,z)");
+  solution_cache_internal::InsertForTesting(
+      MappingCacheFingerprint(m), source.Fingerprint(),
+      ChaseVariant::kStandard, /*first_null_label=*/0, forged_source,
+      MappingCacheText(m), forged_solution);
+  Result<Instance> result = CachedChase(source, m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "Q(a,_N1)");  // recomputed, not forged
+  SolutionCacheStats cache = SolutionCacheSnapshot();
+  EXPECT_EQ(cache.collisions, 1u);
+  EXPECT_EQ(cache.hits, 0u);
+  // The recompute replaced the forged entry; the next lookup is an
+  // honest, verified hit.
+  Result<Instance> again = CachedChase(source, m);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToString(), "Q(a,_N1)");
+  EXPECT_EQ(SolutionCacheSnapshot().hits, 1u);
+}
+
+// A forged *mapping* rendering under the same fingerprints must equally
+// fail verification (the key alone is never trusted).
+TEST_F(SolutionCacheTest, ForgedMappingTextCollides) {
+  SchemaMapping m = TestMapping();
+  Instance source = MustParseInstance(m.source, "P(a,b)");
+  Instance forged_solution = MustParseInstance(m.target, "Q(z,z)");
+  solution_cache_internal::InsertForTesting(
+      MappingCacheFingerprint(m), source.Fingerprint(),
+      ChaseVariant::kStandard, /*first_null_label=*/0, source,
+      "not the real mapping", forged_solution);
+  Result<Instance> result = CachedChase(source, m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "Q(a,_N1)");
+  EXPECT_EQ(SolutionCacheSnapshot().collisions, 1u);
+}
+
+// Impure options bypass the cache: governed and incremental runs are not
+// pure functions of the cache key.
+TEST_F(SolutionCacheTest, ImpureOptionsBypass) {
+  SchemaMapping m = TestMapping();
+  Instance source = MustParseInstance(m.source, "P(a,b)");
+  ASSERT_TRUE(CachedChase(source, m).ok());  // miss: populates
+  ChaseCheckpoint checkpoint;
+  ChaseOptions options;
+  options.incremental = &checkpoint;
+  ASSERT_TRUE(CachedChase(source, m, options).ok());
+  SolutionCacheStats cache = SolutionCacheSnapshot();
+  EXPECT_EQ(cache.bypasses, 1u);
+  EXPECT_EQ(cache.hits, 0u);  // the bypass never consulted the table
+}
+
+}  // namespace
+}  // namespace qimap

@@ -24,6 +24,11 @@
 //              AND a nonzero budget.exhausted.<limit> breakdown — proves
 //              a governed run tripped its resource budget and said which
 //              limit
+//   --incremental  metrics snapshot with nonzero chase.delta.runs and
+//              chase.delta.checks_skipped counters — proves a chase
+//              resumed from a checkpoint and replayed prior work
+//   --solcache metrics snapshot with a nonzero solcache.hits counter —
+//              proves the solution cache served a memoized result
 // Used by the qimap_cli_telemetry_validate / qimap_cli_explain_validate /
 // bench_*_parallel_validate ctest cases; diagnostics go to stderr.
 
@@ -228,7 +233,52 @@ bool CheckIdArray(const char* path, const obs::JsonValue& event,
 
 bool IsKnownKind(const std::string& kind) {
   return kind == "base" || kind == "fact" || kind == "null" ||
-         kind == "merge" || kind == "rule" || kind == "budget";
+         kind == "merge" || kind == "rule" || kind == "budget" ||
+         kind == "cache";
+}
+
+// An incremental chase resume flushes the chase.delta.* family: runs must
+// be nonzero (a resume happened) and checks_skipped nonzero (the resume
+// actually replayed prior work instead of redoing it).
+bool CheckIncremental(const char* path) {
+  Result<obs::JsonValue> doc = obs::ParseJsonFile(path);
+  if (!doc.ok()) return Fail(path, doc.status().ToString());
+  const obs::JsonValue* counters = FindCounters(*doc);
+  if (counters == nullptr) {
+    return Fail(path, "no 'counters' object (top level or under 'metrics')");
+  }
+  const obs::JsonValue* runs = counters->Find("chase.delta.runs");
+  if (runs == nullptr || !runs->IsNumber() || runs->number_value <= 0) {
+    return Fail(path,
+                "no nonzero 'chase.delta.runs' counter — no chase resumed "
+                "from a checkpoint");
+  }
+  const obs::JsonValue* skipped =
+      counters->Find("chase.delta.checks_skipped");
+  if (skipped == nullptr || !skipped->IsNumber() ||
+      skipped->number_value <= 0) {
+    return Fail(path,
+                "no nonzero 'chase.delta.checks_skipped' counter — the "
+                "resume redid every satisfaction check");
+  }
+  return true;
+}
+
+// A run that reused a memoized chase result flushes solcache.hits.
+bool CheckSolutionCache(const char* path) {
+  Result<obs::JsonValue> doc = obs::ParseJsonFile(path);
+  if (!doc.ok()) return Fail(path, doc.status().ToString());
+  const obs::JsonValue* counters = FindCounters(*doc);
+  if (counters == nullptr) {
+    return Fail(path, "no 'counters' object (top level or under 'metrics')");
+  }
+  const obs::JsonValue* hits = counters->Find("solcache.hits");
+  if (hits == nullptr || !hits->IsNumber() || hits->number_value <= 0) {
+    return Fail(path,
+                "no nonzero 'solcache.hits' counter — the solution cache "
+                "never served a result");
+  }
+  return true;
 }
 
 // A governed run that tripped writes both the aggregate budget.exhausted
@@ -389,7 +439,8 @@ int Usage() {
                "usage: telemetry_check [--trace FILE] [--metrics FILE] "
                "[--journal FILE] [--explain FILE]\n"
                "                       [--parallel FILE] [--budget FILE] "
-               "[--compare FILE_A FILE_B]\n"
+               "[--incremental FILE] [--solcache FILE]\n"
+               "                       [--compare FILE_A FILE_B]\n"
                "       telemetry_check <trace.json> <metrics.json>\n");
   return 2;
 }
@@ -419,6 +470,10 @@ int Main(int argc, char** argv) {
         ok = CheckParallel(file) && ok;
       } else if (std::strcmp(flag, "--budget") == 0) {
         ok = CheckBudget(file) && ok;
+      } else if (std::strcmp(flag, "--incremental") == 0) {
+        ok = CheckIncremental(file) && ok;
+      } else if (std::strcmp(flag, "--solcache") == 0) {
+        ok = CheckSolutionCache(file) && ok;
       } else if (std::strcmp(flag, "--compare") == 0) {
         if (i + 2 >= argc) return Usage();
         ok = CheckCompare(file, argv[i + 2]) && ok;
