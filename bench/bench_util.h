@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/run_meta.h"
 
 namespace qimap {
 namespace bench {
@@ -77,14 +78,11 @@ class JsonReporter {
     std::chrono::steady_clock::time_point start_;
   };
 
-  /// Writes the report; false (with a stderr diagnostic) on I/O failure.
+  /// Writes the report (atomically: temp + rename); false (with a stderr
+  /// diagnostic) on I/O failure.
   bool Write() const {
     std::string path = OutputPath();
-    std::string json = ToJson();
-    std::FILE* f = std::fopen(path.c_str(), "wb");
-    bool ok = f != nullptr &&
-              std::fwrite(json.data(), 1, json.size(), f) == json.size();
-    if (f != nullptr) std::fclose(f);
+    bool ok = obs::WriteFileAtomic(path, ToJson());
     if (!ok) {
       std::fprintf(stderr, "JsonReporter: cannot write '%s'\n",
                    path.c_str());
@@ -95,7 +93,8 @@ class JsonReporter {
   }
 
   std::string ToJson() const {
-    std::string out = "{\"bench\":\"" + Escape(name_) + "\",\"phases\":[";
+    std::string out = "{\"bench\":\"" + Escape(name_) +
+                      "\",\"meta\":" + obs::RunMetaJson() + ",\"phases\":[";
     for (size_t i = 0; i < phases_.size(); ++i) {
       if (i > 0) out += ',';
       char seconds[64];

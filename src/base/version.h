@@ -3,13 +3,13 @@
 
 // Library version, bumped per release-worthy change set.
 #define QIMAP_VERSION_MAJOR 0
-#define QIMAP_VERSION_MINOR 2
+#define QIMAP_VERSION_MINOR 3
 #define QIMAP_VERSION_PATCH 0
 
 namespace qimap {
 
-/// "major.minor.patch", e.g. "0.2.0" (`qimap_cli --version`).
-inline const char* VersionString() { return "0.2.0"; }
+/// "major.minor.patch", e.g. "0.3.0" (`qimap_cli --version`).
+inline const char* VersionString() { return "0.3.0"; }
 
 }  // namespace qimap
 

@@ -10,6 +10,7 @@
 #include "obs/budget_obs.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "relational/homomorphism.h"
 #include "relational/instance_core.h"
@@ -155,6 +156,22 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
     }
   }
 
+  // Profiling: register every dependency here, on the serial setup path,
+  // so ids are deterministic regardless of thread count. Registration is
+  // keyed by (pipeline, rendered text), so repeated chases of the same
+  // mapping (e.g. MinGen's generator tests) aggregate into one entry.
+  std::vector<uint32_t> prof_deps;
+  const bool profiled = obs::Profiler::Enabled();
+  if (profiled) {
+    prof_deps.reserve(tgds.size());
+    for (const Tgd& tgd : tgds) {
+      prof_deps.push_back(obs::Profiler::RegisterDep(
+          VariantSpanName(options.variant),
+          TgdToString(tgd, *source_inst.schema(), *target_inst.schema()),
+          static_cast<uint32_t>(tgd.lhs.size())));
+    }
+  }
+
   // s-t tgds read only the source, so one pass over all (tgd, match) pairs
   // reaches a terminal chase state: no new lhs matches can ever appear.
   //
@@ -174,7 +191,8 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
     Result<std::vector<std::vector<Assignment>>> collected =
         FindTriggerBatches(bodies, {lhs_options}, source_inst, pool,
                            options.budget,
-                           resume ? &ckpt->source_epoch : nullptr);
+                           resume ? &ckpt->source_epoch : nullptr,
+                           profiled ? &prof_deps : nullptr);
     if (collected.ok()) {
       batches = std::move(collected).value();
     } else {
@@ -288,6 +306,11 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
   for (size_t dep_index = 0;
        dep_index < tgds.size() && overflow.ok(); ++dep_index) {
     const Tgd& tgd = tgds[dep_index];
+    // Fire-phase attribution: satisfaction searches and firing time land
+    // on this dependency's rhs totals (never its per-atom body rows).
+    const uint32_t prof_dep =
+        profiled ? prof_deps[dep_index] : obs::kProfileNoDep;
+    obs::ProfiledDepScope prof_scope(prof_dep, obs::ProfilePhase::kFire);
     for (const MergedTrigger& mt : merged[dep_index]) {
       const Assignment& h = *mt.h;
       Status tick = guard.Tick();
@@ -324,6 +347,7 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
         }
         if (!fire) {
           ++st.satisfaction_hits;
+          obs::ProfileRecordSkip(prof_dep);
           if (mt.prov == Provenance::kOldFired) diverged = true;
           if (record) out_records[dep_index].push_back({h, false});
           continue;
@@ -357,6 +381,7 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
         overflow = guard.ChargeNulls(fresh_nulls);
         if (!overflow.ok()) break;
       }
+      size_t facts_this_fire = 0;
       for (const Atom& atom :
            ApplyAssignmentToConjunction(tgd.rhs, extended)) {
         overflow =
@@ -365,6 +390,7 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
         if (!overflow.ok()) break;
         Status status = target_inst.AddFact(atom.relation, atom.args);
         ++st.facts_added;
+        ++facts_this_fire;
         if (journal.active()) {
           journal.RecordDerivedFact(
               AtomToString(atom, *target_inst.schema()),
@@ -379,6 +405,7 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
           break;
         }
       }
+      obs::ProfileRecordFire(prof_dep, fresh_nulls, facts_this_fire);
       if (record) out_records[dep_index].push_back({h, true});
       if (!overflow.ok()) break;
     }

@@ -13,6 +13,7 @@
 #include "obs/budget_obs.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "relational/hom_cache.h"
 #include "relational/homomorphism.h"
@@ -59,9 +60,13 @@ struct ApplicableStep {
 // dependencies in order, matches in canonical order.
 std::optional<ApplicableStep> FindApplicableStep(
     const std::vector<std::vector<Assignment>>& dep_matches,
-    const Instance& current, const ReverseMapping& m, bool use_index) {
+    const Instance& current, const ReverseMapping& m, bool use_index,
+    const std::vector<uint32_t>& prof_deps) {
   for (size_t dep_index = 0; dep_index < m.deps.size(); ++dep_index) {
     const DisjunctiveTgd& dep = m.deps[dep_index];
+    // Satisfaction searches pool into this dependency's rhs totals.
+    obs::ProfiledDepScope scope(prof_deps[dep_index],
+                                obs::ProfilePhase::kFire);
     for (const Assignment& h : dep_matches[dep_index]) {
       bool satisfied = false;
       for (const Conjunction& disjunct : dep.disjuncts) {
@@ -74,6 +79,7 @@ std::optional<ApplicableStep> FindApplicableStep(
         }
       }
       if (!satisfied) return ApplicableStep{&dep, dep_index, h};
+      obs::ProfileRecordSkip(prof_deps[dep_index]);
     }
   }
   return std::nullopt;
@@ -148,11 +154,24 @@ Result<std::vector<Instance>> DisjunctiveChase(
     lhs_options.inequalities = dep.inequalities;
     body_options.push_back(std::move(lhs_options));
   }
+  // Profiling: register the disjunctive dependencies serially so ids are
+  // deterministic at any thread count.
+  std::vector<uint32_t> prof_deps(m.deps.size(), obs::kProfileNoDep);
+  const bool profiled = obs::Profiler::Enabled();
+  if (profiled) {
+    for (size_t d = 0; d < m.deps.size(); ++d) {
+      prof_deps[d] = obs::Profiler::RegisterDep(
+          "chase/disjunctive",
+          DisjunctiveTgdToString(m.deps[d], *m.from, *m.to),
+          static_cast<uint32_t>(m.deps[d].lhs.size()));
+    }
+  }
   std::vector<std::vector<Assignment>> dep_matches;
   {
     Result<std::vector<std::vector<Assignment>>> collected =
         FindTriggerBatches(bodies, body_options, target_inst, pool,
-                           options.budget);
+                           options.budget, nullptr,
+                           profiled ? &prof_deps : nullptr);
     if (!collected.ok()) return trip(collected.status());
     dep_matches = std::move(collected).value();
   }
@@ -185,8 +204,8 @@ Result<std::vector<Instance>> DisjunctiveChase(
         [&](size_t i) {
           task_statuses[i] = guard.OnPoolTask();
           if (!task_statuses[i].ok()) return;
-          steps[i] =
-              FindApplicableStep(dep_matches, wave[i], m, options.use_index);
+          steps[i] = FindApplicableStep(dep_matches, wave[i], m,
+                                        options.use_index, prof_deps);
         },
         guard.cancellation());
     // Bail on any failed or skipped task BEFORE consuming the slots: a
@@ -290,6 +309,8 @@ Result<std::vector<Instance>> DisjunctiveChase(
                 static_cast<int32_t>(i), child_node);
           }
         }
+        obs::ProfileRecordFire(prof_deps[step->dep_index], fresh_nulls,
+                               dep.disjuncts[i].size());
         next_wave.push_back(std::move(child));
         ++st.nodes;
         ++st.branches;

@@ -9,6 +9,7 @@
 #include "obs/budget_obs.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "relational/homomorphism.h"
 
@@ -36,15 +37,24 @@ void FlushTargetChaseMetrics(const TargetChaseStats& st) {
 // satisfies the rhs. Matches are tested in canonical (sorted) order so
 // the fixpoint fires the same trigger regardless of enumeration order.
 std::optional<Assignment> FindTgdTrigger(const Instance& inst,
-                                         const Tgd& tgd, bool use_index) {
+                                         const Tgd& tgd, bool use_index,
+                                         uint32_t prof_dep) {
   HomSearchOptions options;
   options.use_index = use_index;
-  for (const Assignment& h : FindTriggers(tgd.lhs, inst, options)) {
+  std::vector<Assignment> matches;
+  {
+    obs::ProfiledDepScope scope(prof_dep, obs::ProfilePhase::kCollect);
+    matches = FindTriggers(tgd.lhs, inst, options);
+    obs::ProfileRecordTriggers(prof_dep, matches.size());
+  }
+  obs::ProfiledDepScope scope(prof_dep, obs::ProfilePhase::kFire);
+  for (const Assignment& h : matches) {
     HomSearchOptions rhs_options;
     rhs_options.use_index = use_index;
     if (!FindHomomorphism(tgd.rhs, inst, h, rhs_options).has_value()) {
       return h;
     }
+    obs::ProfileRecordSkip(prof_dep);
   }
   return std::nullopt;
 }
@@ -59,7 +69,9 @@ struct EgdTrigger {
 };
 
 std::optional<EgdTrigger> FindEgdTrigger(const Instance& inst,
-                                         const Egd& egd, bool use_index) {
+                                         const Egd& egd, bool use_index,
+                                         uint32_t prof_dep) {
+  obs::ProfiledDepScope scope(prof_dep, obs::ProfilePhase::kCollect);
   HomSearchOptions options;
   options.use_index = use_index;
   for (const Assignment& h : FindTriggers(egd.lhs, inst, options)) {
@@ -140,6 +152,26 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
     }
   }
 
+  // Profiling: register every target constraint on this serial path so
+  // ids are deterministic (the s-t phase registered its own tgds above).
+  std::vector<uint32_t> prof_egds(constraints.egds.size(),
+                                  obs::kProfileNoDep);
+  std::vector<uint32_t> prof_ttgds(constraints.tgds.size(),
+                                   obs::kProfileNoDep);
+  if (obs::Profiler::Enabled()) {
+    for (size_t ei = 0; ei < constraints.egds.size(); ++ei) {
+      prof_egds[ei] = obs::Profiler::RegisterDep(
+          "chase/target", EgdToString(constraints.egds[ei], *m.target),
+          static_cast<uint32_t>(constraints.egds[ei].lhs.size()));
+    }
+    for (size_t ti = 0; ti < constraints.tgds.size(); ++ti) {
+      prof_ttgds[ti] = obs::Profiler::RegisterDep(
+          "chase/target",
+          TgdToString(constraints.tgds[ti], *m.target, *m.target),
+          static_cast<uint32_t>(constraints.tgds[ti].lhs.size()));
+    }
+  }
+
   // Fixpoint loop: egds first (cheap, and merging can satisfy tgds),
   // then target tgds.
   while (true) {
@@ -149,7 +181,8 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
     for (size_t ei = 0; ei < constraints.egds.size(); ++ei) {
       const Egd& egd = constraints.egds[ei];
       std::optional<EgdTrigger> merge =
-          FindEgdTrigger(target_inst, egd, options.use_index);
+          FindEgdTrigger(target_inst, egd, options.use_index,
+                         prof_egds[ei]);
       if (!merge.has_value()) continue;
       Value a = merge->a;
       Value b = merge->b;
@@ -179,6 +212,7 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
       }
       target_inst = ApplyAssignmentToInstance(target_inst, {{drop, keep}});
       ++st.egd_merges;
+      obs::ProfileRecordFire(prof_egds[ei], 0, 0);
       if (journal.active()) {
         uint64_t merge_id = journal.RecordMerge(
             keep.ToString(), drop.ToString(), egd_texts[ei],
@@ -202,7 +236,8 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
     for (size_t ti = 0; ti < constraints.tgds.size(); ++ti) {
       const Tgd& tgd = constraints.tgds[ti];
       std::optional<Assignment> trigger =
-          FindTgdTrigger(target_inst, tgd, options.use_index);
+          FindTgdTrigger(target_inst, tgd, options.use_index,
+                         prof_ttgds[ti]);
       if (!trigger.has_value()) continue;
       std::vector<uint64_t> parent_ids;
       std::vector<uint64_t> null_ids;
@@ -245,6 +280,8 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
         }
       }
       ++st.tgd_fires;
+      obs::ProfileRecordFire(prof_ttgds[ti], fresh_nulls,
+                             tgd.rhs.size());
       fired = true;
       break;
     }

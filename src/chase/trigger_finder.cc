@@ -4,6 +4,7 @@
 #include <set>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace qimap {
 namespace {
@@ -67,7 +68,8 @@ Result<std::vector<std::vector<Assignment>>> FindTriggerBatches(
     const std::vector<const Conjunction*>& bodies,
     const std::vector<HomSearchOptions>& options, const Instance& inst,
     ThreadPool& pool, Budget* budget,
-    const std::vector<uint32_t>* delta_epoch) {
+    const std::vector<uint32_t>* delta_epoch,
+    const std::vector<uint32_t>* profile_deps) {
   std::vector<std::vector<Assignment>> batches(bodies.size());
   std::vector<Status> statuses(bodies.size());
   CountParallelFanout(pool, bodies.size());
@@ -80,12 +82,16 @@ Result<std::vector<std::vector<Assignment>>> FindTriggerBatches(
           statuses[i] = budget->OnPoolTask("trigger collection");
           if (!statuses[i].ok()) return;
         }
+        uint32_t dep = profile_deps != nullptr ? (*profile_deps)[i]
+                                               : obs::kProfileNoDep;
+        obs::ProfiledDepScope scope(dep, obs::ProfilePhase::kCollect);
         const HomSearchOptions& opts =
             options.size() == 1 ? options[0] : options[i];
         batches[i] =
             delta_epoch != nullptr
                 ? FindDeltaTriggers(*bodies[i], inst, *delta_epoch, opts)
                 : FindTriggers(*bodies[i], inst, opts);
+        obs::ProfileRecordTriggers(dep, batches[i].size());
       },
       cancel);
   if (budget != nullptr) {

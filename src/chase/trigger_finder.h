@@ -66,11 +66,18 @@ std::vector<Assignment> FindDeltaTriggers(const Conjunction& body,
 /// When `delta_epoch` is non-null every body is collected semi-naively
 /// (`FindDeltaTriggers` against that epoch) instead of in full — the
 /// incremental chase's phase 1.
+///
+/// When `profile_deps` is non-null (one profiler dependency id per body,
+/// see obs/profiler.h), each body's collection runs under that id's
+/// collect-phase scope and its sorted batch size is recorded, so the
+/// per-atom search telemetry lands on the right dependency even when the
+/// fan-out is parallel.
 Result<std::vector<std::vector<Assignment>>> FindTriggerBatches(
     const std::vector<const Conjunction*>& bodies,
     const std::vector<HomSearchOptions>& options, const Instance& inst,
     ThreadPool& pool, Budget* budget = nullptr,
-    const std::vector<uint32_t>* delta_epoch = nullptr);
+    const std::vector<uint32_t>* delta_epoch = nullptr,
+    const std::vector<uint32_t>* profile_deps = nullptr);
 
 /// Mirrors one parallel fan-out of `tasks` independent work items into the
 /// `chase.parallel.batches` / `chase.parallel.tasks` counters. No-op for a

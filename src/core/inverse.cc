@@ -12,6 +12,7 @@
 #include "obs/budget_obs.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace qimap {
@@ -122,6 +123,15 @@ Result<ReverseMapping> InverseAlgorithm(const SchemaMapping& m,
   // Steps 2-4: one full tgd per prime instance.
   for (RelationId r = 0; r < m.source->size(); ++r) {
     for (const Atom& alpha : PrimeAtoms(*m.source, r)) {
+      // Profiling: one entry per prime instance; the chase of its
+      // canonical instance attributes its own dependencies on top.
+      uint32_t prof_dep = obs::kProfileNoDep;
+      if (obs::Profiler::Enabled()) {
+        prof_dep = obs::Profiler::RegisterDep(
+            "inverse", AtomToString(alpha, *m.source), 1);
+      }
+      obs::ProfiledDepScope prof_scope(prof_dep,
+                                       obs::ProfilePhase::kFire);
       {
         Status tick = guard.Tick();
         if (!tick.ok()) return trip(std::move(tick));
@@ -191,6 +201,7 @@ Result<ReverseMapping> InverseAlgorithm(const SchemaMapping& m,
       }
       reverse.deps.push_back(std::move(dep));
       obs::CounterAdd(kRules);
+      obs::ProfileRecordOutcomes(prof_dep, 1, 1, 0);
     }
   }
   return reverse;

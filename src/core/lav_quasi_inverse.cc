@@ -13,6 +13,7 @@
 #include "obs/budget_obs.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "relational/atom.h"
 
@@ -64,6 +65,15 @@ Result<ReverseMapping> LavQuasiInverse(
   // triggers, which recovers the atom exactly up to ~M (Theorem 4.7).
   for (RelationId r = 0; r < m.source->size(); ++r) {
     for (const Atom& alpha : PrimeAtoms(*m.source, r)) {
+      // Profiling: one entry per prime instance; the chase of its
+      // canonical instance attributes its own dependencies on top.
+      uint32_t prof_dep = obs::kProfileNoDep;
+      if (obs::Profiler::Enabled()) {
+        prof_dep = obs::Profiler::RegisterDep(
+            "lav_quasi_inverse", AtomToString(alpha, *m.source), 1);
+      }
+      obs::ProfiledDepScope prof_scope(prof_dep,
+                                       obs::ProfilePhase::kFire);
       {
         Status tick = guard.Tick();
         if (!tick.ok()) return trip(std::move(tick));
@@ -143,6 +153,9 @@ Result<ReverseMapping> LavQuasiInverse(
         }
         reverse.deps.push_back(std::move(dep));
         obs::CounterAdd(kRules);
+        obs::ProfileRecordOutcomes(prof_dep, 1, 1, 0);
+      } else {
+        obs::ProfileRecordOutcomes(prof_dep, 1, 0, 1);
       }
     }
   }

@@ -10,6 +10,7 @@
 #include "obs/budget_obs.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "relational/homomorphism.h"
 
@@ -225,6 +226,19 @@ Result<std::vector<Conjunction>> MinGen(const SchemaMapping& m,
   obs::ScopedLatency latency(kLatency);
   QIMAP_TRACE_SPAN("mingen/search");
 
+  // Profiling: one entry per search unit (the conjunction being
+  // inverted). The frozen-x psi-embedding searches of the generator
+  // tests attribute per-atom to this entry; each test's inner chase
+  // registers and attributes its own dependencies on top, so hot-spot
+  // data aggregates across all of MinGen's chases.
+  uint32_t prof_dep = obs::kProfileNoDep;
+  if (obs::Profiler::Enabled()) {
+    prof_dep = obs::Profiler::RegisterDep(
+        "mingen", ConjunctionToString(psi, *m.target),
+        static_cast<uint32_t>(psi.size()));
+  }
+  obs::ProfiledDepScope prof_scope(prof_dep, obs::ProfilePhase::kCollect);
+
   // Lemma 4.4: minimal generators have at most s1*s2 conjuncts.
   size_t s1 = 0;
   for (const Tgd& tgd : m.tgds) s1 = std::max(s1, tgd.lhs.size());
@@ -235,11 +249,19 @@ Result<std::vector<Conjunction>> MinGen(const SchemaMapping& m,
   MinGenStats local_stats;
   MinGenStats& st = options.stats != nullptr ? *options.stats : local_stats;
   st = MinGenStats{};
-  // Flush whatever was counted on every exit path, including errors.
+  // Flush whatever was counted on every exit path, including errors. The
+  // profiler entry reuses the same stats: candidates examined land in
+  // triggers_found, minimal generators in fired, pruned candidates in
+  // skipped.
   struct Flusher {
     MinGenStats* st;
-    ~Flusher() { FlushMinGenMetrics(*st); }
-  } flusher{&st};
+    uint32_t prof_dep;
+    ~Flusher() {
+      FlushMinGenMetrics(*st);
+      obs::ProfileRecordOutcomes(prof_dep, st->candidates, st->generators,
+                                 st->dedup_pruned + st->dominated_pruned);
+    }
+  } flusher{&st, prof_dep};
 
   std::vector<Conjunction> generators;
   std::vector<Conjunction> frontier = {Conjunction{}};

@@ -12,6 +12,7 @@
 #include "obs/budget_obs.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "relational/homomorphism.h"
 
@@ -127,8 +128,22 @@ Result<ReverseMapping> QuasiInverse(const SchemaMapping& m,
   };
 
   std::vector<Tgd> sigma_star = SigmaStar(m);
+  // Profiling: one entry per sigma-star member inverted. The MinGen
+  // search (and its inner chases) attribute their own finer-grained
+  // entries; this one carries the per-member wall time and outcome.
+  std::vector<uint32_t> prof_deps(sigma_star.size(), obs::kProfileNoDep);
+  if (obs::Profiler::Enabled()) {
+    for (size_t si = 0; si < sigma_star.size(); ++si) {
+      prof_deps[si] = obs::Profiler::RegisterDep(
+          "quasi_inverse",
+          TgdToString(sigma_star[si], *m.source, *m.target),
+          static_cast<uint32_t>(sigma_star[si].lhs.size()));
+    }
+  }
   for (size_t si = 0; si < sigma_star.size(); ++si) {
     const Tgd& sigma = sigma_star[si];
+    obs::ProfiledDepScope prof_scope(prof_deps[si],
+                                     obs::ProfilePhase::kFire);
     {
       Status tick = guard.Tick();
       if (!tick.ok()) return trip(std::move(tick));
@@ -200,6 +215,9 @@ Result<ReverseMapping> QuasiInverse(const SchemaMapping& m,
       }
       reverse.deps.push_back(std::move(dep));
       obs::CounterAdd(kRules);
+      obs::ProfileRecordOutcomes(prof_deps[si], 0, 1, 0);
+    } else {
+      obs::ProfileRecordOutcomes(prof_deps[si], 0, 0, 1);
     }
   }
   return reverse;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/run_meta.h"
 
 namespace qimap {
 namespace obs {
@@ -113,6 +114,30 @@ void CountEvent(const JournalEvent& event) {
   }
 }
 
+// The run-metadata header every journal file starts with: a JSONL line
+// that is an object with a "meta" key and no "id", so consumers can tell
+// it apart from events.
+std::string MetaHeaderLine() {
+  return "{\"meta\":" + RunMetaJson() + "}\n";
+}
+
+// Closes the spill file and publishes it: the spill is written to
+// `<path>.tmp` and renamed into place on close, so readers never observe
+// a half-written journal. Caller holds the mutex. False on I/O failure
+// (the temp file is removed).
+bool CloseSpill(JournalState& state) {
+  if (state.spill == nullptr) return true;
+  bool ok = std::fclose(state.spill) == 0;
+  state.spill = nullptr;
+  std::string tmp = state.spill_path + ".tmp";
+  if (ok) {
+    ok = std::rename(tmp.c_str(), state.spill_path.c_str()) == 0;
+  }
+  if (!ok) std::remove(tmp.c_str());
+  state.spill_path.clear();
+  return ok;
+}
+
 // Writes one event line to the spill file; caller holds the mutex.
 bool SpillOne(JournalState& state, const JournalEvent& event) {
   std::string line = event.ToJson();
@@ -213,11 +238,7 @@ void Journal::Clear() {
   state.recorded = 0;
   state.dropped = 0;
   state.spilled = 0;
-  if (state.spill != nullptr) {
-    std::fclose(state.spill);
-    state.spill = nullptr;
-    state.spill_path.clear();
-  }
+  CloseSpill(state);
 }
 
 void Journal::SetCapacity(size_t capacity) {
@@ -229,15 +250,23 @@ void Journal::SetCapacity(size_t capacity) {
 bool Journal::SetSpillPath(const std::string& path) {
   JournalState& state = JournalState::Get();
   std::lock_guard<std::mutex> lock(state.mu);
-  if (state.spill != nullptr) {
-    std::fclose(state.spill);
-    state.spill = nullptr;
-    state.spill_path.clear();
-  }
-  if (path.empty()) return true;
-  state.spill = std::fopen(path.c_str(), "wb");
+  // Finalizes (renames into place) any previous spill file first.
+  bool closed = CloseSpill(state);
+  if (path.empty()) return closed;
+  std::string tmp = path + ".tmp";
+  state.spill = std::fopen(tmp.c_str(), "wb");
   if (state.spill == nullptr) return false;
   state.spill_path = path;
+  // Run-metadata header as the first JSONL line.
+  std::string header = MetaHeaderLine();
+  if (std::fwrite(header.data(), 1, header.size(), state.spill) !=
+      header.size()) {
+    std::fclose(state.spill);
+    state.spill = nullptr;
+    std::remove(tmp.c_str());
+    state.spill_path.clear();
+    return false;
+  }
   return true;
 }
 
@@ -290,13 +319,9 @@ std::string Journal::ToJsonl() {
 }
 
 bool Journal::WriteJsonl(const std::string& path) {
-  std::string jsonl = ToJsonl();
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  bool ok =
-      std::fwrite(jsonl.data(), 1, jsonl.size(), f) == jsonl.size();
-  std::fclose(f);
-  return ok;
+  // Run-metadata header first, then the events; temp + rename so readers
+  // never observe a partially written journal.
+  return WriteFileAtomic(path, MetaHeaderLine() + ToJsonl());
 }
 
 namespace internal {

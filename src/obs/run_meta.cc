@@ -1,0 +1,85 @@
+#include "obs/run_meta.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "base/version.h"
+
+namespace qimap {
+namespace obs {
+namespace {
+
+std::atomic<int> g_run_threads{0};
+
+const char* BuildType() {
+#if defined(QIMAP_BUILD_TYPE)
+  return QIMAP_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+constexpr bool kTracingDisabled =
+#if defined(QIMAP_OBS_DISABLE_TRACING)
+    true;
+#else
+    false;
+#endif
+
+constexpr bool kProvenanceDisabled =
+#if defined(QIMAP_OBS_DISABLE_PROVENANCE)
+    true;
+#else
+    false;
+#endif
+
+constexpr bool kProfilerDisabled =
+#if defined(QIMAP_OBS_DISABLE_PROFILER)
+    true;
+#else
+    false;
+#endif
+
+}  // namespace
+
+void SetRunThreads(int threads) {
+  g_run_threads.store(threads, std::memory_order_relaxed);
+}
+
+int RunThreads() { return g_run_threads.load(std::memory_order_relaxed); }
+
+std::string RunMetaJson() {
+  std::string out = "{\"qimap_version\": \"";
+  out += VersionString();
+  out += "\", \"build_type\": \"";
+  out += BuildType();
+  out += "\", \"threads\": " + std::to_string(RunThreads());
+  out += std::string(", \"tracing_disabled\": ") +
+         (kTracingDisabled ? "true" : "false");
+  out += std::string(", \"provenance_disabled\": ") +
+         (kProvenanceDisabled ? "true" : "false");
+  out += std::string(", \"profiler_disabled\": ") +
+         (kProfilerDisabled ? "true" : "false");
+  out += "}";
+  return out;
+}
+
+bool WriteFileAtomic(const std::string& path, const std::string& data) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace qimap

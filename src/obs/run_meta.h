@@ -1,0 +1,36 @@
+#ifndef QIMAP_OBS_RUN_META_H_
+#define QIMAP_OBS_RUN_META_H_
+
+#include <string>
+
+namespace qimap {
+namespace obs {
+
+/// Run-metadata stamp shared by every telemetry JSON writer
+/// (`--metrics-out`, `--journal-out`, `--trace-out`, `--profile-out`, and
+/// the bench reports), so an artifact on disk is self-describing: which
+/// qimap built it, under which build type, at what thread count, and with
+/// which observability layers compiled out.
+
+/// Records the resolved worker-thread count for this run (the CLI sets it
+/// once flags are parsed; 0 = unspecified/default).
+void SetRunThreads(int threads);
+int RunThreads();
+
+/// The stamp as a rendered JSON object, e.g.
+/// {"qimap_version": "0.3.0", "build_type": "Release", "threads": 4,
+///  "tracing_disabled": false, "provenance_disabled": false,
+///  "profiler_disabled": false}.
+/// Writers splice it under a top-level "meta" key.
+std::string RunMetaJson();
+
+/// Writes `data` to `path` atomically: the bytes land in `path.tmp` first
+/// and rename(2) into place only on a fully successful write, so a crash
+/// or cancellation never leaves a torn JSON artifact. False on I/O error
+/// (the temp file is removed).
+bool WriteFileAtomic(const std::string& path, const std::string& data);
+
+}  // namespace obs
+}  // namespace qimap
+
+#endif  // QIMAP_OBS_RUN_META_H_

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/run_meta.h"
+
 namespace qimap {
 namespace obs {
 namespace {
@@ -103,7 +105,7 @@ std::vector<TraceEvent> Trace::Events() {
 std::string Trace::ToJson() {
   Recorder& rec = Recorder::Get();
   std::lock_guard<std::mutex> lock(rec.mu);
-  std::string out = "{\"traceEvents\": [";
+  std::string out = "{\"meta\": " + RunMetaJson() + ", \"traceEvents\": [";
   for (size_t i = 0; i < rec.events.size(); ++i) {
     const TraceEvent& e = rec.events[i];
     out += i == 0 ? "\n" : ",\n";
@@ -120,13 +122,9 @@ std::string Trace::ToJson() {
 }
 
 bool Trace::WriteJson(const std::string& path) {
-  std::string json = ToJson();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  bool ok = written == json.size();
-  ok = std::fclose(f) == 0 && ok;
-  return ok;
+  // Atomic (temp + rename): a crashed or concurrent reader never sees a
+  // partially written trace.
+  return WriteFileAtomic(path, ToJson());
 }
 
 }  // namespace obs

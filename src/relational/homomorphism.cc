@@ -4,6 +4,7 @@
 #include <set>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace qimap {
 
@@ -32,7 +33,11 @@ class Matcher {
   Matcher(const Conjunction& body, const Instance& target,
           const HomSearchOptions& options,
           const std::function<bool(const Assignment&)>& fn)
-      : body_(body), target_(target), options_(options), fn_(fn) {}
+      : body_(body),
+        target_(target),
+        options_(options),
+        fn_(fn),
+        atom_counts_(body.size()) {}
 
   // Returns the number of homomorphisms found (may stop early if fn says
   // so).
@@ -44,15 +49,36 @@ class Matcher {
     return count_;
   }
 
-  // Candidate tuples rejected by unification (accumulated locally so the
-  // inner loop stays free of shared-state writes; the caller flushes the
-  // total to the metrics registry once per search).
-  size_t backtracks() const { return backtracks_; }
+  // Search telemetry, accumulated per body-atom position (in join order)
+  // so the inner loop stays free of shared-state writes; the caller
+  // flushes the summed totals to the metrics registry once per search and
+  // hands the per-atom breakdown to the profiler when one is active.
+  const std::vector<obs::ProfileAtomCounters>& atom_counts() const {
+    return atom_counts_;
+  }
+  // Candidate tuples rejected by unification, summed over atoms.
+  size_t backtracks() const {
+    size_t total = 0;
+    for (const auto& a : atom_counts_) total += a.unify_fails;
+    return total;
+  }
   // Index telemetry, flushed by the caller into chase.index.*.
-  size_t index_probes() const { return index_probes_; }
+  size_t index_probes() const {
+    size_t total = 0;
+    for (const auto& a : atom_counts_) total += a.probes;
+    return total;
+  }
   size_t index_hits() const { return index_hits_; }
-  size_t index_rows() const { return index_rows_; }
-  size_t scan_rows() const { return scan_rows_; }
+  size_t index_rows() const {
+    size_t total = 0;
+    for (const auto& a : atom_counts_) total += a.probe_rows;
+    return total;
+  }
+  size_t scan_rows() const {
+    size_t total = 0;
+    for (const auto& a : atom_counts_) total += a.scan_rows;
+    return total;
+  }
 
  private:
   // Tries to unify atom `index` with each candidate tuple of its
@@ -80,7 +106,7 @@ class Matcher {
       bool determined = !IsMovable(first, options_) ||
                         assignment_.count(first) > 0;
       if (determined) {
-        ++index_probes_;
+        ++atom_counts_[index].probes;
         candidates =
             target_.RowsWithFirst(atom.relation, Resolve(assignment_, first));
         if (candidates == nullptr) return;  // no row has this first column
@@ -93,15 +119,15 @@ class Matcher {
       const Tuple& tuple =
           candidates != nullptr ? rows[(*candidates)[c]] : rows[c];
       if (candidates != nullptr) {
-        ++index_rows_;
+        ++atom_counts_[index].probe_rows;
       } else {
-        ++scan_rows_;
+        ++atom_counts_[index].scan_rows;
       }
       std::vector<Value> bound;  // values newly bound by this atom
       if (UnifyAtom(atom, tuple, &bound)) {
         Search(index + 1);
       } else {
-        ++backtracks_;
+        ++atom_counts_[index].unify_fails;
       }
       for (const Value& v : bound) assignment_.erase(v);
       if (stop_) return;
@@ -189,11 +215,9 @@ class Matcher {
   Assignment assignment_;
   bool stop_ = false;
   size_t count_ = 0;
-  size_t backtracks_ = 0;
-  size_t index_probes_ = 0;
   size_t index_hits_ = 0;
-  size_t index_rows_ = 0;
-  size_t scan_rows_ = 0;
+  // Indexed by the atom's position in body_ (the join order).
+  std::vector<obs::ProfileAtomCounters> atom_counts_;
 };
 
 // Greedy static atom order: repeatedly pick the atom with the fewest
@@ -201,10 +225,13 @@ class Matcher {
 // candidate count. With the index on, an atom whose leading argument
 // will be determined at match time is costed by the first-column index
 // list for that value (when it is a known constant) instead of the full
-// relation extent.
+// relation extent. `perm` (when non-null) receives the permutation:
+// perm[ordered position] = original position in `body`, so callers can
+// map the matcher's per-atom telemetry back to the atoms as written.
 Conjunction OrderAtoms(const Conjunction& body, const Instance& target,
                        const Assignment& partial,
-                       const HomSearchOptions& options) {
+                       const HomSearchOptions& options,
+                       std::vector<size_t>* perm = nullptr) {
   std::vector<bool> used(body.size(), false);
   std::set<Value> bound;
   for (const auto& [k, v] : partial) bound.insert(k);
@@ -250,6 +277,7 @@ Conjunction OrderAtoms(const Conjunction& body, const Instance& target,
       }
     }
     used[best] = true;
+    if (perm != nullptr) perm->push_back(best);
     ordered.push_back(body[best]);
     for (const Value& v : body[best].args) {
       if (IsMovable(v, options)) bound.insert(v);
@@ -292,7 +320,10 @@ size_t ForEachHomomorphism(const Conjunction& body, const Instance& target,
       obs::RegisterCounter("chase.index.rows");
   static const obs::MetricId kScanRows =
       obs::RegisterCounter("chase.index.scan_rows");
-  Conjunction ordered = OrderAtoms(body, target, partial, options);
+  std::vector<size_t> perm;
+  const bool profiled = obs::ProfileSearchActive();
+  Conjunction ordered =
+      OrderAtoms(body, target, partial, options, profiled ? &perm : nullptr);
   Matcher matcher(ordered, target, options, fn);
   size_t count = matcher.Run(partial);
   obs::CounterAdd(kSearches);
@@ -302,6 +333,15 @@ size_t ForEachHomomorphism(const Conjunction& body, const Instance& target,
   obs::CounterAdd(kIndexHits, matcher.index_hits());
   obs::CounterAdd(kIndexRows, matcher.index_rows());
   obs::CounterAdd(kScanRows, matcher.scan_rows());
+  if (profiled) {
+    // Map the per-atom telemetry (accumulated in join order) back to the
+    // body's positions as written before attributing it.
+    std::vector<obs::ProfileAtomCounters> atoms(body.size());
+    for (size_t p = 0; p < perm.size(); ++p) {
+      atoms[perm[p]] = matcher.atom_counts()[p];
+    }
+    obs::ProfileRecordSearch(count, matcher.backtracks(), atoms);
+  }
   return count;
 }
 

@@ -170,6 +170,12 @@ TEST_F(JournalTest, SpillToJsonlKeepsEveryEvent) {
   ASSERT_TRUE(obs::Journal::Flush());
   EXPECT_EQ(obs::Journal::NumSpilled(), 10u);
   EXPECT_EQ(obs::Journal::NumEvents(), 0u);
+  // The spill lands in `path.tmp` and is renamed into place on close, so
+  // a half-written journal is never visible under the final name.
+  std::FILE* unpublished = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(unpublished, nullptr);
+  if (unpublished != nullptr) std::fclose(unpublished);
+  ASSERT_TRUE(obs::Journal::SetSpillPath(""));
 
   std::FILE* f = std::fopen(path.c_str(), "rb");
   ASSERT_NE(f, nullptr);
@@ -182,7 +188,10 @@ TEST_F(JournalTest, SpillToJsonlKeepsEveryEvent) {
   std::fclose(f);
   size_t lines = 0;
   for (char c : contents) lines += c == '\n';
-  EXPECT_EQ(lines, 10u);
+  // 10 events plus the run-metadata header line.
+  EXPECT_EQ(lines, 11u);
+  EXPECT_EQ(contents.find("{\"meta\":"), 0u);
+  EXPECT_NE(contents.find("\"qimap_version\""), std::string::npos);
   EXPECT_NE(contents.find("\"fact\":\"F(c0)\""), std::string::npos);
   EXPECT_NE(contents.find("\"fact\":\"F(c9)\""), std::string::npos);
   std::remove(path.c_str());

@@ -1,11 +1,13 @@
 // Compile-only probe for the obs kill-switches. This file — and the chase
 // engines alongside it in the qimap_obs_disabled OBJECT library — is built
-// with QIMAP_OBS_DISABLE_TRACING and QIMAP_OBS_DISABLE_PROVENANCE defined,
-// proving that the instrumented pipelines still compile against the stub
-// span/recorder classes and that the stubs are genuinely inert. Nothing
-// here runs; the build succeeding is the assertion.
+// with QIMAP_OBS_DISABLE_TRACING, QIMAP_OBS_DISABLE_PROVENANCE, and
+// QIMAP_OBS_DISABLE_PROFILER defined, proving that the instrumented
+// pipelines still compile against the stub span/recorder/profiler classes
+// and that the stubs are genuinely inert. Nothing here runs; the build
+// succeeding is the assertion.
 
 #include "obs/journal.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace qimap {
@@ -34,6 +36,30 @@ static_assert(!obs::JournalRun::active(),
     sum += journal.RecordCache("solution cache hit", "solcache", "key");
     sum += journal.IdForFact("P(a)");
   }
+  return sum;
+}
+
+// Exercises every stub profiler entry point the engines call, so a
+// signature drift between the real and stub profiler APIs fails this
+// build leg.
+[[maybe_unused]] uint64_t ProbeProfilerStubs() {
+  obs::Profiler::Enable();
+  uint32_t dep = obs::Profiler::RegisterDep("probe", "P(x) -> Q(x)", 1);
+  obs::ProfiledDepScope scope(dep, obs::ProfilePhase::kCollect);
+  uint64_t sum = 0;
+  if (obs::ProfileSearchActive()) {
+    std::vector<obs::ProfileAtomCounters> atoms(1);
+    obs::ProfileRecordSearch(1, 0, atoms);
+    sum += 1;
+  }
+  obs::ProfileRecordTriggers(dep, 1);
+  obs::ProfileRecordFire(dep, 0, 1);
+  obs::ProfileRecordSkip(dep);
+  obs::ProfileRecordOutcomes(dep, 1, 1, 0);
+  sum += obs::Profiler::Snapshot().deps.size();
+  sum += obs::Profiler::Enabled() ? 1 : 0;
+  obs::Profiler::Disable();
+  obs::Profiler::Reset();
   return sum;
 }
 

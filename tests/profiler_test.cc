@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "core/cost_model.h"
+#include "dependency/parser.h"
+#include "obs/profiler.h"
+#include "relational/schema.h"
+
+// Tests for the per-dependency chase profiler (obs/profiler.h) and the
+// CostModel handoff (core/cost_model.h): determinism across thread
+// counts, zero-delta when disabled, the environment kill switch, and the
+// per-atom attribution invariant (atom rows sum exactly to the
+// dependency totals).
+
+namespace qimap {
+namespace {
+
+// Restores a clean global profiler between tests: the registry and
+// shards are process-wide, so every test that enables profiling funnels
+// through this fixture.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Profiler::Disable();
+    obs::Profiler::Reset();
+  }
+  void TearDown() override {
+    obs::Profiler::Disable();
+    obs::Profiler::Reset();
+  }
+};
+
+// A workload with real join work: the symmetric-edge join probes the
+// index on the bound first column but must then reject candidates whose
+// second column mismatches (backtracks), plus an existential dependency
+// (nulls minted) competing for triggers.
+SchemaMapping JoinMapping() {
+  return MustParseMapping(
+      "E/2", "P/2, T/3",
+      "E(x,y) & E(y,x) -> P(x,y); E(x,y) -> exists w: T(x,y,w)");
+}
+
+Instance JoinSource(const SchemaMapping& m) {
+  return MustParseInstance(
+      m.source, "E(a,b), E(b,a), E(b,c), E(c,d), E(d,a), E(b,d), E(a,c)");
+}
+
+TEST_F(ProfilerTest, CanonicalProfileByteIdenticalAcrossThreadCounts) {
+  SchemaMapping m = JoinMapping();
+  Instance src = JoinSource(m);
+  std::vector<std::string> profiles;
+  std::vector<std::string> results;
+  for (size_t threads : {1u, 2u, 8u}) {
+    obs::Profiler::Reset();
+    obs::Profiler::Enable();
+    ChaseOptions options;
+    options.num_threads = threads;
+    Instance out = MustChase(src, m, options);
+    profiles.push_back(obs::Profiler::Snapshot().ToJson(/*canonical=*/true));
+    results.push_back(out.ToString());
+    obs::Profiler::Disable();
+  }
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_EQ(profiles[0], profiles[1]) << "1 vs 2 threads diverged";
+  EXPECT_EQ(profiles[0], profiles[2]) << "1 vs 8 threads diverged";
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+  // The canonical rendering must not leak timing fields.
+  EXPECT_EQ(profiles[0].find("time_us"), std::string::npos);
+  EXPECT_EQ(profiles[0].find("traceEvents"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, DisabledProfilerRecordsNothingAndChangesNothing) {
+  SchemaMapping m = JoinMapping();
+  Instance src = JoinSource(m);
+  ASSERT_FALSE(obs::Profiler::Enabled());
+  Instance off = MustChase(src, m);
+  EXPECT_TRUE(obs::Profiler::Snapshot().deps.empty());
+
+  obs::Profiler::Enable();
+  ASSERT_TRUE(obs::Profiler::Enabled());
+  Instance on = MustChase(src, m);
+  EXPECT_FALSE(obs::Profiler::Snapshot().deps.empty());
+  // Profiling is observation only: the chase output is unchanged.
+  EXPECT_EQ(off.ToString(), on.ToString());
+}
+
+TEST_F(ProfilerTest, EnvironmentKillSwitchBlocksEnable) {
+  ASSERT_EQ(setenv("QIMAP_OBS_DISABLE_PROFILER", "1", 1), 0);
+  obs::Profiler::Enable();
+  EXPECT_FALSE(obs::Profiler::Enabled())
+      << "QIMAP_OBS_DISABLE_PROFILER must make Enable() a no-op";
+  ASSERT_EQ(unsetenv("QIMAP_OBS_DISABLE_PROFILER"), 0);
+  obs::Profiler::Enable();
+  EXPECT_TRUE(obs::Profiler::Enabled());
+}
+
+TEST_F(ProfilerTest, PerAtomRowsSumExactlyToDependencyTotals) {
+  SchemaMapping m = JoinMapping();
+  Instance src = JoinSource(m);
+  obs::Profiler::Enable();
+  MustChase(src, m);
+  obs::ProfileSnapshot snap = obs::Profiler::Snapshot();
+  ASSERT_FALSE(snap.deps.empty());
+  bool saw_join_work = false;
+  for (const obs::ProfileDepSnapshot& dep : snap.deps) {
+    EXPECT_EQ(dep.totals.atoms.size(),
+              std::min<size_t>(dep.body_atoms, obs::kMaxProfileAtoms))
+        << dep.text;
+    uint64_t unify_fails = 0, probe_rows = 0, scan_rows = 0;
+    for (const obs::ProfileAtomCounters& atom : dep.totals.atoms) {
+      unify_fails += atom.unify_fails;
+      probe_rows += atom.probe_rows;
+      scan_rows += atom.scan_rows;
+    }
+    EXPECT_EQ(unify_fails, dep.totals.backtracks) << dep.text;
+    EXPECT_EQ(probe_rows, dep.totals.probe_rows) << dep.text;
+    EXPECT_EQ(scan_rows, dep.totals.scan_rows) << dep.text;
+    if (dep.body_atoms == 2 && dep.totals.backtracks > 0) {
+      saw_join_work = true;
+    }
+  }
+  EXPECT_TRUE(saw_join_work)
+      << "the two-atom join dependency should record backtracks";
+}
+
+TEST_F(ProfilerTest, SnapshotIdsAreDenseAndRegistrationIsIdempotent) {
+  obs::Profiler::Enable();
+  uint32_t a = obs::Profiler::RegisterDep("test", "A(x) -> B(x)", 1);
+  uint32_t b = obs::Profiler::RegisterDep("test", "B(x) -> C(x)", 1);
+  uint32_t a2 = obs::Profiler::RegisterDep("test", "A(x) -> B(x)", 1);
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  obs::ProfileSnapshot snap = obs::Profiler::Snapshot();
+  ASSERT_EQ(snap.deps.size(), 2u);
+  for (size_t i = 0; i < snap.deps.size(); ++i) {
+    EXPECT_EQ(snap.deps[i].id, i);
+  }
+  EXPECT_EQ(snap.deps[a].text, "A(x) -> B(x)");
+}
+
+TEST(CostModelTest, ExactRowAndSelectivityStatistics) {
+  SchemaPtr schema = MakeSchema("P/2, Q/1");
+  Instance inst = MustParseInstance(
+      schema, "P(a,b), P(a,c), P(b,c), Q(a)");
+  CostModel model = CostModel::FromInstance(inst);
+  EXPECT_EQ(model.total_facts, 4u);
+  ASSERT_EQ(model.relations.size(), 2u);
+
+  const RelationStats& p = model.relations[0];
+  EXPECT_EQ(p.name, "P");
+  EXPECT_EQ(p.arity, 2u);
+  EXPECT_EQ(p.rows, 3u);
+  ASSERT_EQ(p.columns.size(), 2u);
+  EXPECT_EQ(p.columns[0].distinct, 2u);  // a, b
+  EXPECT_EQ(p.columns[1].distinct, 2u);  // b, c
+  EXPECT_NEAR(p.columns[0].selectivity, 2.0 / 3.0, 1e-9);
+
+  const RelationStats& q = model.relations[1];
+  EXPECT_EQ(q.rows, 1u);
+  EXPECT_NEAR(q.columns[0].selectivity, 1.0, 1e-9);
+
+  std::string json = model.ToJson();
+  EXPECT_NE(json.find("\"total_facts\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"P\""), std::string::npos);
+  EXPECT_NE(json.find("\"selectivity\""), std::string::npos);
+  EXPECT_NE(model.ToText().find("cost model: 4 facts"), std::string::npos);
+}
+
+TEST(CostModelTest, EmptyRelationsGetZeroSelectivity) {
+  SchemaPtr schema = MakeSchema("P/2");
+  Instance inst(schema);
+  CostModel model = CostModel::FromInstance(inst);
+  EXPECT_EQ(model.total_facts, 0u);
+  ASSERT_EQ(model.relations.size(), 1u);
+  EXPECT_EQ(model.relations[0].rows, 0u);
+  ASSERT_EQ(model.relations[0].columns.size(), 2u);
+  EXPECT_EQ(model.relations[0].columns[0].distinct, 0u);
+  EXPECT_EQ(model.relations[0].columns[0].selectivity, 0.0);
+}
+
+}  // namespace
+}  // namespace qimap

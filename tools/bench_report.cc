@@ -1,21 +1,42 @@
 // bench_report — merges the machine-readable BENCH_<name>.json reports
 // the benchmarks write (bench/bench_util.h JsonReporter) into one
-// BENCH_summary.json for CI to archive and diff.
+// BENCH_summary.json for CI to archive and diff, and optionally gates the
+// merge against a committed baseline summary.
 //
-//   bench_report [--out FILE] BENCH_a.json BENCH_b.json ...
+//   bench_report [--out FILE] [--baseline FILE --check
+//                 [--tolerance X] [--counter-tolerance Y]]
+//                BENCH_a.json BENCH_b.json ...
 //
-// The summary lists every bench with its phase timings and sums all
-// metrics counters across the runs:
+// The summary lists every bench with its phase timings and per-bench
+// metrics counters, sums all counters across the runs, and stamps the
+// run metadata:
 //
-//   {"count":2,"total_seconds":3.14,
+//   {"meta":{...},"count":2,"total_seconds":3.14,
 //    "benches":[{"bench":"chase_scaling","seconds":1.2,
-//                "phases":[{"name":"benchmarks","seconds":1.2}]},...],
+//                "phases":[{"name":"benchmarks","seconds":1.2}],
+//                "counters":{"chase.steps":123,...}},...],
 //    "counters":{"chase.steps":123,...}}
+//
+// Regression gate (--baseline FILE --check): every merged bench is
+// compared against the same-named bench of the baseline summary.
+//   * a bench missing from the baseline fails (refresh the baseline);
+//   * wall time fails when cur > base * (1 + tolerance) + 0.05s
+//     (--tolerance, default 0.5; the additive floor keeps sub-50ms
+//     benches from tripping on scheduler noise);
+//   * work counters are increases-only: a counter fails when
+//     cur > base * (1 + counter-tolerance) + 16 (--counter-tolerance,
+//     default 0.1). `chase.parallel.*` counters are exempt (their split
+//     depends on the worker-thread count, not on the work done).
+// Violations print one line each on stderr and the exit code is 1, so a
+// ctest leg wired through this gate fails loudly. To refresh the
+// baseline after an intentional change, re-run the benches and copy the
+// new BENCH_summary.json over bench/baselines/BENCH_summary.json.
 //
 // Without --out the summary lands in $QIMAP_BENCH_OUT_DIR (or the working
 // directory), mirroring where JsonReporter puts the per-bench files.
-// Exit 0 iff every input parsed; a malformed report is a hard error so CI
-// notices a bench that wrote garbage.
+// Exit 0 iff every input parsed (and, under --check, no regression); a
+// malformed report is a hard error so CI notices a bench that wrote
+// garbage.
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +46,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/run_meta.h"
 
 namespace qimap {
 namespace {
@@ -33,6 +55,7 @@ struct BenchEntry {
   std::string name;
   double seconds = 0.0;
   std::vector<std::pair<std::string, double>> phases;
+  std::map<std::string, double> counters;
 };
 
 bool Fail(const char* file, const std::string& why) {
@@ -71,12 +94,102 @@ bool LoadReport(const char* path, std::vector<BenchEntry>* benches,
     const obs::JsonValue* metric_counters = metrics->Find("counters");
     if (metric_counters != nullptr && metric_counters->IsObject()) {
       for (const auto& [key, value] : metric_counters->members) {
-        if (value.IsNumber()) (*counters)[key] += value.number_value;
+        if (!value.IsNumber()) continue;
+        entry.counters[key] = value.number_value;
+        (*counters)[key] += value.number_value;
       }
     }
   }
   benches->push_back(std::move(entry));
   return true;
+}
+
+// Parses a previously written BENCH_summary.json (the committed
+// baseline): bench name -> {seconds, per-bench counters}.
+bool LoadBaseline(const char* path,
+                  std::map<std::string, BenchEntry>* baseline) {
+  Result<obs::JsonValue> doc = obs::ParseJsonFile(path);
+  if (!doc.ok()) return Fail(path, doc.status().ToString());
+  if (!doc->IsObject()) return Fail(path, "top level is not an object");
+  const obs::JsonValue* benches = doc->Find("benches");
+  if (benches == nullptr || !benches->IsArray()) {
+    return Fail(path, "missing 'benches' array (not a summary file?)");
+  }
+  for (const obs::JsonValue& bench : benches->items) {
+    const obs::JsonValue* name = bench.Find("bench");
+    const obs::JsonValue* seconds = bench.Find("seconds");
+    if (name == nullptr || !name->IsString() || seconds == nullptr ||
+        !seconds->IsNumber()) {
+      return Fail(path, "malformed baseline bench entry");
+    }
+    BenchEntry entry;
+    entry.name = name->string_value;
+    entry.seconds = seconds->number_value;
+    const obs::JsonValue* bench_counters = bench.Find("counters");
+    if (bench_counters != nullptr && bench_counters->IsObject()) {
+      for (const auto& [key, value] : bench_counters->members) {
+        if (value.IsNumber()) entry.counters[key] = value.number_value;
+      }
+    }
+    (*baseline)[entry.name] = std::move(entry);
+  }
+  return true;
+}
+
+// The per-thread split of the parallel chase depends on the worker count
+// and scheduling, not on the amount of work done; gating it would make
+// the check flaky across machines.
+bool CounterExempt(const std::string& name) {
+  return name.rfind("chase.parallel.", 0) == 0;
+}
+
+// Compares the merged benches against the baseline; one stderr line per
+// violation. Returns the number of violations.
+int CheckAgainstBaseline(const std::vector<BenchEntry>& benches,
+                         const std::map<std::string, BenchEntry>& baseline,
+                         double tolerance, double counter_tolerance) {
+  int violations = 0;
+  for (const BenchEntry& bench : benches) {
+    auto it = baseline.find(bench.name);
+    if (it == baseline.end()) {
+      std::fprintf(stderr,
+                   "bench_report: CHECK FAIL: bench '%s' is not in the "
+                   "baseline; refresh the baseline "
+                   "(bench/baselines/BENCH_summary.json)\n",
+                   bench.name.c_str());
+      ++violations;
+      continue;
+    }
+    const BenchEntry& base = it->second;
+    // Additive 50ms floor: sub-50ms benches are all scheduler noise.
+    double time_limit = base.seconds * (1.0 + tolerance) + 0.05;
+    if (bench.seconds > time_limit) {
+      std::fprintf(stderr,
+                   "bench_report: CHECK FAIL: '%s' took %.3fs, limit "
+                   "%.3fs (baseline %.3fs, tolerance %.0f%%)\n",
+                   bench.name.c_str(), bench.seconds, time_limit,
+                   base.seconds, tolerance * 100.0);
+      ++violations;
+    }
+    for (const auto& [key, value] : bench.counters) {
+      if (CounterExempt(key)) continue;
+      auto base_counter = base.counters.find(key);
+      // A counter the baseline has never seen is new instrumentation,
+      // not a regression; only increases of known counters are gated.
+      if (base_counter == base.counters.end()) continue;
+      double limit =
+          base_counter->second * (1.0 + counter_tolerance) + 16.0;
+      if (value > limit) {
+        std::fprintf(stderr,
+                     "bench_report: CHECK FAIL: '%s' counter '%s' is "
+                     "%.0f, limit %.0f (baseline %.0f)\n",
+                     bench.name.c_str(), key.c_str(), value, limit,
+                     base_counter->second);
+        ++violations;
+      }
+    }
+  }
+  return violations;
 }
 
 void AppendEscaped(std::string* out, const std::string& s) {
@@ -100,12 +213,27 @@ void AppendNumber(std::string* out, double value) {
   *out += buffer;
 }
 
+void AppendCounters(std::string* out,
+                    const std::map<std::string, double>& counters) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : counters) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendEscaped(out, key);
+    out->push_back(':');
+    AppendNumber(out, value);
+  }
+  out->push_back('}');
+}
+
 std::string ToJson(const std::vector<BenchEntry>& benches,
                    const std::map<std::string, double>& counters) {
   double total = 0.0;
   for (const BenchEntry& bench : benches) total += bench.seconds;
-  std::string out =
-      "{\"count\":" + std::to_string(benches.size()) + ",\"total_seconds\":";
+  std::string out = "{\"meta\":" + obs::RunMetaJson() +
+                    ",\"count\":" + std::to_string(benches.size()) +
+                    ",\"total_seconds\":";
   AppendNumber(&out, total);
   out += ",\"benches\":[";
   for (size_t i = 0; i < benches.size(); ++i) {
@@ -123,38 +251,78 @@ std::string ToJson(const std::vector<BenchEntry>& benches,
       AppendNumber(&out, benches[i].phases[k].second);
       out.push_back('}');
     }
-    out += "]}";
+    out += "],\"counters\":";
+    AppendCounters(&out, benches[i].counters);
+    out += "}";
   }
-  out += "],\"counters\":{";
-  bool first = true;
-  for (const auto& [key, value] : counters) {
-    if (!first) out.push_back(',');
-    first = false;
-    AppendEscaped(&out, key);
-    out.push_back(':');
-    AppendNumber(&out, value);
-  }
-  out += "}}\n";
+  out += "],\"counters\":";
+  AppendCounters(&out, counters);
+  out += "}\n";
   return out;
+}
+
+// Strict parse for the tolerance flags: garbage must be an error.
+bool ParseDouble(const char* text, const char* flag, double* out) {
+  char* end = nullptr;
+  double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || value < 0.0) {
+    std::fprintf(stderr,
+                 "bench_report: %s expects a non-negative number, got "
+                 "'%s'\n",
+                 flag, text);
+    return false;
+  }
+  *out = value;
+  return true;
 }
 
 int Main(int argc, char** argv) {
   std::string out_path;
+  const char* baseline_path = nullptr;
+  bool check = false;
+  double tolerance = 0.5;
+  double counter_tolerance = 0.1;
   std::vector<const char*> inputs;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--out") == 0) {
+    auto value_flag = [&](const char* flag, const char** value) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "bench_report: --out requires a value\n");
-        return 2;
+        std::fprintf(stderr, "bench_report: %s requires a value\n", flag);
+        *value = nullptr;
+        return true;
       }
-      out_path = argv[++i];
+      *value = argv[++i];
+      return true;
+    };
+    const char* value = nullptr;
+    if (value_flag("--out", &value)) {
+      if (value == nullptr) return 2;
+      out_path = value;
+    } else if (value_flag("--baseline", &value)) {
+      if (value == nullptr) return 2;
+      baseline_path = value;
+    } else if (value_flag("--tolerance", &value)) {
+      if (value == nullptr || !ParseDouble(value, "--tolerance", &tolerance))
+        return 2;
+    } else if (value_flag("--counter-tolerance", &value)) {
+      if (value == nullptr ||
+          !ParseDouble(value, "--counter-tolerance", &counter_tolerance))
+        return 2;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
     } else {
       inputs.push_back(argv[i]);
     }
   }
   if (inputs.empty()) {
     std::fprintf(stderr,
-                 "usage: bench_report [--out FILE] BENCH_a.json ...\n");
+                 "usage: bench_report [--out FILE] [--baseline FILE "
+                 "--check [--tolerance X] [--counter-tolerance Y]] "
+                 "BENCH_a.json ...\n");
+    return 2;
+  }
+  if (check && baseline_path == nullptr) {
+    std::fprintf(stderr, "bench_report: --check requires --baseline\n");
     return 2;
   }
   if (out_path.empty()) {
@@ -169,17 +337,30 @@ int Main(int argc, char** argv) {
     if (!LoadReport(path, &benches, &counters)) return 1;
   }
   std::string json = ToJson(benches, counters);
-  std::FILE* f = std::fopen(out_path.c_str(), "wb");
-  if (f == nullptr ||
-      std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+  if (!obs::WriteFileAtomic(out_path, json)) {
     std::fprintf(stderr, "bench_report: cannot write '%s'\n",
                  out_path.c_str());
-    if (f != nullptr) std::fclose(f);
     return 1;
   }
-  std::fclose(f);
   std::printf("bench_report: %zu reports -> %s\n", benches.size(),
               out_path.c_str());
+
+  if (check) {
+    std::map<std::string, BenchEntry> baseline;
+    if (!LoadBaseline(baseline_path, &baseline)) return 1;
+    int violations = CheckAgainstBaseline(benches, baseline, tolerance,
+                                          counter_tolerance);
+    if (violations > 0) {
+      std::fprintf(stderr,
+                   "bench_report: %d regression(s) against baseline %s\n",
+                   violations, baseline_path);
+      return 1;
+    }
+    std::printf("bench_report: check OK against %s (%zu benches, "
+                "tolerance %.0f%%, counter tolerance %.0f%%)\n",
+                baseline_path, benches.size(), tolerance * 100.0,
+                counter_tolerance * 100.0);
+  }
   return 0;
 }
 

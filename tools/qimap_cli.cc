@@ -33,6 +33,7 @@
 #include "chase/chase.h"
 #include "chase/chase_checkpoint.h"
 #include "chase/solution_cache.h"
+#include "core/cost_model.h"
 #include "core/framework.h"
 #include "core/inverse.h"
 #include "core/lav_quasi_inverse.h"
@@ -42,6 +43,8 @@
 #include "obs/journal.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/run_meta.h"
 #include "obs/trace.h"
 #include "relational/instance_enum.h"
 
@@ -66,6 +69,11 @@ namespace {
 // the --deadline-ms/--max-memory-mb/--max-nulls/--max-steps flags (and
 // QIMAP_FAULT_PLAN); null when no limit was requested.
 Budget* g_budget = nullptr;
+
+// Cost model of the last instance a command chased (set when profiling is
+// on): the per-relation cardinality/selectivity summary that rides along
+// in profile reports as the planner handoff.
+std::optional<CostModel> g_cost_model;
 
 struct Args {
   std::string command;
@@ -102,14 +110,15 @@ const std::set<std::string>& ValueFlags() {
       "reverse",     "mode",      "domain",      "max-facts",
       "trace-out",   "metrics-out", "journal-out", "fact",
       "format",      "explain-out", "threads",     "deadline-ms",
-      "max-memory-mb", "max-nulls", "max-steps",   "delta"};
+      "max-memory-mb", "max-nulls", "max-steps",   "delta",
+      "profile-out"};
   return kFlags;
 }
 
 const std::set<std::string>& BoolFlags() {
   static const std::set<std::string> kFlags = {"verbose", "version", "help",
                                                "incremental",
-                                               "solution-cache"};
+                                               "solution-cache", "profile"};
   return kFlags;
 }
 
@@ -147,6 +156,15 @@ int Usage() {
       "chase fact)\n"
       "           --format tree|json  stdout rendering (default tree)\n"
       "           --explain-out FILE  write the derivation trees as JSON\n"
+      "profiling: --profile           per-dependency hot-spot report on "
+      "stdout\n"
+      "             (ranked by backtracks, with a per-atom probe-vs-scan "
+      "breakdown;\n"
+      "              `analyze --profile --instance ...` also prints a cost-"
+      "model summary)\n"
+      "           --profile-out FILE  write the profile as JSON (meta + "
+      "deps + traceEvents\n"
+      "             + cost_model when an instance was chased)\n"
       "telemetry: --trace-out FILE    write a Chrome trace-event JSON "
       "file\n"
       "           --metrics-out FILE  write a metrics snapshot as JSON\n"
@@ -297,6 +315,9 @@ int RunChase(const Args& args, const SchemaMapping& m) {
     PrintBudgetSummary("chase facts", partial.NumFacts());
     return 1;
   }
+  if (obs::Profiler::Enabled()) {
+    g_cost_model = CostModel::FromInstance(*u);
+  }
   std::printf("%s\n", u->ToString().c_str());
   return 0;
 }
@@ -441,16 +462,11 @@ int RunExplain(const Args& args, const SchemaMapping& m) {
   if (as_json) std::printf("%s\n", json.c_str());
 
   const char* explain_out = args.Get("explain-out");
-  if (explain_out != nullptr) {
-    std::FILE* f = std::fopen(explain_out, "wb");
-    if (f == nullptr ||
-        std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
-      std::fprintf(stderr, "qimap_cli: cannot write explain to '%s'\n",
-                   explain_out);
-      if (f != nullptr) std::fclose(f);
-      return 1;
-    }
-    std::fclose(f);
+  if (explain_out != nullptr &&
+      !obs::WriteFileAtomic(explain_out, json)) {
+    std::fprintf(stderr, "qimap_cli: cannot write explain to '%s'\n",
+                 explain_out);
+    return 1;
   }
   return 0;
 }
@@ -476,6 +492,16 @@ int RunAnalyze(const Args& args, const SchemaMapping& m) {
     std::printf("(~M,~M)-subset property (bounded): %s\n",
                 subset->holds ? "holds -> quasi-invertible"
                               : "fails -> no quasi-inverse");
+  }
+  // Under --profile, chase --instance (when given) so the report covers
+  // the mapping's real workload, and summarize the chased instance's
+  // cardinalities/selectivities as the planner handoff.
+  if (obs::Profiler::Enabled() && args.Get("instance") != nullptr) {
+    QIMAP_ASSIGN_OR_RETURN_CLI(
+        Instance i, ParseInstance(m.source, args.Get("instance")));
+    QIMAP_ASSIGN_OR_RETURN_CLI(Instance u,
+                               Chase(i, m, LoadChaseOptions(args)));
+    g_cost_model = CostModel::FromInstance(u);
   }
   return 0;
 }
@@ -550,9 +576,16 @@ int Main(int argc, char** argv) {
     g_budget = &*budget;
   }
 
+  // Resolved worker-thread count, stamped into every telemetry artifact.
+  obs::SetRunThreads(std::atoi(args.Get("threads", "1")));
+
   const char* trace_out = args.Get("trace-out");
   const char* metrics_out = args.Get("metrics-out");
   const char* journal_out = args.Get("journal-out");
+  const char* profile_out = args.Get("profile-out");
+  if (args.Has("profile") || profile_out != nullptr) {
+    obs::Profiler::Enable();
+  }
   if (trace_out != nullptr) obs::Trace::Enable();
   if (journal_out != nullptr) {
     // Spill-to-JSONL: a full ring flushes to the file mid-run; the final
@@ -581,6 +614,16 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // Under --profile: the ranked hot-spot report (and, when a command
+  // chased an instance, the cost-model summary) on stdout after the
+  // command's own output.
+  if (args.Has("profile")) {
+    std::printf("\n%s", obs::Profiler::Snapshot().ToText(0).c_str());
+    if (g_cost_model.has_value()) {
+      std::printf("\n%s", g_cost_model->ToText().c_str());
+    }
+  }
+
   // Telemetry files are written on every exit path (including failures):
   // a failing run's partial trace is exactly what one wants to look at.
   if (trace_out != nullptr && !obs::Trace::WriteJson(trace_out)) {
@@ -588,21 +631,40 @@ int Main(int argc, char** argv) {
                  trace_out);
     if (code == 0) code = 1;
   }
+  if (profile_out != nullptr) {
+    std::vector<std::pair<std::string, std::string>> extra;
+    extra.emplace_back("meta", obs::RunMetaJson());
+    if (g_cost_model.has_value()) {
+      extra.emplace_back("cost_model", g_cost_model->ToJson());
+    }
+    std::string json = obs::Profiler::Snapshot().ToJson(false, extra);
+    if (!obs::WriteFileAtomic(profile_out, json)) {
+      std::fprintf(stderr, "qimap_cli: cannot write profile to '%s'\n",
+                   profile_out);
+      if (code == 0) code = 1;
+    }
+  }
   if (metrics_out != nullptr) {
+    // Splice the run-metadata stamp in as the first key of the snapshot
+    // object, then publish atomically.
     std::string json = obs::SnapshotMetrics().ToJson();
-    std::FILE* f = std::fopen(metrics_out, "wb");
-    if (f == nullptr ||
-        std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+    json = "{\n  \"meta\": " + obs::RunMetaJson() + "," + json.substr(1);
+    if (!obs::WriteFileAtomic(metrics_out, json)) {
       std::fprintf(stderr, "qimap_cli: cannot write metrics to '%s'\n",
                    metrics_out);
       if (code == 0) code = 1;
     }
-    if (f != nullptr) std::fclose(f);
   }
-  if (journal_out != nullptr && !obs::Journal::Flush()) {
-    std::fprintf(stderr, "qimap_cli: cannot write journal to '%s'\n",
-                 journal_out);
-    if (code == 0) code = 1;
+  if (journal_out != nullptr) {
+    bool ok = obs::Journal::Flush();
+    // Closing the spill renames `<file>.tmp` into place; until then the
+    // journal is not visible under its final name.
+    ok = obs::Journal::SetSpillPath("") && ok;
+    if (!ok) {
+      std::fprintf(stderr, "qimap_cli: cannot write journal to '%s'\n",
+                   journal_out);
+      if (code == 0) code = 1;
+    }
   }
   return code;
 }

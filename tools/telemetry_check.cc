@@ -29,6 +29,13 @@
 //              resumed from a checkpoint and replayed prior work
 //   --solcache metrics snapshot with a nonzero solcache.hits counter —
 //              proves the solution cache served a memoized result
+//   --profile  qimap_cli --profile-out JSON: run-metadata stamp, dense
+//              sequential dependency ids, per-atom rows of the right
+//              length whose probe/scan/unify sums equal the per-
+//              dependency totals, and well-formed aggregate traceEvents
+// Journal files may start with a `{"meta": {...}}` header line (the run-
+// metadata stamp every writer emits); it is validated, not counted as an
+// event.
 // Used by the qimap_cli_telemetry_validate / qimap_cli_explain_validate /
 // bench_*_parallel_validate ctest cases; diagnostics go to stderr.
 
@@ -306,9 +313,31 @@ bool CheckBudget(const char* path) {
   return true;
 }
 
-// Validates one provenance JSONL file (qimap_cli --journal-out): one JSON
-// object per line, strictly increasing ids, known kinds, and every
-// parent/null reference resolvable to an earlier event.
+// Validates a run-metadata stamp: an object carrying at least the
+// producing library's version string.
+bool CheckMetaObject(const char* path, const obs::JsonValue& meta,
+                     const char* where) {
+  if (!meta.IsObject()) {
+    return Fail(path, std::string(where) + ": 'meta' is not an object");
+  }
+  const obs::JsonValue* version = meta.Find("qimap_version");
+  if (version == nullptr || !version->IsString() ||
+      version->string_value.empty()) {
+    return Fail(path, std::string(where) +
+                          ": 'meta' lacks a string 'qimap_version'");
+  }
+  const obs::JsonValue* threads = meta.Find("threads");
+  if (threads == nullptr || !threads->IsNumber()) {
+    return Fail(path, std::string(where) +
+                          ": 'meta' lacks a numeric 'threads'");
+  }
+  return true;
+}
+
+// Validates one provenance JSONL file (qimap_cli --journal-out): an
+// optional leading `{"meta": ...}` header, then one JSON object per line
+// with strictly increasing ids, known kinds, and every parent/null
+// reference resolvable to an earlier event.
 bool CheckJournal(const char* path) {
   std::string text;
   if (!ReadFile(path, &text)) return Fail(path, "cannot read file");
@@ -331,6 +360,20 @@ bool CheckJournal(const char* path) {
     if (!event->IsObject()) {
       return Fail(path,
                   "line " + std::to_string(line_no) + ": not an object");
+    }
+    const obs::JsonValue* meta = event->Find("meta");
+    if (meta != nullptr && event->Find("id") == nullptr) {
+      // The run-metadata header line.
+      if (line_no != 1) {
+        return Fail(path, "line " + std::to_string(line_no) +
+                              ": 'meta' header is only valid as the "
+                              "first line");
+      }
+      if (!CheckMetaObject(path, *meta,
+                           ("line " + std::to_string(line_no)).c_str())) {
+        return false;
+      }
+      continue;
     }
     const obs::JsonValue* id = event->Find("id");
     if (id == nullptr || !id->IsNumber() || id->number_value < 1) {
@@ -375,6 +418,148 @@ bool CheckJournal(const char* path) {
     seen.insert(id_value);
   }
   if (seen.empty()) return Fail(path, "journal has no events");
+  return true;
+}
+
+// Reads a required non-negative number out of an object.
+bool GetCount(const char* path, const obs::JsonValue& obj, const char* key,
+              const std::string& where, double* out) {
+  const obs::JsonValue* value = obj.Find(key);
+  if (value == nullptr || !value->IsNumber() || value->number_value < 0) {
+    Fail(path, where + ": missing non-negative numeric '" + key + "'");
+    return false;
+  }
+  *out = value->number_value;
+  return true;
+}
+
+// Validates a qimap_cli --profile-out JSON file: the run-metadata stamp,
+// a nonempty deps array with dense sequential ids, and — the load-bearing
+// invariant — per-atom probe/scan/unify rows that sum exactly to the
+// per-dependency body totals (the profiler computes totals as those sums,
+// so any drift means merge or attribution corruption).
+bool CheckProfile(const char* path) {
+  Result<obs::JsonValue> doc = obs::ParseJsonFile(path);
+  if (!doc.ok()) return Fail(path, doc.status().ToString());
+  if (!doc->IsObject()) return Fail(path, "top level is not an object");
+  const obs::JsonValue* meta = doc->Find("meta");
+  if (meta == nullptr) return Fail(path, "missing 'meta' stamp");
+  if (!CheckMetaObject(path, *meta, "top level")) return false;
+  const obs::JsonValue* deps = doc->Find("deps");
+  if (deps == nullptr || !deps->IsArray()) {
+    return Fail(path, "missing 'deps' array");
+  }
+  if (deps->items.empty()) {
+    return Fail(path, "'deps' is empty (nothing was profiled)");
+  }
+  constexpr size_t kMaxAtoms = 12;  // obs::kMaxProfileAtoms
+  for (size_t i = 0; i < deps->items.size(); ++i) {
+    const obs::JsonValue& dep = deps->items[i];
+    std::string where = "dep " + std::to_string(i);
+    if (!dep.IsObject()) return Fail(path, where + ": not an object");
+    const obs::JsonValue* id = dep.Find("id");
+    if (id == nullptr || !id->IsNumber() ||
+        id->number_value != static_cast<double>(i)) {
+      // Registration is serial, so snapshot ids are dense and in order.
+      return Fail(path, where + ": 'id' is not the dense sequential " +
+                            std::to_string(i));
+    }
+    const obs::JsonValue* pipeline = dep.Find("pipeline");
+    if (pipeline == nullptr || !pipeline->IsString() ||
+        pipeline->string_value.empty()) {
+      return Fail(path, where + ": missing string 'pipeline'");
+    }
+    const obs::JsonValue* text = dep.Find("dependency");
+    if (text == nullptr || !text->IsString() ||
+        text->string_value.empty()) {
+      return Fail(path, where + ": missing string 'dependency'");
+    }
+    double body_atoms = 0;
+    if (!GetCount(path, dep, "body_atoms", where, &body_atoms)) {
+      return false;
+    }
+    const obs::JsonValue* totals = dep.Find("totals");
+    if (totals == nullptr || !totals->IsObject()) {
+      return Fail(path, where + ": missing 'totals' object");
+    }
+    double backtracks = 0, probe_rows = 0, scan_rows = 0;
+    if (!GetCount(path, *totals, "backtracks", where, &backtracks) ||
+        !GetCount(path, *totals, "probe_rows", where, &probe_rows) ||
+        !GetCount(path, *totals, "scan_rows", where, &scan_rows)) {
+      return false;
+    }
+    const obs::JsonValue* atoms = dep.Find("atoms");
+    if (atoms == nullptr || !atoms->IsArray()) {
+      return Fail(path, where + ": missing 'atoms' array");
+    }
+    size_t want_atoms = static_cast<size_t>(body_atoms);
+    if (want_atoms > kMaxAtoms) want_atoms = kMaxAtoms;
+    if (atoms->items.size() != want_atoms) {
+      return Fail(path, where + ": 'atoms' has " +
+                            std::to_string(atoms->items.size()) +
+                            " rows, expected " +
+                            std::to_string(want_atoms));
+    }
+    double sum_fails = 0, sum_probe_rows = 0, sum_scan_rows = 0;
+    for (size_t a = 0; a < atoms->items.size(); ++a) {
+      const obs::JsonValue& atom = atoms->items[a];
+      std::string atom_where = where + " atom " + std::to_string(a);
+      if (!atom.IsObject()) {
+        return Fail(path, atom_where + ": not an object");
+      }
+      const obs::JsonValue* pos = atom.Find("pos");
+      if (pos == nullptr || !pos->IsNumber() ||
+          pos->number_value != static_cast<double>(a)) {
+        return Fail(path, atom_where + ": 'pos' mismatch");
+      }
+      double probes = 0, a_probe = 0, a_scan = 0, a_fails = 0;
+      if (!GetCount(path, atom, "probes", atom_where, &probes) ||
+          !GetCount(path, atom, "probe_rows", atom_where, &a_probe) ||
+          !GetCount(path, atom, "scan_rows", atom_where, &a_scan) ||
+          !GetCount(path, atom, "unify_fails", atom_where, &a_fails)) {
+        return false;
+      }
+      sum_fails += a_fails;
+      sum_probe_rows += a_probe;
+      sum_scan_rows += a_scan;
+    }
+    auto mismatch = [&](const char* field, double total,
+                        double sum) -> bool {
+      char why[256];
+      std::snprintf(why, sizeof(why),
+                    "%s: sum(atoms.%s) = %.0f does not equal totals = "
+                    "%.0f",
+                    where.c_str(), field, sum, total);
+      return Fail(path, why);
+    };
+    if (sum_fails != backtracks) {
+      return mismatch("unify_fails", backtracks, sum_fails);
+    }
+    if (sum_probe_rows != probe_rows) {
+      return mismatch("probe_rows", probe_rows, sum_probe_rows);
+    }
+    if (sum_scan_rows != scan_rows) {
+      return mismatch("scan_rows", scan_rows, sum_scan_rows);
+    }
+  }
+  // The aggregate spans are optional (canonical profiles omit them) but
+  // must be well-formed Chrome complete events when present.
+  const obs::JsonValue* spans = doc->Find("traceEvents");
+  if (spans != nullptr) {
+    if (!spans->IsArray()) {
+      return Fail(path, "'traceEvents' is not an array");
+    }
+    for (const obs::JsonValue& span : spans->items) {
+      const obs::JsonValue* ph = span.Find("ph");
+      const obs::JsonValue* ts = span.Find("ts");
+      const obs::JsonValue* dur = span.Find("dur");
+      if (!span.IsObject() || ph == nullptr || !ph->IsString() ||
+          ph->string_value != "X" || ts == nullptr || !ts->IsNumber() ||
+          dur == nullptr || !dur->IsNumber()) {
+        return Fail(path, "malformed profile trace event");
+      }
+    }
+  }
   return true;
 }
 
@@ -440,7 +625,8 @@ int Usage() {
                "[--journal FILE] [--explain FILE]\n"
                "                       [--parallel FILE] [--budget FILE] "
                "[--incremental FILE] [--solcache FILE]\n"
-               "                       [--compare FILE_A FILE_B]\n"
+               "                       [--profile FILE] "
+               "[--compare FILE_A FILE_B]\n"
                "       telemetry_check <trace.json> <metrics.json>\n");
   return 2;
 }
@@ -474,6 +660,8 @@ int Main(int argc, char** argv) {
         ok = CheckIncremental(file) && ok;
       } else if (std::strcmp(flag, "--solcache") == 0) {
         ok = CheckSolutionCache(file) && ok;
+      } else if (std::strcmp(flag, "--profile") == 0) {
+        ok = CheckProfile(file) && ok;
       } else if (std::strcmp(flag, "--compare") == 0) {
         if (i + 2 >= argc) return Usage();
         ok = CheckCompare(file, argv[i + 2]) && ok;
