@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/run_meta.h"
 
@@ -88,6 +89,22 @@ class JsonReporter {
                    path.c_str());
     } else {
       std::printf("  bench report: %s\n", path.c_str());
+    }
+    // QIMAP_LEDGER: the bench run also appends its telemetry record to
+    // the run ledger as "bench/<name>", feeding the longitudinal
+    // `bench_report --history` gate.
+    const char* ledger = std::getenv("QIMAP_LEDGER");
+    if (ledger != nullptr && *ledger != '\0') {
+      obs::Ledger::Enable();
+      double total = 0.0;
+      for (const auto& phase : phases_) total += phase.second;
+      obs::LedgerEntry entry =
+          obs::CollectLedgerEntry("bench/" + name_, nullptr, 0, total);
+      if (!obs::AppendToLedger(ledger, &entry)) {
+        std::fprintf(stderr, "JsonReporter: cannot append to ledger '%s'\n",
+                     ledger);
+        ok = false;
+      }
     }
     return ok;
   }

@@ -143,6 +143,9 @@ class Budget {
   /// Microseconds since construction, per the spec's clock.
   uint64_t elapsed_us() const;
   size_t max_steps() const { return spec_.max_steps; }
+  /// The limits this budget enforces (progress heartbeats derive the
+  /// consumed-fraction display from consumed counts over these).
+  const BudgetSpec& spec() const { return spec_; }
   Cancellation* cancellation() const { return spec_.cancellation; }
 
   /// Renders usage for diagnostics / journal events:

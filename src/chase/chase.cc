@@ -11,7 +11,9 @@
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
+#include "relational/cost_model.h"
 #include "relational/homomorphism.h"
 #include "relational/instance_core.h"
 
@@ -122,6 +124,26 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
   ChaseStats& st = stats != nullptr ? *stats : local_stats;
   st = ChaseStats{};
   Status overflow = Status::OK();
+
+  // Heartbeats: sampled from `st` on the serial fire loop only, so every
+  // snapshot is a deterministic function of the input. The initial total
+  // is the CostModel product bound; trigger collection refines it to the
+  // exact merged-batch count below.
+  obs::ProgressRun progress(
+      VariantSpanName(options.variant),
+      [&st]() {
+        obs::ProgressSample sample;
+        sample.facts = st.facts_added;
+        sample.nulls = st.nulls_minted;
+        sample.fired = st.triggers_fired;
+        sample.skipped = st.satisfaction_hits;
+        return sample;
+      },
+      options.budget);
+  if (obs::Progress::Enabled()) {
+    progress.SetTotalEstimate(
+        EstimateChaseSteps(CostModel::FromInstance(source_inst), tgds));
+  }
 
   // Incremental resume: a checkpoint matches when it was cut from a
   // prefix of this source instance (proved by the prefix fingerprint —
@@ -239,6 +261,13 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
     st.resumed = true;
     st.delta_facts = source_inst.NumFactsSince(ckpt->source_epoch);
   }
+  if (obs::Progress::Enabled() && overflow.ok()) {
+    uint64_t exact_total = 0;
+    for (const std::vector<MergedTrigger>& m : merged) {
+      exact_total += m.size();
+    }
+    progress.SetTotalEstimate(exact_total);
+  }
 
   // Append-only fast path: when every delta trigger sorts after every
   // recorded trigger, no recorded outcome can change and no recorded
@@ -318,6 +347,7 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
         overflow = std::move(tick);
         break;
       }
+      progress.Step();
       if (fast && mt.prov != Provenance::kNew) {
         // The stored result already contains this trigger's effect, and
         // `out_records` already holds its recycled record.
@@ -459,6 +489,32 @@ Instance MustChase(const Instance& source_inst, const SchemaMapping& m,
     std::abort();
   }
   return std::move(result).value();
+}
+
+uint64_t EstimateChaseSteps(const CostModel& model,
+                            const std::vector<Tgd>& tgds) {
+  constexpr uint64_t kMax = ~uint64_t{0};
+  uint64_t total = 0;
+  for (const Tgd& tgd : tgds) {
+    uint64_t product = 1;
+    for (const Atom& atom : tgd.lhs) {
+      uint64_t rows = atom.relation < model.relations.size()
+                          ? model.relations[atom.relation].rows
+                          : 0;
+      if (rows == 0) {
+        product = 0;
+        break;
+      }
+      if (product > kMax / rows) {
+        product = kMax;
+        break;
+      }
+      product *= rows;
+    }
+    if (total > kMax - product) return kMax;
+    total += product;
+  }
+  return total;
 }
 
 }  // namespace qimap

@@ -11,6 +11,7 @@ namespace qimap {
 
 class Budget;            // base/budget.h
 struct ChaseCheckpoint;  // chase/chase_checkpoint.h
+struct CostModel;        // relational/cost_model.h
 
 /// Which chase variant to run. All variants produce universal solutions
 /// and are pairwise homomorphically equivalent; they differ in size and
@@ -133,6 +134,14 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
 /// Like Chase but aborts on error (tests/examples/benchmarks).
 Instance MustChase(const Instance& source_inst, const SchemaMapping& m,
                    const ChaseOptions& options = {});
+
+/// CostModel-derived upper bound on the chase's step count: the sum over
+/// dependencies of the product of their body atoms' relation row counts
+/// (every trigger is one such combination), saturating at UINT64_MAX.
+/// The progress heartbeats use it as the initial `total_estimate` / ETA
+/// denominator until trigger collection refines it to the exact total.
+uint64_t EstimateChaseSteps(const CostModel& model,
+                            const std::vector<Tgd>& tgds);
 
 }  // namespace qimap
 

@@ -14,6 +14,7 @@
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "relational/hom_cache.h"
 #include "relational/homomorphism.h"
@@ -112,6 +113,21 @@ Result<std::vector<Instance>> DisjunctiveChase(
       FlushDisjunctiveChaseMetrics(*st);
     }
   } flusher{&st, &guard};
+
+  // Heartbeats over the tree expansion. The node/leaf counts stand in
+  // for fired/skipped: what a long disjunctive run needs surfaced is how
+  // fast the tree grows versus how much dedup holds it down.
+  obs::ProgressRun progress(
+      "chase/disjunctive",
+      [&st]() {
+        obs::ProgressSample sample;
+        sample.facts = st.nodes;
+        sample.nulls = st.nulls_minted;
+        sample.fired = st.branches;
+        sample.skipped = st.dedup_dropped;
+        return sample;
+      },
+      options.budget);
 
   std::vector<Instance> leaves;
   // Ends the exploration on a budget trip: journal + budget.* metrics,
@@ -256,6 +272,7 @@ Result<std::vector<Instance>> DisjunctiveChase(
         Status tick = guard.Tick();
         if (!tick.ok()) return trip(std::move(tick));
       }
+      progress.Step();
       // Branch: one child per disjunct (Definition 6.3).
       const DisjunctiveTgd& dep = *step->dep;
       std::vector<uint64_t> parent_ids;

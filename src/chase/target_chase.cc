@@ -10,6 +10,7 @@
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "relational/homomorphism.h"
 
@@ -172,11 +173,26 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
     }
   }
 
+  // Heartbeats for the fixpoint phase (the s-t phase above emitted its
+  // own). No total estimate: target-constraint fixpoints have no cheap
+  // upper bound short of weak-acyclicity analysis.
+  obs::ProgressRun progress(
+      "chase/target",
+      [&st, &target_inst]() {
+        obs::ProgressSample sample;
+        sample.facts = target_inst.NumFacts();
+        sample.nulls = st.nulls_minted;
+        sample.fired = st.tgd_fires + st.egd_merges;
+        return sample;
+      },
+      options.budget);
+
   // Fixpoint loop: egds first (cheap, and merging can satisfy tgds),
   // then target tgds.
   while (true) {
     Status tick = guard.Tick();
     if (!tick.ok()) return trip(std::move(tick));
+    progress.Step();
     bool fired = false;
     for (size_t ei = 0; ei < constraints.egds.size(); ++ei) {
       const Egd& egd = constraints.egds[ei];

@@ -13,6 +13,7 @@
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 namespace qimap {
@@ -120,6 +121,17 @@ Result<ReverseMapping> InverseAlgorithm(const SchemaMapping& m,
   ChaseOptions chase_options;
   chase_options.budget = options.budget;
 
+  // Heartbeats: one step per prime instance inverted; the inner chases
+  // emit their own runs.
+  obs::ProgressRun progress(
+      "inverse",
+      [&reverse]() {
+        obs::ProgressSample sample;
+        sample.fired = reverse.deps.size();
+        return sample;
+      },
+      options.budget);
+
   // Steps 2-4: one full tgd per prime instance.
   for (RelationId r = 0; r < m.source->size(); ++r) {
     for (const Atom& alpha : PrimeAtoms(*m.source, r)) {
@@ -136,6 +148,7 @@ Result<ReverseMapping> InverseAlgorithm(const SchemaMapping& m,
         Status tick = guard.Tick();
         if (!tick.ok()) return trip(std::move(tick));
       }
+      progress.Step();
       obs::CounterAdd(kPrimes);
       Instance canonical = CanonicalInstance({alpha}, m.source);
       Result<Instance> prime_chase = Chase(canonical, m, chase_options);

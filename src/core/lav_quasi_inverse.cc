@@ -14,6 +14,7 @@
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "relational/atom.h"
 
@@ -56,6 +57,17 @@ Result<ReverseMapping> LavQuasiInverse(
   ChaseOptions chase_options;
   chase_options.budget = options.budget;
 
+  // Heartbeats: one step per prime instance inverted; the inner chases
+  // emit their own runs.
+  obs::ProgressRun progress(
+      "lav_quasi_inverse",
+      [&reverse]() {
+        obs::ProgressSample sample;
+        sample.fired = reverse.deps.size();
+        return sample;
+      },
+      options.budget);
+
   // One dependency per prime instance, as in algorithm Inverse (Section 5)
   // but without the constant-propagation requirement: variables of the
   // prime atom that the chase does not propagate simply remain
@@ -78,6 +90,7 @@ Result<ReverseMapping> LavQuasiInverse(
         Status tick = guard.Tick();
         if (!tick.ok()) return trip(std::move(tick));
       }
+      progress.Step();
       obs::CounterAdd(kPrimes);
       Instance canonical = CanonicalInstance({alpha}, m.source);
       Result<Instance> prime_chase = Chase(canonical, m, chase_options);

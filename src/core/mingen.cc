@@ -11,6 +11,7 @@
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "relational/homomorphism.h"
 
@@ -271,6 +272,19 @@ Result<std::vector<Conjunction>> MinGen(const SchemaMapping& m,
   // budget adds deadline/memory/null/cancellation governance on top.
   RunBudget guard("MinGen", options.max_candidates, options.budget,
                   "(raise MinGenOptions::max_candidates)");
+  // Heartbeats over the candidate enumeration; the candidate valve is
+  // the natural total (the run cannot outlast it).
+  obs::ProgressRun progress(
+      "mingen",
+      [&st]() {
+        obs::ProgressSample sample;
+        sample.facts = st.generator_tests;
+        sample.fired = st.generators;
+        sample.skipped = st.dedup_pruned + st.dominated_pruned;
+        return sample;
+      },
+      options.budget);
+  progress.SetTotalEstimate(options.max_candidates);
   // Ends the search on a budget trip: journal + budget.* metrics, then
   // the generators found so far (unminimized) as the partial result. The
   // rule events of a tripped run are never emitted, so the ad-hoc journal
@@ -322,6 +336,7 @@ Result<std::vector<Conjunction>> MinGen(const SchemaMapping& m,
           Status tick = guard.Tick();
           if (!tick.ok()) return trip(std::move(tick));
         }
+        progress.Step();
         ++st.candidates;
         bool is_generator = false;
         if (ContainsAllX(child, x)) {

@@ -13,6 +13,7 @@
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "relational/homomorphism.h"
 
@@ -128,6 +129,17 @@ Result<ReverseMapping> QuasiInverse(const SchemaMapping& m,
   };
 
   std::vector<Tgd> sigma_star = SigmaStar(m);
+  // Heartbeats: one step per sigma-star member; the member count is the
+  // exact total. The MinGen searches underneath emit their own runs.
+  obs::ProgressRun progress(
+      "quasi_inverse",
+      [&reverse]() {
+        obs::ProgressSample sample;
+        sample.fired = reverse.deps.size();
+        return sample;
+      },
+      options.budget);
+  progress.SetTotalEstimate(sigma_star.size());
   // Profiling: one entry per sigma-star member inverted. The MinGen
   // search (and its inner chases) attribute their own finer-grained
   // entries; this one carries the per-member wall time and outcome.
@@ -148,6 +160,7 @@ Result<ReverseMapping> QuasiInverse(const SchemaMapping& m,
       Status tick = guard.Tick();
       if (!tick.ok()) return trip(std::move(tick));
     }
+    progress.Step();
     obs::CounterAdd(kSigmaStar);
     std::vector<Value> x = sigma.FrontierVariables();
 

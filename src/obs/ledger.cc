@@ -1,0 +1,359 @@
+#include "obs/ledger.h"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/budget.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/run_meta.h"
+
+namespace qimap {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+// Fault hook: when >= 0, the next append writes only this many bytes of
+// the staged temp file and bails before the rename.
+std::atomic<long long> g_fail_after_bytes{-1};
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+void AppendUint(std::string* out, const char* key, uint64_t value,
+                bool first = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\": %" PRIu64, first ? "" : ", ",
+                key, value);
+  *out += buf;
+}
+
+std::string FingerprintHex(uint64_t fp) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, fp);
+  return buf;
+}
+
+bool CounterExempt(const std::string& name) {
+  // Worksharing counters legitimately vary with the thread count; every
+  // other counter is a pure function of the input (the determinism
+  // anchor telemetry_check --compare enforces).
+  return name.rfind("chase.parallel.", 0) == 0;
+}
+
+uint64_t NumberOr(const JsonValue* v, uint64_t fallback) {
+  if (v == nullptr || !v->IsNumber()) return fallback;
+  return static_cast<uint64_t>(v->number_value);
+}
+
+std::string StringOr(const JsonValue* v, const std::string& fallback) {
+  if (v == nullptr || !v->IsString()) return fallback;
+  return v->string_value;
+}
+
+}  // namespace
+
+std::string LedgerEntry::ToJson(bool canonical) const {
+  std::string out = "{";
+  AppendUint(&out, "seq", seq, /*first=*/true);
+  out += ", \"command\": \"";
+  AppendEscaped(&out, command);
+  out += "\", \"mapping_fingerprint\": \"" +
+         FingerprintHex(mapping_fingerprint) + "\"";
+  out += ", \"source_fingerprint\": \"" + FingerprintHex(source_fingerprint) +
+         "\"";
+  out += ", \"budget\": {\"outcome\": \"" + budget_outcome + "\"";
+  AppendUint(&out, "steps", budget_steps);
+  AppendUint(&out, "nulls", budget_nulls);
+  AppendUint(&out, "bytes", budget_bytes);
+  out += "}";
+  out += ", \"exit_code\": " + std::to_string(exit_code);
+  if (!canonical) {
+    AppendUint(&out, "ts_us", ts_us);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ", \"elapsed_seconds\": %.6f",
+                  elapsed_seconds);
+    out += buf;
+    if (!meta_json.empty()) out += ", \"meta\": " + meta_json;
+  }
+  out += ", \"counters\": {";
+  bool first = true;
+  for (const auto& kv : counters) {
+    if (canonical && CounterExempt(kv.first)) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + kv.first + "\": " + std::to_string(kv.second);
+  }
+  out += "}";
+  out += ", \"profile\": [";
+  for (size_t i = 0; i < profile.size(); ++i) {
+    const LedgerProfileEntry& dep = profile[i];
+    if (i > 0) out += ", ";
+    out += "{\"pipeline\": \"";
+    AppendEscaped(&out, dep.pipeline);
+    out += "\", \"dependency\": \"";
+    AppendEscaped(&out, dep.dependency);
+    out += "\"";
+    AppendUint(&out, "searches", dep.searches);
+    AppendUint(&out, "matches", dep.matches);
+    AppendUint(&out, "backtracks", dep.backtracks);
+    AppendUint(&out, "fired", dep.fired);
+    AppendUint(&out, "skipped", dep.skipped);
+    if (!canonical) AppendUint(&out, "time_us", dep.time_us);
+    out += "}";
+  }
+  out += "]";
+  out += ", \"cost_model\": ";
+  out += cost_model_json.empty() ? "null" : cost_model_json;
+  out += "}";
+  return out;
+}
+
+void Ledger::Enable() {
+  if (std::getenv("QIMAP_OBS_DISABLE_LEDGER") != nullptr) return;
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Ledger::Disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+bool Ledger::Enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void Ledger::Reset() {
+  g_enabled.store(false, std::memory_order_relaxed);
+  g_fail_after_bytes.store(-1, std::memory_order_relaxed);
+}
+
+void Ledger::FailNextAppendForTest(size_t bytes) {
+  g_fail_after_bytes.store(static_cast<long long>(bytes),
+                           std::memory_order_relaxed);
+}
+
+LedgerEntry CollectLedgerEntry(const std::string& command,
+                               const Budget* budget, int exit_code,
+                               double elapsed_seconds) {
+  LedgerEntry entry;
+  entry.command = command;
+  entry.exit_code = exit_code;
+  entry.elapsed_seconds = elapsed_seconds;
+  entry.ts_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  entry.meta_json = RunMetaJson();
+  if (budget != nullptr) {
+    entry.budget_outcome = budget->exhausted()
+                               ? BudgetLimitName(budget->tripped())
+                               : "ok";
+    entry.budget_steps = budget->steps();
+    entry.budget_nulls = budget->nulls();
+    entry.budget_bytes = budget->memory_bytes();
+  }
+  entry.counters = SnapshotMetrics().counters;
+  ProfileSnapshot profile = Profiler::Snapshot();
+  entry.profile.reserve(profile.deps.size());
+  for (const ProfileDepSnapshot& dep : profile.deps) {
+    LedgerProfileEntry digest;
+    digest.pipeline = dep.pipeline;
+    digest.dependency = dep.text;
+    digest.searches = dep.totals.searches;
+    digest.matches = dep.totals.matches;
+    digest.backtracks = dep.totals.backtracks;
+    digest.fired = dep.totals.fired;
+    digest.skipped = dep.totals.skipped;
+    digest.time_us = dep.totals.time_us;
+    entry.profile.push_back(std::move(digest));
+  }
+  return entry;
+}
+
+bool AppendToLedger(const std::string& path, LedgerEntry* entry) {
+  if (!Ledger::Enabled()) return false;
+  std::string existing;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      existing.append(buf, n);
+    }
+    std::fclose(f);
+  }
+  uint64_t records = 0;
+  for (char c : existing) {
+    if (c == '\n') ++records;
+  }
+  entry->seq = records + 1;
+  std::string content =
+      existing + entry->ToJson(/*canonical=*/false) + "\n";
+
+  std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) return false;
+  long long fail_after =
+      g_fail_after_bytes.exchange(-1, std::memory_order_relaxed);
+  size_t to_write = content.size();
+  if (fail_after >= 0 && static_cast<size_t>(fail_after) < to_write) {
+    to_write = static_cast<size_t>(fail_after);
+  }
+  bool ok = std::fwrite(content.data(), 1, to_write, out) == to_write;
+  ok = std::fclose(out) == 0 && ok;
+  if (fail_after >= 0) {
+    // Simulated crash mid-write: the torn bytes stay in the temp file,
+    // the real ledger is untouched, and no rename happens — exactly the
+    // failure mode the atomic append protects against.
+    return false;
+  }
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> DiffLedgerEntries(const JsonValue& a,
+                                           const JsonValue& b) {
+  std::vector<std::string> diffs;
+  char buf[256];
+
+  auto diff_uint = [&](const std::string& label, uint64_t va, uint64_t vb) {
+    if (va == vb) return;
+    long long delta =
+        static_cast<long long>(vb) - static_cast<long long>(va);
+    std::snprintf(buf, sizeof(buf),
+                  "%s: %" PRIu64 " -> %" PRIu64 " (%+lld)", label.c_str(),
+                  va, vb, delta);
+    diffs.push_back(buf);
+  };
+
+  const std::string fp_a = StringOr(a.Find("mapping_fingerprint"), "");
+  const std::string fp_b = StringOr(b.Find("mapping_fingerprint"), "");
+  if (fp_a != fp_b) {
+    diffs.push_back("mapping_fingerprint: " + fp_a + " -> " + fp_b +
+                    " (different mappings)");
+  }
+  const std::string src_a = StringOr(a.Find("source_fingerprint"), "");
+  const std::string src_b = StringOr(b.Find("source_fingerprint"), "");
+  if (src_a != src_b) {
+    diffs.push_back("source_fingerprint: " + src_a + " -> " + src_b +
+                    " (different source instances)");
+  }
+
+  const JsonValue* budget_a = a.Find("budget");
+  const JsonValue* budget_b = b.Find("budget");
+  const std::string outcome_a =
+      budget_a ? StringOr(budget_a->Find("outcome"), "") : "";
+  const std::string outcome_b =
+      budget_b ? StringOr(budget_b->Find("outcome"), "") : "";
+  if (outcome_a != outcome_b) {
+    diffs.push_back("budget outcome: " + outcome_a + " -> " + outcome_b);
+  }
+  for (const char* key : {"steps", "nulls", "bytes"}) {
+    diff_uint(std::string("budget ") + key,
+              NumberOr(budget_a ? budget_a->Find(key) : nullptr, 0),
+              NumberOr(budget_b ? budget_b->Find(key) : nullptr, 0));
+  }
+
+  diff_uint("exit_code", NumberOr(a.Find("exit_code"), 0),
+            NumberOr(b.Find("exit_code"), 0));
+
+  // Counters: union of keys, worksharing counters exempt.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> counters;
+  if (const JsonValue* ca = a.Find("counters"); ca && ca->IsObject()) {
+    for (const auto& kv : ca->members) {
+      counters[kv.first].first = NumberOr(&kv.second, 0);
+    }
+  }
+  if (const JsonValue* cb = b.Find("counters"); cb && cb->IsObject()) {
+    for (const auto& kv : cb->members) {
+      counters[kv.first].second = NumberOr(&kv.second, 0);
+    }
+  }
+  for (const auto& kv : counters) {
+    if (CounterExempt(kv.first)) continue;
+    diff_uint("counter " + kv.first, kv.second.first, kv.second.second);
+  }
+
+  // Profile digest: keyed by (pipeline, dependency), non-timing fields.
+  struct DepDigest {
+    std::map<std::string, uint64_t> a, b;
+  };
+  std::map<std::string, DepDigest> deps;
+  auto load_profile = [&](const JsonValue& entry, bool into_a) {
+    const JsonValue* profile = entry.Find("profile");
+    if (profile == nullptr || !profile->IsArray()) return;
+    for (const JsonValue& dep : profile->items) {
+      std::string key = StringOr(dep.Find("pipeline"), "") + " :: " +
+                        StringOr(dep.Find("dependency"), "");
+      auto& digest = into_a ? deps[key].a : deps[key].b;
+      for (const char* field :
+           {"searches", "matches", "backtracks", "fired", "skipped"}) {
+        digest[field] = NumberOr(dep.Find(field), 0);
+      }
+    }
+  };
+  load_profile(a, true);
+  load_profile(b, false);
+  for (auto& kv : deps) {
+    for (const char* field :
+         {"searches", "matches", "backtracks", "fired", "skipped"}) {
+      uint64_t va = kv.second.a.count(field) ? kv.second.a[field] : 0;
+      uint64_t vb = kv.second.b.count(field) ? kv.second.b[field] : 0;
+      diff_uint("profile " + kv.first + " " + field, va, vb);
+    }
+  }
+
+  // Cost model: total facts plus per-relation row counts.
+  const JsonValue* cm_a = a.Find("cost_model");
+  const JsonValue* cm_b = b.Find("cost_model");
+  bool has_a = cm_a != nullptr && cm_a->IsObject();
+  bool has_b = cm_b != nullptr && cm_b->IsObject();
+  if (has_a != has_b) {
+    diffs.push_back(std::string("cost_model: ") +
+                    (has_a ? "present" : "absent") + " -> " +
+                    (has_b ? "present" : "absent"));
+  } else if (has_a && has_b) {
+    diff_uint("cost_model total_facts", NumberOr(cm_a->Find("total_facts"), 0),
+              NumberOr(cm_b->Find("total_facts"), 0));
+    std::map<std::string, std::pair<uint64_t, uint64_t>> rows;
+    auto load_rows = [&](const JsonValue* cm, bool into_a) {
+      const JsonValue* rels = cm->Find("relations");
+      if (rels == nullptr || !rels->IsArray()) return;
+      for (const JsonValue& rel : rels->items) {
+        std::string name = StringOr(rel.Find("name"), "");
+        uint64_t n = NumberOr(rel.Find("rows"), 0);
+        if (into_a) {
+          rows[name].first = n;
+        } else {
+          rows[name].second = n;
+        }
+      }
+    };
+    load_rows(cm_a, true);
+    load_rows(cm_b, false);
+    for (const auto& kv : rows) {
+      diff_uint("cost_model rows " + kv.first, kv.second.first,
+                kv.second.second);
+    }
+  }
+
+  return diffs;
+}
+
+}  // namespace obs
+}  // namespace qimap

@@ -1,0 +1,151 @@
+#ifndef QIMAP_OBS_LEDGER_H_
+#define QIMAP_OBS_LEDGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qimap {
+
+class Budget;
+
+namespace obs {
+
+struct JsonValue;
+
+/// The append-only run ledger: one JSONL file accumulating a record per
+/// CLI or bench run — run meta, the final metrics snapshot, a profile
+/// digest, the budget outcome, and the mapping/source fingerprints — so
+/// telemetry becomes longitudinal: `qimap_cli report` lists and diffs
+/// runs, and `bench_report --history` gates against the recent median
+/// instead of one hand-committed baseline.
+///
+/// Appends are atomic at the record level: the new content is staged in
+/// `<path>.tmp` and rename(2)d into place, so a crash mid-write leaves
+/// the previous ledger intact and never a torn record (the fault test
+/// hook below proves it).
+///
+/// Kill-switch parity with the other obs surfaces: compile out with
+/// -DQIMAP_OBS_DISABLE_LEDGER; the same name as an environment variable
+/// makes `Enable()` a no-op.
+
+/// One dependency's non-timing hot-spot digest (a projection of
+/// ProfileDepSnapshot small enough to keep per run forever).
+struct LedgerProfileEntry {
+  std::string pipeline;
+  std::string dependency;  ///< the dependency rendered as written
+  uint64_t searches = 0;
+  uint64_t matches = 0;
+  uint64_t backtracks = 0;
+  uint64_t fired = 0;
+  uint64_t skipped = 0;
+  uint64_t time_us = 0;  ///< timing; excluded from canonical renderings
+};
+
+/// One ledger record (one JSONL line).
+struct LedgerEntry {
+  uint64_t seq = 0;     ///< 1-based position in the ledger; set on append
+  std::string command;  ///< e.g. "chase", "invert", "bench/chase_scale"
+  uint64_t mapping_fingerprint = 0;  ///< DependencyFingerprint; 0 = none
+  uint64_t source_fingerprint = 0;   ///< Instance::Fingerprint; 0 = none
+  /// "ok", or the tripped limit's BudgetLimitName ("steps", "deadline",
+  /// "memory", "nulls", "cancelled", "fault").
+  std::string budget_outcome = "ok";
+  uint64_t budget_steps = 0;
+  uint64_t budget_nulls = 0;
+  uint64_t budget_bytes = 0;
+  int exit_code = 0;
+  uint64_t ts_us = 0;            ///< wall-clock append time (timing)
+  double elapsed_seconds = 0.0;  ///< run wall time (timing)
+  std::map<std::string, uint64_t> counters;  ///< final metrics counters
+  std::vector<LedgerProfileEntry> profile;   ///< per-dependency digest
+  std::string cost_model_json;  ///< pre-rendered CostModel JSON; may be ""
+  std::string meta_json;        ///< RunMetaJson() at collect time
+
+  /// One JSON object (one JSONL line without the trailing newline).
+  /// `canonical` keeps only fields byte-identical across thread counts:
+  /// it omits `ts_us`, `elapsed_seconds`, per-dependency `time_us`, the
+  /// `meta` object (its `threads` field varies), and every
+  /// `chase.parallel.*` counter.
+  std::string ToJson(bool canonical) const;
+};
+
+#if !defined(QIMAP_OBS_DISABLE_LEDGER)
+
+class Ledger {
+ public:
+  /// Arms ledger appends. No-op (stays disabled) when the
+  /// QIMAP_OBS_DISABLE_LEDGER environment variable is set.
+  static void Enable();
+  static void Disable();
+  static bool Enabled();
+  /// Disables and clears the fault hook.
+  static void Reset();
+
+  /// Fault hook for the crash test: the next Append writes only `bytes`
+  /// bytes of the staged temp file and returns false WITHOUT renaming —
+  /// exactly what a crash mid-write leaves behind.
+  static void FailNextAppendForTest(size_t bytes);
+};
+
+/// Snapshots the current process telemetry into a ledger entry: merged
+/// metrics counters, the profiler digest, the budget outcome read from
+/// `budget` (may be null), and the run-meta stamp. Fingerprints and
+/// cost-model JSON are the caller's to fill in.
+LedgerEntry CollectLedgerEntry(const std::string& command,
+                               const Budget* budget, int exit_code,
+                               double elapsed_seconds);
+
+/// Appends `entry` to the JSONL ledger at `path` (created if absent),
+/// assigning `entry->seq = <existing records> + 1`. Atomic at the record
+/// level (read + concatenate + tmp/rename). False on I/O error or when
+/// the ledger is not Enabled(); the existing ledger is never damaged.
+bool AppendToLedger(const std::string& path, LedgerEntry* entry);
+
+/// Diffs two parsed ledger records (JSONL lines from ParseJson). Returns
+/// one human-readable line per regression-relevant difference: counter
+/// deltas (`chase.parallel.*` exempt), per-dependency profile hot-spot
+/// deltas (non-timing fields), cost-model deltas, budget-outcome and
+/// fingerprint changes. Empty means the runs are telemetry-identical —
+/// `qimap_cli report diff` exits 0 exactly then.
+std::vector<std::string> DiffLedgerEntries(const JsonValue& a,
+                                           const JsonValue& b);
+
+#else  // QIMAP_OBS_DISABLE_LEDGER
+
+// Compiled-out ledger: signature-compatible inline no-ops.
+class Ledger {
+ public:
+  static void Enable() {}
+  static void Disable() {}
+  static bool Enabled() { return false; }
+  static void Reset() {}
+  static void FailNextAppendForTest(size_t) {}
+};
+
+inline LedgerEntry CollectLedgerEntry(const std::string& command,
+                                      const Budget*, int exit_code,
+                                      double elapsed_seconds) {
+  LedgerEntry entry;
+  entry.command = command;
+  entry.exit_code = exit_code;
+  entry.elapsed_seconds = elapsed_seconds;
+  return entry;
+}
+
+inline bool AppendToLedger(const std::string&, LedgerEntry*) {
+  return false;
+}
+
+inline std::vector<std::string> DiffLedgerEntries(const JsonValue&,
+                                                  const JsonValue&) {
+  return {};
+}
+
+#endif  // QIMAP_OBS_DISABLE_LEDGER
+
+}  // namespace obs
+}  // namespace qimap
+
+#endif  // QIMAP_OBS_LEDGER_H_

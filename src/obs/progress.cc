@@ -1,0 +1,270 @@
+#include "obs/progress.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "base/budget.h"
+#include "obs/metrics.h"
+#include "obs/run_meta.h"
+
+namespace qimap {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_seq{0};
+
+// The process-wide configuration plus the lazily opened JSONL stream.
+// Guarded by one mutex: heartbeats are emitted from serial engine loops,
+// so this lock is uncontended; it exists so concurrent pipelines (the
+// parallel-chase tests run engines on worker threads) never interleave
+// stream writes.
+std::mutex g_mu;
+ProgressConfig g_config;
+std::FILE* g_stream = nullptr;
+bool g_stream_failed = false;
+
+uint64_t SteadyNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void CloseStreamLocked() {
+  if (g_stream != nullptr) {
+    std::fclose(g_stream);
+    g_stream = nullptr;
+  }
+  g_stream_failed = false;
+}
+
+bool StderrIsTty() {
+  if (std::getenv("QIMAP_PROGRESS_FORCE_TTY") != nullptr) return true;
+  return isatty(fileno(stderr)) != 0;
+}
+
+void AppendUint(std::string* out, const char* key, uint64_t value,
+                bool first = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\": %" PRIu64, first ? "" : ", ",
+                key, value);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string ProgressSnapshot::ToJson(bool canonical) const {
+  std::string out = "{";
+  AppendUint(&out, "seq", seq, /*first=*/true);
+  out += ", \"pipeline\": \"" + pipeline + "\"";
+  out += std::string(", \"final\": ") + (is_final ? "true" : "false");
+  AppendUint(&out, "steps", steps);
+  AppendUint(&out, "facts", facts);
+  AppendUint(&out, "nulls", nulls);
+  AppendUint(&out, "fired", fired);
+  AppendUint(&out, "skipped", skipped);
+  AppendUint(&out, "total_estimate", total_estimate);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ", \"budget_fraction\": %.6f",
+                budget_fraction);
+  out += buf;
+  if (!canonical) {
+    AppendUint(&out, "elapsed_us", elapsed_us);
+    AppendUint(&out, "eta_us", eta_us);
+  }
+  out += "}";
+  return out;
+}
+
+std::string ProgressSnapshot::ToLine() const {
+  std::string out = "[progress] ";
+  out += pipeline;
+  char buf[128];
+  if (total_estimate > 0 && steps <= total_estimate) {
+    std::snprintf(buf, sizeof(buf),
+                  " steps=%" PRIu64 "/%" PRIu64 " (%d%%)", steps,
+                  total_estimate,
+                  static_cast<int>(100.0 * static_cast<double>(steps) /
+                                   static_cast<double>(total_estimate)));
+  } else {
+    std::snprintf(buf, sizeof(buf), " steps=%" PRIu64, steps);
+  }
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                " facts=%" PRIu64 " nulls=%" PRIu64 " fired=%" PRIu64
+                " skipped=%" PRIu64,
+                facts, nulls, fired, skipped);
+  out += buf;
+  if (budget_fraction >= 0.0) {
+    std::snprintf(buf, sizeof(buf), " budget=%d%%",
+                  static_cast<int>(100.0 * budget_fraction));
+    out += buf;
+  }
+  if (is_final) {
+    std::snprintf(buf, sizeof(buf), " done in %.3fs",
+                  static_cast<double>(elapsed_us) / 1e6);
+    out += buf;
+  } else if (eta_us > 0) {
+    std::snprintf(buf, sizeof(buf), " eta=%.1fs",
+                  static_cast<double>(eta_us) / 1e6);
+    out += buf;
+  }
+  return out;
+}
+
+void Progress::Enable() {
+  if (std::getenv("QIMAP_OBS_DISABLE_PROGRESS") != nullptr) return;
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Progress::Disable() {
+  g_enabled.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_mu);
+  CloseStreamLocked();
+}
+
+bool Progress::Enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void Progress::Configure(const ProgressConfig& config) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  CloseStreamLocked();
+  g_config = config;
+  if (g_config.interval == 0) g_config.interval = 1;
+}
+
+void Progress::Reset() {
+  g_enabled.store(false, std::memory_order_relaxed);
+  g_seq.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_mu);
+  CloseStreamLocked();
+  g_config = ProgressConfig{};
+}
+
+void Progress::CloseStream() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  CloseStreamLocked();
+}
+
+namespace internal {
+
+ProgressConfig& ProgressConfigRef() { return g_config; }
+
+uint64_t NextProgressSeq() {
+  return g_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+uint64_t ProgressNowUs() {
+  std::function<uint64_t()> clock;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    clock = g_config.clock;
+  }
+  return clock ? clock() : SteadyNowUs();
+}
+
+void EmitProgress(const ProgressSnapshot& snap) {
+  static const MetricId kHeartbeats = RegisterCounter("progress.heartbeats");
+  CounterAdd(kHeartbeats);
+
+  std::function<void(const ProgressSnapshot&)> sink;
+  bool to_stderr = false;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    sink = g_config.sink;
+    to_stderr =
+        g_config.stderr_line && (g_config.force_tty || StderrIsTty());
+    if (!g_config.jsonl_path.empty() && !g_stream_failed) {
+      if (g_stream == nullptr) {
+        g_stream = std::fopen(g_config.jsonl_path.c_str(), "wb");
+        if (g_stream == nullptr) {
+          g_stream_failed = true;
+        } else {
+          std::string header = "{\"meta\": " + RunMetaJson() + "}\n";
+          std::fwrite(header.data(), 1, header.size(), g_stream);
+        }
+      }
+      if (g_stream != nullptr) {
+        std::string line = snap.ToJson(/*canonical=*/false) + "\n";
+        std::fwrite(line.data(), 1, line.size(), g_stream);
+        std::fflush(g_stream);
+      }
+    }
+  }
+  if (to_stderr) {
+    std::string line = "\r" + snap.ToLine();
+    if (snap.is_final) line += "\n";
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+  }
+  if (sink) sink(snap);
+}
+
+}  // namespace internal
+
+ProgressRun::ProgressRun(const char* pipeline, Sampler sampler,
+                         const Budget* budget) {
+  if (!Progress::Enabled()) return;
+  active_ = true;
+  pipeline_ = pipeline;
+  sampler_ = std::move(sampler);
+  budget_ = budget;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    interval_ = g_config.interval == 0 ? 1 : g_config.interval;
+  }
+  start_us_ = internal::ProgressNowUs();
+}
+
+ProgressRun::~ProgressRun() {
+  if (active_) Emit(/*is_final=*/true);
+}
+
+void ProgressRun::Emit(bool is_final) {
+  ProgressSnapshot snap;
+  snap.seq = internal::NextProgressSeq();
+  snap.pipeline = pipeline_;
+  snap.is_final = is_final;
+  snap.steps = steps_;
+  if (sampler_) {
+    ProgressSample sample = sampler_();
+    snap.facts = sample.facts;
+    snap.nulls = sample.nulls;
+    snap.fired = sample.fired;
+    snap.skipped = sample.skipped;
+  }
+  snap.total_estimate = total_estimate_;
+  if (budget_ != nullptr) {
+    // Largest consumed fraction over the bounded *counter* limits only;
+    // the deadline is timing and stays out of canonical snapshots.
+    const BudgetSpec& spec = budget_->spec();
+    double fraction = -1.0;
+    auto consider = [&fraction](size_t used, size_t limit) {
+      if (limit == 0) return;
+      double f = static_cast<double>(used) / static_cast<double>(limit);
+      if (f > 1.0) f = 1.0;
+      if (f > fraction) fraction = f;
+    };
+    consider(budget_->steps(), spec.max_steps);
+    consider(budget_->nulls(), spec.max_nulls);
+    consider(budget_->memory_bytes(), spec.max_memory_bytes);
+    snap.budget_fraction = fraction;
+  }
+  uint64_t now_us = internal::ProgressNowUs();
+  snap.elapsed_us = now_us >= start_us_ ? now_us - start_us_ : 0;
+  if (total_estimate_ > 0 && steps_ > 0 && steps_ < total_estimate_) {
+    snap.eta_us = snap.elapsed_us * (total_estimate_ - steps_) / steps_;
+  }
+  internal::EmitProgress(snap);
+}
+
+}  // namespace obs
+}  // namespace qimap

@@ -1,0 +1,191 @@
+#ifndef QIMAP_OBS_PROGRESS_H_
+#define QIMAP_OBS_PROGRESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace qimap {
+
+class Budget;
+
+namespace obs {
+
+/// Live progress heartbeats for the chase engines and inversion
+/// pipelines. Every engine's serial firing loop already ticks a
+/// RunBudget; a ProgressRun piggybacks on the same loop and emits a
+/// snapshot every `interval` steps — facts written, nulls minted,
+/// triggers fired/skipped, the consumed fraction of the attached budget,
+/// and a CostModel-derived ETA — to any combination of a stderr status
+/// line (TTY-aware), a JSONL stream, and an in-process sink (tests).
+///
+/// Determinism contract, same as every obs surface: snapshots are taken
+/// only on the serial paths, counters come from the engines' own stats
+/// structs, and the clock is injectable — so the canonical (timing-free)
+/// rendering of every heartbeat is byte-identical across `--threads`.
+///
+/// Disabled (the default) a ProgressRun costs one branch per Step().
+/// Compile out entirely with -DQIMAP_OBS_DISABLE_PROGRESS; the same name
+/// as an environment variable is a runtime kill switch (`Enable()`
+/// becomes a no-op), matching QIMAP_OBS_DISABLE_PROFILER.
+
+/// The engine-side counters a heartbeat samples. Each pipeline fills
+/// this from its own stats struct via the sampler callback.
+struct ProgressSample {
+  uint64_t facts = 0;    ///< facts written so far
+  uint64_t nulls = 0;    ///< labeled nulls minted so far
+  uint64_t fired = 0;    ///< triggers fired (or candidates kept)
+  uint64_t skipped = 0;  ///< triggers skipped (or candidates pruned)
+};
+
+/// One heartbeat. `seq` is process-monotone across runs (strictly
+/// increasing within a stream; Progress::Reset() rewinds it).
+struct ProgressSnapshot {
+  uint64_t seq = 0;
+  std::string pipeline;  ///< e.g. "chase/standard", "mingen"
+  bool is_final = false;  ///< emitted by the run's destructor
+  uint64_t steps = 0;
+  uint64_t facts = 0;
+  uint64_t nulls = 0;
+  uint64_t fired = 0;
+  uint64_t skipped = 0;
+  /// Upper-bound step estimate (chase: CostModel product bound refined to
+  /// the exact merged-batch total once triggers are collected; inversion
+  /// pipelines: their candidate counts). 0 = unknown.
+  uint64_t total_estimate = 0;
+  /// Largest consumed fraction across the attached budget's bounded
+  /// counter limits (steps, nulls, memory) in [0, 1]; -1 when no bounded
+  /// budget is attached. Deadline consumption is deliberately excluded —
+  /// it is timing and would break canonical byte-identity.
+  double budget_fraction = -1.0;
+  uint64_t elapsed_us = 0;  ///< since run start, per the injected clock
+  uint64_t eta_us = 0;      ///< elapsed * (total - steps) / steps; 0 unknown
+
+  /// One JSON object (one JSONL line without the trailing newline).
+  /// `canonical` omits the timing fields (`elapsed_us`, `eta_us`),
+  /// leaving only fields byte-identical across thread counts.
+  std::string ToJson(bool canonical) const;
+
+  /// The stderr status line (no leading \r / trailing newline).
+  std::string ToLine() const;
+};
+
+/// Process-wide progress configuration, set once by the CLI (or a test)
+/// before the pipelines run.
+struct ProgressConfig {
+  /// Steps between heartbeats. The final snapshot is emitted regardless.
+  uint64_t interval = 4096;
+  /// Render a live status line to stderr. Self-suppresses when stderr is
+  /// not a TTY (ctest / piped output stays clean) unless `force_tty` or
+  /// the QIMAP_PROGRESS_FORCE_TTY environment variable overrides.
+  bool stderr_line = false;
+  bool force_tty = false;
+  /// JSONL heartbeat stream path; opened (truncated) on the first emit
+  /// with a `{"meta": ...}` header line. Empty = no stream.
+  std::string jsonl_path;
+  /// Monotone microsecond clock; empty = std::chrono::steady_clock.
+  std::function<uint64_t()> clock;
+  /// In-process test hook; receives every snapshot.
+  std::function<void(const ProgressSnapshot&)> sink;
+};
+
+#if !defined(QIMAP_OBS_DISABLE_PROGRESS)
+
+class Progress {
+ public:
+  /// Turns heartbeats on. No-op (stays disabled) when the
+  /// QIMAP_OBS_DISABLE_PROGRESS environment variable is set.
+  static void Enable();
+  /// Turns heartbeats off and closes the JSONL stream.
+  static void Disable();
+  static bool Enabled();
+  /// Replaces the process-wide configuration (closes any open stream).
+  static void Configure(const ProgressConfig& config);
+  /// Disables, restores the default configuration, rewinds `seq`.
+  static void Reset();
+
+  /// Flushes and closes the JSONL stream, if open (idempotent).
+  static void CloseStream();
+};
+
+namespace internal {
+ProgressConfig& ProgressConfigRef();
+uint64_t NextProgressSeq();
+uint64_t ProgressNowUs();
+void EmitProgress(const ProgressSnapshot& snap);
+}  // namespace internal
+
+/// The per-run recorder an engine holds next to its RunBudget. Inert
+/// when Progress is disabled at construction time. The destructor emits
+/// a final heartbeat (is_final = true), so every observed run produces at
+/// least one snapshot.
+class ProgressRun {
+ public:
+  using Sampler = std::function<ProgressSample()>;
+
+  /// `pipeline` must outlive the run (string literals at every call
+  /// site). `sampler` reads the engine's stats struct; it is only
+  /// invoked from Step()/the destructor on the engine's serial path.
+  /// `budget` is the caller's shared budget (may be null) — the source
+  /// of the consumed-fraction display.
+  ProgressRun(const char* pipeline, Sampler sampler, const Budget* budget);
+  ProgressRun(const ProgressRun&) = delete;
+  ProgressRun& operator=(const ProgressRun&) = delete;
+  ~ProgressRun();
+
+  /// Counts one engine step; emits a heartbeat every `interval` steps.
+  void Step() {
+    if (!active_) return;
+    if (++steps_ % interval_ == 0) Emit(false);
+  }
+
+  /// Sets (or refines) the total-steps upper bound shown as
+  /// `total_estimate` and used for the ETA.
+  void SetTotalEstimate(uint64_t total) { total_estimate_ = total; }
+
+  uint64_t steps() const { return steps_; }
+
+ private:
+  void Emit(bool is_final);
+
+  bool active_ = false;
+  const char* pipeline_ = "";
+  Sampler sampler_;
+  const Budget* budget_ = nullptr;
+  uint64_t interval_ = 1;
+  uint64_t steps_ = 0;
+  uint64_t total_estimate_ = 0;
+  uint64_t start_us_ = 0;
+};
+
+#else  // QIMAP_OBS_DISABLE_PROGRESS
+
+// Compiled-out heartbeats: signature-compatible inline no-ops so call
+// sites need no #ifdefs (kill-switch parity with the profiler stubs).
+class Progress {
+ public:
+  static void Enable() {}
+  static void Disable() {}
+  static bool Enabled() { return false; }
+  static void Configure(const ProgressConfig&) {}
+  static void Reset() {}
+  static void CloseStream() {}
+};
+
+class ProgressRun {
+ public:
+  using Sampler = std::function<ProgressSample()>;
+  ProgressRun(const char*, Sampler, const Budget*) {}
+  ProgressRun(const ProgressRun&) = delete;
+  ProgressRun& operator=(const ProgressRun&) = delete;
+  void Step() {}
+  void SetTotalEstimate(uint64_t) {}
+  uint64_t steps() const { return 0; }
+};
+
+#endif  // QIMAP_OBS_DISABLE_PROGRESS
+
+}  // namespace obs
+}  // namespace qimap
+
+#endif  // QIMAP_OBS_PROGRESS_H_

@@ -40,6 +40,20 @@ constexpr bool kProfilerDisabled =
     false;
 #endif
 
+constexpr bool kProgressDisabled =
+#if defined(QIMAP_OBS_DISABLE_PROGRESS)
+    true;
+#else
+    false;
+#endif
+
+constexpr bool kLedgerDisabled =
+#if defined(QIMAP_OBS_DISABLE_LEDGER)
+    true;
+#else
+    false;
+#endif
+
 }  // namespace
 
 void SetRunThreads(int threads) {
@@ -60,6 +74,10 @@ std::string RunMetaJson() {
          (kProvenanceDisabled ? "true" : "false");
   out += std::string(", \"profiler_disabled\": ") +
          (kProfilerDisabled ? "true" : "false");
+  out += std::string(", \"progress_disabled\": ") +
+         (kProgressDisabled ? "true" : "false");
+  out += std::string(", \"ledger_disabled\": ") +
+         (kLedgerDisabled ? "true" : "false");
   out += "}";
   return out;
 }

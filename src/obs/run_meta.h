@@ -20,7 +20,8 @@ int RunThreads();
 /// The stamp as a rendered JSON object, e.g.
 /// {"qimap_version": "0.3.0", "build_type": "Release", "threads": 4,
 ///  "tracing_disabled": false, "provenance_disabled": false,
-///  "profiler_disabled": false}.
+///  "profiler_disabled": false, "progress_disabled": false,
+///  "ledger_disabled": false}.
 /// Writers splice it under a top-level "meta" key.
 std::string RunMetaJson();
 

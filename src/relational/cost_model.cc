@@ -1,4 +1,4 @@
-#include "core/cost_model.h"
+#include "relational/cost_model.h"
 
 #include <cinttypes>
 #include <cstdio>

@@ -1,5 +1,5 @@
-#ifndef QIMAP_CORE_COST_MODEL_H_
-#define QIMAP_CORE_COST_MODEL_H_
+#ifndef QIMAP_RELATIONAL_COST_MODEL_H_
+#define QIMAP_RELATIONAL_COST_MODEL_H_
 
 #include <cstdint>
 #include <string>
@@ -51,4 +51,4 @@ struct CostModel {
 
 }  // namespace qimap
 
-#endif  // QIMAP_CORE_COST_MODEL_H_
+#endif  // QIMAP_RELATIONAL_COST_MODEL_H_

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "base/budget.h"
+#include "chase/chase.h"
+#include "dependency/parser.h"
+#include "obs/json.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "relational/instance.h"
+
+// Tests for the run ledger (obs/ledger.h): atomic JSONL appends with
+// dense seq assignment, survival of a fault-injected crash mid-write,
+// canonical records byte-identical across chase thread counts, the
+// telemetry diff, and the QIMAP_OBS_DISABLE_LEDGER kill switch.
+
+namespace qimap {
+namespace {
+
+std::string TempLedgerPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string out;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out.append(buffer, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    if (end > pos) lines.push_back(text.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return lines;
+}
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Ledger::Reset();
+    obs::Ledger::Enable();
+  }
+  void TearDown() override { obs::Ledger::Reset(); }
+};
+
+TEST_F(LedgerTest, AppendAssignsDenseSeqAndRecordsParse) {
+  std::string path = TempLedgerPath("ledger_append_test.jsonl");
+  std::remove(path.c_str());
+
+  obs::LedgerEntry first =
+      obs::CollectLedgerEntry("chase", nullptr, 0, 0.25);
+  first.mapping_fingerprint = 0x1234;
+  ASSERT_TRUE(obs::AppendToLedger(path, &first));
+  EXPECT_EQ(first.seq, 1u);
+
+  obs::LedgerEntry second =
+      obs::CollectLedgerEntry("quasi-inverse", nullptr, 1, 0.5);
+  ASSERT_TRUE(obs::AppendToLedger(path, &second));
+  EXPECT_EQ(second.seq, 2u);
+
+  std::vector<std::string> lines = SplitLines(ReadFileOrEmpty(path));
+  ASSERT_EQ(lines.size(), 2u);
+  for (size_t k = 0; k < lines.size(); ++k) {
+    Result<obs::JsonValue> record = obs::ParseJson(lines[k]);
+    ASSERT_TRUE(record.ok()) << lines[k];
+    const obs::JsonValue* seq = record->Find("seq");
+    ASSERT_NE(seq, nullptr);
+    EXPECT_EQ(seq->number_value, static_cast<double>(k + 1));
+    EXPECT_NE(record->Find("meta"), nullptr);
+    EXPECT_NE(record->Find("counters"), nullptr);
+    EXPECT_NE(record->Find("budget"), nullptr);
+  }
+  const obs::JsonValue* command =
+      obs::ParseJson(lines[0])->Find("command");
+  ASSERT_NE(command, nullptr);
+  EXPECT_EQ(command->string_value, "chase");
+  std::remove(path.c_str());
+}
+
+TEST_F(LedgerTest, CollectReadsTheBudgetOutcome) {
+  BudgetSpec spec;
+  spec.max_steps = 1;
+  Budget budget(spec);
+  EXPECT_TRUE(budget.Tick("t").ok());
+  EXPECT_FALSE(budget.Tick("t").ok());
+  obs::LedgerEntry entry =
+      obs::CollectLedgerEntry("chase", &budget, 1, 0.1);
+  EXPECT_EQ(entry.budget_outcome, "steps");
+  EXPECT_EQ(entry.budget_steps, 1u);
+  EXPECT_EQ(entry.exit_code, 1);
+
+  Budget untripped;
+  EXPECT_TRUE(untripped.Tick("t").ok());
+  obs::LedgerEntry ok_entry =
+      obs::CollectLedgerEntry("chase", &untripped, 0, 0.1);
+  EXPECT_EQ(ok_entry.budget_outcome, "ok");
+  EXPECT_EQ(ok_entry.budget_steps, 1u);
+}
+
+// The crash-safety contract: a failed append never damages the existing
+// ledger and never leaves a torn record under the final name.
+TEST_F(LedgerTest, FaultInjectedCrashMidWriteLeavesLedgerIntact) {
+  std::string path = TempLedgerPath("ledger_crash_test.jsonl");
+  std::remove(path.c_str());
+
+  obs::LedgerEntry first = obs::CollectLedgerEntry("chase", nullptr, 0, 0.1);
+  ASSERT_TRUE(obs::AppendToLedger(path, &first));
+  std::string before = ReadFileOrEmpty(path);
+  ASSERT_FALSE(before.empty());
+
+  // The next append writes only 10 bytes of the staged temp file and
+  // stops before the rename — a crash mid-write.
+  obs::Ledger::FailNextAppendForTest(10);
+  obs::LedgerEntry torn = obs::CollectLedgerEntry("chase", nullptr, 0, 0.2);
+  EXPECT_FALSE(obs::AppendToLedger(path, &torn));
+
+  // The ledger under its final name is byte-identical to before the
+  // crash, and still fully parseable.
+  EXPECT_EQ(ReadFileOrEmpty(path), before);
+  std::vector<std::string> lines = SplitLines(before);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(obs::ParseJson(lines[0]).ok());
+
+  // The next append recovers: seq picks up where the ledger really is.
+  obs::LedgerEntry second = obs::CollectLedgerEntry("chase", nullptr, 0, 0.3);
+  ASSERT_TRUE(obs::AppendToLedger(path, &second));
+  EXPECT_EQ(second.seq, 2u);
+  lines = SplitLines(ReadFileOrEmpty(path));
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(obs::ParseJson(line).ok()) << line;
+  }
+  std::remove(path.c_str());
+}
+
+// The determinism contract: the canonical rendering of a ledger record —
+// which omits timing, the meta stamp, and chase.parallel.* counters — is
+// byte-identical whether the chase ran on 1, 2, or 8 threads.
+TEST_F(LedgerTest, CanonicalRecordsAreByteIdenticalAcrossThreads) {
+  std::vector<std::string> renderings;
+  for (size_t threads : {1u, 2u, 8u}) {
+    obs::ResetMetrics();
+    SchemaMapping m = MustParseMapping("P/3", "Q/2, R/2",
+                                       "P(x,y,z) -> Q(x,y) & R(y,z)");
+    Instance i = MustParseInstance(m.source, "P(a,b,c), P(d,b,e)");
+    ChaseOptions options;
+    options.num_threads = threads;
+    ASSERT_TRUE(Chase(i, m, options).ok());
+    obs::LedgerEntry entry = obs::CollectLedgerEntry(
+        "chase", nullptr, 0, 0.001 * static_cast<double>(threads));
+    entry.ts_us = 1000 * threads;  // timing differs; canonical omits it
+    renderings.push_back(entry.ToJson(/*canonical=*/true));
+    // The full rendering does carry the varying timing fields.
+    EXPECT_NE(entry.ToJson(false).find("ts_us"), std::string::npos);
+  }
+  ASSERT_EQ(renderings.size(), 3u);
+  EXPECT_EQ(renderings[0], renderings[1]);
+  EXPECT_EQ(renderings[0], renderings[2]);
+  // Canonical records exclude the thread-dependent surfaces entirely.
+  EXPECT_EQ(renderings[0].find("chase.parallel."), std::string::npos);
+  EXPECT_EQ(renderings[0].find("\"meta\""), std::string::npos);
+  EXPECT_EQ(renderings[0].find("ts_us"), std::string::npos);
+  EXPECT_EQ(renderings[0].find("elapsed_seconds"), std::string::npos);
+}
+
+obs::JsonValue MustParse(const std::string& text) {
+  Result<obs::JsonValue> parsed = obs::ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << text;
+  return std::move(parsed).value();
+}
+
+TEST_F(LedgerTest, DiffReportsCounterProfileAndOutcomeDeltas) {
+  obs::LedgerEntry a;
+  a.command = "chase";
+  a.counters = {{"chase.steps", 10}, {"chase.parallel.tasks", 4}};
+  obs::LedgerProfileEntry dep;
+  dep.pipeline = "chase/standard";
+  dep.dependency = "P(x) -> Q(x)";
+  dep.searches = 5;
+  dep.fired = 3;
+  a.profile.push_back(dep);
+
+  obs::LedgerEntry b = a;
+  obs::JsonValue ja = MustParse(a.ToJson(false));
+  obs::JsonValue jb = MustParse(b.ToJson(false));
+  EXPECT_TRUE(obs::DiffLedgerEntries(ja, jb).empty());
+
+  // A counter delta is one diff line; chase.parallel.* stays exempt.
+  b.counters["chase.steps"] = 12;
+  b.counters["chase.parallel.tasks"] = 9;
+  jb = MustParse(b.ToJson(false));
+  std::vector<std::string> diffs = obs::DiffLedgerEntries(ja, jb);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_NE(diffs[0].find("chase.steps"), std::string::npos);
+
+  // Profile hot-spot drift and a budget-outcome change are both visible.
+  b = a;
+  b.profile[0].searches = 50;
+  b.budget_outcome = "steps";
+  jb = MustParse(b.ToJson(false));
+  diffs = obs::DiffLedgerEntries(ja, jb);
+  EXPECT_EQ(diffs.size(), 2u);
+
+  // Different timing alone is not a delta.
+  b = a;
+  b.ts_us = 999999;
+  b.elapsed_seconds = 42.0;
+  jb = MustParse(b.ToJson(false));
+  EXPECT_TRUE(obs::DiffLedgerEntries(ja, jb).empty());
+}
+
+TEST_F(LedgerTest, AppendRequiresEnable) {
+  obs::Ledger::Disable();
+  std::string path = TempLedgerPath("ledger_disabled_test.jsonl");
+  std::remove(path.c_str());
+  obs::LedgerEntry entry = obs::CollectLedgerEntry("chase", nullptr, 0, 0.1);
+  EXPECT_FALSE(obs::AppendToLedger(path, &entry));
+  EXPECT_EQ(ReadFileOrEmpty(path), "");
+}
+
+TEST_F(LedgerTest, EnvironmentKillSwitchMakesEnableANoOp) {
+  obs::Ledger::Disable();
+  ASSERT_EQ(setenv("QIMAP_OBS_DISABLE_LEDGER", "1", 1), 0);
+  obs::Ledger::Enable();
+  EXPECT_FALSE(obs::Ledger::Enabled());
+  ASSERT_EQ(unsetenv("QIMAP_OBS_DISABLE_LEDGER"), 0);
+  obs::Ledger::Enable();
+  EXPECT_TRUE(obs::Ledger::Enabled());
+}
+
+}  // namespace
+}  // namespace qimap

@@ -1,13 +1,16 @@
 // Compile-only probe for the obs kill-switches. This file — and the chase
 // engines alongside it in the qimap_obs_disabled OBJECT library — is built
-// with QIMAP_OBS_DISABLE_TRACING, QIMAP_OBS_DISABLE_PROVENANCE, and
-// QIMAP_OBS_DISABLE_PROFILER defined, proving that the instrumented
-// pipelines still compile against the stub span/recorder/profiler classes
-// and that the stubs are genuinely inert. Nothing here runs; the build
-// succeeding is the assertion.
+// with QIMAP_OBS_DISABLE_TRACING, QIMAP_OBS_DISABLE_PROVENANCE,
+// QIMAP_OBS_DISABLE_PROFILER, QIMAP_OBS_DISABLE_PROGRESS, and
+// QIMAP_OBS_DISABLE_LEDGER defined, proving that the instrumented
+// pipelines still compile against the stub span/recorder/profiler/
+// heartbeat/ledger classes and that the stubs are genuinely inert.
+// Nothing here runs; the build succeeding is the assertion.
 
 #include "obs/journal.h"
+#include "obs/ledger.h"
 #include "obs/profiler.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 namespace qimap {
@@ -60,6 +63,38 @@ static_assert(!obs::JournalRun::active(),
   sum += obs::Profiler::Enabled() ? 1 : 0;
   obs::Profiler::Disable();
   obs::Profiler::Reset();
+  return sum;
+}
+
+// Exercises the stub heartbeat API the way the nine pipelines call it, so
+// a signature drift between the real and stub ProgressRun fails this leg.
+[[maybe_unused]] uint64_t ProbeProgressStubs() {
+  obs::Progress::Enable();
+  obs::ProgressConfig config;
+  obs::Progress::Configure(config);
+  obs::ProgressRun run(
+      "probe", [] { return obs::ProgressSample{}; }, nullptr);
+  run.Step();
+  run.SetTotalEstimate(10);
+  uint64_t sum = run.steps();
+  sum += obs::Progress::Enabled() ? 1 : 0;
+  obs::Progress::CloseStream();
+  obs::Progress::Disable();
+  obs::Progress::Reset();
+  return sum;
+}
+
+// Exercises the stub ledger API the way qimap_cli and the bench reporter
+// call it; the stub Append must refuse and the diff must come back empty.
+[[maybe_unused]] uint64_t ProbeLedgerStubs() {
+  obs::Ledger::Enable();
+  obs::Ledger::FailNextAppendForTest(1);
+  obs::LedgerEntry entry =
+      obs::CollectLedgerEntry("probe", nullptr, 0, 0.0);
+  uint64_t sum = obs::AppendToLedger("/dev/null", &entry) ? 1 : 0;
+  sum += obs::Ledger::Enabled() ? 1 : 0;
+  obs::Ledger::Disable();
+  obs::Ledger::Reset();
   return sum;
 }
 

@@ -6,13 +6,13 @@
 #include <vector>
 
 #include "chase/chase.h"
-#include "core/cost_model.h"
+#include "relational/cost_model.h"
 #include "dependency/parser.h"
 #include "obs/profiler.h"
 #include "relational/schema.h"
 
 // Tests for the per-dependency chase profiler (obs/profiler.h) and the
-// CostModel handoff (core/cost_model.h): determinism across thread
+// CostModel handoff (relational/cost_model.h): determinism across thread
 // counts, zero-delta when disabled, the environment kill switch, and the
 // per-atom attribution invariant (atom rows sum exactly to the
 // dependency totals).

@@ -5,6 +5,7 @@
 //
 //   bench_report [--out FILE] [--baseline FILE --check
 //                 [--tolerance X] [--counter-tolerance Y]]
+//                [--history LEDGER.jsonl]
 //                BENCH_a.json BENCH_b.json ...
 //
 // The summary lists every bench with its phase timings and per-bench
@@ -32,12 +33,20 @@
 // baseline after an intentional change, re-run the benches and copy the
 // new BENCH_summary.json over bench/baselines/BENCH_summary.json.
 //
+// Ledger gate (--history LEDGER.jsonl): instead of (or on top of) the
+// hand-committed baseline, every merged bench is gated against the
+// median of its own recent history — the last 5 "bench/<name>" records
+// of the run ledger (bench runs append one when QIMAP_LEDGER is set).
+// Same tolerance formulas as --check; a bench with no ledger history yet
+// passes, so the gate self-bootstraps as the ledger grows.
+//
 // Without --out the summary lands in $QIMAP_BENCH_OUT_DIR (or the working
 // directory), mirroring where JsonReporter puts the per-bench files.
 // Exit 0 iff every input parsed (and, under --check, no regression); a
 // malformed report is a hard error so CI notices a bench that wrote
 // garbage.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +56,7 @@
 
 #include "obs/json.h"
 #include "obs/run_meta.h"
+#include "arg_parse.h"
 
 namespace qimap {
 namespace {
@@ -192,6 +202,124 @@ int CheckAgainstBaseline(const std::vector<BenchEntry>& benches,
   return violations;
 }
 
+// One historical run of a bench, read from the run ledger.
+struct HistoryRun {
+  double seconds = 0.0;
+  std::map<std::string, double> counters;
+};
+
+// Loads per-bench history from the JSONL run ledger: records whose
+// command is "bench/<name>" keyed by that command, in append order.
+bool LoadHistory(const char* path,
+                 std::map<std::string, std::vector<HistoryRun>>* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return Fail(path, "cannot read ledger");
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) return Fail(path, "cannot read ledger");
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    Result<obs::JsonValue> record = obs::ParseJson(line);
+    if (!record.ok()) {
+      return Fail(path, "line " + std::to_string(line_no) + ": " +
+                            record.status().ToString());
+    }
+    const obs::JsonValue* command = record->Find("command");
+    if (command == nullptr || !command->IsString() ||
+        command->string_value.rfind("bench/", 0) != 0) {
+      continue;  // a CLI run; only bench records feed the gate
+    }
+    HistoryRun run;
+    const obs::JsonValue* elapsed = record->Find("elapsed_seconds");
+    if (elapsed != nullptr && elapsed->IsNumber()) {
+      run.seconds = elapsed->number_value;
+    }
+    const obs::JsonValue* counters = record->Find("counters");
+    if (counters != nullptr && counters->IsObject()) {
+      for (const auto& [key, value] : counters->members) {
+        if (value.IsNumber()) run.counters[key] = value.number_value;
+      }
+    }
+    (*out)[command->string_value].push_back(std::move(run));
+  }
+  return true;
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[(values.size() - 1) / 2];  // lower median
+}
+
+// Gates the merged benches against the median of each bench's last
+// `window` ledger runs; same formulas as the baseline check. A bench
+// with no history passes — the gate self-bootstraps as the ledger grows.
+int CheckAgainstHistory(
+    const std::vector<BenchEntry>& benches,
+    const std::map<std::string, std::vector<HistoryRun>>& history,
+    double tolerance, double counter_tolerance, size_t window) {
+  int violations = 0;
+  for (const BenchEntry& bench : benches) {
+    auto it = history.find("bench/" + bench.name);
+    if (it == history.end() || it->second.empty()) {
+      std::printf("bench_report: history: '%s' has no ledger runs yet\n",
+                  bench.name.c_str());
+      continue;
+    }
+    const std::vector<HistoryRun>& runs = it->second;
+    size_t first = runs.size() > window ? runs.size() - window : 0;
+    std::vector<double> seconds;
+    for (size_t i = first; i < runs.size(); ++i) {
+      seconds.push_back(runs[i].seconds);
+    }
+    double median_seconds = Median(seconds);
+    double time_limit = median_seconds * (1.0 + tolerance) + 0.05;
+    if (bench.seconds > time_limit) {
+      std::fprintf(stderr,
+                   "bench_report: HISTORY FAIL: '%s' took %.3fs, limit "
+                   "%.3fs (median of last %zu: %.3fs)\n",
+                   bench.name.c_str(), bench.seconds, time_limit,
+                   seconds.size(), median_seconds);
+      ++violations;
+    }
+    for (const auto& [key, value] : bench.counters) {
+      if (CounterExempt(key)) continue;
+      std::vector<double> samples;
+      for (size_t i = first; i < runs.size(); ++i) {
+        auto counter = runs[i].counters.find(key);
+        if (counter != runs[i].counters.end()) {
+          samples.push_back(counter->second);
+        }
+      }
+      // A counter the history has never seen is new instrumentation.
+      if (samples.empty()) continue;
+      double median_counter = Median(samples);
+      double limit = median_counter * (1.0 + counter_tolerance) + 16.0;
+      if (value > limit) {
+        std::fprintf(stderr,
+                     "bench_report: HISTORY FAIL: '%s' counter '%s' is "
+                     "%.0f, limit %.0f (median of last %zu: %.0f)\n",
+                     bench.name.c_str(), key.c_str(), value, limit,
+                     samples.size(), median_counter);
+        ++violations;
+      }
+    }
+  }
+  return violations;
+}
+
 void AppendEscaped(std::string* out, const std::string& s) {
   out->push_back('"');
   for (char c : s) {
@@ -263,62 +391,46 @@ std::string ToJson(const std::vector<BenchEntry>& benches,
 
 // Strict parse for the tolerance flags: garbage must be an error.
 bool ParseDouble(const char* text, const char* flag, double* out) {
-  char* end = nullptr;
-  double value = std::strtod(text, &end);
-  if (end == text || *end != '\0' || value < 0.0) {
+  if (!tools::ParseNonNegativeDouble(text, out)) {
     std::fprintf(stderr,
                  "bench_report: %s expects a non-negative number, got "
                  "'%s'\n",
                  flag, text);
     return false;
   }
-  *out = value;
   return true;
 }
 
 int Main(int argc, char** argv) {
-  std::string out_path;
-  const char* baseline_path = nullptr;
-  bool check = false;
+  tools::ArgSpec spec;
+  spec.value_flags = {"out", "baseline", "tolerance", "counter-tolerance",
+                      "history"};
+  spec.bool_flags = {"check"};
+  spec.allow_positionals = true;  // the BENCH_<name>.json inputs
+  tools::ParsedArgs args;
+  std::string error;
+  if (!tools::ParseArgs(argc, argv, 1, spec, &args, &error)) {
+    std::fprintf(stderr, "bench_report: %s\n", error.c_str());
+    return 2;
+  }
+  std::string out_path = args.Get("out", "");
+  const char* baseline_path = args.Get("baseline");
+  const char* history_path = args.Get("history");
+  bool check = args.Has("check");
   double tolerance = 0.5;
   double counter_tolerance = 0.1;
-  std::vector<const char*> inputs;
-  for (int i = 1; i < argc; ++i) {
-    auto value_flag = [&](const char* flag, const char** value) {
-      if (std::strcmp(argv[i], flag) != 0) return false;
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "bench_report: %s requires a value\n", flag);
-        *value = nullptr;
-        return true;
-      }
-      *value = argv[++i];
-      return true;
-    };
-    const char* value = nullptr;
-    if (value_flag("--out", &value)) {
-      if (value == nullptr) return 2;
-      out_path = value;
-    } else if (value_flag("--baseline", &value)) {
-      if (value == nullptr) return 2;
-      baseline_path = value;
-    } else if (value_flag("--tolerance", &value)) {
-      if (value == nullptr || !ParseDouble(value, "--tolerance", &tolerance))
-        return 2;
-    } else if (value_flag("--counter-tolerance", &value)) {
-      if (value == nullptr ||
-          !ParseDouble(value, "--counter-tolerance", &counter_tolerance))
-        return 2;
-    } else if (std::strcmp(argv[i], "--check") == 0) {
-      check = true;
-    } else {
-      inputs.push_back(argv[i]);
-    }
+  if (!ParseDouble(args.Get("tolerance", "0.5"), "--tolerance",
+                   &tolerance) ||
+      !ParseDouble(args.Get("counter-tolerance", "0.1"),
+                   "--counter-tolerance", &counter_tolerance)) {
+    return 2;
   }
+  const std::vector<std::string>& inputs = args.positionals;
   if (inputs.empty()) {
     std::fprintf(stderr,
                  "usage: bench_report [--out FILE] [--baseline FILE "
                  "--check [--tolerance X] [--counter-tolerance Y]] "
-                 "BENCH_a.json ...\n");
+                 "[--history LEDGER.jsonl] BENCH_a.json ...\n");
     return 2;
   }
   if (check && baseline_path == nullptr) {
@@ -333,8 +445,8 @@ int Main(int argc, char** argv) {
 
   std::vector<BenchEntry> benches;
   std::map<std::string, double> counters;
-  for (const char* path : inputs) {
-    if (!LoadReport(path, &benches, &counters)) return 1;
+  for (const std::string& path : inputs) {
+    if (!LoadReport(path.c_str(), &benches, &counters)) return 1;
   }
   std::string json = ToJson(benches, counters);
   if (!obs::WriteFileAtomic(out_path, json)) {
@@ -360,6 +472,25 @@ int Main(int argc, char** argv) {
                 "tolerance %.0f%%, counter tolerance %.0f%%)\n",
                 baseline_path, benches.size(), tolerance * 100.0,
                 counter_tolerance * 100.0);
+  }
+
+  if (history_path != nullptr) {
+    std::map<std::string, std::vector<HistoryRun>> history;
+    if (!LoadHistory(history_path, &history)) return 1;
+    constexpr size_t kHistoryWindow = 5;
+    int violations = CheckAgainstHistory(benches, history, tolerance,
+                                         counter_tolerance,
+                                         kHistoryWindow);
+    if (violations > 0) {
+      std::fprintf(stderr,
+                   "bench_report: %d regression(s) against ledger "
+                   "history %s\n",
+                   violations, history_path);
+      return 1;
+    }
+    std::printf("bench_report: history OK against %s (%zu benches, "
+                "median of last %zu runs)\n",
+                history_path, benches.size(), kHistoryWindow);
   }
   return 0;
 }

@@ -17,6 +17,8 @@
 //   qimap_cli quasi-inverse --source "P/2" --target "Q/1"
 //       --tgds "P(x,y) -> Q(x)"
 
+#include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,7 +35,7 @@
 #include "chase/chase.h"
 #include "chase/chase_checkpoint.h"
 #include "chase/solution_cache.h"
-#include "core/cost_model.h"
+#include "relational/cost_model.h"
 #include "core/framework.h"
 #include "core/inverse.h"
 #include "core/lav_quasi_inverse.h"
@@ -41,12 +43,16 @@
 #include "core/soundness.h"
 #include "dependency/parser.h"
 #include "obs/journal.h"
+#include "obs/json.h"
+#include "obs/ledger.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/progress.h"
 #include "obs/run_meta.h"
 #include "obs/trace.h"
 #include "relational/instance_enum.h"
+#include "arg_parse.h"
 
 // Like QIMAP_ASSIGN_OR_RETURN but reports to stderr and returns exit code
 // 1 (CLI handlers return int).
@@ -75,58 +81,55 @@ Budget* g_budget = nullptr;
 // in profile reports as the planner handoff.
 std::optional<CostModel> g_cost_model;
 
+// Command + parsed flags: a thin wrapper over the shared tools parser
+// (tools/arg_parse.h) keeping the call sites on the old Get/Has idiom.
 struct Args {
   std::string command;
-  std::map<std::string, std::string> flags;
+  tools::ParsedArgs parsed;
 
   const char* Get(const std::string& key,
                   const char* fallback = nullptr) const {
-    auto it = flags.find(key);
-    return it != flags.end() ? it->second.c_str() : fallback;
+    return parsed.Get(key, fallback);
   }
 
-  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  bool Has(const std::string& key) const { return parsed.Has(key); }
 };
 
 // Strict parse for the numeric limit flags: garbage must be an error, not
 // a silent 0 (= "limit off").
 bool ParseLimitFlag(const Args& args, const char* key, uint64_t* out) {
   const char* text = args.Get(key, "0");
-  char* end = nullptr;
-  unsigned long long value = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0') {
+  if (!tools::ParseUint64(text, out)) {
     std::fprintf(stderr, "qimap_cli: --%s expects a non-negative integer, "
                  "got '%s'\n", key, text);
     return false;
   }
-  *out = value;
   return true;
 }
 
-// Flags taking a value (--key=value or --key value) and boolean flags.
-const std::set<std::string>& ValueFlags() {
-  static const std::set<std::string> kFlags = {
-      "source",      "target",    "tgds",        "instance",
-      "reverse",     "mode",      "domain",      "max-facts",
-      "trace-out",   "metrics-out", "journal-out", "fact",
-      "format",      "explain-out", "threads",     "deadline-ms",
-      "max-memory-mb", "max-nulls", "max-steps",   "delta",
-      "profile-out"};
-  return kFlags;
-}
-
-const std::set<std::string>& BoolFlags() {
-  static const std::set<std::string> kFlags = {"verbose", "version", "help",
-                                               "incremental",
-                                               "solution-cache", "profile"};
-  return kFlags;
+// What qimap_cli accepts (report has its own spec, see RunReport).
+const tools::ArgSpec& CliSpec() {
+  static const tools::ArgSpec kSpec = [] {
+    tools::ArgSpec spec;
+    spec.value_flags = {
+        "source",        "target",      "tgds",        "instance",
+        "reverse",       "mode",        "domain",      "max-facts",
+        "trace-out",     "metrics-out", "journal-out", "fact",
+        "format",        "explain-out", "threads",     "deadline-ms",
+        "max-memory-mb", "max-nulls",   "max-steps",   "delta",
+        "profile-out",   "progress-out", "progress-interval", "ledger"};
+    spec.bool_flags = {"verbose", "version", "help",     "incremental",
+                       "solution-cache", "profile", "progress", "quiet"};
+    return spec;
+  }();
+  return kSpec;
 }
 
 int Usage() {
   std::fprintf(
       stderr,
       "usage: qimap_cli <chase|quasi-inverse|lav-quasi-inverse|inverse|"
-      "verify|roundtrip|analyze|explain> \\\n"
+      "verify|roundtrip|analyze|explain|report> \\\n"
       "         --source \"P/2\" --target \"Q/1\" --tgds \"P(x,y) -> "
       "Q(x)\" [options]\n"
       "options: --instance \"P(a,b)\"  --reverse \"Q(x) -> exists y: "
@@ -171,6 +174,22 @@ int Usage() {
       "           --journal-out FILE  write the provenance journal as "
       "JSONL\n"
       "           --verbose           debug logging on stderr\n"
+      "progress:  --progress          live heartbeat line on stderr "
+      "(TTY only;\n"
+      "             QIMAP_PROGRESS_FORCE_TTY=1 overrides; --quiet "
+      "suppresses)\n"
+      "           --progress-out FILE  stream heartbeats as JSONL\n"
+      "           --progress-interval N  steps between heartbeats "
+      "(default 4096)\n"
+      "ledger:    --ledger FILE       append this run's telemetry to the "
+      "JSONL run\n"
+      "             ledger (QIMAP_LEDGER env sets a default path)\n"
+      "           report list [--ledger FILE] [--command C] "
+      "[--fingerprint HEX]\n"
+      "           report diff [--ledger FILE] [--a N --b N]  diff two "
+      "ledger runs\n"
+      "             (default: the last two; exit 0 iff no telemetry "
+      "deltas)\n"
       "other:     --version           print the library version\n"
       "Flags accept both --key value and --key=value.\n");
   return 2;
@@ -197,52 +216,14 @@ void PrintBudgetSummary(const char* what, size_t count) {
                g_budget->UsageString().c_str());
 }
 
-// Parses argv[2..] into args->flags. Returns false (after printing a
+// Parses argv[2..] into args->parsed. Returns false (after printing a
 // diagnostic) on an unknown flag, a missing value, or a stray positional.
 bool ParseFlags(int argc, char** argv, Args* args) {
-  for (int i = 2; i < argc; ++i) {
-    const char* raw = argv[i];
-    if (std::strncmp(raw, "--", 2) != 0) {
-      std::fprintf(stderr,
-                   "qimap_cli: unexpected argument '%s' (flags start "
-                   "with --)\n",
-                   raw);
-      return false;
-    }
-    std::string key = raw + 2;
-    std::string value;
-    bool has_value = false;
-    size_t eq = key.find('=');
-    if (eq != std::string::npos) {
-      value = key.substr(eq + 1);
-      key = key.substr(0, eq);
-      has_value = true;
-    }
-    if (BoolFlags().count(key) > 0) {
-      if (has_value) {
-        std::fprintf(stderr, "qimap_cli: --%s takes no value\n",
-                     key.c_str());
-        return false;
-      }
-      args->flags[key] = "1";
-      continue;
-    }
-    if (ValueFlags().count(key) == 0) {
-      std::fprintf(stderr,
-                   "qimap_cli: unknown flag '--%s' (see --help for the "
-                   "flag list)\n",
-                   key.c_str());
-      return false;
-    }
-    if (!has_value) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "qimap_cli: --%s requires a value\n",
-                     key.c_str());
-        return false;
-      }
-      value = argv[++i];
-    }
-    args->flags[key] = std::move(value);
+  std::string error;
+  if (!tools::ParseArgs(argc, argv, 2, CliSpec(), &args->parsed, &error)) {
+    std::fprintf(stderr, "qimap_cli: %s (see --help for the flag list)\n",
+                 error.c_str());
+    return false;
   }
   return true;
 }
@@ -506,6 +487,174 @@ int RunAnalyze(const Args& args, const SchemaMapping& m) {
   return 0;
 }
 
+// --- report: list and diff the run ledger ---------------------------------
+
+bool ReadWholeFile(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+uint64_t RecordNumber(const obs::JsonValue& rec, const char* key) {
+  const obs::JsonValue* v = rec.Find(key);
+  return v != nullptr && v->IsNumber() ? static_cast<uint64_t>(v->number_value)
+                                       : 0;
+}
+
+std::string RecordString(const obs::JsonValue& rec, const char* key) {
+  const obs::JsonValue* v = rec.Find(key);
+  return v != nullptr && v->IsString() ? v->string_value : std::string();
+}
+
+// Loads and parses the JSONL ledger at `path`; exits via return code on
+// error. Every line must be a complete JSON object.
+int LoadLedgerRecords(const char* path, std::vector<obs::JsonValue>* out) {
+  std::string content;
+  if (!ReadWholeFile(path, &content)) {
+    std::fprintf(stderr, "qimap_cli: cannot read ledger '%s'\n", path);
+    return 1;
+  }
+  size_t pos = 0;
+  int lineno = 0;
+  while (pos < content.size()) {
+    size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) nl = content.size();
+    std::string line = content.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++lineno;
+    if (line.empty()) continue;
+    Result<obs::JsonValue> parsed = obs::ParseJson(line);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "qimap_cli: %s:%d: %s\n", path, lineno,
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    out->push_back(std::move(parsed).value());
+  }
+  return 0;
+}
+
+// `report list` / `report diff`: the ledger-backed longitudinal view.
+// Runs before any mapping flags are required — report takes no mapping.
+int RunReport(int argc, char** argv) {
+  std::string action = "list";
+  int begin = 2;
+  if (argc > 2 && std::strncmp(argv[2], "--", 2) != 0) {
+    action = argv[2];
+    begin = 3;
+  }
+  if (action != "list" && action != "diff") {
+    std::fprintf(stderr,
+                 "qimap_cli: report action must be 'list' or 'diff', got "
+                 "'%s'\n",
+                 action.c_str());
+    return 2;
+  }
+  tools::ArgSpec spec;
+  spec.value_flags = {"ledger", "command", "fingerprint", "a", "b"};
+  tools::ParsedArgs args;
+  std::string error;
+  if (!tools::ParseArgs(argc, argv, begin, spec, &args, &error)) {
+    std::fprintf(stderr, "qimap_cli: %s\n", error.c_str());
+    return 2;
+  }
+  const char* path = args.Get("ledger");
+  if (path == nullptr) path = std::getenv("QIMAP_LEDGER");
+  if (path == nullptr || *path == '\0') {
+    std::fprintf(stderr,
+                 "qimap_cli: report needs --ledger FILE (or the "
+                 "QIMAP_LEDGER environment variable)\n");
+    return 2;
+  }
+  std::vector<obs::JsonValue> records;
+  int load = LoadLedgerRecords(path, &records);
+  if (load != 0) return load;
+
+  if (action == "list") {
+    const char* want_command = args.Get("command");
+    const char* want_fp = args.Get("fingerprint");
+    size_t shown = 0;
+    for (const obs::JsonValue& rec : records) {
+      std::string command = RecordString(rec, "command");
+      std::string fp = RecordString(rec, "mapping_fingerprint");
+      if (want_command != nullptr && command != want_command) continue;
+      if (want_fp != nullptr && fp != want_fp) continue;
+      const obs::JsonValue* budget = rec.Find("budget");
+      std::string outcome =
+          budget != nullptr ? RecordString(*budget, "outcome") : "";
+      const obs::JsonValue* elapsed = rec.Find("elapsed_seconds");
+      std::printf("%4" PRIu64 "  %-18s exit=%-2" PRIu64 " budget=%-9s "
+                  "%8.3fs  map=%s\n",
+                  RecordNumber(rec, "seq"), command.c_str(),
+                  RecordNumber(rec, "exit_code"), outcome.c_str(),
+                  elapsed != nullptr ? elapsed->number_value : 0.0,
+                  fp.c_str());
+      ++shown;
+    }
+    std::printf("%zu of %zu ledger runs\n", shown, records.size());
+    return 0;
+  }
+
+  // diff: --a/--b select records by seq; default is the last two.
+  if (records.size() < 2 && (args.Get("a") == nullptr ||
+                             args.Get("b") == nullptr)) {
+    std::fprintf(stderr,
+                 "qimap_cli: report diff needs at least two ledger runs "
+                 "(have %zu)\n",
+                 records.size());
+    return 2;
+  }
+  uint64_t seq_a = records.size() >= 2
+                       ? RecordNumber(records[records.size() - 2], "seq")
+                       : 0;
+  uint64_t seq_b =
+      !records.empty() ? RecordNumber(records.back(), "seq") : 0;
+  for (const char* key : {"a", "b"}) {
+    const char* text = args.Get(key);
+    if (text == nullptr) continue;
+    uint64_t value = 0;
+    if (!tools::ParseUint64(text, &value)) {
+      std::fprintf(stderr,
+                   "qimap_cli: --%s expects a ledger seq number, got "
+                   "'%s'\n",
+                   key, text);
+      return 2;
+    }
+    (*key == 'a' ? seq_a : seq_b) = value;
+  }
+  const obs::JsonValue* rec_a = nullptr;
+  const obs::JsonValue* rec_b = nullptr;
+  for (const obs::JsonValue& rec : records) {
+    uint64_t seq = RecordNumber(rec, "seq");
+    if (seq == seq_a) rec_a = &rec;
+    if (seq == seq_b) rec_b = &rec;
+  }
+  if (rec_a == nullptr || rec_b == nullptr) {
+    std::fprintf(stderr,
+                 "qimap_cli: ledger '%s' has no run with seq %" PRIu64
+                 "\n",
+                 path, rec_a == nullptr ? seq_a : seq_b);
+    return 2;
+  }
+  std::vector<std::string> diffs = obs::DiffLedgerEntries(*rec_a, *rec_b);
+  std::printf("diff of runs %" PRIu64 " -> %" PRIu64 " (%s)\n", seq_a,
+              seq_b, path);
+  for (const std::string& line : diffs) {
+    std::printf("  %s\n", line.c_str());
+  }
+  if (diffs.empty()) {
+    std::printf("  no telemetry differences\n");
+    return 0;
+  }
+  std::printf("%zu difference(s)\n", diffs.size());
+  return 1;
+}
+
 int Dispatch(const Args& args, const SchemaMapping& m) {
   if (args.command == "chase") return RunChase(args, m);
   if (args.command == "quasi-inverse") return RunQuasiInverse(m, false);
@@ -528,6 +677,8 @@ int Main(int argc, char** argv) {
     Usage();
     return 0;
   }
+  // `report` works off the ledger alone: no mapping flags, no budget.
+  if (std::strcmp(argv[1], "report") == 0) return RunReport(argc, argv);
   Args args;
   args.command = argv[1];
   if (!ParseFlags(argc, argv, &args)) return 2;
@@ -579,6 +730,37 @@ int Main(int argc, char** argv) {
   // Resolved worker-thread count, stamped into every telemetry artifact.
   obs::SetRunThreads(std::atoi(args.Get("threads", "1")));
 
+  // Live heartbeats: --progress renders the stderr status line (TTY-aware,
+  // --quiet wins), --progress-out streams every snapshot as JSONL. Either
+  // one arms the emitter.
+  const char* progress_out = args.Get("progress-out");
+  bool progress_line = args.Has("progress") && !args.Has("quiet");
+  if (progress_line || progress_out != nullptr) {
+    uint64_t interval = 0;
+    const char* interval_text = args.Get("progress-interval", "4096");
+    if (!tools::ParseUint64(interval_text, &interval) || interval == 0) {
+      std::fprintf(stderr,
+                   "qimap_cli: --progress-interval expects a positive "
+                   "integer, got '%s'\n",
+                   interval_text);
+      return 2;
+    }
+    obs::ProgressConfig progress_config;
+    progress_config.interval = interval;
+    progress_config.stderr_line = progress_line;
+    if (progress_out != nullptr) progress_config.jsonl_path = progress_out;
+    obs::Progress::Configure(progress_config);
+    obs::Progress::Enable();
+  }
+
+  // Run ledger: --ledger (or the QIMAP_LEDGER environment variable) makes
+  // this run append its telemetry record on every exit path.
+  const char* ledger_path = args.Get("ledger");
+  if (ledger_path == nullptr) ledger_path = std::getenv("QIMAP_LEDGER");
+  bool ledger_on = ledger_path != nullptr && *ledger_path != '\0';
+  if (ledger_on) obs::Ledger::Enable();
+  auto run_start = std::chrono::steady_clock::now();
+
   const char* trace_out = args.Get("trace-out");
   const char* metrics_out = args.Get("metrics-out");
   const char* journal_out = args.Get("journal-out");
@@ -599,6 +781,8 @@ int Main(int argc, char** argv) {
   }
 
   int code;
+  uint64_t mapping_fp = 0;
+  uint64_t source_fp = 0;
   {
     Result<SchemaMapping> mapping = [&] {
       QIMAP_TRACE_SPAN("cli/parse");
@@ -608,6 +792,18 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", mapping.status().ToString().c_str());
       code = 2;
     } else {
+      if (ledger_on) {
+        // The ledger keys cross-run comparisons on what was run on what:
+        // the mapping fingerprint and (when given) the source instance's.
+        mapping_fp = DependencyFingerprint(mapping->tgds, *mapping->source,
+                                           *mapping->target);
+        const char* instance_text = args.Get("instance");
+        if (instance_text != nullptr) {
+          Result<Instance> inst =
+              ParseInstance(mapping->source, instance_text);
+          if (inst.ok()) source_fp = inst->Fingerprint();
+        }
+      }
       std::string span_name = "cli/" + args.command;
       QIMAP_TRACE_SPAN(span_name.c_str());
       code = Dispatch(args, *mapping);
@@ -663,6 +859,30 @@ int Main(int argc, char** argv) {
     if (!ok) {
       std::fprintf(stderr, "qimap_cli: cannot write journal to '%s'\n",
                    journal_out);
+      if (code == 0) code = 1;
+    }
+  }
+  // Flush the heartbeat stream so the final snapshot is on disk.
+  obs::Progress::CloseStream();
+
+  // The ledger record is appended last, after every telemetry file, so it
+  // summarizes the run exactly as the other artifacts saw it (including
+  // a failing exit code).
+  if (ledger_on) {
+    double elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count();
+    obs::LedgerEntry entry = obs::CollectLedgerEntry(
+        args.command, g_budget, code, elapsed_seconds);
+    entry.mapping_fingerprint = mapping_fp;
+    entry.source_fingerprint = source_fp;
+    if (g_cost_model.has_value()) {
+      entry.cost_model_json = g_cost_model->ToJson();
+    }
+    if (!obs::AppendToLedger(ledger_path, &entry)) {
+      std::fprintf(stderr, "qimap_cli: cannot append to ledger '%s'\n",
+                   ledger_path);
       if (code == 0) code = 1;
     }
   }

@@ -33,6 +33,15 @@
 //              sequential dependency ids, per-atom rows of the right
 //              length whose probe/scan/unify sums equal the per-
 //              dependency totals, and well-formed aggregate traceEvents
+//   --progress qimap_cli --progress-out JSONL: an optional leading
+//              `{"meta": ...}` header, then heartbeat objects with
+//              strictly increasing seq, a nonempty pipeline, numeric
+//              step/fact/null/fired/skipped counters, and at least one
+//              final heartbeat
+//   --ledger   run-ledger JSONL (qimap_cli --ledger): one record per
+//              line with dense 1-based seq, a nonempty command, the
+//              run-metadata stamp, a budget outcome, fingerprints, and
+//              a counters object
 // Journal files may start with a `{"meta": {...}}` header line (the run-
 // metadata stamp every writer emits); it is validated, not counted as an
 // event.
@@ -47,6 +56,7 @@
 #include <string>
 
 #include "obs/json.h"
+#include "arg_parse.h"
 
 namespace qimap {
 namespace {
@@ -619,14 +629,170 @@ bool CheckExplain(const char* path) {
   return true;
 }
 
+// Validates a qimap_cli --progress-out JSONL stream: an optional leading
+// `{"meta": ...}` header, then one heartbeat object per line with
+// strictly increasing seq, a nonempty pipeline, and the full numeric
+// counter set; the stream must contain at least one final heartbeat
+// (every observed run emits one from its destructor).
+bool CheckProgress(const char* path) {
+  std::string text;
+  if (!ReadFile(path, &text)) return Fail(path, "cannot read file");
+  uint64_t last_seq = 0;
+  bool saw_heartbeat = false;
+  bool saw_final = false;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    Result<obs::JsonValue> beat = obs::ParseJson(line);
+    if (!beat.ok()) {
+      return Fail(path, "line " + std::to_string(line_no) + ": " +
+                            beat.status().ToString());
+    }
+    std::string where = "line " + std::to_string(line_no);
+    if (!beat->IsObject()) return Fail(path, where + ": not an object");
+    const obs::JsonValue* meta = beat->Find("meta");
+    if (meta != nullptr && beat->Find("seq") == nullptr) {
+      // The run-metadata header line.
+      if (line_no != 1) {
+        return Fail(path, where + ": 'meta' header is only valid as the "
+                              "first line");
+      }
+      if (!CheckMetaObject(path, *meta, where.c_str())) return false;
+      continue;
+    }
+    const obs::JsonValue* seq = beat->Find("seq");
+    if (seq == nullptr || !seq->IsNumber() || seq->number_value < 1) {
+      return Fail(path, where + ": missing numeric 'seq' >= 1");
+    }
+    uint64_t seq_value = static_cast<uint64_t>(seq->number_value);
+    if (seq_value <= last_seq) {
+      return Fail(path, where + ": seq " + std::to_string(seq_value) +
+                            " is not strictly increasing (previous " +
+                            std::to_string(last_seq) + ")");
+    }
+    last_seq = seq_value;
+    const obs::JsonValue* pipeline = beat->Find("pipeline");
+    if (pipeline == nullptr || !pipeline->IsString() ||
+        pipeline->string_value.empty()) {
+      return Fail(path, where + ": missing string 'pipeline'");
+    }
+    const obs::JsonValue* final_flag = beat->Find("final");
+    if (final_flag == nullptr ||
+        final_flag->type != obs::JsonValue::Type::kBool) {
+      return Fail(path, where + ": missing boolean 'final'");
+    }
+    if (final_flag->bool_value) saw_final = true;
+    for (const char* key : {"steps", "facts", "nulls", "fired", "skipped",
+                            "total_estimate", "elapsed_us", "eta_us"}) {
+      double unused = 0;
+      if (!GetCount(path, *beat, key, where, &unused)) return false;
+    }
+    const obs::JsonValue* fraction = beat->Find("budget_fraction");
+    if (fraction == nullptr || !fraction->IsNumber() ||
+        fraction->number_value > 1.0) {
+      // -1 = no bounded budget; otherwise a consumed fraction in [0, 1].
+      return Fail(path, where + ": missing 'budget_fraction' <= 1");
+    }
+    saw_heartbeat = true;
+  }
+  if (!saw_heartbeat) return Fail(path, "stream has no heartbeats");
+  if (!saw_final) {
+    return Fail(path, "stream has no final heartbeat — no run completed");
+  }
+  return true;
+}
+
+// Validates a run-ledger JSONL file (qimap_cli --ledger): one record per
+// line with dense 1-based seq (AppendToLedger assigns them), a nonempty
+// command, the run-metadata stamp, a budget object with an outcome, both
+// fingerprints, and a counters object.
+bool CheckLedger(const char* path) {
+  std::string text;
+  if (!ReadFile(path, &text)) return Fail(path, "cannot read file");
+  uint64_t records = 0;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    Result<obs::JsonValue> record = obs::ParseJson(line);
+    if (!record.ok()) {
+      return Fail(path, "line " + std::to_string(line_no) + ": " +
+                            record.status().ToString());
+    }
+    std::string where = "line " + std::to_string(line_no);
+    if (!record->IsObject()) return Fail(path, where + ": not an object");
+    ++records;
+    const obs::JsonValue* seq = record->Find("seq");
+    if (seq == nullptr || !seq->IsNumber() ||
+        seq->number_value != static_cast<double>(records)) {
+      return Fail(path, where + ": 'seq' is not the dense 1-based " +
+                            std::to_string(records));
+    }
+    const obs::JsonValue* command = record->Find("command");
+    if (command == nullptr || !command->IsString() ||
+        command->string_value.empty()) {
+      return Fail(path, where + ": missing string 'command'");
+    }
+    const obs::JsonValue* meta = record->Find("meta");
+    if (meta == nullptr ||
+        !CheckMetaObject(path, *meta, where.c_str())) {
+      return meta == nullptr ? Fail(path, where + ": missing 'meta' stamp")
+                             : false;
+    }
+    for (const char* key : {"mapping_fingerprint", "source_fingerprint"}) {
+      const obs::JsonValue* fp = record->Find(key);
+      if (fp == nullptr || !fp->IsString() || fp->string_value.empty()) {
+        return Fail(path, where + ": missing string '" + key + "'");
+      }
+    }
+    const obs::JsonValue* budget = record->Find("budget");
+    if (budget == nullptr || !budget->IsObject()) {
+      return Fail(path, where + ": missing 'budget' object");
+    }
+    const obs::JsonValue* outcome = budget->Find("outcome");
+    if (outcome == nullptr || !outcome->IsString() ||
+        outcome->string_value.empty()) {
+      return Fail(path, where + ": 'budget' lacks a string 'outcome'");
+    }
+    for (const char* key : {"exit_code", "ts_us", "elapsed_seconds"}) {
+      const obs::JsonValue* value = record->Find(key);
+      if (value == nullptr || !value->IsNumber()) {
+        return Fail(path, where + ": missing numeric '" + key + "'");
+      }
+    }
+    const obs::JsonValue* counters = record->Find("counters");
+    if (counters == nullptr || !counters->IsObject()) {
+      return Fail(path, where + ": missing 'counters' object");
+    }
+    const obs::JsonValue* profile = record->Find("profile");
+    if (profile == nullptr || !profile->IsArray()) {
+      return Fail(path, where + ": missing 'profile' array");
+    }
+  }
+  if (records == 0) return Fail(path, "ledger has no records");
+  return true;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: telemetry_check [--trace FILE] [--metrics FILE] "
                "[--journal FILE] [--explain FILE]\n"
                "                       [--parallel FILE] [--budget FILE] "
                "[--incremental FILE] [--solcache FILE]\n"
-               "                       [--profile FILE] "
-               "[--compare FILE_A FILE_B]\n"
+               "                       [--profile FILE] [--progress FILE] "
+               "[--ledger FILE]\n"
+               "                       [--compare FILE_A FILE_B]\n"
                "       telemetry_check <trace.json> <metrics.json>\n");
   return 2;
 }
@@ -640,34 +806,47 @@ int Main(int argc, char** argv) {
     ok = CheckMetrics(argv[2]) && ok;
     checked = true;
   } else {
-    for (int i = 1; i < argc; i += 2) {
-      if (i + 1 >= argc) return Usage();
-      const char* flag = argv[i];
-      const char* file = argv[i + 1];
-      if (std::strcmp(flag, "--trace") == 0) {
+    // Every check is a repeatable `--flag FILE` pair, run in command-line
+    // order; --compare consumes two operands (tools/arg_parse.h).
+    tools::ArgSpec spec;
+    for (const char* name :
+         {"trace", "metrics", "journal", "explain", "parallel", "budget",
+          "incremental", "solcache", "profile", "progress", "ledger"}) {
+      spec.multi_value_flags[name] = 1;
+    }
+    spec.multi_value_flags["compare"] = 2;
+    tools::ParsedArgs args;
+    std::string error;
+    if (!tools::ParseArgs(argc, argv, 1, spec, &args, &error)) {
+      std::fprintf(stderr, "telemetry_check: %s\n", error.c_str());
+      return Usage();
+    }
+    for (const tools::ParsedArgs::Occurrence& occ : args.occurrences) {
+      const char* file = occ.values[0].c_str();
+      if (occ.flag == "trace") {
         ok = CheckTrace(file) && ok;
-      } else if (std::strcmp(flag, "--metrics") == 0) {
+      } else if (occ.flag == "metrics") {
         ok = CheckMetrics(file) && ok;
-      } else if (std::strcmp(flag, "--journal") == 0) {
+      } else if (occ.flag == "journal") {
         ok = CheckJournal(file) && ok;
-      } else if (std::strcmp(flag, "--explain") == 0) {
+      } else if (occ.flag == "explain") {
         ok = CheckExplain(file) && ok;
-      } else if (std::strcmp(flag, "--parallel") == 0) {
+      } else if (occ.flag == "parallel") {
         ok = CheckParallel(file) && ok;
-      } else if (std::strcmp(flag, "--budget") == 0) {
+      } else if (occ.flag == "budget") {
         ok = CheckBudget(file) && ok;
-      } else if (std::strcmp(flag, "--incremental") == 0) {
+      } else if (occ.flag == "incremental") {
         ok = CheckIncremental(file) && ok;
-      } else if (std::strcmp(flag, "--solcache") == 0) {
+      } else if (occ.flag == "solcache") {
         ok = CheckSolutionCache(file) && ok;
-      } else if (std::strcmp(flag, "--profile") == 0) {
+      } else if (occ.flag == "profile") {
         ok = CheckProfile(file) && ok;
-      } else if (std::strcmp(flag, "--compare") == 0) {
-        if (i + 2 >= argc) return Usage();
-        ok = CheckCompare(file, argv[i + 2]) && ok;
-        ++i;  // --compare consumes two operands
-      } else {
-        return Usage();
+      } else if (occ.flag == "progress") {
+        ok = CheckProgress(file) && ok;
+      } else if (occ.flag == "ledger") {
+        ok = CheckLedger(file) && ok;
+      } else if (occ.flag == "compare") {
+        ok = CheckCompare(file, occ.values[1].c_str()) && ok;
       }
       checked = true;
     }
