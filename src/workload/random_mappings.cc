@@ -118,17 +118,27 @@ void AppendRandomTgds(SchemaMapping* mp, Rng* rng,
 
 SchemaMapping RandomLavMapping(Rng* rng, size_t num_tgds) {
   RandomMappingConfig config;
-  config.max_lhs_atoms = 1;
   config.num_tgds = num_tgds;
-  return RandomMapping(rng, config);
+  return RandomLavMapping(rng, config);
+}
+
+SchemaMapping RandomLavMapping(Rng* rng, const RandomMappingConfig& config) {
+  RandomMappingConfig lav = config;
+  lav.max_lhs_atoms = 1;  // the LAV invariant; everything else is honored
+  return RandomMapping(rng, lav);
 }
 
 SchemaMapping RandomFullMapping(Rng* rng, size_t num_tgds) {
   RandomMappingConfig config;
   config.max_lhs_atoms = 2;
-  config.max_existential_vars = 0;
   config.num_tgds = num_tgds;
-  return RandomMapping(rng, config);
+  return RandomFullMapping(rng, config);
+}
+
+SchemaMapping RandomFullMapping(Rng* rng, const RandomMappingConfig& config) {
+  RandomMappingConfig full = config;
+  full.max_existential_vars = 0;  // the full invariant
+  return RandomMapping(rng, full);
 }
 
 Instance RandomGroundInstance(SchemaPtr schema,

@@ -28,8 +28,18 @@ SchemaMapping RandomMapping(Rng* rng, const RandomMappingConfig& config);
 /// Convenience: a random LAV mapping (single-atom lhs).
 SchemaMapping RandomLavMapping(Rng* rng, size_t num_tgds = 3);
 
+/// A random LAV mapping shaped by `config`. Every field is honored except
+/// `max_lhs_atoms`, which the LAV invariant pins to 1 — in particular
+/// `config.num_tgds` decides the dependency count, exactly like
+/// `RandomMapping`.
+SchemaMapping RandomLavMapping(Rng* rng, const RandomMappingConfig& config);
+
 /// Convenience: a random full mapping (no existential variables).
 SchemaMapping RandomFullMapping(Rng* rng, size_t num_tgds = 3);
+
+/// A random full mapping shaped by `config`. Every field is honored
+/// except `max_existential_vars`, which the full invariant pins to 0.
+SchemaMapping RandomFullMapping(Rng* rng, const RandomMappingConfig& config);
 
 /// Generates a random mapping between two *given* schemas (e.g. to chain
 /// mappings for composition sweeps: the second hop's source is the first

@@ -1,0 +1,379 @@
+#include "workload/scenario_gen.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dependency/parser.h"
+#include "relational/atom.h"
+#include "relational/homomorphism.h"
+
+namespace qimap {
+
+const char* ScenarioFamilyName(ScenarioFamily family) {
+  switch (family) {
+    case ScenarioFamily::kLav:
+      return "lav";
+    case ScenarioFamily::kGav:
+      return "gav";
+    case ScenarioFamily::kFull:
+      return "full";
+    case ScenarioFamily::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+const char* BodyTopologyName(BodyTopology topology) {
+  switch (topology) {
+    case BodyTopology::kChain:
+      return "chain";
+    case BodyTopology::kStar:
+      return "star";
+    case BodyTopology::kCycle:
+      return "cycle";
+  }
+  return "unknown";
+}
+
+Result<ScenarioFamily> ParseScenarioFamily(std::string_view name) {
+  for (ScenarioFamily family :
+       {ScenarioFamily::kLav, ScenarioFamily::kGav, ScenarioFamily::kFull,
+        ScenarioFamily::kMixed}) {
+    if (name == ScenarioFamilyName(family)) return family;
+  }
+  return Status::InvalidArgument("unknown scenario family '" +
+                                 std::string(name) +
+                                 "' (lav|gav|full|mixed)");
+}
+
+Result<BodyTopology> ParseBodyTopology(std::string_view name) {
+  for (BodyTopology topology :
+       {BodyTopology::kChain, BodyTopology::kStar, BodyTopology::kCycle}) {
+    if (name == BodyTopologyName(topology)) return topology;
+  }
+  return Status::InvalidArgument("unknown body topology '" +
+                                 std::string(name) + "' (chain|star|cycle)");
+}
+
+namespace {
+
+Value BodyVar(size_t i) {
+  return Value::MakeVariable("x" + std::to_string(i + 1));
+}
+
+Value ExistentialVar(size_t i) {
+  return Value::MakeVariable("y" + std::to_string(i + 1));
+}
+
+SchemaPtr RandomScenarioSchema(Rng* rng, const char* prefix, size_t count,
+                               uint32_t max_arity) {
+  Schema schema;
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t arity =
+        static_cast<uint32_t>(rng->UniformInt(1, static_cast<int>(max_arity)));
+    Result<RelationId> id =
+        schema.AddRelation(prefix + std::to_string(i + 1), arity);
+    (void)id;
+  }
+  return std::make_shared<const Schema>(std::move(schema));
+}
+
+// The effective knobs after the family invariant is applied.
+struct FamilyShape {
+  size_t body_atoms;
+  size_t fan_out;
+  size_t max_existential_vars;
+};
+
+FamilyShape ShapeFor(const ScenarioConfig& config) {
+  FamilyShape shape;
+  shape.body_atoms = std::max<size_t>(1, config.body_atoms);
+  shape.fan_out = std::max<size_t>(1, config.fan_out);
+  shape.max_existential_vars = config.max_existential_vars;
+  switch (config.family) {
+    case ScenarioFamily::kLav:
+      shape.body_atoms = 1;  // single-atom lhs
+      break;
+    case ScenarioFamily::kGav:
+      shape.fan_out = 1;  // single-atom rhs ...
+      shape.max_existential_vars = 0;  // ... and full
+      break;
+    case ScenarioFamily::kFull:
+      shape.max_existential_vars = 0;
+      break;
+    case ScenarioFamily::kMixed:
+      break;
+  }
+  return shape;
+}
+
+// Builds one lhs in the requested topology over a growing pool of body
+// variables. `pool` receives every variable minted; link positions wire
+// the topology, the remaining positions reuse the pool with probability
+// `density`% (shared-variable density) and mint fresh variables otherwise.
+Conjunction RandomBody(const SchemaMapping& m, Rng* rng,
+                       const ScenarioConfig& config, size_t body_atoms,
+                       std::vector<Value>* pool) {
+  Conjunction body;
+  auto fresh = [pool]() {
+    Value v = BodyVar(pool->size());
+    pool->push_back(v);
+    return v;
+  };
+  auto reuse_or_fresh = [&]() {
+    if (!pool->empty() && rng->Chance(config.shared_var_density, 100)) {
+      return (*pool)[rng->Uniform(pool->size())];
+    }
+    return fresh();
+  };
+  // The topology's backbone variables. `link_in` enters each atom;
+  // `link_out` is where the next atom picks up.
+  Value origin = fresh();  // x1: chain head / star hub / cycle anchor
+  Value link_in = origin;
+  for (size_t a = 0; a < body_atoms; ++a) {
+    RelationId r = static_cast<RelationId>(rng->Uniform(m.source->size()));
+    uint32_t arity = m.source->relation(r).arity;
+    bool last = a + 1 == body_atoms;
+    // An arity-1 atom has a slot for link_in only: the chain must pass
+    // *through* it (link_out = link_in) or the atoms after it would start
+    // a disconnected component.
+    Value link_out;
+    switch (config.topology) {
+      case BodyTopology::kChain:
+        link_out = (last || arity == 1) ? link_in : fresh();
+        break;
+      case BodyTopology::kStar:
+        link_in = origin;  // every atom touches the hub
+        link_out = arity > 1 ? fresh() : origin;
+        break;
+      case BodyTopology::kCycle:
+        if (arity == 1) {
+          link_out = link_in;  // cycle degrades to a through-link here
+        } else {
+          link_out = last ? origin : fresh();
+        }
+        break;
+    }
+    Atom atom{r, {}};
+    for (uint32_t i = 0; i < arity; ++i) {
+      if (i == 0) {
+        atom.args.push_back(link_in);
+      } else if (i == arity - 1 && arity > 1) {
+        atom.args.push_back(link_out);
+      } else {
+        atom.args.push_back(reuse_or_fresh());
+      }
+    }
+    body.push_back(std::move(atom));
+    link_in = link_out;
+  }
+  // Arity-1 atoms have no slot for their link variable, so a minted
+  // link_out can go unused. Re-derive the pool from the atoms actually
+  // built: the rhs must only draw variables the lhs really binds, or a
+  // full mapping would grow accidental existentials.
+  *pool = VariablesOf(body);
+  return body;
+}
+
+// Builds `fan_out` rhs atoms over the body variables plus a bounded pool
+// of existentials. Kept structurally parallel to
+// random_mappings.cc::AppendRandomTgds so the two generators stay one
+// idiom.
+Conjunction RandomHead(const SchemaMapping& m, Rng* rng, size_t fan_out,
+                       size_t max_existential_vars,
+                       const std::vector<Value>& body_pool) {
+  Conjunction head;
+  size_t existential_pool = 0;
+  for (size_t a = 0; a < fan_out; ++a) {
+    RelationId r = static_cast<RelationId>(rng->Uniform(m.target->size()));
+    Atom atom{r, {}};
+    uint32_t arity = m.target->relation(r).arity;
+    for (uint32_t i = 0; i < arity; ++i) {
+      bool use_existential = max_existential_vars > 0 && rng->Chance(1, 4);
+      if (use_existential) {
+        if (existential_pool < max_existential_vars && rng->Chance(1, 2)) {
+          ++existential_pool;
+        }
+        if (existential_pool > 0) {
+          atom.args.push_back(ExistentialVar(rng->Uniform(existential_pool)));
+          continue;
+        }
+      }
+      atom.args.push_back(body_pool[rng->Uniform(body_pool.size())]);
+    }
+    head.push_back(std::move(atom));
+  }
+  return head;
+}
+
+}  // namespace
+
+Scenario GenerateScenario(const ScenarioConfig& config, uint64_t seed,
+                          size_t num_facts) {
+  Rng rng(seed);  // the Rng itself remaps the zero seed
+  FamilyShape shape = ShapeFor(config);
+
+  Scenario scenario;
+  scenario.config = config;
+  scenario.seed = seed;
+  SchemaMapping& m = scenario.mapping;
+  m.source = RandomScenarioSchema(&rng, "S",
+                                  std::max<size_t>(1,
+                                                   config.num_source_relations),
+                                  std::max<uint32_t>(1, config.max_arity));
+  m.target = RandomScenarioSchema(&rng, "T",
+                                  std::max<size_t>(1,
+                                                   config.num_target_relations),
+                                  std::max<uint32_t>(1, config.max_arity));
+  for (size_t t = 0; t < std::max<size_t>(1, config.num_tgds); ++t) {
+    Tgd tgd;
+    std::vector<Value> pool;
+    tgd.lhs = RandomBody(m, &rng, config, shape.body_atoms, &pool);
+    tgd.rhs = RandomHead(m, &rng, shape.fan_out,
+                         shape.max_existential_vars, pool);
+    m.tgds.push_back(std::move(tgd));
+  }
+
+  // Matched source instance: every fact batch instantiates the lhs of one
+  // of the mapping's own dependencies with constants, so each batch is a
+  // guaranteed trigger. Facts are sampled directly (never enumerated), so
+  // the instance scales linearly to millions of facts. The constant
+  // domain grows with the request to keep the fact space from saturating.
+  Instance source(m.source);
+  if (num_facts > 0 && !m.tgds.empty()) {
+    size_t domain_size = std::max<size_t>(4, num_facts / 4);
+    auto constant = [&](size_t i) {
+      return Value::MakeConstant("c" + std::to_string(i + 1));
+    };
+    // Duplicate samples are possible; the attempt cap keeps generation
+    // linear even when the requested size nears the fact space.
+    size_t attempts = 4 * num_facts + 16;
+    while (source.NumFacts() < num_facts && attempts-- > 0) {
+      const Tgd& tgd = m.tgds[rng.Uniform(m.tgds.size())];
+      Assignment assignment;
+      for (const Value& v : VariablesOf(tgd.lhs)) {
+        assignment.emplace(v, constant(rng.Uniform(domain_size)));
+      }
+      for (const Atom& atom : ApplyAssignmentToConjunction(tgd.lhs,
+                                                           assignment)) {
+        Status status = source.AddFact(atom.relation, atom.args);
+        (void)status;
+      }
+    }
+  }
+  scenario.source = std::move(source);
+  return scenario;
+}
+
+std::string CorpusCaseToString(const Scenario& scenario) {
+  std::string out;
+  out += "# qimap corpus case\n";
+  out += "family: ";
+  out += ScenarioFamilyName(scenario.config.family);
+  out += "\ntopology: ";
+  out += BodyTopologyName(scenario.config.topology);
+  out += "\nseed: " + std::to_string(scenario.seed) + "\n";
+  out += "source: " + scenario.mapping.source->ToString() + "\n";
+  out += "target: " + scenario.mapping.target->ToString() + "\n";
+  out += "tgds:\n" + scenario.mapping.ToString();
+  out += "instance:\n";
+  // Rendered-text order, not Facts() order: the canonical (relation,
+  // tuple) order compares interned value ids, which depend on what the
+  // process interned first. Sorting the printed lines keeps the corpus
+  // bytes a pure function of the content, across runs and platforms.
+  std::vector<std::string> lines;
+  lines.reserve(scenario.source.NumFacts());
+  for (const Fact& fact : scenario.source.Facts()) {
+    lines.push_back(FactToString(*scenario.mapping.source, fact));
+  }
+  std::sort(lines.begin(), lines.end());
+  for (const std::string& line : lines) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Scenario> ParseCorpusCase(std::string_view text) {
+  Scenario scenario;
+  std::string source_decl, target_decl, tgds_text, instance_text;
+  enum class Section { kHeader, kTgds, kInstance } section = Section::kHeader;
+  size_t pos = 0;
+  auto strip = [](std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+      s.remove_prefix(1);
+    }
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                          s.back() == '\r')) {
+      s.remove_suffix(1);
+    }
+    return s;
+  };
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = strip(text.substr(pos, end - pos));
+    pos = end + 1;
+    if (line.empty() || line.front() == '#') {
+      if (pos > text.size()) break;
+      continue;
+    }
+    if (section == Section::kHeader) {
+      auto value_of = [&](std::string_view key) -> std::string_view {
+        return strip(line.substr(key.size()));
+      };
+      if (line.rfind("family:", 0) == 0) {
+        QIMAP_ASSIGN_OR_RETURN(scenario.config.family,
+                               ParseScenarioFamily(value_of("family:")));
+      } else if (line.rfind("topology:", 0) == 0) {
+        QIMAP_ASSIGN_OR_RETURN(scenario.config.topology,
+                               ParseBodyTopology(value_of("topology:")));
+      } else if (line.rfind("seed:", 0) == 0) {
+        std::string seed_text(value_of("seed:"));
+        char* parse_end = nullptr;
+        scenario.seed = std::strtoull(seed_text.c_str(), &parse_end, 10);
+        if (parse_end == seed_text.c_str() || *parse_end != '\0') {
+          return Status::InvalidArgument("corpus case: malformed seed '" +
+                                         seed_text + "'");
+        }
+      } else if (line.rfind("source:", 0) == 0) {
+        source_decl = std::string(value_of("source:"));
+      } else if (line.rfind("target:", 0) == 0) {
+        target_decl = std::string(value_of("target:"));
+      } else if (line == "tgds:") {
+        section = Section::kTgds;
+      } else {
+        return Status::InvalidArgument("corpus case: unexpected header '" +
+                                       std::string(line) + "'");
+      }
+    } else if (section == Section::kTgds) {
+      if (line == "instance:") {
+        section = Section::kInstance;
+      } else {
+        tgds_text += std::string(line) + "\n";
+      }
+    } else {
+      if (!instance_text.empty()) instance_text += ", ";
+      instance_text += std::string(line);
+    }
+    if (pos > text.size()) break;
+  }
+  if (source_decl.empty() || target_decl.empty()) {
+    return Status::InvalidArgument(
+        "corpus case: missing source:/target: declarations");
+  }
+  if (section == Section::kHeader) {
+    return Status::InvalidArgument("corpus case: missing tgds: section");
+  }
+  QIMAP_ASSIGN_OR_RETURN(scenario.mapping,
+                         ParseMapping(source_decl, target_decl, tgds_text));
+  QIMAP_ASSIGN_OR_RETURN(
+      scenario.source,
+      ParseInstance(scenario.mapping.source, instance_text));
+  return scenario;
+}
+
+}  // namespace qimap

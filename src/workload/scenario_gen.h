@@ -1,0 +1,93 @@
+#ifndef QIMAP_WORKLOAD_SCENARIO_GEN_H_
+#define QIMAP_WORKLOAD_SCENARIO_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "dependency/schema_mapping.h"
+#include "relational/instance.h"
+
+namespace qimap {
+
+/// The mapping classes the paper distinguishes (Section 3), as generator
+/// families: every emitted dependency set satisfies the family's
+/// structural invariant by construction (asserted by scenario_gen_test).
+enum class ScenarioFamily : uint8_t {
+  kLav = 0,    ///< single-atom lhs
+  kGav = 1,    ///< full with a single-atom rhs
+  kFull = 2,   ///< no existential variables
+  kMixed = 3,  ///< unconstrained joins and existentials
+};
+
+/// How the lhs atoms of one dependency share variables.
+enum class BodyTopology : uint8_t {
+  kChain = 0,  ///< A1(x0,x1) & A2(x1,x2) & ... — adjacent atoms linked
+  kStar = 1,   ///< A1(h,x1) & A2(h,x2) & ... — all atoms share a hub
+  kCycle = 2,  ///< a chain whose last atom links back to x0
+};
+
+const char* ScenarioFamilyName(ScenarioFamily family);
+const char* BodyTopologyName(BodyTopology topology);
+
+/// Strict name lookup ("lav", "gav", "full", "mixed"); InvalidArgument on
+/// anything else — a typo in a CI invocation must fail the leg.
+Result<ScenarioFamily> ParseScenarioFamily(std::string_view name);
+/// Strict name lookup ("chain", "star", "cycle").
+Result<BodyTopology> ParseBodyTopology(std::string_view name);
+
+/// Shape of one generated scenario. Every knob is honored for every
+/// family except where the family invariant overrides it (LAV pins the
+/// body to one atom; GAV pins the head to one atom and full families
+/// drop existentials).
+struct ScenarioConfig {
+  ScenarioFamily family = ScenarioFamily::kLav;
+  BodyTopology topology = BodyTopology::kChain;
+  size_t num_source_relations = 4;
+  size_t num_target_relations = 4;
+  uint32_t max_arity = 3;  ///< relation arities are drawn from [1, max]
+  size_t num_tgds = 4;
+  size_t body_atoms = 3;  ///< lhs atoms per dependency (non-LAV families)
+  size_t fan_out = 2;     ///< rhs atoms per dependency
+  /// Percentage chance that a free argument position reuses an existing
+  /// body variable instead of minting a fresh one (the topology's link
+  /// positions are always shared regardless).
+  uint32_t shared_var_density = 60;
+  size_t max_existential_vars = 2;  ///< LAV/mixed families only
+};
+
+/// One generated case: a mapping plus a matched source instance whose
+/// facts are lhs instantiations of the mapping's own dependencies, so the
+/// chase has real work on every case.
+struct Scenario {
+  SchemaMapping mapping;
+  /// Starts over an empty schema; re-bound to the generated source schema.
+  Instance source{std::make_shared<const Schema>()};
+  ScenarioConfig config;
+  uint64_t seed = 0;
+};
+
+/// Generates the scenario for `(config, seed)`. Deterministic: the same
+/// pair yields byte-identical renderings (mapping and instance), across
+/// runs and platforms — the seed contract docs/dsl.md documents and the
+/// committed golden fingerprints pin. `num_facts` scales the matched
+/// instance; generation is O(num_facts), so corpora of millions of facts
+/// are fine (facts are sampled directly, never enumerated).
+Scenario GenerateScenario(const ScenarioConfig& config, uint64_t seed,
+                          size_t num_facts);
+
+/// Renders the scenario as one self-contained corpus case file (the
+/// format qimap_gen writes and qimap_cli --case reads; see docs/dsl.md).
+std::string CorpusCaseToString(const Scenario& scenario);
+
+/// Parses a corpus case file back into a scenario. The header lines
+/// (family/topology/seed) are restored when present; the mapping and
+/// instance sections are required.
+Result<Scenario> ParseCorpusCase(std::string_view text);
+
+}  // namespace qimap
+
+#endif  // QIMAP_WORKLOAD_SCENARIO_GEN_H_

@@ -16,6 +16,7 @@
 #include "relational/instance_enum.h"
 #include "workload/paper_catalog.h"
 #include "workload/random_mappings.h"
+#include "random_testing.h"
 
 namespace qimap {
 namespace {
@@ -30,10 +31,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CrossSeededTest,
 // Theorem 4.7 constructions.
 TEST_P(CrossSeededTest, CheckersAgreeOnGeneralizedInverse) {
   Rng rng(GetParam() * 524287);
-  RandomMappingConfig config;
-  config.num_source_relations = 2;
-  config.num_target_relations = 2;
-  config.num_tgds = 2;
+  RandomMappingConfig config = SmallPairConfig();
   SchemaMapping m = RandomMapping(&rng, config);
   ReverseMapping rev = MustLavQuasiInverse(m);
   BoundedSpace space{MakeDomain({"a", "b"}), 1};
@@ -60,10 +58,7 @@ TEST_P(CrossSeededTest, CheckersAgreeOnGeneralizedInverse) {
 // ORIGINAL dependencies.
 TEST_P(CrossSeededTest, NormalizedQuasiInverseVerifiesAgainstOriginal) {
   Rng rng(GetParam() * 1299709);
-  RandomMappingConfig config;
-  config.num_source_relations = 2;
-  config.num_target_relations = 2;
-  config.num_tgds = 2;
+  RandomMappingConfig config = SmallPairConfig();
   config.max_rhs_atoms = 3;
   SchemaMapping m = RandomMapping(&rng, config);
   SchemaMapping normal = NormalizeMapping(m);

@@ -11,55 +11,17 @@
 #include "relational/instance.h"
 #include "relational/instance_enum.h"
 #include "workload/random_mappings.h"
+#include "random_testing.h"
 
 // Randomized differential test of the indexed chase hot path against the
 // naive full-scan oracle (`ChaseOptions::use_index = false`). The two
 // paths share everything above the matcher's candidate enumeration, so a
 // divergence pins the bug to the hash index or the index-informed join
-// order. 200+ seeded cases across the paper's mapping classes: LAV
-// (single-atom lhs, Proposition 3.11's setting), full (no existentials),
-// GAV-style (single-atom rhs, no existentials), and unconstrained mixed
-// shapes.
+// order. 200+ seeded cases across the paper's mapping classes
+// (StandardShapes in random_testing.h).
 
 namespace qimap {
 namespace {
-
-struct CaseShape {
-  const char* name;
-  RandomMappingConfig config;
-};
-
-std::vector<CaseShape> Shapes() {
-  std::vector<CaseShape> shapes;
-  {
-    RandomMappingConfig lav;  // defaults: max_lhs_atoms = 1
-    lav.num_tgds = 4;
-    shapes.push_back({"lav", lav});
-  }
-  {
-    RandomMappingConfig full;
-    full.max_lhs_atoms = 2;
-    full.max_existential_vars = 0;
-    full.num_tgds = 4;
-    shapes.push_back({"full", full});
-  }
-  {
-    RandomMappingConfig gav;
-    gav.max_lhs_atoms = 3;
-    gav.max_rhs_atoms = 1;
-    gav.max_existential_vars = 0;
-    shapes.push_back({"gav", gav});
-  }
-  {
-    RandomMappingConfig mixed;
-    mixed.max_lhs_atoms = 3;
-    mixed.max_rhs_atoms = 3;
-    mixed.max_existential_vars = 2;
-    mixed.num_tgds = 5;
-    shapes.push_back({"mixed", mixed});
-  }
-  return shapes;
-}
 
 // Runs one seeded case through both paths. The sorted trigger batches
 // make the outputs byte-identical, not merely homomorphically equivalent;
@@ -95,7 +57,7 @@ void RunCase(const CaseShape& shape, uint64_t seed, ChaseVariant variant) {
 TEST(DifferentialChaseTest, IndexedMatchesNaiveAcross200SeededCases) {
   // 4 shapes x 50 seeds = 200 cases, standard chase.
   size_t cases = 0;
-  for (const CaseShape& shape : Shapes()) {
+  for (const CaseShape& shape : StandardShapes()) {
     for (uint64_t seed = 1; seed <= 50; ++seed) {
       RunCase(shape, seed * 7919 + 17, ChaseVariant::kStandard);
       ++cases;
@@ -105,7 +67,7 @@ TEST(DifferentialChaseTest, IndexedMatchesNaiveAcross200SeededCases) {
 }
 
 TEST(DifferentialChaseTest, ObliviousVariantAgreesToo) {
-  for (const CaseShape& shape : Shapes()) {
+  for (const CaseShape& shape : StandardShapes()) {
     for (uint64_t seed = 1; seed <= 10; ++seed) {
       RunCase(shape, seed * 104729 + 3, ChaseVariant::kOblivious);
     }
@@ -113,7 +75,7 @@ TEST(DifferentialChaseTest, ObliviousVariantAgreesToo) {
 }
 
 TEST(DifferentialChaseTest, CoreVariantAgreesToo) {
-  for (const CaseShape& shape : Shapes()) {
+  for (const CaseShape& shape : StandardShapes()) {
     for (uint64_t seed = 1; seed <= 5; ++seed) {
       RunCase(shape, seed * 1299709 + 11, ChaseVariant::kCore);
     }

@@ -22,6 +22,7 @@
 #include "relational/instance_enum.h"
 #include "workload/paper_catalog.h"
 #include "workload/random_mappings.h"
+#include "random_testing.h"
 
 // Seeded exhaustion soak: 100 randomized mappings run under tight,
 // rotating budgets and deterministic fault plans, across 1/2/8 worker
@@ -101,8 +102,7 @@ void ExpectCleanBudgetFailure(const Status& status, const Budget& budget) {
 }
 
 TEST(FaultInjectionTest, GovernedChaseSoakAcrossThreadsParallel) {
-  RandomMappingConfig config;
-  config.max_lhs_atoms = 2;
+  RandomMappingConfig config = JoinedBodyConfig();
   config.max_rhs_atoms = 3;
   config.max_existential_vars = 2;
   config.num_tgds = 4;
@@ -170,10 +170,7 @@ TEST(FaultInjectionTest, GovernedChaseSoakAcrossThreadsParallel) {
 
 TEST(FaultInjectionTest, GovernedDisjunctiveChaseSoakParallel) {
   std::vector<Value> domain = MakeDomain({"a", "b", "c"});
-  RandomMappingConfig config;
-  config.num_source_relations = 2;
-  config.num_target_relations = 2;
-  config.num_tgds = 2;
+  RandomMappingConfig config = SmallPairConfig();
   size_t governed_trips = 0;
   for (uint64_t seed = 1; seed <= 20; ++seed) {
     Rng rng(seed * 104729 + 13);
@@ -393,10 +390,7 @@ TEST(FaultInjectionTest, GovernedPipelinesTripUnderEveryLimitKind) {
 }
 
 TEST(FaultInjectionTest, GovernedQuasiInverseLiftedRerunMatches) {
-  RandomMappingConfig config;
-  config.num_source_relations = 2;
-  config.num_target_relations = 2;
-  config.num_tgds = 2;
+  RandomMappingConfig config = SmallPairConfig();
   for (uint64_t seed = 1; seed <= 10; ++seed) {
     Rng rng(seed * 31 + 7);
     SchemaMapping m = RandomMapping(&rng, config);

@@ -12,6 +12,7 @@
 #include "relational/instance.h"
 #include "relational/instance_enum.h"
 #include "workload/random_mappings.h"
+#include "random_testing.h"
 
 // Randomized differential test of the incremental delta-chase against the
 // full-rechase oracle. Each case records a checkpoint chase of a base
@@ -19,47 +20,11 @@
 // rounds; after every round the checkpoint resume must be *byte-identical*
 // to chasing the grown instance from scratch — same facts, same null
 // labels, same fingerprint — at every thread count. The journal case
-// additionally requires the same provenance event sequence.
+// additionally requires the same provenance event sequence. The sweep
+// covers the paper's mapping classes (StandardShapes in random_testing.h).
 
 namespace qimap {
 namespace {
-
-struct CaseShape {
-  const char* name;
-  RandomMappingConfig config;
-};
-
-std::vector<CaseShape> Shapes() {
-  std::vector<CaseShape> shapes;
-  {
-    RandomMappingConfig lav;  // defaults: max_lhs_atoms = 1
-    lav.num_tgds = 4;
-    shapes.push_back({"lav", lav});
-  }
-  {
-    RandomMappingConfig full;
-    full.max_lhs_atoms = 2;
-    full.max_existential_vars = 0;
-    full.num_tgds = 4;
-    shapes.push_back({"full", full});
-  }
-  {
-    RandomMappingConfig gav;
-    gav.max_lhs_atoms = 3;
-    gav.max_rhs_atoms = 1;
-    gav.max_existential_vars = 0;
-    shapes.push_back({"gav", gav});
-  }
-  {
-    RandomMappingConfig mixed;
-    mixed.max_lhs_atoms = 3;
-    mixed.max_rhs_atoms = 3;
-    mixed.max_existential_vars = 2;
-    mixed.num_tgds = 5;
-    shapes.push_back({"mixed", mixed});
-  }
-  return shapes;
-}
 
 // One seeded case: a random mapping, a random growth schedule over a
 // random fact pool, and a checkpoint threaded through every round.
@@ -122,7 +87,7 @@ TEST(IncrementalChaseTest, ResumeMatchesFullRechaseAcross108SeededCases) {
   // 4 shapes x 9 seeds x 3 thread counts = 108 cases, 3 append rounds
   // each — 324 resume-vs-oracle comparisons.
   size_t cases = 0;
-  for (const CaseShape& shape : Shapes()) {
+  for (const CaseShape& shape : StandardShapes()) {
     for (uint64_t seed = 1; seed <= 9; ++seed) {
       for (size_t threads : {1u, 2u, 8u}) {
         RunCase(shape, seed * 7919 + 257, ChaseVariant::kStandard, threads);
@@ -134,7 +99,7 @@ TEST(IncrementalChaseTest, ResumeMatchesFullRechaseAcross108SeededCases) {
 }
 
 TEST(IncrementalChaseTest, ObliviousVariantAgreesToo) {
-  for (const CaseShape& shape : Shapes()) {
+  for (const CaseShape& shape : StandardShapes()) {
     for (uint64_t seed = 1; seed <= 4; ++seed) {
       RunCase(shape, seed * 104729 + 3, ChaseVariant::kOblivious, 2);
     }
@@ -142,7 +107,7 @@ TEST(IncrementalChaseTest, ObliviousVariantAgreesToo) {
 }
 
 TEST(IncrementalChaseTest, CoreVariantAgreesToo) {
-  for (const CaseShape& shape : Shapes()) {
+  for (const CaseShape& shape : StandardShapes()) {
     for (uint64_t seed = 1; seed <= 3; ++seed) {
       RunCase(shape, seed * 1299709 + 11, ChaseVariant::kCore, 2);
     }

@@ -8,6 +8,7 @@
 #include "relational/instance_enum.h"
 #include "workload/paper_catalog.h"
 #include "workload/random_mappings.h"
+#include "random_testing.h"
 
 namespace qimap {
 namespace {
@@ -62,8 +63,7 @@ TEST(NormalizeTest, LogicallyEquivalentAcrossCatalog) {
 TEST(NormalizeTest, LogicallyEquivalentOnRandomMappings) {
   for (uint64_t seed = 1; seed <= 15; ++seed) {
     Rng rng(seed * 131071);
-    RandomMappingConfig config;
-    config.max_lhs_atoms = 2;
+    RandomMappingConfig config = JoinedBodyConfig();
     config.max_rhs_atoms = 3;
     SchemaMapping m = RandomMapping(&rng, config);
     SchemaMapping normal = NormalizeMapping(m);

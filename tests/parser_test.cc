@@ -8,6 +8,7 @@
 #include "core/quasi_inverse.h"
 #include "workload/paper_catalog.h"
 #include "workload/random_mappings.h"
+#include "random_testing.h"
 
 namespace qimap {
 namespace {
@@ -125,8 +126,7 @@ TEST(ParserTest, PrimedVariablesAndRelations) {
 TEST(ParserRoundTripTest, RandomTgdsReparseIdentically) {
   for (uint64_t seed = 1; seed <= 25; ++seed) {
     Rng rng(seed * 2417);
-    RandomMappingConfig config;
-    config.max_lhs_atoms = 2;
+    RandomMappingConfig config = JoinedBodyConfig();
     config.max_arity = 3;
     SchemaMapping m = RandomMapping(&rng, config);
     for (const Tgd& tgd : m.tgds) {

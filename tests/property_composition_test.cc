@@ -11,6 +11,7 @@
 #include "relational/homomorphism.h"
 #include "relational/instance_enum.h"
 #include "workload/random_mappings.h"
+#include "random_testing.h"
 
 namespace qimap {
 namespace {
@@ -27,10 +28,7 @@ struct Pipeline {
 };
 
 Pipeline RandomPipeline(Rng* rng, bool full_first) {
-  RandomMappingConfig config12;
-  config12.num_source_relations = 2;
-  config12.num_target_relations = 2;
-  config12.num_tgds = 2;
+  RandomMappingConfig config12 = SmallPairConfig();
   config12.max_lhs_atoms = 2;
   config12.max_existential_vars = full_first ? 0 : 1;
   Pipeline pipeline;
@@ -102,10 +100,7 @@ TEST_P(ComposeSeededTest, SoChaseEqualsTwoStepChase) {
 // to homomorphic equivalence.
 TEST_P(ComposeSeededTest, IdentitySecondHopIsNeutral) {
   Rng rng(GetParam() * 110017);
-  RandomMappingConfig config;
-  config.num_source_relations = 2;
-  config.num_target_relations = 2;
-  config.num_tgds = 2;
+  RandomMappingConfig config = SmallPairConfig();
   SchemaMapping m12 = RandomMapping(&rng, config);
   // Identity hop: copy every target relation to a replica schema.
   Schema replica;

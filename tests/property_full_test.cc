@@ -16,6 +16,7 @@
 #include "relational/instance_enum.h"
 #include "workload/paper_catalog.h"
 #include "workload/random_mappings.h"
+#include "random_testing.h"
 
 namespace qimap {
 namespace {
@@ -32,10 +33,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FullSeededTest,
 // subset check.
 TEST_P(FullSeededTest, ConstantFreeOutputForFullMappings) {
   Rng rng(GetParam() * 48271);
-  RandomMappingConfig config;
-  config.num_source_relations = 2;
-  config.num_target_relations = 2;
-  config.num_tgds = 2;
+  RandomMappingConfig config = SmallPairConfig();
   config.max_lhs_atoms = 2;
   config.max_existential_vars = 0;  // full
   SchemaMapping m = RandomMapping(&rng, config);

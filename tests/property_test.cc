@@ -15,6 +15,7 @@
 #include "relational/homomorphism.h"
 #include "relational/instance_enum.h"
 #include "workload/random_mappings.h"
+#include "random_testing.h"
 
 namespace qimap {
 namespace {
@@ -49,8 +50,7 @@ TEST_P(SeededTest, ChaseYieldsUniversalSolution) {
 // Theorem 3.5) for arbitrary random mappings.
 TEST_P(SeededTest, SubsetImpliesSolutionContainment) {
   Rng rng(GetParam() * 977);
-  RandomMappingConfig config;
-  config.max_lhs_atoms = 2;
+  RandomMappingConfig config = JoinedBodyConfig();
   SchemaMapping m = RandomMapping(&rng, config);
   Instance i1 = RandomGroundInstance(m.source, MakeDomain({"a", "b"}), 2,
                                      &rng);
@@ -68,10 +68,7 @@ TEST_P(SeededTest, SubsetImpliesSolutionContainment) {
 // quasi-inverse verifies.
 TEST_P(SeededTest, RandomLavMappingQuasiInvertible) {
   Rng rng(GetParam() * 31337);
-  RandomMappingConfig config;
-  config.num_source_relations = 2;
-  config.num_target_relations = 2;
-  config.num_tgds = 2;
+  RandomMappingConfig config = SmallPairConfig();
   SchemaMapping m = RandomMapping(&rng, config);
   FrameworkChecker checker(m, {MakeDomain({"a", "b"}), 2});
   EXPECT_TRUE(checker.CheckSubsetProperty(EquivKind::kEquality,
@@ -90,10 +87,7 @@ TEST_P(SeededTest, RandomLavMappingQuasiInvertible) {
 // instances of random LAV mappings.
 TEST_P(SeededTest, QuasiInverseAlgorithmFaithfulOnRandomInstances) {
   Rng rng(GetParam() * 7919);
-  RandomMappingConfig config;
-  config.num_source_relations = 2;
-  config.num_target_relations = 2;
-  config.num_tgds = 2;
+  RandomMappingConfig config = SmallPairConfig();
   SchemaMapping m = RandomMapping(&rng, config);
   Result<ReverseMapping> rev = QuasiInverse(m);
   ASSERT_TRUE(rev.ok()) << m.ToString();

@@ -20,8 +20,33 @@ TEST(RandomMappingsTest, LavMappingsAreLav) {
     Rng rng(seed);
     SchemaMapping m = RandomLavMapping(&rng);
     EXPECT_TRUE(m.IsLav()) << "seed " << seed << "\n" << m.ToString();
-    EXPECT_EQ(m.tgds.size(), 3u);
+    EXPECT_EQ(m.tgds.size(), 3u);  // the documented default
   }
+}
+
+TEST(RandomMappingsTest, LavMappingsHonorNumTgds) {
+  // Regression: the LAV generator used to ignore the requested dependency
+  // count and always emit three.
+  for (size_t num_tgds : {1u, 2u, 5u}) {
+    Rng rng(17);
+    SchemaMapping m = RandomLavMapping(&rng, num_tgds);
+    EXPECT_TRUE(m.IsLav()) << m.ToString();
+    EXPECT_EQ(m.tgds.size(), num_tgds) << m.ToString();
+  }
+}
+
+TEST(RandomMappingsTest, LavConfigOverloadHonorsShape) {
+  RandomMappingConfig config;
+  config.num_source_relations = 5;
+  config.num_target_relations = 2;
+  config.num_tgds = 6;
+  config.max_lhs_atoms = 4;  // overridden: LAV pins the body to one atom
+  Rng rng(23);
+  SchemaMapping m = RandomLavMapping(&rng, config);
+  EXPECT_TRUE(m.IsLav()) << m.ToString();
+  EXPECT_EQ(m.tgds.size(), 6u);
+  EXPECT_EQ(m.source->size(), 5u);
+  EXPECT_EQ(m.target->size(), 2u);
 }
 
 TEST(RandomMappingsTest, FullMappingsAreFull) {
@@ -30,6 +55,26 @@ TEST(RandomMappingsTest, FullMappingsAreFull) {
     SchemaMapping m = RandomFullMapping(&rng);
     EXPECT_TRUE(m.IsFull()) << "seed " << seed << "\n" << m.ToString();
   }
+}
+
+TEST(RandomMappingsTest, FullMappingsHonorNumTgds) {
+  for (size_t num_tgds : {1u, 2u, 5u}) {
+    Rng rng(29);
+    SchemaMapping m = RandomFullMapping(&rng, num_tgds);
+    EXPECT_TRUE(m.IsFull()) << m.ToString();
+    EXPECT_EQ(m.tgds.size(), num_tgds) << m.ToString();
+  }
+}
+
+TEST(RandomMappingsTest, FullConfigOverloadPinsExistentials) {
+  RandomMappingConfig config;
+  config.num_tgds = 4;
+  config.max_lhs_atoms = 2;
+  config.max_existential_vars = 3;  // overridden: full pins this to 0
+  Rng rng(31);
+  SchemaMapping m = RandomFullMapping(&rng, config);
+  EXPECT_TRUE(m.IsFull()) << m.ToString();
+  EXPECT_EQ(m.tgds.size(), 4u);
 }
 
 TEST(RandomMappingsTest, ConfigShapesRespected) {

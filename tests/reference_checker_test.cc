@@ -4,6 +4,7 @@
 #include "relational/instance_enum.h"
 #include "workload/paper_catalog.h"
 #include "workload/random_mappings.h"
+#include "random_testing.h"
 
 namespace qimap {
 namespace {
@@ -67,10 +68,7 @@ TEST(ReferenceCheckerTest, AgreesWithFrameworkOnGeneralizedInverse) {
 TEST(ReferenceCheckerTest, DifferentialOnRandomLavMappings) {
   for (uint64_t seed = 1; seed <= 8; ++seed) {
     Rng rng(seed * 52433);
-    RandomMappingConfig config;
-    config.num_source_relations = 2;
-    config.num_target_relations = 2;
-    config.num_tgds = 2;
+    RandomMappingConfig config = SmallPairConfig();
     SchemaMapping m = RandomMapping(&rng, config);
     SimEquivalence sim(m);
     ReferenceChecker reference(m, {MakeDomain({"a", "b"}), 1});

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chase/chase_checkpoint.h"
+#include "dependency/parser.h"
+#include "dependency/schema_mapping.h"
+#include "relational/instance.h"
+#include "workload/scenario_gen.h"
+
+// Tests for the seeded scenario generator: family invariants hold by
+// construction, body topologies actually wire their joins, generation is
+// deterministic per (config, seed), every emitted mapping survives a DSL
+// round-trip, and the committed golden fingerprints pin the byte-level
+// output across refactors (regenerate with QIMAP_REGEN_GOLDEN=1).
+
+namespace qimap {
+namespace {
+
+std::vector<ScenarioFamily> AllFamilies() {
+  return {ScenarioFamily::kLav, ScenarioFamily::kGav, ScenarioFamily::kFull,
+          ScenarioFamily::kMixed};
+}
+
+std::vector<BodyTopology> AllTopologies() {
+  return {BodyTopology::kChain, BodyTopology::kStar, BodyTopology::kCycle};
+}
+
+ScenarioConfig ConfigFor(ScenarioFamily family, BodyTopology topology) {
+  ScenarioConfig config;
+  config.family = family;
+  config.topology = topology;
+  return config;
+}
+
+TEST(ScenarioGenTest, DeterministicPerSeed) {
+  for (ScenarioFamily family : AllFamilies()) {
+    ScenarioConfig config = ConfigFor(family, BodyTopology::kStar);
+    Scenario a = GenerateScenario(config, 42, 32);
+    Scenario b = GenerateScenario(config, 42, 32);
+    EXPECT_EQ(CorpusCaseToString(a), CorpusCaseToString(b))
+        << ScenarioFamilyName(family);
+    Scenario c = GenerateScenario(config, 43, 32);
+    EXPECT_NE(CorpusCaseToString(a), CorpusCaseToString(c))
+        << ScenarioFamilyName(family) << ": distinct seeds collided";
+  }
+}
+
+TEST(ScenarioGenTest, FamilyInvariantsHoldByConstruction) {
+  for (ScenarioFamily family : AllFamilies()) {
+    for (BodyTopology topology : AllTopologies()) {
+      for (uint64_t seed = 1; seed <= 25; ++seed) {
+        Scenario s =
+            GenerateScenario(ConfigFor(family, topology), seed, 8);
+        SCOPED_TRACE(std::string(ScenarioFamilyName(family)) + "/" +
+                     BodyTopologyName(topology) + " seed=" +
+                     std::to_string(seed) + "\n" + s.mapping.ToString());
+        ASSERT_FALSE(s.mapping.tgds.empty());
+        switch (family) {
+          case ScenarioFamily::kLav:
+            EXPECT_TRUE(s.mapping.IsLav());
+            break;
+          case ScenarioFamily::kGav:
+            EXPECT_TRUE(s.mapping.IsGav());
+            break;
+          case ScenarioFamily::kFull:
+            EXPECT_TRUE(s.mapping.IsFull());
+            break;
+          case ScenarioFamily::kMixed:
+            break;  // unconstrained by design
+        }
+      }
+    }
+  }
+}
+
+// The config knobs must be honored wherever the family invariant does not
+// override them.
+TEST(ScenarioGenTest, ShapeKnobsRespected) {
+  ScenarioConfig config = ConfigFor(ScenarioFamily::kFull,
+                                    BodyTopology::kChain);
+  config.num_source_relations = 5;
+  config.num_target_relations = 2;
+  config.num_tgds = 6;
+  config.body_atoms = 4;
+  config.fan_out = 3;
+  Scenario s = GenerateScenario(config, 7, 0);
+  EXPECT_EQ(s.mapping.source->size(), 5u);
+  EXPECT_EQ(s.mapping.target->size(), 2u);
+  EXPECT_EQ(s.mapping.tgds.size(), 6u);
+  for (const Tgd& tgd : s.mapping.tgds) {
+    EXPECT_EQ(tgd.lhs.size(), 4u) << s.mapping.ToString();
+    EXPECT_EQ(tgd.rhs.size(), 3u) << s.mapping.ToString();
+  }
+}
+
+// Variable-sharing graph over the lhs atoms: every topology must produce
+// a connected body (a disconnected "join" is a cross product, which none
+// of the three shapes describe).
+bool BodyIsConnected(const Conjunction& body) {
+  if (body.size() <= 1) return true;
+  std::vector<bool> reached(body.size(), false);
+  std::vector<size_t> stack = {0};
+  reached[0] = true;
+  while (!stack.empty()) {
+    size_t at = stack.back();
+    stack.pop_back();
+    std::set<Value> vars(body[at].args.begin(), body[at].args.end());
+    for (size_t other = 0; other < body.size(); ++other) {
+      if (reached[other]) continue;
+      for (const Value& v : body[other].args) {
+        if (vars.count(v) != 0) {
+          reached[other] = true;
+          stack.push_back(other);
+          break;
+        }
+      }
+    }
+  }
+  for (bool r : reached) {
+    if (!r) return false;
+  }
+  return true;
+}
+
+TEST(ScenarioGenTest, TopologiesProduceConnectedBodies) {
+  for (BodyTopology topology : AllTopologies()) {
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+      ScenarioConfig config = ConfigFor(ScenarioFamily::kMixed, topology);
+      config.body_atoms = 4;
+      // Only the always-shared link positions hold the body together when
+      // the density is zero — exactly what the topology promises.
+      config.shared_var_density = 0;
+      Scenario s = GenerateScenario(config, seed, 0);
+      for (const Tgd& tgd : s.mapping.tgds) {
+        EXPECT_TRUE(BodyIsConnected(tgd.lhs))
+            << BodyTopologyName(topology) << " seed=" << seed << "\n"
+            << s.mapping.ToString();
+      }
+    }
+  }
+}
+
+// rhs variables must all be bound in the lhs or be genuine existentials
+// within the family budget. Regression: arity-1 star hubs used to leave
+// an unused link variable in the reuse pool, which leaked into full-family
+// heads as accidental existentials.
+TEST(ScenarioGenTest, NoAccidentalExistentials) {
+  for (ScenarioFamily family :
+       {ScenarioFamily::kGav, ScenarioFamily::kFull}) {
+    for (BodyTopology topology : AllTopologies()) {
+      for (uint64_t seed = 1; seed <= 40; ++seed) {
+        ScenarioConfig config = ConfigFor(family, topology);
+        config.max_arity = 2;  // arity-1 atoms likely: the regression shape
+        Scenario s = GenerateScenario(config, seed, 0);
+        for (const Tgd& tgd : s.mapping.tgds) {
+          EXPECT_TRUE(tgd.ExistentialVariables().empty())
+              << ScenarioFamilyName(family) << "/"
+              << BodyTopologyName(topology) << " seed=" << seed << "\n"
+              << s.mapping.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(ScenarioGenTest, DslRoundTripEveryFamilyAcross50Seeds) {
+  for (ScenarioFamily family : AllFamilies()) {
+    for (uint64_t seed = 1; seed <= 50; ++seed) {
+      Scenario s = GenerateScenario(
+          ConfigFor(family, BodyTopology::kChain), seed, 0);
+      Result<SchemaMapping> reparsed = ParseMapping(
+          s.mapping.source->ToString(), s.mapping.target->ToString(),
+          s.mapping.ToString());
+      ASSERT_TRUE(reparsed.ok())
+          << ScenarioFamilyName(family) << " seed=" << seed << ": "
+          << reparsed.status().ToString() << "\n" << s.mapping.ToString();
+      EXPECT_EQ(reparsed->ToString(), s.mapping.ToString());
+      EXPECT_EQ(reparsed->source->ToString(), s.mapping.source->ToString());
+      EXPECT_EQ(reparsed->target->ToString(), s.mapping.target->ToString());
+    }
+  }
+}
+
+TEST(ScenarioGenTest, CorpusCaseRoundTrips) {
+  for (ScenarioFamily family : AllFamilies()) {
+    for (BodyTopology topology : AllTopologies()) {
+      Scenario s = GenerateScenario(ConfigFor(family, topology), 9, 12);
+      std::string text = CorpusCaseToString(s);
+      Result<Scenario> reparsed = ParseCorpusCase(text);
+      ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                                 << text;
+      EXPECT_EQ(reparsed->config.family, s.config.family);
+      EXPECT_EQ(reparsed->config.topology, s.config.topology);
+      EXPECT_EQ(reparsed->seed, s.seed);
+      EXPECT_EQ(CorpusCaseToString(*reparsed), text);
+      EXPECT_EQ(reparsed->source.Fingerprint(), s.source.Fingerprint());
+    }
+  }
+}
+
+TEST(ScenarioGenTest, InstanceScalesWithRequestedFacts) {
+  ScenarioConfig config = ConfigFor(ScenarioFamily::kMixed,
+                                    BodyTopology::kChain);
+  size_t previous = 0;
+  for (size_t facts : {0u, 16u, 256u, 4096u}) {
+    Scenario s = GenerateScenario(config, 5, facts);
+    EXPECT_TRUE(s.source.IsGround());
+    EXPECT_GE(s.source.NumFacts(), previous);
+    if (facts == 0) {
+      EXPECT_EQ(s.source.NumFacts(), 0u);
+    } else {
+      // Lhs instantiation adds up to body_atoms facts per batch, so the
+      // count can overshoot slightly; it must land in the right decade.
+      EXPECT_GE(s.source.NumFacts(), facts / 2) << facts;
+      EXPECT_LE(s.source.NumFacts(), facts + config.body_atoms) << facts;
+    }
+    previous = s.source.NumFacts();
+  }
+}
+
+TEST(ScenarioGenTest, ParseNamesAreStrict) {
+  EXPECT_TRUE(ParseScenarioFamily("lav").ok());
+  EXPECT_TRUE(ParseBodyTopology("cycle").ok());
+  EXPECT_FALSE(ParseScenarioFamily("LAV").ok());
+  EXPECT_FALSE(ParseScenarioFamily("gav ").ok());
+  EXPECT_FALSE(ParseScenarioFamily("").ok());
+  EXPECT_FALSE(ParseBodyTopology("ring").ok());
+}
+
+// Process-independent content hash of the rendered case. (Deliberately
+// not Instance::Fingerprint(), which hashes interned value ids and so
+// varies with what else the process interned first.)
+uint64_t Fnv1a(const std::string& text) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Golden fingerprints: one line per (family, topology) at a fixed seed,
+// pinning both the dependency set and the full rendered case bytes. A
+// deliberate generator change regenerates the file with
+//   QIMAP_REGEN_GOLDEN=1 ./qimap_tests --gtest_filter='*Golden*'
+// and commits the diff; an accidental change fails here first.
+TEST(ScenarioGenTest, GoldenFingerprintsStable) {
+  const std::string path =
+      std::string(QIMAP_TESTS_DIR) + "/golden/scenario_fingerprints.txt";
+  std::map<std::string, std::string> actual;
+  for (ScenarioFamily family : AllFamilies()) {
+    for (BodyTopology topology : AllTopologies()) {
+      Scenario s = GenerateScenario(ConfigFor(family, topology), 1234, 64);
+      std::string key = std::string(ScenarioFamilyName(family)) + "-" +
+                        BodyTopologyName(topology);
+      uint64_t mapping_fp = DependencyFingerprint(
+          s.mapping.tgds, *s.mapping.source, *s.mapping.target);
+      actual[key] = std::to_string(mapping_fp) + " " +
+                    std::to_string(Fnv1a(CorpusCaseToString(s)));
+    }
+  }
+  if (std::getenv("QIMAP_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << "# scenario generator fingerprints: family-topology "
+           "<dependency fp> <corpus text fnv1a>\n"
+           "# seed 1234, 64 facts, default ScenarioConfig knobs\n";
+    for (const auto& [key, value] : actual) {
+      out << key << " " << value << "\n";
+    }
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing " << path << " — run with QIMAP_REGEN_GOLDEN=1 once";
+  std::map<std::string, std::string> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key, mapping_fp, instance_fp;
+    fields >> key >> mapping_fp >> instance_fp;
+    golden[key] = mapping_fp + " " + instance_fp;
+  }
+  EXPECT_EQ(actual, golden)
+      << "generator output drifted from the committed goldens; if the "
+         "change is deliberate, regenerate with QIMAP_REGEN_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace qimap

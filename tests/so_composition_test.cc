@@ -8,6 +8,7 @@
 #include "relational/instance_enum.h"
 #include "workload/paper_catalog.h"
 #include "workload/random_mappings.h"
+#include "random_testing.h"
 
 namespace qimap {
 namespace {
@@ -48,8 +49,7 @@ TEST(SkolemizeTest, FullTgdsUnchangedUpToTerms) {
 TEST(SoChaseTest, AgreesWithStandardChaseUpToEquivalence) {
   for (uint64_t seed = 1; seed <= 15; ++seed) {
     Rng rng(seed * 10007);
-    RandomMappingConfig config;
-    config.max_lhs_atoms = 2;
+    RandomMappingConfig config = JoinedBodyConfig();
     SchemaMapping m = RandomMapping(&rng, config);
     SoMapping so = Skolemize(m);
     Instance i = RandomGroundInstance(m.source, MakeDomain({"a", "b", "c"}),

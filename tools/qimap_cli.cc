@@ -12,6 +12,11 @@
 //   explain            --instance "P(a,b)" [--fact "Q(a,b)"]
 //                      [--format tree|json] [--explain-out FILE]
 //                          derivation trees for the chase output
+//   contains           --contained-in "P(x,y,z) -> Q(x,y)"
+//                          decide Sigma subset-of Sigma' by the chase test
+//
+// `--case FILE` loads a qimap_gen corpus case (mapping + matched source
+// instance) instead of --source/--target/--tgds/--instance.
 //
 // Example:
 //   qimap_cli quasi-inverse --source "P/2" --target "Q/1"
@@ -36,6 +41,7 @@
 #include "chase/chase_checkpoint.h"
 #include "chase/solution_cache.h"
 #include "relational/cost_model.h"
+#include "core/containment.h"
 #include "core/framework.h"
 #include "core/inverse.h"
 #include "core/lav_quasi_inverse.h"
@@ -52,6 +58,7 @@
 #include "obs/run_meta.h"
 #include "obs/trace.h"
 #include "relational/instance_enum.h"
+#include "workload/scenario_gen.h"
 #include "arg_parse.h"
 
 // Like QIMAP_ASSIGN_OR_RETURN but reports to stderr and returns exit code
@@ -80,6 +87,11 @@ Budget* g_budget = nullptr;
 // on): the per-relation cardinality/selectivity summary that rides along
 // in profile reports as the planner handoff.
 std::optional<CostModel> g_cost_model;
+
+// The corpus case loaded by --case, supplying the mapping (and, for
+// commands that chase, the matched source instance) in place of the
+// --source/--target/--tgds/--instance flags.
+std::optional<Scenario> g_case;
 
 // Command + parsed flags: a thin wrapper over the shared tools parser
 // (tools/arg_parse.h) keeping the call sites on the old Get/Has idiom.
@@ -117,7 +129,8 @@ const tools::ArgSpec& CliSpec() {
         "trace-out",     "metrics-out", "journal-out", "fact",
         "format",        "explain-out", "threads",     "deadline-ms",
         "max-memory-mb", "max-nulls",   "max-steps",   "delta",
-        "profile-out",   "progress-out", "progress-interval", "ledger"};
+        "profile-out",   "progress-out", "progress-interval", "ledger",
+        "case",          "contained-in"};
     spec.bool_flags = {"verbose", "version", "help",     "incremental",
                        "solution-cache", "profile", "progress", "quiet"};
     return spec;
@@ -129,11 +142,15 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: qimap_cli <chase|quasi-inverse|lav-quasi-inverse|inverse|"
-      "verify|roundtrip|analyze|explain|report> \\\n"
+      "verify|roundtrip|analyze|explain|contains|report> \\\n"
       "         --source \"P/2\" --target \"Q/1\" --tgds \"P(x,y) -> "
       "Q(x)\" [options]\n"
       "options: --instance \"P(a,b)\"  --reverse \"Q(x) -> exists y: "
       "P(x,y)\"\n"
+      "         --case FILE         load a qimap_gen corpus case (mapping "
+      "+ matched\n"
+      "             source instance) instead of --source/--target/--tgds/"
+      "--instance\n"
       "         --mode quasi|inverse  --domain a,b  --max-facts 2\n"
       "         --threads N           chase worker threads (0 reads "
       "QIMAP_CHASE_THREADS)\n"
@@ -155,6 +172,11 @@ int Usage() {
       "a partial-result\n"
       "            summary on stderr; QIMAP_FAULT_PLAN=<site>:<nth>"
       "[:cancel] injects faults)\n"
+      "contains:  --contained-in \"P(x,y,z) -> Q(x,y)\"  decide whether "
+      "Sigma is\n"
+      "             contained in the given dependency set over the same "
+      "schemas\n"
+      "             (exit 0 = contained, 1 = not; containment.* counters)\n"
       "explain:   --fact \"Q(a,b)\"     explain one fact (default: every "
       "chase fact)\n"
       "           --format tree|json  stdout rendering (default tree)\n"
@@ -232,9 +254,20 @@ Result<SchemaMapping> LoadMapping(const Args& args) {
   const char* source = args.Get("source");
   const char* target = args.Get("target");
   const char* tgds = args.Get("tgds");
+  if (g_case.has_value()) {
+    // --case supplies the whole mapping; --tgds (alone) swaps the
+    // dependency set while keeping the case's schemas.
+    if (tgds != nullptr) {
+      SchemaMapping m = g_case->mapping;
+      QIMAP_ASSIGN_OR_RETURN(
+          m.tgds, ParseTgds(*m.source, *m.target, tgds));
+      return m;
+    }
+    return g_case->mapping;
+  }
   if (source == nullptr || target == nullptr || tgds == nullptr) {
     return Status::InvalidArgument(
-        "--source, --target, and --tgds are required");
+        "--source, --target, and --tgds are required (or --case FILE)");
   }
   return ParseMapping(source, target, tgds);
 }
@@ -251,11 +284,16 @@ BoundedSpace LoadSpace(const Args& args) {
 
 int RunChase(const Args& args, const SchemaMapping& m) {
   const char* text = args.Get("instance");
-  if (text == nullptr) {
-    std::fprintf(stderr, "chase requires --instance\n");
+  if (text == nullptr && !g_case.has_value()) {
+    std::fprintf(stderr, "chase requires --instance (or --case FILE)\n");
     return 2;
   }
-  QIMAP_ASSIGN_OR_RETURN_CLI(Instance i, ParseInstance(m.source, text));
+  Instance i(m.source);
+  if (text != nullptr) {
+    QIMAP_ASSIGN_OR_RETURN_CLI(i, ParseInstance(m.source, text));
+  } else {
+    i = g_case->source;
+  }
   ChaseOptions options = LoadChaseOptions(args);
   Instance partial(m.target);
   if (g_budget != nullptr) options.partial_out = &partial;
@@ -487,6 +525,42 @@ int RunAnalyze(const Args& args, const SchemaMapping& m) {
   return 0;
 }
 
+// Decides Sigma subset-of Sigma' (the Calì-Torlone containment test):
+// --contained-in gives Sigma' over the same schemas. Exit 0 when the
+// containment holds, 1 with the violated dependency and the ground
+// counterexample when it does not.
+int RunContains(const Args& args, const SchemaMapping& m) {
+  const char* super_text = args.Get("contained-in");
+  if (super_text == nullptr) {
+    std::fprintf(stderr, "contains requires --contained-in\n");
+    return 2;
+  }
+  SchemaMapping super;
+  super.source = m.source;
+  super.target = m.target;
+  QIMAP_ASSIGN_OR_RETURN_CLI(
+      super.tgds, ParseTgds(*m.source, *m.target, super_text));
+  ContainmentOptions options;
+  options.budget = g_budget;
+  options.num_threads =
+      static_cast<size_t>(std::atoi(args.Get("threads", "1")));
+  options.use_solution_cache = args.Has("solution-cache");
+  ContainmentReport partial;
+  if (g_budget != nullptr) options.partial_out = &partial;
+  Result<ContainmentReport> report = CheckContainment(m, super, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    PrintBudgetSummary("containment verdicts", partial.verdicts.size());
+    return 1;
+  }
+  std::printf("%s\n", report->Summary().c_str());
+  if (!report->holds && report->counterexample.has_value()) {
+    std::printf("counterexample source instance: %s\n",
+                report->counterexample->ToString().c_str());
+  }
+  return report->holds ? 0 : 1;
+}
+
 // --- report: list and diff the run ledger ---------------------------------
 
 bool ReadWholeFile(const char* path, std::string* out) {
@@ -664,6 +738,7 @@ int Dispatch(const Args& args, const SchemaMapping& m) {
   if (args.command == "roundtrip") return RunRoundTrip(args, m);
   if (args.command == "analyze") return RunAnalyze(args, m);
   if (args.command == "explain") return RunExplain(args, m);
+  if (args.command == "contains") return RunContains(args, m);
   return Usage();
 }
 
@@ -695,6 +770,24 @@ int Main(int argc, char** argv) {
     obs::InstallStatusLogging();
     obs::Log(obs::LogLevel::kDebug, "qimap %s, command '%s'",
              VersionString(), args.command.c_str());
+  }
+  // --case: load a qimap_gen corpus file before anything needs the
+  // mapping; LoadMapping and the chasing commands then read g_case.
+  const char* case_path = args.Get("case");
+  if (case_path != nullptr) {
+    std::string case_text;
+    if (!ReadWholeFile(case_path, &case_text)) {
+      std::fprintf(stderr, "qimap_cli: cannot read case file '%s'\n",
+                   case_path);
+      return 1;
+    }
+    Result<Scenario> parsed = ParseCorpusCase(case_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "qimap_cli: %s: %s\n", case_path,
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    g_case = std::move(parsed).value();
   }
   // Assemble the shared budget from the limit flags (0/absent means the
   // given limit is off) and the QIMAP_FAULT_PLAN environment variable.
@@ -802,6 +895,8 @@ int Main(int argc, char** argv) {
           Result<Instance> inst =
               ParseInstance(mapping->source, instance_text);
           if (inst.ok()) source_fp = inst->Fingerprint();
+        } else if (g_case.has_value()) {
+          source_fp = g_case->source.Fingerprint();
         }
       }
       std::string span_name = "cli/" + args.command;

@@ -29,6 +29,9 @@
 //              resumed from a checkpoint and replayed prior work
 //   --solcache metrics snapshot with a nonzero solcache.hits counter —
 //              proves the solution cache served a memoized result
+//   --containment  metrics snapshot with nonzero containment.runs and
+//              containment.tgds_checked counters — proves the mapping-
+//              containment oracle ran and decided dependencies
 //   --profile  qimap_cli --profile-out JSON: run-metadata stamp, dense
 //              sequential dependency ids, per-atom rows of the right
 //              length whose probe/scan/unify sums equal the per-
@@ -294,6 +297,32 @@ bool CheckSolutionCache(const char* path) {
     return Fail(path,
                 "no nonzero 'solcache.hits' counter — the solution cache "
                 "never served a result");
+  }
+  return true;
+}
+
+// A containment check (qimap_cli contains) flushes the containment.*
+// family: runs must be nonzero (the oracle ran) and tgds_checked nonzero
+// (it actually decided conclusion dependencies, not an empty Sigma').
+bool CheckContainment(const char* path) {
+  Result<obs::JsonValue> doc = obs::ParseJsonFile(path);
+  if (!doc.ok()) return Fail(path, doc.status().ToString());
+  const obs::JsonValue* counters = FindCounters(*doc);
+  if (counters == nullptr) {
+    return Fail(path, "no 'counters' object (top level or under 'metrics')");
+  }
+  const obs::JsonValue* runs = counters->Find("containment.runs");
+  if (runs == nullptr || !runs->IsNumber() || runs->number_value <= 0) {
+    return Fail(path,
+                "no nonzero 'containment.runs' counter — the containment "
+                "oracle never ran");
+  }
+  const obs::JsonValue* checked = counters->Find("containment.tgds_checked");
+  if (checked == nullptr || !checked->IsNumber() ||
+      checked->number_value <= 0) {
+    return Fail(path,
+                "no nonzero 'containment.tgds_checked' counter — the "
+                "oracle decided no conclusion dependencies");
   }
   return true;
 }
@@ -790,8 +819,8 @@ int Usage() {
                "[--journal FILE] [--explain FILE]\n"
                "                       [--parallel FILE] [--budget FILE] "
                "[--incremental FILE] [--solcache FILE]\n"
-               "                       [--profile FILE] [--progress FILE] "
-               "[--ledger FILE]\n"
+               "                       [--containment FILE] [--profile "
+               "FILE] [--progress FILE] [--ledger FILE]\n"
                "                       [--compare FILE_A FILE_B]\n"
                "       telemetry_check <trace.json> <metrics.json>\n");
   return 2;
@@ -811,7 +840,8 @@ int Main(int argc, char** argv) {
     tools::ArgSpec spec;
     for (const char* name :
          {"trace", "metrics", "journal", "explain", "parallel", "budget",
-          "incremental", "solcache", "profile", "progress", "ledger"}) {
+          "incremental", "solcache", "containment", "profile", "progress",
+          "ledger"}) {
       spec.multi_value_flags[name] = 1;
     }
     spec.multi_value_flags["compare"] = 2;
@@ -839,6 +869,8 @@ int Main(int argc, char** argv) {
         ok = CheckIncremental(file) && ok;
       } else if (occ.flag == "solcache") {
         ok = CheckSolutionCache(file) && ok;
+      } else if (occ.flag == "containment") {
+        ok = CheckContainment(file) && ok;
       } else if (occ.flag == "profile") {
         ok = CheckProfile(file) && ok;
       } else if (occ.flag == "progress") {
