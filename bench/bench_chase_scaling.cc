@@ -14,6 +14,7 @@
 #include "relational/instance_enum.h"
 #include "workload/paper_catalog.h"
 #include "workload/random_mappings.h"
+#include "workload/scenario_gen.h"
 
 namespace qimap {
 
@@ -202,6 +203,150 @@ void RunIncrementalPhase(bench::JsonReporter& reporter) {
   bench::Verdict(identical && last_stats.resumed && speedup >= 3.0);
 }
 
+// Corpus-scale phase for the columnar store: a million-fact LAV corpus
+// from the scenario generator (the same engine behind qimap_gen — the
+// (config, seed) pair pins the corpus byte-for-byte) chased through the
+// per-column posting lists. This is the ROADMAP #4 remainder: the other
+// benches stress shapes, none stressed size, so the store's O(1)
+// distinct stats and full-tuple dedup slot table were never measured at
+// the scale service mode cares about.
+void RunScaledCorpusPhase(bench::JsonReporter& reporter) {
+  bench::Banner("P1c", "Columnar store at corpus scale (million facts)");
+  ScenarioConfig config;
+  config.family = ScenarioFamily::kLav;
+  config.topology = BodyTopology::kChain;
+  config.num_source_relations = 6;
+  config.num_target_relations = 6;
+  config.max_arity = 3;
+  config.num_tgds = 6;
+  config.fan_out = 2;
+  config.max_existential_vars = 2;
+  constexpr size_t kFacts = 1000000;
+  Scenario scenario = GenerateScenario(config, /*seed=*/312, kFacts);
+  ChaseOptions options;
+  options.max_steps = 1u << 24;  // a million-fact corpus outgrows the
+                                 // default step valve
+  ChaseStats stats;
+  size_t target_facts = 0;
+  double seconds = 0;
+  {
+    auto start = std::chrono::steady_clock::now();
+    bench::JsonReporter::ScopedPhase phase(reporter, "million_fact_corpus");
+    Result<Instance> chased =
+        Chase(scenario.source, scenario.mapping, options, &stats);
+    seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (!chased.ok()) {
+      bench::Row("million-fact chase", "completes", "FAILED");
+      bench::Verdict(false);
+      return;
+    }
+    target_facts = chased->NumFacts();
+  }
+  char throughput[64];
+  std::snprintf(throughput, sizeof(throughput), "%.0f facts/s",
+                seconds > 0 ? static_cast<double>(stats.facts_added) / seconds
+                            : 0.0);
+  bench::Row("source facts", "1000000",
+             std::to_string(scenario.source.NumFacts()));
+  bench::Row("target facts derived", "> source",
+             std::to_string(target_facts));
+  bench::Row("chase throughput", "-", throughput);
+  bench::Verdict(scenario.source.NumFacts() == kFacts &&
+                 target_facts >= kFacts);
+}
+
+// Sharded-firing phases: eight independent dependency groups, each with
+// a seeding copy rule and a satisfaction-heavy rule whose rhs check must
+// reject every seeded candidate row before finding (or failing to find)
+// its witness — so pass-1 firing, the part the shard plan parallelizes,
+// dominates the run. The 1-thread run is the pre-pool serial path; the
+// 4-thread run fires the eight shards on the pool and must produce the
+// byte-identical instance. (On a single-core host the two runs measure
+// the same work plus shard overhead; the wall-time win needs real
+// cores.)
+void RunShardedFiringPhases(bench::JsonReporter& reporter) {
+  bench::Banner("P1d", "Sharded parallel firing, 1 vs 4 threads");
+  constexpr int kGroups = 8;
+  constexpr int kSeedRows = 500;    // rejected candidates per rhs check
+  constexpr int kTriggers = 2000;   // satisfaction checks per group
+  std::string source_schema, target_schema, tgds;
+  for (int k = 1; k <= kGroups; ++k) {
+    std::string n = std::to_string(k);
+    if (k > 1) {
+      source_schema += ", ";
+      target_schema += ", ";
+      tgds += "; ";
+    }
+    source_schema += "S" + n + "/3, P" + n + "/2";
+    target_schema += "T" + n + "/3";
+    tgds += "S" + n + "(x,u,v) -> T" + n + "(x,u,v); P" + n +
+            "(x,y) -> exists w: T" + n + "(x,w,w)";
+  }
+  SchemaMapping m = MustParseMapping(source_schema, target_schema, tgds);
+  Instance source(m.source);
+  Value hub = Value::MakeConstant("hub");
+  for (int k = 1; k <= kGroups; ++k) {
+    std::string sk = "S" + std::to_string(k);
+    std::string pk = "P" + std::to_string(k);
+    for (int j = 0; j < kSeedRows; ++j) {
+      // e<j> != f<j>: no seeded row ever witnesses T(x,w,w).
+      Status s = source.AddFact(
+          sk, {hub, Value::MakeConstant("e" + std::to_string(j)),
+               Value::MakeConstant("f" + std::to_string(j))});
+      (void)s;
+    }
+    for (int i = 0; i < kTriggers; ++i) {
+      Status s = source.AddFact(
+          pk, {hub, Value::MakeConstant("b" + std::to_string(i))});
+      (void)s;
+    }
+  }
+  {
+    // Untimed warm-up: touch every page and warm the allocator so the
+    // first timed phase is not penalized for running first.
+    ChaseOptions options;
+    options.num_threads = 1;
+    benchmark::DoNotOptimize(MustChase(source, m, options).NumFacts());
+  }
+  std::string fired_1t, fired_4t;
+  double seconds_1t = 0, seconds_4t = 0;
+  {
+    auto start = std::chrono::steady_clock::now();
+    bench::JsonReporter::ScopedPhase phase(reporter, "sharded_fire_1t");
+    ChaseOptions options;
+    options.num_threads = 1;
+    fired_1t = MustChase(source, m, options).ToString();
+    seconds_1t =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  }
+  {
+    auto start = std::chrono::steady_clock::now();
+    bench::JsonReporter::ScopedPhase phase(reporter, "sharded_fire_4t");
+    ChaseOptions options;
+    options.num_threads = 4;
+    fired_4t = MustChase(source, m, options).ToString();
+    seconds_4t =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  }
+  bool identical = fired_1t == fired_4t;
+  char ratio[64];
+  std::snprintf(ratio, sizeof(ratio), "%.2fx (%.3fs vs %.3fs)",
+                seconds_4t > 0 ? seconds_1t / seconds_4t : 0.0, seconds_1t,
+                seconds_4t);
+  bench::Row("4-thread output == 1-thread output", "identical",
+             bench::YesNo(identical));
+  bench::Row("sharded speedup (1t / 4t wall time)", "> 1x on multicore",
+             ratio);
+  bench::Verdict(identical);
+}
+
 }  // namespace qimap
 
 int main(int argc, char** argv) {
@@ -213,6 +358,8 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   qimap::RunIncrementalPhase(reporter);
+  qimap::RunScaledCorpusPhase(reporter);
+  qimap::RunShardedFiringPhases(reporter);
   reporter.Write();
   return 0;
 }

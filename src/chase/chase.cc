@@ -6,6 +6,7 @@
 #include "base/budget.h"
 #include "base/thread_pool.h"
 #include "chase/chase_checkpoint.h"
+#include "chase/shard_plan.h"
 #include "chase/trigger_finder.h"
 #include "obs/budget_obs.h"
 #include "obs/journal.h"
@@ -301,10 +302,101 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
     st.facts_added = ckpt->totals.facts_added;
   }
 
+  // Phase 1.5 — hash-sharded parallel firing. The satisfaction searches
+  // are the expensive part of the fire loop, and they have bounded reach:
+  // a dependency's rhs search reads exactly the relations its rhs atoms
+  // name, and those relations are written only by dependencies of the
+  // same shard (connected components of the shared-rhs-relation graph).
+  // So each shard replays its own deps' triggers — in the same relative
+  // order the serial loop would — into a *private* instance on a pool
+  // thread, minting provisional null labels from a shard-local arena that
+  // starts at `null_base`. The shard instance is isomorphic to the serial
+  // target restricted to the shard's relations at every corresponding
+  // point (an injective provisional->final null relabeling that fixes the
+  // trigger's source-valued image), so each search visits the same
+  // candidate rows in the same order, returns the same outcome, and
+  // emits the same hom.* / chase.index.* counter deltas as the serial
+  // run. Phase 2 then consumes the precomputed outcomes instead of
+  // searching, and everything order-dependent — final null labels,
+  // journal events, fact insertion order, budget ticks, fingerprints —
+  // is produced serially exactly as before, byte-identical at every
+  // thread count. Only the chase.parallel.* counters (exempt from the
+  // telemetry compare) reveal that sharding engaged.
+  //
+  // Engagement is conservative: a plain full chase only (no resume, no
+  // checkpoint recording, no shared budget, no partial hand-back — those
+  // paths interleave outcome decisions with serial state), at least two
+  // pool threads and two shards, and a step valve the merged batch
+  // cannot trip (a mid-merge ResourceExhausted would make the pass-1
+  // search counters diverge from a serial run's truncated counters).
+  std::vector<std::vector<uint8_t>> shard_outcomes;
+  bool sharded = false;
+  if (overflow.ok() && !resume && !record &&
+      options.variant != ChaseVariant::kOblivious &&
+      options.budget == nullptr && options.partial_out == nullptr &&
+      pool.num_threads() >= 2) {
+    size_t total_triggers = 0;
+    for (const std::vector<MergedTrigger>& m : merged) {
+      total_triggers += m.size();
+    }
+    ShardPlan plan =
+        PlanFiringShards(tgds, target_inst.schema()->size());
+    if (plan.num_shards >= 2 &&
+        (options.max_steps == 0 || total_triggers <= options.max_steps)) {
+      sharded = true;
+      static const obs::MetricId kShardRuns =
+          obs::RegisterCounter("chase.parallel.shard_batches");
+      static const obs::MetricId kShards =
+          obs::RegisterCounter("chase.parallel.shards");
+      static const obs::MetricId kShardTriggers =
+          obs::RegisterCounter("chase.parallel.shard_triggers");
+      obs::CounterAdd(kShardRuns);
+      obs::CounterAdd(kShards, plan.num_shards);
+      obs::CounterAdd(kShardTriggers, total_triggers);
+      shard_outcomes.resize(tgds.size());
+      for (size_t d = 0; d < tgds.size(); ++d) {
+        shard_outcomes[d].resize(merged[d].size());
+      }
+      pool.ParallelFor(plan.num_shards, [&](size_t s) {
+        Instance shard_inst(target_inst.schema());
+        uint32_t shard_null = null_base;
+        HomSearchOptions rhs_options;
+        rhs_options.use_index = options.use_index;
+        for (uint32_t d : plan.shard_deps[s]) {
+          const Tgd& tgd = tgds[d];
+          const std::vector<Value> existentials =
+              tgd.ExistentialVariables();
+          const uint32_t prof_dep =
+              profiled ? prof_deps[d] : obs::kProfileNoDep;
+          obs::ProfiledDepScope prof_scope(prof_dep,
+                                           obs::ProfilePhase::kFire);
+          for (size_t t = 0; t < merged[d].size(); ++t) {
+            const Assignment& h = *merged[d][t].h;
+            bool fire =
+                !FindHomomorphism(tgd.rhs, shard_inst, h, rhs_options)
+                     .has_value();
+            shard_outcomes[d][t] = fire ? 1 : 0;
+            if (!fire) continue;
+            Assignment extended = h;
+            for (const Value& y : existentials) {
+              extended.emplace(y, Value::MakeNull(shard_null++));
+            }
+            for (const Atom& atom :
+                 ApplyAssignmentToConjunction(tgd.rhs, extended)) {
+              Status status = shard_inst.AddFact(atom.relation, atom.args);
+              (void)status;  // target schema: cannot fail
+            }
+          }
+        }
+      });
+    }
+  }
+
   // Phase 2 — fire serially in (dependency, canonical match) order. The
   // satisfaction check reads the growing target instance, and fresh-null
   // labels and journal records depend on firing order, so this phase
-  // stays single-threaded by design.
+  // stays single-threaded by design; after a sharded pass 1 it consumes
+  // the precomputed outcomes and does no searching at all.
   //
   // Replay discipline (slow resume): a recorded SKIP stays a skip — the
   // target only gains facts relative to the recorded run (up to an
@@ -340,7 +432,9 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
     const uint32_t prof_dep =
         profiled ? prof_deps[dep_index] : obs::kProfileNoDep;
     obs::ProfiledDepScope prof_scope(prof_dep, obs::ProfilePhase::kFire);
-    for (const MergedTrigger& mt : merged[dep_index]) {
+    for (size_t trig_index = 0; trig_index < merged[dep_index].size();
+         ++trig_index) {
+      const MergedTrigger& mt = merged[dep_index][trig_index];
       const Assignment& h = *mt.h;
       Status tick = guard.Tick();
       if (!tick.ok()) {
@@ -362,7 +456,11 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
       // their recorded outcome when the replay discipline allows.
       bool fire = true;
       if (options.variant != ChaseVariant::kOblivious) {
-        if (mt.prov == Provenance::kOldSkipped && !diverged) {
+        if (sharded) {
+          // Pass 1 already ran this trigger's satisfaction search on its
+          // shard's private instance; replay the outcome.
+          fire = shard_outcomes[dep_index][trig_index] != 0;
+        } else if (mt.prov == Provenance::kOldSkipped && !diverged) {
           fire = false;
           ++st.checks_skipped;
         } else if (mt.prov == Provenance::kOldFired && !diverged &&

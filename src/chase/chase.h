@@ -40,16 +40,23 @@ struct ChaseOptions {
   /// terminate; this guards against misuse).
   size_t max_steps = 1u << 20;
   /// If true (default), trigger finding joins lhs atoms through the
-  /// instance's first-column hash index. If false, every atom is matched
-  /// by a full relation scan — the naive oracle the differential tests
-  /// compare against. Both settings produce identical chase output
+  /// instance's per-column posting lists (every column is indexed; the
+  /// matcher probes the smallest determined-column list, and ground atoms
+  /// collapse to one full-tuple hash lookup). If false, every atom is
+  /// matched by a full relation scan — the naive oracle the differential
+  /// tests compare against. Both settings produce identical chase output
   /// (trigger batches are canonically sorted before firing).
   bool use_index = true;
-  /// Worker threads for trigger collection (per-dependency fan-out).
-  /// 1 (default) runs fully inline, exactly as before the pool existed;
-  /// 0 reads the `QIMAP_CHASE_THREADS` environment variable (defaulting
-  /// to 1). Output is identical for every thread count: collection is
-  /// side-effect-free and firing stays serial, in canonical order.
+  /// Worker threads for the chase's two parallel phases: trigger
+  /// collection (per-dependency fan-out) and, on plain full runs, sharded
+  /// firing — dependencies grouped by shared rhs relations fire into
+  /// per-shard private instances with shard-local provisional null
+  /// arenas, and a serial merge replays the canonical order (see
+  /// chase/shard_plan.h). 1 (default) runs fully inline, exactly as
+  /// before the pool existed; 0 reads the `QIMAP_CHASE_THREADS`
+  /// environment variable (defaulting to 1). Output — facts, null
+  /// labels, journal events, fingerprints, and every non-chase.parallel.*
+  /// counter — is byte-identical at every thread count.
   size_t num_threads = 1;
   /// Shared resource governor (base/budget.h) consulted in addition to
   /// `max_steps`: wall-clock deadline, approximate memory, generated-null

@@ -1,0 +1,56 @@
+#include "chase/shard_plan.h"
+
+#include <numeric>
+
+namespace qimap {
+namespace {
+
+// Path-halving union-find over dep indexes.
+uint32_t FindRoot(std::vector<uint32_t>& parent, uint32_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+ShardPlan PlanFiringShards(const std::vector<Tgd>& tgds,
+                           size_t num_target_relations) {
+  ShardPlan plan;
+  const uint32_t n = static_cast<uint32_t>(tgds.size());
+  std::vector<uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  // First dep seen writing each target relation; later writers union in.
+  constexpr uint32_t kNone = 0xFFFFFFFFu;
+  std::vector<uint32_t> writer(num_target_relations, kNone);
+  for (uint32_t d = 0; d < n; ++d) {
+    for (const Atom& atom : tgds[d].rhs) {
+      if (atom.relation >= writer.size()) continue;
+      uint32_t& w = writer[atom.relation];
+      if (w == kNone) {
+        w = d;
+      } else {
+        uint32_t a = FindRoot(parent, w);
+        uint32_t b = FindRoot(parent, d);
+        if (a != b) parent[b < a ? a : b] = b < a ? b : a;
+      }
+    }
+  }
+  // Dense shard ids in order of each component's lowest dep index.
+  plan.dep_shard.resize(n);
+  std::vector<uint32_t> shard_of_root(n, kNone);
+  for (uint32_t d = 0; d < n; ++d) {
+    uint32_t root = FindRoot(parent, d);
+    if (shard_of_root[root] == kNone) {
+      shard_of_root[root] = plan.num_shards++;
+      plan.shard_deps.emplace_back();
+    }
+    plan.dep_shard[d] = shard_of_root[root];
+    plan.shard_deps[plan.dep_shard[d]].push_back(d);
+  }
+  return plan;
+}
+
+}  // namespace qimap

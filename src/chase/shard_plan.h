@@ -1,0 +1,40 @@
+#ifndef QIMAP_CHASE_SHARD_PLAN_H_
+#define QIMAP_CHASE_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dependency/tgd.h"
+
+namespace qimap {
+
+/// Partition of an s-t tgd set into independently fireable shards.
+///
+/// Two dependencies land in the same shard iff their rhs relation sets
+/// intersect, transitively (connected components of the "shares a target
+/// relation" graph). The firing phase of the s-t chase exploits this: a
+/// dependency's satisfaction search reads exactly the relations its rhs
+/// atoms name, and those relations are written only by dependencies of
+/// the same shard — so each shard can fire into a private instance on its
+/// own thread, and a serial merge replaying the canonical global
+/// (dependency, trigger) order reconstructs the byte-identical serial
+/// result (facts, null labels, journal events, fingerprints).
+struct ShardPlan {
+  /// dep index -> dense shard id in [0, num_shards). Shard ids are
+  /// assigned in order of each component's lowest dep index, so the plan
+  /// is a pure function of the tgd list.
+  std::vector<uint32_t> dep_shard;
+  uint32_t num_shards = 0;
+  /// shard id -> its dep indexes, ascending — the order the serial merge
+  /// walks them, and therefore the order a shard must fire them in.
+  std::vector<std::vector<uint32_t>> shard_deps;
+};
+
+/// Plans the firing shards for `tgds` over a target schema of
+/// `num_target_relations` relations. Deterministic; O(deps x rhs atoms).
+ShardPlan PlanFiringShards(const std::vector<Tgd>& tgds,
+                           size_t num_target_relations);
+
+}  // namespace qimap
+
+#endif  // QIMAP_CHASE_SHARD_PLAN_H_

@@ -9,15 +9,16 @@
 namespace qimap {
 namespace {
 
-// Unifies one body atom against one instance tuple into a partial
-// assignment: movable arguments (per the matcher's own predicate) bind
-// consistently, everything else must match literally. False when the
-// tuple cannot be this atom's image.
-bool UnifyAtomTuple(const Atom& atom, const Tuple& tuple,
-                    const HomSearchOptions& options, Assignment* partial) {
+// Unifies one body atom against one stored row (read straight from the
+// column store) into a partial assignment: movable arguments (per the
+// matcher's own predicate) bind consistently, everything else must match
+// literally. False when the row cannot be this atom's image.
+bool UnifyAtomRow(const Atom& atom, const Instance& inst, uint32_t row,
+                  const HomSearchOptions& options, Assignment* partial) {
   for (size_t i = 0; i < atom.args.size(); ++i) {
     const Value& arg = atom.args[i];
-    const Value& val = tuple[i];
+    const Value& val =
+        inst.at(atom.relation, row, static_cast<uint32_t>(i));
     if (IsMovableValue(arg, options)) {
       auto [it, inserted] = partial->emplace(arg, val);
       if (!inserted && !(it->second == val)) return false;
@@ -49,12 +50,12 @@ std::vector<Assignment> FindDeltaTriggers(
   // matches reachable from several (atom, delta fact) seeds.
   std::set<Assignment> found;
   for (const Atom& atom : body) {
-    const std::vector<Tuple>& rows = inst.rows(atom.relation);
+    const uint32_t num_rows = inst.NumRows(atom.relation);
     uint32_t start =
         atom.relation < epoch.size() ? epoch[atom.relation] : 0;
-    for (uint32_t row = start; row < rows.size(); ++row) {
+    for (uint32_t row = start; row < num_rows; ++row) {
       Assignment partial;
-      if (!UnifyAtomTuple(atom, rows[row], options, &partial)) continue;
+      if (!UnifyAtomRow(atom, inst, row, options, &partial)) continue;
       for (Assignment& h :
            FindAllHomomorphisms(body, inst, partial, options)) {
         found.insert(std::move(h));

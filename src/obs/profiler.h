@@ -49,7 +49,7 @@ enum class ProfilePhase : uint8_t { kCollect, kFire };
 /// position in the dependency as written (the matcher's join reorder is
 /// mapped back before recording).
 struct ProfileAtomCounters {
-  uint64_t probes = 0;       ///< first-column index probes at this atom
+  uint64_t probes = 0;       ///< posting-list / point-lookup probes here
   uint64_t probe_rows = 0;   ///< candidate rows visited via posting list
   uint64_t scan_rows = 0;    ///< candidate rows visited via full scan
   uint64_t unify_fails = 0;  ///< candidate tuples rejected (backtracks)

@@ -2,7 +2,6 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <unordered_set>
 
 namespace qimap {
 
@@ -15,18 +14,18 @@ CostModel CostModel::FromInstance(const Instance& inst) {
     RelationStats stats;
     stats.name = sym.name;
     stats.arity = sym.arity;
-    const std::vector<Tuple>& rows = inst.rows(r);
-    stats.rows = rows.size();
+    stats.rows = inst.NumRows(r);
     model.total_facts += stats.rows;
     stats.columns.resize(sym.arity);
     for (uint32_t c = 0; c < sym.arity; ++c) {
-      std::unordered_set<Value, ValueHash> distinct;
-      for (const Tuple& row : rows) distinct.insert(row[c]);
-      stats.columns[c].distinct = distinct.size();
+      // The column's posting map carries the distinct count
+      // incrementally, so statistics cost O(columns), not O(cells).
+      uint64_t distinct = inst.ColumnDistinct(r, c);
+      stats.columns[c].distinct = distinct;
       stats.columns[c].selectivity =
-          rows.empty() ? 0.0
-                       : static_cast<double>(distinct.size()) /
-                             static_cast<double>(rows.size());
+          stats.rows == 0 ? 0.0
+                          : static_cast<double>(distinct) /
+                                static_cast<double>(stats.rows);
     }
     model.relations.push_back(std::move(stats));
   }

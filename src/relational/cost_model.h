@@ -28,12 +28,14 @@ struct RelationStats {
 
 /// Cardinality and selectivity summary of an instance — the
 /// machine-readable handoff from the profiler to a join-order planner:
-/// row counts bound scan costs, first-column selectivity predicts the
-/// payoff of the posting-list probe the matcher already uses, and the
-/// remaining columns rank candidate index extensions.
+/// row counts bound scan costs, and every column's selectivity predicts
+/// the payoff of the posting-list probe the matcher performs on that
+/// column (the store indexes all columns).
 ///
-/// Deterministic: relations appear in schema order, counts are exact
-/// (full scans over the deduplicated row store), no sampling.
+/// Deterministic: relations appear in schema order, counts are exact —
+/// read from the store's incrementally maintained per-column distinct
+/// counts (the posting-map sizes), so building the model is
+/// O(relations x columns), no scanning, no sampling.
 struct CostModel {
   std::vector<RelationStats> relations;
   uint64_t total_facts = 0;

@@ -69,6 +69,7 @@ class Matcher {
     return total;
   }
   size_t index_hits() const { return index_hits_; }
+  size_t point_lookups() const { return point_lookups_; }
   size_t index_rows() const {
     size_t total = 0;
     for (const auto& a : atom_counts_) total += a.probe_rows;
@@ -81,14 +82,15 @@ class Matcher {
   }
 
  private:
-  // Tries to unify atom `index` with each candidate tuple of its
-  // relation, then recurses. Index-first: when the atom's leading
-  // argument is already determined (a constant, a frozen value, or a
-  // variable bound by an earlier atom) and the index is enabled, only the
-  // rows the first-column hash index lists for that value are visited;
-  // otherwise the whole relation is scanned. Both paths visit candidate
-  // rows in ascending row id, so they unify the same matches in the same
-  // order.
+  // Tries to unify atom `index` with each candidate row of its relation,
+  // then recurses. Index-first over every column: each argument that is
+  // already determined (a constant, a frozen value, or a variable bound
+  // by an earlier atom) has a posting list, and the *smallest* such list
+  // drives the candidate loop. When all arguments are determined the atom
+  // degenerates to one full-tuple hash probe (no candidate loop at all).
+  // Undetermined-only atoms fall back to a columnar scan. All paths visit
+  // candidate rows in ascending row id, so they unify the same matches in
+  // the same order.
   void Search(size_t index) {
     if (stop_) return;
     if (index == body_.size()) {
@@ -99,32 +101,62 @@ class Matcher {
       return;
     }
     const Atom& atom = body_[index];
-    const std::vector<Tuple>& rows = target_.rows(atom.relation);
+    const RelationId rel = atom.relation;
     const std::vector<uint32_t>* candidates = nullptr;
     if (options_.use_index && !atom.args.empty()) {
-      const Value& first = atom.args[0];
-      bool determined = !IsMovable(first, options_) ||
-                        assignment_.count(first) > 0;
-      if (determined) {
+      bool all_determined = true;
+      for (const Value& arg : atom.args) {
+        if (IsMovable(arg, options_) && assignment_.count(arg) == 0) {
+          all_determined = false;
+          break;
+        }
+      }
+      if (all_determined) {
+        // Ground atom: one hash probe against the full-tuple slot table
+        // replaces the candidate loop. No bindings are added, so side
+        // conditions cannot fire here; FinalCheck re-validates them all.
+        ++point_lookups_;
         ++atom_counts_[index].probes;
-        candidates =
-            target_.RowsWithFirst(atom.relation, Resolve(assignment_, first));
-        if (candidates == nullptr) return;  // no row has this first column
+        Tuple probe;
+        probe.reserve(atom.args.size());
+        for (const Value& arg : atom.args) {
+          probe.push_back(Resolve(assignment_, arg));
+        }
+        if (!target_.ContainsFact(rel, probe)) return;
         ++index_hits_;
+        ++atom_counts_[index].probe_rows;
+        Search(index + 1);
+        return;
+      }
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        const Value& arg = atom.args[i];
+        if (IsMovable(arg, options_) && assignment_.count(arg) == 0) {
+          continue;  // undetermined: no probe value yet
+        }
+        ++atom_counts_[index].probes;
+        const std::vector<uint32_t>* ids =
+            target_.RowsWith(rel, static_cast<uint32_t>(i),
+                             Resolve(assignment_, arg));
+        if (ids == nullptr) return;  // no row carries this column value
+        ++index_hits_;
+        if (candidates == nullptr || ids->size() < candidates->size()) {
+          candidates = ids;
+        }
       }
     }
     size_t num_candidates =
-        candidates != nullptr ? candidates->size() : rows.size();
+        candidates != nullptr ? candidates->size() : target_.NumRows(rel);
     for (size_t c = 0; c < num_candidates; ++c) {
-      const Tuple& tuple =
-          candidates != nullptr ? rows[(*candidates)[c]] : rows[c];
+      uint32_t row = candidates != nullptr
+                         ? (*candidates)[c]
+                         : static_cast<uint32_t>(c);
       if (candidates != nullptr) {
         ++atom_counts_[index].probe_rows;
       } else {
         ++atom_counts_[index].scan_rows;
       }
       std::vector<Value> bound;  // values newly bound by this atom
-      if (UnifyAtom(atom, tuple, &bound)) {
+      if (UnifyAtom(atom, rel, row, &bound)) {
         Search(index + 1);
       } else {
         ++atom_counts_[index].unify_fails;
@@ -134,14 +166,15 @@ class Matcher {
     }
   }
 
-  // Attempts to extend assignment_ so that atom maps onto tuple. On
-  // success, records newly bound values in `bound` and returns true; on
-  // failure, removes any bindings it added and returns false.
-  bool UnifyAtom(const Atom& atom, const Tuple& tuple,
+  // Attempts to extend assignment_ so that atom maps onto row `row` of
+  // its relation (cells read straight from the column store). On success,
+  // records newly bound values in `bound` and returns true; on failure,
+  // removes any bindings it added and returns false.
+  bool UnifyAtom(const Atom& atom, RelationId rel, uint32_t row,
                  std::vector<Value>* bound) {
     for (size_t i = 0; i < atom.args.size(); ++i) {
       const Value& arg = atom.args[i];
-      const Value& val = tuple[i];
+      const Value& val = target_.at(rel, row, static_cast<uint32_t>(i));
       if (IsMovable(arg, options_)) {
         auto it = assignment_.find(arg);
         if (it != assignment_.end()) {
@@ -216,18 +249,23 @@ class Matcher {
   bool stop_ = false;
   size_t count_ = 0;
   size_t index_hits_ = 0;
+  size_t point_lookups_ = 0;
   // Indexed by the atom's position in body_ (the join order).
   std::vector<obs::ProfileAtomCounters> atom_counts_;
 };
 
 // Greedy static atom order: repeatedly pick the atom with the fewest
 // unbound movable arguments, breaking ties by the smaller estimated
-// candidate count. With the index on, an atom whose leading argument
-// will be determined at match time is costed by the first-column index
-// list for that value (when it is a known constant) instead of the full
-// relation extent. `perm` (when non-null) receives the permutation:
-// perm[ordered position] = original position in `body`, so callers can
-// map the matcher's per-atom telemetry back to the atoms as written.
+// candidate count. With the index on, every determined argument position
+// is costed: an argument whose probe value is already known here (a
+// literal constant, or pinned by `partial`) is costed by its exact
+// posting-list length, and an argument that will only be bound by an
+// earlier atom at match time is costed by the column's incremental
+// distinct count (rows / distinct ≈ expected list length). The smallest
+// estimate across the atom's determined columns wins. `perm` (when
+// non-null) receives the permutation: perm[ordered position] = original
+// position in `body`, so callers can map the matcher's per-atom telemetry
+// back to the atoms as written.
 Conjunction OrderAtoms(const Conjunction& body, const Instance& target,
                        const Assignment& partial,
                        const HomSearchOptions& options,
@@ -247,26 +285,25 @@ Conjunction OrderAtoms(const Conjunction& body, const Instance& target,
       for (const Value& v : body[i].args) {
         if (IsMovable(v, options) && bound.count(v) == 0) ++unbound;
       }
-      size_t extent = target.rows(body[i].relation).size();
-      if (options.use_index && !body[i].args.empty()) {
-        const Value& first = body[i].args[0];
-        bool determined =
-            !IsMovable(first, options) || bound.count(first) > 0;
-        if (determined) {
-          // The exact probe value is only known here when `first` needs no
-          // lookup (a literal constant, or pinned by `partial`); a
-          // variable bound by an earlier atom still benefits, so estimate
-          // it as half the extent to prefer indexable atoms.
-          auto it = partial.find(first);
-          if (it != partial.end() || !IsMovable(first, options)) {
-            const Value& probe =
-                it != partial.end() ? it->second : first;
-            const std::vector<uint32_t>* ids =
-                target.RowsWithFirst(body[i].relation, probe);
-            extent = ids != nullptr ? ids->size() : 0;
-          } else {
-            extent = extent / 2;
+      const size_t rows = target.NumRows(body[i].relation);
+      size_t extent = rows;
+      if (options.use_index) {
+        for (size_t a = 0; a < body[i].args.size(); ++a) {
+          const Value& arg = body[i].args[a];
+          size_t estimate = SIZE_MAX;
+          auto it = partial.find(arg);
+          if (it != partial.end() || !IsMovable(arg, options)) {
+            const Value& probe = it != partial.end() ? it->second : arg;
+            const std::vector<uint32_t>* ids = target.RowsWith(
+                body[i].relation, static_cast<uint32_t>(a), probe);
+            estimate = ids != nullptr ? ids->size() : 0;
+          } else if (bound.count(arg) > 0) {
+            uint32_t distinct = target.ColumnDistinct(
+                body[i].relation, static_cast<uint32_t>(a));
+            estimate = distinct > 0 ? (rows + distinct - 1) / distinct
+                                    : rows;
           }
+          extent = std::min(extent, estimate);
         }
       }
       if (unbound < best_unbound ||
@@ -320,6 +357,8 @@ size_t ForEachHomomorphism(const Conjunction& body, const Instance& target,
       obs::RegisterCounter("chase.index.rows");
   static const obs::MetricId kScanRows =
       obs::RegisterCounter("chase.index.scan_rows");
+  static const obs::MetricId kPointLookups =
+      obs::RegisterCounter("chase.index.point_lookups");
   std::vector<size_t> perm;
   const bool profiled = obs::ProfileSearchActive();
   Conjunction ordered =
@@ -333,6 +372,7 @@ size_t ForEachHomomorphism(const Conjunction& body, const Instance& target,
   obs::CounterAdd(kIndexHits, matcher.index_hits());
   obs::CounterAdd(kIndexRows, matcher.index_rows());
   obs::CounterAdd(kScanRows, matcher.scan_rows());
+  obs::CounterAdd(kPointLookups, matcher.point_lookups());
   if (profiled) {
     // Map the per-atom telemetry (accumulated in join order) back to the
     // body's positions as written before attributing it.

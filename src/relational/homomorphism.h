@@ -28,15 +28,16 @@ struct HomSearchOptions {
   /// If true, variables in the body map anywhere; if false they must match
   /// identically (used for canonical instances with frozen variables).
   bool map_variables = true;
-  /// If true (default), the matcher probes the instance's first-column
-  /// hash index whenever an atom's leading argument is already determined,
-  /// visiting only the matching rows. If false, every atom is matched by a
-  /// full scan of its relation — the naive oracle the differential tests
-  /// compare against (`ChaseOptions::use_index=false`). Both paths
-  /// enumerate exactly the same set of homomorphisms; the enumeration
-  /// order may differ (the index also informs the join order), which is
-  /// why the chase engines sort trigger batches canonically before
-  /// firing.
+  /// If true (default), the matcher probes the instance's per-column
+  /// posting lists: every determined argument position is probed and the
+  /// smallest list drives the candidate loop, and a fully-determined atom
+  /// collapses to one full-tuple hash lookup. If false, every atom is
+  /// matched by a full scan of its relation — the naive oracle the
+  /// differential tests compare against
+  /// (`ChaseOptions::use_index=false`). Both paths enumerate exactly the
+  /// same set of homomorphisms; the enumeration order may differ (the
+  /// index also informs the join order), which is why the chase engines
+  /// sort trigger batches canonically before firing.
   bool use_index = true;
   /// `Constant(x)` side conditions: each listed value must be assigned a
   /// constant (Definition 6.2, condition (3)).

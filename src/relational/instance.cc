@@ -14,10 +14,11 @@ namespace {
 // Mixes one fact into the instance fingerprint. XOR-combining the
 // per-fact hashes keeps the fingerprint independent of insertion order
 // (set semantics); the splitmix64 finalizer spreads the combined tuple
-// hash so single-value differences flip many bits.
-uint64_t FactFingerprint(RelationId relation, const Tuple& tuple) {
-  uint64_t h = (static_cast<uint64_t>(relation) << 32) ^
-               static_cast<uint64_t>(TupleHash{}(tuple));
+// hash so single-value differences flip many bits. `tuple_hash` is the
+// row's TupleHash — the slot table caches it, so fingerprint maintenance
+// never re-reads cells.
+uint64_t FactFingerprint(RelationId relation, uint64_t tuple_hash) {
+  uint64_t h = (static_cast<uint64_t>(relation) << 32) ^ tuple_hash;
   h += 0x9E3779B97F4A7C15ULL;
   h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
   h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
@@ -25,6 +26,45 @@ uint64_t FactFingerprint(RelationId relation, const Tuple& tuple) {
 }
 
 }  // namespace
+
+bool Instance::ColumnStore::RowEquals(uint32_t row,
+                                      const Tuple& tuple) const {
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (!(columns[c][row] == tuple[c])) return false;
+  }
+  return true;
+}
+
+uint32_t Instance::ColumnStore::Find(const Tuple& tuple,
+                                     uint64_t hash) const {
+  if (slots.empty()) return kNoRow;
+  const size_t mask = slots.size() - 1;
+  for (size_t i = hash & mask;; i = (i + 1) & mask) {
+    uint32_t row = slots[i];
+    if (row == kEmptySlot) return kNoRow;
+    if (hashes[row] == hash && RowEquals(row, tuple)) return row;
+  }
+}
+
+void Instance::ColumnStore::IndexNewRow(uint32_t row_id, uint64_t hash) {
+  // Grow before the load factor crosses 7/8; capacity stays a power of
+  // two so probing can mask instead of mod.
+  if ((static_cast<size_t>(num_rows) + 1) * 8 >= slots.size() * 7) {
+    size_t capacity = slots.empty() ? 16 : slots.size() * 2;
+    std::vector<uint32_t> grown(capacity, kEmptySlot);
+    const size_t mask = capacity - 1;
+    for (uint32_t row = 0; row < num_rows; ++row) {
+      size_t i = hashes[row] & mask;
+      while (grown[i] != kEmptySlot) i = (i + 1) & mask;
+      grown[i] = row;
+    }
+    slots = std::move(grown);
+  }
+  const size_t mask = slots.size() - 1;
+  size_t i = hash & mask;
+  while (slots[i] != kEmptySlot) i = (i + 1) & mask;
+  slots[i] = row_id;
+}
 
 Status Instance::AddFact(RelationId relation, Tuple tuple) {
   if (relation >= schema_->size()) {
@@ -37,15 +77,20 @@ Status Instance::AddFact(RelationId relation, Tuple tuple) {
         std::to_string(tuple.size()) + ", want " +
         std::to_string(symbol.arity));
   }
-  RelationStore& store = stores_[relation];
-  uint32_t row_id = static_cast<uint32_t>(store.rows.size());
-  auto [it, inserted] = store.by_tuple.emplace(tuple, row_id);
-  if (!inserted) return Status::OK();  // duplicate absorbed
-  fingerprint_ ^= FactFingerprint(relation, tuple);
-  if (!tuple.empty()) {
-    store.by_first[tuple[0]].push_back(row_id);
+  ColumnStore& store = stores_[relation];
+  const uint64_t hash = TupleHash{}(tuple);
+  if (store.Find(tuple, hash) != ColumnStore::kNoRow) {
+    return Status::OK();  // duplicate absorbed
   }
-  store.rows.push_back(std::move(tuple));
+  const uint32_t row_id = store.num_rows;
+  store.hashes.push_back(hash);
+  store.IndexNewRow(row_id, hash);
+  for (uint32_t c = 0; c < symbol.arity; ++c) {
+    store.postings[c][tuple[c]].push_back(row_id);
+    store.columns[c].push_back(tuple[c]);
+  }
+  ++store.num_rows;
+  fingerprint_ ^= FactFingerprint(relation, hash);
   return Status::OK();
 }
 
@@ -57,26 +102,39 @@ Status Instance::AddFact(std::string_view relation_name, Tuple tuple) {
 
 bool Instance::ContainsFact(RelationId relation, const Tuple& tuple) const {
   if (relation >= stores_.size()) return false;
-  return stores_[relation].by_tuple.count(tuple) > 0;
+  const ColumnStore& store = stores_[relation];
+  if (tuple.size() != store.columns.size()) return false;
+  return store.Find(tuple, TupleHash{}(tuple)) != ColumnStore::kNoRow;
 }
 
-const std::vector<uint32_t>* Instance::RowsWithFirst(RelationId relation,
-                                                     const Value& v) const {
-  const RelationStore& store = stores_[relation];
-  auto it = store.by_first.find(v);
-  return it != store.by_first.end() ? &it->second : nullptr;
+Tuple Instance::Row(RelationId relation, uint32_t row) const {
+  const ColumnStore& store = stores_[relation];
+  Tuple out;
+  out.reserve(store.columns.size());
+  for (const std::vector<Value>& column : store.columns) {
+    out.push_back(column[row]);
+  }
+  return out;
+}
+
+const std::vector<uint32_t>* Instance::RowsWith(RelationId relation,
+                                                uint32_t col,
+                                                const Value& v) const {
+  const auto& postings = stores_[relation].postings[col];
+  auto it = postings.find(v);
+  return it != postings.end() ? &it->second : nullptr;
 }
 
 size_t Instance::NumFacts() const {
   size_t n = 0;
-  for (const RelationStore& store : stores_) n += store.rows.size();
+  for (const ColumnStore& store : stores_) n += store.num_rows;
   return n;
 }
 
 std::vector<uint32_t> Instance::RowCounts() const {
   std::vector<uint32_t> counts(stores_.size());
   for (RelationId r = 0; r < stores_.size(); ++r) {
-    counts[r] = static_cast<uint32_t>(stores_[r].rows.size());
+    counts[r] = stores_[r].num_rows;
   }
   return counts;
 }
@@ -84,7 +142,7 @@ std::vector<uint32_t> Instance::RowCounts() const {
 bool Instance::IsValidEpoch(const std::vector<uint32_t>& counts) const {
   if (counts.size() != stores_.size()) return false;
   for (RelationId r = 0; r < stores_.size(); ++r) {
-    if (counts[r] > stores_[r].rows.size()) return false;
+    if (counts[r] > stores_[r].num_rows) return false;
   }
   return true;
 }
@@ -93,9 +151,10 @@ uint64_t Instance::PrefixFingerprint(
     const std::vector<uint32_t>& counts) const {
   uint64_t fp = 0;
   for (RelationId r = 0; r < stores_.size(); ++r) {
-    const std::vector<Tuple>& rows = stores_[r].rows;
-    for (uint32_t i = 0; i < counts[r] && i < rows.size(); ++i) {
-      fp ^= FactFingerprint(r, rows[i]);
+    const ColumnStore& store = stores_[r];
+    uint32_t limit = std::min(counts[r], store.num_rows);
+    for (uint32_t i = 0; i < limit; ++i) {
+      fp ^= FactFingerprint(r, store.hashes[i]);
     }
   }
   return fp;
@@ -104,13 +163,18 @@ uint64_t Instance::PrefixFingerprint(
 size_t Instance::NumFactsSince(const std::vector<uint32_t>& counts) const {
   size_t n = 0;
   for (RelationId r = 0; r < stores_.size(); ++r) {
-    n += stores_[r].rows.size() - counts[r];
+    n += stores_[r].num_rows - counts[r];
   }
   return n;
 }
 
 std::vector<Tuple> Instance::SortedRows(RelationId relation) const {
-  std::vector<Tuple> sorted = stores_[relation].rows;
+  const ColumnStore& store = stores_[relation];
+  std::vector<Tuple> sorted;
+  sorted.reserve(store.num_rows);
+  for (uint32_t i = 0; i < store.num_rows; ++i) {
+    sorted.push_back(Row(relation, i));
+  }
   std::sort(sorted.begin(), sorted.end());
   return sorted;
 }
@@ -128,18 +192,18 @@ std::vector<Fact> Instance::Facts() const {
 
 std::vector<Value> Instance::ActiveDomain() const {
   std::set<Value> domain;
-  for (const RelationStore& store : stores_) {
-    for (const Tuple& t : store.rows) {
-      domain.insert(t.begin(), t.end());
+  for (const ColumnStore& store : stores_) {
+    for (const std::vector<Value>& column : store.columns) {
+      domain.insert(column.begin(), column.end());
     }
   }
   return std::vector<Value>(domain.begin(), domain.end());
 }
 
 bool Instance::IsGround() const {
-  for (const RelationStore& store : stores_) {
-    for (const Tuple& t : store.rows) {
-      for (const Value& v : t) {
+  for (const ColumnStore& store : stores_) {
+    for (const std::vector<Value>& column : store.columns) {
+      for (const Value& v : column) {
         if (!v.IsConstant()) return false;
       }
     }
@@ -149,9 +213,9 @@ bool Instance::IsGround() const {
 
 uint32_t Instance::MaxNullLabel() const {
   uint32_t max_label = 0;
-  for (const RelationStore& store : stores_) {
-    for (const Tuple& t : store.rows) {
-      for (const Value& v : t) {
+  for (const ColumnStore& store : stores_) {
+    for (const std::vector<Value>& column : store.columns) {
+      for (const Value& v : column) {
         if (v.IsNull()) max_label = std::max(max_label, v.id());
       }
     }
@@ -162,11 +226,14 @@ uint32_t Instance::MaxNullLabel() const {
 bool Instance::IsSubsetOf(const Instance& other) const {
   if (stores_.size() != other.stores_.size()) return false;
   for (RelationId r = 0; r < stores_.size(); ++r) {
-    const RelationStore& mine = stores_[r];
-    const RelationStore& theirs = other.stores_[r];
-    if (mine.rows.size() > theirs.rows.size()) return false;
-    for (const Tuple& t : mine.rows) {
-      if (theirs.by_tuple.count(t) == 0) return false;
+    const ColumnStore& mine = stores_[r];
+    const ColumnStore& theirs = other.stores_[r];
+    if (mine.num_rows > theirs.num_rows) return false;
+    for (uint32_t i = 0; i < mine.num_rows; ++i) {
+      Tuple t = Row(r, i);
+      if (theirs.Find(t, mine.hashes[i]) == ColumnStore::kNoRow) {
+        return false;
+      }
     }
   }
   return true;
@@ -175,8 +242,8 @@ bool Instance::IsSubsetOf(const Instance& other) const {
 void Instance::UnionWith(const Instance& other) {
   for (RelationId r = 0; r < stores_.size() && r < other.stores_.size();
        ++r) {
-    for (const Tuple& t : other.stores_[r].rows) {
-      Status status = AddFact(r, t);
+    for (uint32_t i = 0; i < other.stores_[r].num_rows; ++i) {
+      Status status = AddFact(r, other.Row(r, i));
       (void)status;  // same schema: cannot fail
     }
   }
@@ -186,11 +253,14 @@ bool Instance::EqualFactSets(const Instance& other) const {
   if (stores_.size() != other.stores_.size()) return false;
   if (fingerprint_ != other.fingerprint_) return false;
   for (RelationId r = 0; r < stores_.size(); ++r) {
-    if (stores_[r].rows.size() != other.stores_[r].rows.size()) {
-      return false;
-    }
-    for (const Tuple& t : stores_[r].rows) {
-      if (other.stores_[r].by_tuple.count(t) == 0) return false;
+    const ColumnStore& mine = stores_[r];
+    const ColumnStore& theirs = other.stores_[r];
+    if (mine.num_rows != theirs.num_rows) return false;
+    for (uint32_t i = 0; i < mine.num_rows; ++i) {
+      Tuple t = Row(r, i);
+      if (theirs.Find(t, mine.hashes[i]) == ColumnStore::kNoRow) {
+        return false;
+      }
     }
   }
   return true;
@@ -212,10 +282,13 @@ std::string Instance::ToString() const {
   std::vector<std::string> parts;
   for (RelationId r = 0; r < stores_.size(); ++r) {
     const std::string& name = schema_->relation(r).name;
-    for (const Tuple& t : stores_[r].rows) {
+    const ColumnStore& store = stores_[r];
+    for (uint32_t i = 0; i < store.num_rows; ++i) {
       std::vector<std::string> args;
-      args.reserve(t.size());
-      for (const Value& v : t) args.push_back(v.ToString());
+      args.reserve(store.columns.size());
+      for (const std::vector<Value>& column : store.columns) {
+        args.push_back(column[i].ToString());
+      }
       parts.push_back(name + "(" + Join(args, ",") + ")");
     }
   }

@@ -43,19 +43,26 @@ struct Fact {
 /// contain constants and labeled nulls; canonical instances (the paper's
 /// `I_alpha`) additionally contain variables in their active domain.
 ///
-/// Storage is insert-only and hash-indexed: each relation keeps its
-/// distinct tuples in a dense insertion-ordered vector plus two
-/// incrementally maintained hash indexes — a full-tuple key (membership,
-/// duplicate absorption) and a first-column key (the index-first join in
-/// the homomorphism matcher probes it when an atom's leading argument is
-/// already determined). `AddFact` is amortized O(arity); there is no
-/// per-insert log factor.
+/// Storage is insert-only, column-major, and hash-indexed. Each relation
+/// keeps one dense `std::vector<Value>` per column (row id = insertion
+/// order, shared across the columns), an open-addressed full-tuple slot
+/// table for membership and duplicate absorption, and a posting list on
+/// *every* column mapping each distinct value to the ascending row ids
+/// carrying it. The homomorphism matcher probes whichever determined
+/// column has the smallest posting list and falls back to a columnar scan;
+/// per-column distinct counts are maintained incrementally (the posting
+/// map sizes), so `CostModel::FromInstance` reads statistics instead of
+/// rescanning. `AddFact` is amortized O(arity); there is no per-insert
+/// log factor.
 class Instance {
  public:
   /// Creates the empty instance over `schema`. The schema is shared, not
   /// copied.
   explicit Instance(SchemaPtr schema) : schema_(std::move(schema)) {
-    stores_.resize(schema_->size());
+    stores_.reserve(schema_->size());
+    for (RelationId r = 0; r < schema_->size(); ++r) {
+      stores_.emplace_back(schema_->relation(r).arity);
+    }
   }
 
   const SchemaPtr& schema() const { return schema_; }
@@ -65,21 +72,41 @@ class Instance {
   /// Adds a fact by relation name.
   Status AddFact(std::string_view relation_name, Tuple tuple);
 
-  /// Returns true iff the fact is present.
+  /// Returns true iff the fact is present (one full-tuple hash probe).
   bool ContainsFact(RelationId relation, const Tuple& tuple) const;
 
-  /// The distinct tuples of one relation, in insertion order. Iteration
-  /// order is deterministic for a fixed construction sequence but is NOT
-  /// sorted; use Facts() for the canonical (relation, tuple) order.
-  const std::vector<Tuple>& rows(RelationId relation) const {
-    return stores_[relation].rows;
+  /// Number of distinct rows stored for one relation. Row ids run
+  /// 0..NumRows-1 in insertion order.
+  uint32_t NumRows(RelationId relation) const {
+    return stores_[relation].num_rows;
   }
 
-  /// Row ids (indexes into rows(relation)) of the tuples whose first
-  /// column equals `v`, or nullptr when there are none. Arity-0-safe:
+  /// One cell of the column-major store: column `col` of row `row`.
+  const Value& at(RelationId relation, uint32_t row, uint32_t col) const {
+    return stores_[relation].columns[col][row];
+  }
+
+  /// Materializes one row as a tuple (row-major view of the columns).
+  Tuple Row(RelationId relation, uint32_t row) const;
+
+  /// Row ids (ascending) of the rows whose column `col` equals `v`, or
+  /// nullptr when there are none. Every column is indexed.
+  const std::vector<uint32_t>* RowsWith(RelationId relation, uint32_t col,
+                                        const Value& v) const;
+
+  /// First-column shorthand for RowsWith(relation, 0, v). Arity-0-safe:
   /// never returns entries for empty tuples.
   const std::vector<uint32_t>* RowsWithFirst(RelationId relation,
-                                             const Value& v) const;
+                                             const Value& v) const {
+    if (stores_[relation].columns.empty()) return nullptr;
+    return RowsWith(relation, 0, v);
+  }
+
+  /// Number of distinct values in one column — maintained incrementally
+  /// (it is the posting-map size), O(1).
+  uint32_t ColumnDistinct(RelationId relation, uint32_t col) const {
+    return static_cast<uint32_t>(stores_[relation].postings[col].size());
+  }
 
   /// Total number of facts across all relations.
   size_t NumFacts() const;
@@ -118,8 +145,8 @@ class Instance {
   /// Per-relation distinct-row counts, indexed by RelationId. Because
   /// storage is insert-only, deduplicated, and insertion-ordered, a count
   /// vector is a *checkpoint epoch*: the facts added since it was taken
-  /// are exactly `rows(r)[counts[r]..]` — the delta log is free, no
-  /// per-insert bookkeeping needed.
+  /// are exactly rows `counts[r]..NumRows(r)-1` of each relation — the
+  /// delta log is free, no per-insert bookkeeping needed.
   std::vector<uint32_t> RowCounts() const;
 
   /// True iff `counts` is an epoch of this instance: one entry per
@@ -137,7 +164,7 @@ class Instance {
   uint64_t PrefixFingerprint(const std::vector<uint32_t>& counts) const;
 
   /// Number of facts added after the epoch (sum over relations of
-  /// rows(r).size() - counts[r]). Requires IsValidEpoch(counts).
+  /// NumRows(r) - counts[r]). Requires IsValidEpoch(counts).
   size_t NumFactsSince(const std::vector<uint32_t>& counts) const;
 
   /// Value-level equality of fact sets.
@@ -157,13 +184,37 @@ class Instance {
   }
 
  private:
-  /// One relation's tuples plus its incremental indexes.
-  struct RelationStore {
-    std::vector<Tuple> rows;  // distinct tuples, insertion order
-    /// Full-tuple key: tuple -> row id; membership and dedup.
-    std::unordered_map<Tuple, uint32_t, TupleHash> by_tuple;
-    /// First-column key: leading value -> row ids with that value.
-    std::unordered_map<Value, std::vector<uint32_t>, ValueHash> by_first;
+  /// One relation's column-major rows plus its incremental indexes.
+  struct ColumnStore {
+    explicit ColumnStore(uint32_t arity)
+        : columns(arity), postings(arity) {}
+
+    uint32_t num_rows = 0;
+    /// Column-major cells: columns[c][row]. All columns share row ids.
+    std::vector<std::vector<Value>> columns;
+    /// Per-column posting lists: value -> ascending row ids carrying it.
+    /// The map size doubles as the column's incremental distinct count.
+    std::vector<std::unordered_map<Value, std::vector<uint32_t>, ValueHash>>
+        postings;
+    /// Open-addressed full-tuple slot table (qmap-style flat layout):
+    /// power-of-two capacity, linear probing, slots hold row ids with
+    /// kEmptySlot marking free slots. `hashes[row]` caches the row's
+    /// TupleHash so probes compare a word before touching the columns and
+    /// rehashing never re-reads cells.
+    std::vector<uint32_t> slots;
+    std::vector<uint64_t> hashes;
+
+    /// Row id of `tuple` if present, else kNoRow. `hash` must be
+    /// TupleHash{}(tuple).
+    uint32_t Find(const Tuple& tuple, uint64_t hash) const;
+    /// Inserts the row id mapping for a row just appended to the columns.
+    /// Grows and rehashes the slot table as needed.
+    void IndexNewRow(uint32_t row_id, uint64_t hash);
+    /// Cell-by-cell comparison of stored row `row` against `tuple`.
+    bool RowEquals(uint32_t row, const Tuple& tuple) const;
+
+    static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+    static constexpr uint32_t kNoRow = 0xFFFFFFFFu;
   };
 
   bool EqualFactSets(const Instance& other) const;
@@ -172,7 +223,7 @@ class Instance {
   std::vector<Tuple> SortedRows(RelationId relation) const;
 
   SchemaPtr schema_;
-  std::vector<RelationStore> stores_;  // indexed by RelationId
+  std::vector<ColumnStore> stores_;  // indexed by RelationId
   uint64_t fingerprint_ = 0;
 };
 

@@ -13,8 +13,11 @@
 #include "chase/disjunctive_chase.h"
 #include "core/lav_quasi_inverse.h"
 #include "obs/journal.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
 #include "relational/instance_enum.h"
 #include "workload/random_mappings.h"
+#include "workload/scenario_gen.h"
 
 // Determinism stress test for the parallel chase: the level-synchronous
 // disjunctive chase and the two-phase standard chase promise output that
@@ -179,6 +182,95 @@ TEST(ParallelChaseTest, ResolveThreadCountReadsEnvironment) {
   setenv("QIMAP_CHASE_THREADS", "garbage", 1);
   EXPECT_EQ(ResolveThreadCount(0), 1u);
   unsetenv("QIMAP_CHASE_THREADS");
+}
+
+// Sharded-firing determinism soak: mixed scenario families chased at
+// 1/2/4/8 threads. The chase's promise is total byte-identity — the
+// target rendering (facts and null labels), the incremental fingerprint,
+// the provenance journal, and the canonical ledger record (which carries
+// every non-chase.parallel.* counter, so hom.* and chase.index.* totals
+// are diffed too) must not change with the thread count — while the
+// chase.parallel.shard_* metrics prove sharded firing actually engaged.
+struct ShardedRun {
+  std::string facts;
+  uint64_t fingerprint = 0;
+  uint32_t max_null_label = 0;
+  std::vector<std::string> journal;
+  std::string ledger_canonical;
+  uint64_t shard_batches = 0;
+  uint64_t shards = 0;
+};
+
+ShardedRun RunShardedOnce(const Scenario& scenario, size_t threads) {
+  obs::ResetMetrics();
+  obs::Journal::Clear();
+  obs::Journal::Enable();
+  ChaseOptions options;
+  options.num_threads = threads;
+  Instance chased = MustChase(scenario.source, scenario.mapping, options);
+  ShardedRun run;
+  run.facts = chased.ToString();
+  run.fingerprint = chased.Fingerprint();
+  run.max_null_label = chased.MaxNullLabel();
+  run.journal = NormalizedJournalLines();
+  obs::LedgerEntry entry = obs::CollectLedgerEntry(
+      "test/sharded_soak", /*budget=*/nullptr, /*exit_code=*/0,
+      /*elapsed_seconds=*/0.0);
+  run.ledger_canonical = entry.ToJson(/*canonical=*/true);
+  obs::MetricsSnapshot snapshot = obs::SnapshotMetrics();
+  auto batches = snapshot.counters.find("chase.parallel.shard_batches");
+  if (batches != snapshot.counters.end()) run.shard_batches = batches->second;
+  auto shards = snapshot.counters.find("chase.parallel.shards");
+  if (shards != snapshot.counters.end()) run.shards = shards->second;
+  obs::Journal::Disable();
+  obs::Journal::Clear();
+  return run;
+}
+
+TEST(ParallelShardedFiringTest, ByteIdenticalAt1And2And4And8Threads) {
+  size_t engaged_cases = 0;
+  size_t total_cases = 0;
+  for (ScenarioFamily family :
+       {ScenarioFamily::kGav, ScenarioFamily::kFull, ScenarioFamily::kMixed}) {
+    ScenarioConfig config;
+    config.family = family;
+    config.num_source_relations = 5;
+    config.num_target_relations = 8;
+    config.num_tgds = 8;
+    config.body_atoms = 2;
+    config.fan_out = 1;  // one rhs atom per tgd -> many independent shards
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+      Scenario scenario =
+          GenerateScenario(config, seed * 4099 + 11, /*num_facts=*/24);
+      ++total_cases;
+      std::vector<ShardedRun> runs;
+      for (size_t threads : {1u, 2u, 4u, 8u}) {
+        runs.push_back(RunShardedOnce(scenario, threads));
+      }
+      SCOPED_TRACE(std::string(ScenarioFamilyName(family)) + " seed=" +
+                   std::to_string(seed));
+      // A single thread always fires inline, exactly as before the pool
+      // existed.
+      EXPECT_EQ(runs[0].shard_batches, 0u);
+      for (size_t i = 1; i < runs.size(); ++i) {
+        SCOPED_TRACE("1 thread vs " + std::to_string(1u << i) + " threads");
+        EXPECT_EQ(runs[0].facts, runs[i].facts);
+        EXPECT_EQ(runs[0].fingerprint, runs[i].fingerprint);
+        EXPECT_EQ(runs[0].max_null_label, runs[i].max_null_label);
+        EXPECT_EQ(runs[0].journal, runs[i].journal);
+        EXPECT_EQ(runs[0].ledger_canonical, runs[i].ledger_canonical);
+      }
+      if (runs[3].shard_batches > 0) {
+        ++engaged_cases;
+        EXPECT_GE(runs[3].shards, 2u);
+      }
+    }
+  }
+  // Sharding must really engage on most of these workloads (eight
+  // single-head tgds over eight target relations rarely collapse to one
+  // shard); a soak that never exercises the merge proves nothing.
+  EXPECT_EQ(total_cases, 18u);
+  EXPECT_GE(engaged_cases, 12u);
 }
 
 TEST(ParallelChaseTest, ThreadPoolRunsEveryIndexExactlyOnce) {

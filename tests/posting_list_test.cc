@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/value.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+
+// Posting-list invariants of the columnar store: after any insert
+// sequence (duplicates included), for every column of every relation the
+// per-column posting lists must exactly partition the row-id set, the
+// incremental stats (`NumRows`, `ColumnDistinct`) must match brute-force
+// recounts over the columns, and `RowsWith(col, value)` must agree with a
+// linear scan — including when the same interned id appears in several
+// columns, or as both a constant and a null (same numeric id, different
+// kind).
+
+namespace qimap {
+namespace {
+
+// Brute-force oracle: row ids per (column, value), rebuilt from at().
+using ColumnIndex = std::map<Value, std::vector<uint32_t>>;
+
+ColumnIndex ScanColumn(const Instance& inst, RelationId r, uint32_t col) {
+  ColumnIndex index;
+  for (uint32_t row = 0; row < inst.NumRows(r); ++row) {
+    index[inst.at(r, row, col)].push_back(row);
+  }
+  return index;
+}
+
+void CheckAllInvariants(const Instance& inst) {
+  const Schema& schema = *inst.schema();
+  for (RelationId r = 0; r < schema.size(); ++r) {
+    const uint32_t rows = inst.NumRows(r);
+    for (uint32_t col = 0; col < schema.relation(r).arity; ++col) {
+      ColumnIndex oracle = ScanColumn(inst, r, col);
+      SCOPED_TRACE(schema.relation(r).name + " column " +
+                   std::to_string(col));
+
+      // Stats match brute-force recounts.
+      EXPECT_EQ(inst.ColumnDistinct(r, col), oracle.size());
+
+      // RowsWith agrees with the linear scan for every present value...
+      std::set<uint32_t> covered;
+      for (const auto& [value, expect_rows] : oracle) {
+        const std::vector<uint32_t>* posting = inst.RowsWith(r, col, value);
+        ASSERT_NE(posting, nullptr) << "missing posting for " +
+                                           value.ToString();
+        EXPECT_EQ(*posting, expect_rows) << "posting for " +
+                                                value.ToString();
+        for (uint32_t row : *posting) {
+          EXPECT_TRUE(covered.insert(row).second)
+              << "row " << row << " in two posting lists";
+        }
+      }
+      // ...and the lists exactly partition the row set.
+      EXPECT_EQ(covered.size(), rows);
+
+      // Absent values (including kind-flipped twins of present ids) have
+      // no posting list.
+      for (const auto& [value, expect_rows] : oracle) {
+        Value twin = value.IsNull() ? Value::MakeNull(value.id() + 1000000)
+                                    : Value::MakeNull(value.id());
+        if (oracle.find(twin) == oracle.end()) {
+          EXPECT_EQ(inst.RowsWith(r, col, twin), nullptr)
+              << "phantom posting for " + twin.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(PostingListTest, RandomizedInsertSequencesKeepEveryInvariant) {
+  SchemaPtr schema = MakeSchema("A/1, B/2, C/3, D/4");
+  // A small shared value pool forces repeated values per column (long
+  // posting lists), duplicate full tuples (dedup), and the same interned
+  // id in many columns at once.
+  std::vector<Value> pool;
+  for (const char* name : {"a", "b", "c", "d", "e"}) {
+    pool.push_back(Value::MakeConstant(name));
+  }
+  for (uint32_t label = 1; label <= 3; ++label) {
+    pool.push_back(Value::MakeNull(label));
+  }
+
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed * 131071 + 9);
+    Instance inst(schema);
+    const size_t inserts = 40 + rng.Uniform(120);
+    for (size_t i = 0; i < inserts; ++i) {
+      RelationId r = static_cast<RelationId>(rng.Uniform(schema->size()));
+      Tuple tuple;
+      for (uint32_t c = 0; c < schema->relation(r).arity; ++c) {
+        tuple.push_back(pool[rng.Uniform(pool.size())]);
+      }
+      ASSERT_TRUE(inst.AddFact(r, std::move(tuple)).ok());
+      // Check mid-sequence occasionally so growth/rehash points are
+      // covered, and always at the end.
+      if (i % 37 == 0) CheckAllInvariants(inst);
+    }
+    CheckAllInvariants(inst);
+  }
+}
+
+// The same numeric id must index separately per (column, kind): constant
+// "x" (some interned id k) and null _N<k> are different values, and a
+// value appearing in column 0 must not leak into column 1's postings.
+TEST(PostingListTest, InternedIdCollisionsStaySeparate) {
+  SchemaPtr schema = MakeSchema("P/2");
+  Instance inst(schema);
+  Value a = Value::MakeConstant("a");
+  Value b = Value::MakeConstant("b");
+  Value null_a = Value::MakeNull(a.id());  // same numeric id, null kind
+  ASSERT_TRUE(inst.AddFact("P", {a, a}).ok());
+  ASSERT_TRUE(inst.AddFact("P", {a, b}).ok());
+  ASSERT_TRUE(inst.AddFact("P", {b, a}).ok());
+  ASSERT_TRUE(inst.AddFact("P", {null_a, a}).ok());
+
+  // Column 0: a -> {0,1}, b -> {2}, _N<a.id> -> {3}.
+  const std::vector<uint32_t>* col0_a = inst.RowsWith(0, 0, a);
+  ASSERT_NE(col0_a, nullptr);
+  EXPECT_EQ(*col0_a, (std::vector<uint32_t>{0, 1}));
+  const std::vector<uint32_t>* col0_null = inst.RowsWith(0, 0, null_a);
+  ASSERT_NE(col0_null, nullptr);
+  EXPECT_EQ(*col0_null, (std::vector<uint32_t>{3}));
+
+  // Column 1: a -> {0,2,3}; the null with a's id never appears there.
+  const std::vector<uint32_t>* col1_a = inst.RowsWith(0, 1, a);
+  ASSERT_NE(col1_a, nullptr);
+  EXPECT_EQ(*col1_a, (std::vector<uint32_t>{0, 2, 3}));
+  EXPECT_EQ(inst.RowsWith(0, 1, null_a), nullptr);
+
+  EXPECT_EQ(inst.ColumnDistinct(0, 0), 3u);
+  EXPECT_EQ(inst.ColumnDistinct(0, 1), 2u);
+  CheckAllInvariants(inst);
+}
+
+// Duplicate adds must not grow any posting list or stat.
+TEST(PostingListTest, DuplicateInsertsLeaveIndexesUntouched) {
+  SchemaPtr schema = MakeSchema("P/3");
+  Instance inst(schema);
+  Tuple t = {Value::MakeConstant("a"), Value::MakeConstant("b"),
+             Value::MakeConstant("a")};
+  ASSERT_TRUE(inst.AddFact("P", t).ok());
+  uint64_t fingerprint = inst.Fingerprint();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(inst.AddFact("P", t).ok());
+  }
+  EXPECT_EQ(inst.NumRows(0), 1u);
+  EXPECT_EQ(inst.Fingerprint(), fingerprint);
+  const std::vector<uint32_t>* rows =
+      inst.RowsWith(0, 2, Value::MakeConstant("a"));
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(*rows, (std::vector<uint32_t>{0}));
+  CheckAllInvariants(inst);
+}
+
+// RowsWithFirst is the column-0 shorthand the delta/trigger paths use.
+TEST(PostingListTest, RowsWithFirstDelegatesToColumnZero) {
+  SchemaPtr schema = MakeSchema("P/2");
+  Instance inst(schema);
+  Value a = Value::MakeConstant("a");
+  Value b = Value::MakeConstant("b");
+  ASSERT_TRUE(inst.AddFact("P", {a, b}).ok());
+  ASSERT_TRUE(inst.AddFact("P", {b, a}).ok());
+  EXPECT_EQ(inst.RowsWithFirst(0, a), inst.RowsWith(0, 0, a));
+  EXPECT_EQ(inst.RowsWithFirst(0, b), inst.RowsWith(0, 0, b));
+  EXPECT_EQ(inst.RowsWithFirst(0, Value::MakeConstant("zz")), nullptr);
+}
+
+}  // namespace
+}  // namespace qimap

@@ -35,19 +35,28 @@ class ProfilerTest : public ::testing::Test {
   }
 };
 
-// A workload with real join work: the symmetric-edge join probes the
-// index on the bound first column but must then reject candidates whose
-// second column mismatches (backtracks), plus an existential dependency
-// (nulls minted) competing for triggers.
+// A workload with real join work. The store indexes every column, so a
+// two-variable atom whose arguments are all determined collapses to a
+// point lookup and never backtracks; to keep candidate rejection in the
+// profile, the join's second atom is ternary with two determined columns
+// and a fresh one — the matcher probes the smaller of the two posting
+// lists, and the candidates it visits can still mismatch the *other*
+// determined column (backtracks). An existential dependency (nulls
+// minted) competes for triggers.
 SchemaMapping JoinMapping() {
   return MustParseMapping(
-      "E/2", "P/2, T/3",
-      "E(x,y) & E(y,x) -> P(x,y); E(x,y) -> exists w: T(x,y,w)");
+      "E/2, S/3", "P/2, T/3",
+      "E(x,y) & S(x,y,w) -> P(x,w); E(x,y) -> exists w: T(x,y,w)");
 }
 
 Instance JoinSource(const SchemaMapping& m) {
+  // For E(a,b): the col0=a list has 3 rows, the col1=b list has 2, so the
+  // matcher walks col1=b and rejects S(c,b,w2) on column 0 — a backtrack.
   return MustParseInstance(
-      m.source, "E(a,b), E(b,a), E(b,c), E(c,d), E(d,a), E(b,d), E(a,c)");
+      m.source,
+      "E(a,b), E(b,c), E(c,a), "
+      "S(a,b,u1), S(a,c,u2), S(a,d,u3), S(b,c,v1), S(b,a,v2), "
+      "S(c,a,w1), S(c,b,w2), S(c,c,w3)");
 }
 
 TEST_F(ProfilerTest, CanonicalProfileByteIdenticalAcrossThreadCounts) {

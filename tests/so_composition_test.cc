@@ -102,10 +102,10 @@ TEST(SoComposeTest, SelfManagerEqualityAppears) {
   ASSERT_TRUE(chased.ok());
   Result<RelationId> selfmgr = m23.target->FindRelation("SelfMgr");
   ASSERT_TRUE(selfmgr.ok());
-  EXPECT_TRUE(chased->rows(*selfmgr).empty());
+  EXPECT_EQ(chased->NumRows(*selfmgr), 0u);
   Result<RelationId> mgr = m23.target->FindRelation("Mgr'");
   ASSERT_TRUE(mgr.ok());
-  EXPECT_EQ(chased->rows(*mgr).size(), 1u);
+  EXPECT_EQ(chased->NumRows(*mgr), 1u);
 }
 
 TEST(SoComposeTest, ChaseEquivalentToTwoStepChase) {
