@@ -55,27 +55,36 @@ class JsonReporter {
  public:
   explicit JsonReporter(std::string name) : name_(std::move(name)) {}
 
-  void AddPhase(const std::string& phase, double seconds) {
-    phases_.emplace_back(phase, seconds);
+  /// `requires_cores > 0` tags a phase whose wall time is only meaningful
+  /// on a machine with at least that many hardware threads (e.g. a
+  /// 4-thread speedup phase): the bench-regression timing gate skips such
+  /// phases on smaller hosts, where the "parallel" run is pure
+  /// oversubscription noise. Counters are gated regardless of the tag.
+  void AddPhase(const std::string& phase, double seconds,
+                unsigned requires_cores = 0) {
+    phases_.push_back({phase, seconds, requires_cores});
   }
 
   /// RAII phase timer (steady-clock wall time).
   class ScopedPhase {
    public:
-    ScopedPhase(JsonReporter& reporter, std::string phase)
+    ScopedPhase(JsonReporter& reporter, std::string phase,
+                unsigned requires_cores = 0)
         : reporter_(reporter), phase_(std::move(phase)),
+          requires_cores_(requires_cores),
           start_(std::chrono::steady_clock::now()) {}
     ScopedPhase(const ScopedPhase&) = delete;
     ScopedPhase& operator=(const ScopedPhase&) = delete;
     ~ScopedPhase() {
       std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - start_;
-      reporter_.AddPhase(phase_, elapsed.count());
+      reporter_.AddPhase(phase_, elapsed.count(), requires_cores_);
     }
 
    private:
     JsonReporter& reporter_;
     std::string phase_;
+    unsigned requires_cores_;
     std::chrono::steady_clock::time_point start_;
   };
 
@@ -97,7 +106,7 @@ class JsonReporter {
     if (ledger != nullptr && *ledger != '\0') {
       obs::Ledger::Enable();
       double total = 0.0;
-      for (const auto& phase : phases_) total += phase.second;
+      for (const Phase& phase : phases_) total += phase.seconds;
       obs::LedgerEntry entry =
           obs::CollectLedgerEntry("bench/" + name_, nullptr, 0, total);
       if (!obs::AppendToLedger(ledger, &entry)) {
@@ -115,9 +124,14 @@ class JsonReporter {
     for (size_t i = 0; i < phases_.size(); ++i) {
       if (i > 0) out += ',';
       char seconds[64];
-      std::snprintf(seconds, sizeof(seconds), "%.6f", phases_[i].second);
-      out += "{\"name\":\"" + Escape(phases_[i].first) +
-             "\",\"seconds\":" + seconds + "}";
+      std::snprintf(seconds, sizeof(seconds), "%.6f", phases_[i].seconds);
+      out += "{\"name\":\"" + Escape(phases_[i].name) +
+             "\",\"seconds\":" + seconds;
+      if (phases_[i].requires_cores > 0) {
+        out += ",\"requires_cores\":" +
+               std::to_string(phases_[i].requires_cores);
+      }
+      out += "}";
     }
     out += "],\"metrics\":" + obs::SnapshotMetrics().ToJson() + "}\n";
     return out;
@@ -139,8 +153,14 @@ class JsonReporter {
     return out;
   }
 
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+    unsigned requires_cores = 0;
+  };
+
   std::string name_;
-  std::vector<std::pair<std::string, double>> phases_;
+  std::vector<Phase> phases_;
 };
 
 }  // namespace bench

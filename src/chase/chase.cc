@@ -101,6 +101,24 @@ bool TouchesRhs(const Tgd& tgd, const std::vector<bool>& touched) {
   return false;
 }
 
+// True iff the two schemas name the same relation-id space, so a
+// dependency body's relation ids refer to relations the chase writes
+// (e.g. the implication oracle chasing canonical instances under one
+// schema, where a transitivity tgd both reads and writes E). For a
+// genuine s-t mapping the numeric ids merely alias two distinct schemas
+// and bodies never see target facts. Schema has no operator==; compare
+// by identity first, then structurally by (name, arity) per id.
+bool SchemasAlias(const SchemaPtr& a, const SchemaPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr || a->size() != b->size()) return false;
+  for (RelationId r = 0; r < a->size(); ++r) {
+    const RelationSymbol& ra = a->relation(r);
+    const RelationSymbol& rb = b->relation(r);
+    if (ra.name != rb.name || ra.arity != rb.arity) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<Instance> ChaseWithTgds(const Instance& source_inst,
@@ -206,6 +224,7 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
   ThreadPool pool(ResolveThreadCount(options.num_threads));
   HomSearchOptions lhs_options;
   lhs_options.use_index = options.use_index;
+  lhs_options.use_compiled_plan = options.use_compiled_plan;
   std::vector<const Conjunction*> bodies;
   bodies.reserve(tgds.size());
   for (const Tgd& tgd : tgds) bodies.push_back(&tgd.lhs);
@@ -339,8 +358,10 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
     for (const std::vector<MergedTrigger>& m : merged) {
       total_triggers += m.size();
     }
-    ShardPlan plan =
-        PlanFiringShards(tgds, target_inst.schema()->size());
+    ShardPlan plan = PlanFiringShards(
+        tgds, target_inst.schema()->size(),
+        /*bodies_read_targets=*/SchemasAlias(source_inst.schema(),
+                                             target_inst.schema()));
     if (plan.num_shards >= 2 &&
         (options.max_steps == 0 || total_triggers <= options.max_steps)) {
       sharded = true;
@@ -362,6 +383,7 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
         uint32_t shard_null = null_base;
         HomSearchOptions rhs_options;
         rhs_options.use_index = options.use_index;
+        rhs_options.use_compiled_plan = options.use_compiled_plan;
         for (uint32_t d : plan.shard_deps[s]) {
           const Tgd& tgd = tgds[d];
           const std::vector<Value> existentials =
@@ -470,6 +492,7 @@ Result<Instance> ChaseWithTgds(const Instance& source_inst,
         } else {
           HomSearchOptions rhs_options;
           rhs_options.use_index = options.use_index;
+          rhs_options.use_compiled_plan = options.use_compiled_plan;
           fire = !FindHomomorphism(tgd.rhs, target_inst, h, rhs_options)
                       .has_value();
         }

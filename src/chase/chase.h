@@ -47,6 +47,15 @@ struct ChaseOptions {
   /// tests compare against. Both settings produce identical chase output
   /// (trigger batches are canonically sorted before firing).
   bool use_index = true;
+  /// If true (default), indexed searches execute compiled per-dependency
+  /// match plans (chase/match_plan.h) — body compiled once per
+  /// (dependency, instance epoch), flat register frame instead of map
+  /// mutations. If false, the interpretive matcher runs: the
+  /// differential oracle for the plan layer, the same pattern as
+  /// `use_index=false` for the index layer. Identical chase output
+  /// either way. Ignored (always interpretive) when `use_index` is
+  /// false.
+  bool use_compiled_plan = true;
   /// Worker threads for the chase's two parallel phases: trigger
   /// collection (per-dependency fan-out) and, on plain full runs, sharded
   /// firing — dependencies grouped by shared rhs relations fire into

@@ -61,7 +61,8 @@ struct ApplicableStep {
 // dependencies in order, matches in canonical order.
 std::optional<ApplicableStep> FindApplicableStep(
     const std::vector<std::vector<Assignment>>& dep_matches,
-    const Instance& current, const ReverseMapping& m, bool use_index,
+    const Instance& current, const ReverseMapping& m,
+    const HomSearchOptions& rhs_options,
     const std::vector<uint32_t>& prof_deps) {
   for (size_t dep_index = 0; dep_index < m.deps.size(); ++dep_index) {
     const DisjunctiveTgd& dep = m.deps[dep_index];
@@ -71,8 +72,6 @@ std::optional<ApplicableStep> FindApplicableStep(
     for (const Assignment& h : dep_matches[dep_index]) {
       bool satisfied = false;
       for (const Conjunction& disjunct : dep.disjuncts) {
-        HomSearchOptions rhs_options;
-        rhs_options.use_index = use_index;
         if (FindHomomorphism(disjunct, current, h, rhs_options)
                 .has_value()) {
           satisfied = true;
@@ -166,6 +165,7 @@ Result<std::vector<Instance>> DisjunctiveChase(
     bodies.push_back(&dep.lhs);
     HomSearchOptions lhs_options;
     lhs_options.use_index = options.use_index;
+    lhs_options.use_compiled_plan = options.use_compiled_plan;
     lhs_options.must_be_constant = dep.constant_vars;
     lhs_options.inequalities = dep.inequalities;
     body_options.push_back(std::move(lhs_options));
@@ -182,6 +182,10 @@ Result<std::vector<Instance>> DisjunctiveChase(
           static_cast<uint32_t>(m.deps[d].lhs.size()));
     }
   }
+  // One rhs-search option set shared by every node's satisfaction checks.
+  HomSearchOptions rhs_options;
+  rhs_options.use_index = options.use_index;
+  rhs_options.use_compiled_plan = options.use_compiled_plan;
   std::vector<std::vector<Assignment>> dep_matches;
   {
     Result<std::vector<std::vector<Assignment>>> collected =
@@ -221,7 +225,7 @@ Result<std::vector<Instance>> DisjunctiveChase(
           task_statuses[i] = guard.OnPoolTask();
           if (!task_statuses[i].ok()) return;
           steps[i] = FindApplicableStep(dep_matches, wave[i], m,
-                                        options.use_index, prof_deps);
+                                        rhs_options, prof_deps);
         },
         guard.cancellation());
     // Bail on any failed or skipped task BEFORE consuming the slots: a

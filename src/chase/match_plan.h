@@ -1,0 +1,174 @@
+#ifndef QIMAP_CHASE_MATCH_PLAN_H_
+#define QIMAP_CHASE_MATCH_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/value.h"
+#include "relational/atom.h"
+#include "relational/homomorphism.h"
+#include "relational/instance.h"
+#include "relational/schema.h"
+
+namespace qimap {
+
+/// Compiled per-dependency match plans (ROADMAP #3, following the
+/// *Laconic schema mappings* direction: compile the mapping itself into
+/// executable queries).
+///
+/// The interpretive `Matcher` re-derives a join order per search, mutates
+/// a `std::map` Assignment per candidate row, and re-probes posting lists
+/// it already probed while ordering. A `MatchPlan` hoists all of that to
+/// compile time: the body is compiled once per (body, options, bound-key
+/// set, index-statistics epoch) into an ordered step sequence with a
+/// *static* per-atom access-path decision — point-lookup vs posting-probe
+/// vs scan — and bound-variable propagation resolved into a flat register
+/// frame (dense variable slots). Executing a plan touches no maps until a
+/// match is actually emitted.
+///
+/// Determinism contract: plan *content* is a pure function of the body,
+/// the options' movability/side-condition bits, the partial assignment's
+/// key set, and the instance's index statistics (row counts, per-column
+/// distinct counts, literal posting lengths). The partial assignment's
+/// *values* never influence compilation, so every search sharing a cache
+/// key executes the same plan regardless of which thread compiled it
+/// first — `hom.*`, `chase.index.*`, and `chase.plan.*` counters stay
+/// byte-identical at every thread count, like the rest of the engine.
+/// The sharded firing phase relies on a corollary: the statistics of a
+/// dependency's rhs relations are identical between the serial target and
+/// a shard's private instance at corresponding trigger points (provisional
+/// null relabeling is injective, so rows / distinct counts / constant
+/// posting lengths all agree), so compile and cache-hit counts agree too.
+///
+/// The compiler's greedy ordering deliberately replicates the interpretive
+/// `OrderAtoms` heuristic (fewest unbound arguments, then smallest
+/// statistics extent, zero-extent atoms first) so that with an empty
+/// partial assignment both paths enumerate homomorphisms in the same
+/// order — the SO chase allocates nulls in emission order and stays
+/// byte-identical with plans on or off.
+
+/// How a compiled step locates candidate rows. Decided statically at
+/// compile time from which argument positions are determined when the
+/// step runs.
+enum class PlanStepMode : uint8_t {
+  /// Every argument is determined before the step runs: one full-tuple
+  /// slot-table probe, no candidate loop.
+  kPointLookup = 0,
+  /// At least one argument is determined: probe each determined column's
+  /// posting list and let the smallest drive the candidate loop.
+  kProbe = 1,
+  /// No argument is determined (or the atom has arity 0): full columnar
+  /// scan of the relation.
+  kScan = 2,
+};
+
+/// Stable lowercase name for dumps ("point_lookup", "probe", "scan").
+const char* PlanStepModeName(PlanStepMode mode);
+
+/// Where a step argument's comparison value comes from at execution time.
+enum class PlanArgKind : uint8_t {
+  kLiteral = 0,  ///< fixed value (constant, or frozen null/variable)
+  kCheck = 1,    ///< register holding an earlier binding: compare
+  kBind = 2,     ///< first occurrence of a variable: write the cell
+};
+
+struct PlanArg {
+  PlanArgKind kind = PlanArgKind::kLiteral;
+  uint16_t reg = 0;  ///< register slot (kCheck / kBind)
+  Value literal;     ///< fixed value (kLiteral)
+};
+
+/// Side conditions compiled onto a kBind argument so they reject eagerly,
+/// mirroring the interpretive matcher's `BindOk`. Conditions whose other
+/// side is not yet determined at bind time are left to the final check.
+struct PlanBindChecks {
+  bool must_be_constant = false;
+  std::vector<Value> neq_literals;  ///< `x != c` partners fixed at compile
+  std::vector<uint16_t> neq_regs;   ///< `x != y` partners bound earlier
+};
+
+struct PlanStep {
+  RelationId relation = 0;
+  PlanStepMode mode = PlanStepMode::kScan;
+  std::vector<PlanArg> args;  ///< one per column, in column order
+  /// Determined columns (kProbe): each is probed and the smallest posting
+  /// list drives the loop, exactly like the interpretive matcher, so both
+  /// paths visit the same candidate rows in the same ascending-row order.
+  std::vector<uint16_t> probe_cols;
+  /// Parallel to `args` when the search carries side conditions; empty
+  /// otherwise. Consulted only for kBind arguments.
+  std::vector<PlanBindChecks> bind_checks;
+};
+
+/// One compiled body. Immutable after compilation; shared across threads
+/// via shared_ptr from the plan cache.
+struct MatchPlan {
+  std::vector<PlanStep> steps;  ///< in execution order
+  /// perm[step] = the atom's original position in the body as written;
+  /// used to map per-step telemetry back before profiler attribution.
+  std::vector<size_t> perm;
+  /// Register slot -> the movable value it holds, in slot order. Slots
+  /// are dense, assigned at first occurrence in execution order.
+  std::vector<Value> reg_vars;
+  /// Slots preloaded from the partial assignment before step 0.
+  std::vector<uint16_t> preload_regs;
+  /// True when the plan's shape does not depend on index statistics
+  /// (single-atom bodies, and bodies where every atom is fully determined
+  /// up front). Stats-free plans never go stale and skip the per-search
+  /// statistics digest entirely.
+  bool stats_free = false;
+  /// MatchPlanStatsDigest of the instance the plan was compiled against
+  /// (0 when stats_free). A cached plan is reused only while the digest
+  /// still matches — "compiled once per instance epoch".
+  uint64_t stats_digest = 0;
+
+  /// Human-readable dump (one line per step) for `analyze --plan`.
+  std::string ToText(const Schema& schema) const;
+  /// JSON dump (object) validated by `telemetry_check --plan`; format in
+  /// docs/observability.md.
+  std::string ToJson(const Schema& schema) const;
+};
+
+/// Hash of every statistic the compiler consults for `body` against
+/// `instance`: per-atom row counts, per-column distinct counts, and exact
+/// posting lengths of literal (non-movable) arguments. Two instances with
+/// equal digests compile to identical plans.
+uint64_t MatchPlanStatsDigest(const Conjunction& body,
+                              const Instance& instance,
+                              const HomSearchOptions& options);
+
+/// Compiles `body` for searches that extend assignments whose key set
+/// equals `partial`'s key set. Only the keys of `partial` are read.
+MatchPlan CompileMatchPlan(const Conjunction& body, const Instance& instance,
+                           const Assignment& partial,
+                           const HomSearchOptions& options);
+
+/// Returns the cached plan for (body, options, partial key set) if its
+/// statistics digest is still current, else compiles (and caches) a fresh
+/// one. Increments chase.plan.compiles / chase.plan.cache_hits.
+std::shared_ptr<const MatchPlan> GetOrCompileMatchPlan(
+    const Conjunction& body, const Instance& instance,
+    const Assignment& partial, const HomSearchOptions& options);
+
+/// Drops every cached plan (tests and bench windows). Thread-compatible
+/// with concurrent GetOrCompileMatchPlan calls; in-flight executions keep
+/// their shared_ptr.
+void ClearMatchPlanCache();
+
+/// Plan-executing equivalent of ForEachHomomorphism: compiles (or fetches)
+/// the plan and runs it. Flushes the same hom.* / chase.index.* counters
+/// as the interpretive matcher plus chase.plan.*, and attributes per-atom
+/// profiler telemetry through the plan's perm. Called by
+/// ForEachHomomorphism when HomSearchOptions::use_compiled_plan is on;
+/// callers normally go through ForEachHomomorphism.
+size_t ForEachPlanMatch(const Conjunction& body, const Instance& target,
+                        const Assignment& partial,
+                        const HomSearchOptions& options,
+                        const std::function<bool(const Assignment&)>& fn);
+
+}  // namespace qimap
+
+#endif  // QIMAP_CHASE_MATCH_PLAN_H_

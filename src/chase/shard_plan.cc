@@ -17,7 +17,8 @@ uint32_t FindRoot(std::vector<uint32_t>& parent, uint32_t x) {
 }  // namespace
 
 ShardPlan PlanFiringShards(const std::vector<Tgd>& tgds,
-                           size_t num_target_relations) {
+                           size_t num_target_relations,
+                           bool bodies_read_targets) {
   ShardPlan plan;
   const uint32_t n = static_cast<uint32_t>(tgds.size());
   std::vector<uint32_t> parent(n);
@@ -32,6 +33,23 @@ ShardPlan PlanFiringShards(const std::vector<Tgd>& tgds,
       if (w == kNone) {
         w = d;
       } else {
+        uint32_t a = FindRoot(parent, w);
+        uint32_t b = FindRoot(parent, d);
+        if (a != b) parent[b < a ? a : b] = b < a ? b : a;
+      }
+    }
+  }
+  if (bodies_read_targets) {
+    // Same-schema mapping: a dependency body may read a relation another
+    // dependency writes. Union every lhs reader of a written relation
+    // into the writer's shard so fire-time satisfaction and re-search
+    // never run against a stale private instance missing the writer's
+    // facts.
+    for (uint32_t d = 0; d < n; ++d) {
+      for (const Atom& atom : tgds[d].lhs) {
+        if (atom.relation >= writer.size()) continue;
+        uint32_t w = writer[atom.relation];
+        if (w == kNone) continue;  // nothing writes this relation
         uint32_t a = FindRoot(parent, w);
         uint32_t b = FindRoot(parent, d);
         if (a != b) parent[b < a ? a : b] = b < a ? b : a;

@@ -31,9 +31,21 @@ struct ShardPlan {
 };
 
 /// Plans the firing shards for `tgds` over a target schema of
-/// `num_target_relations` relations. Deterministic; O(deps x rhs atoms).
+/// `num_target_relations` relations. Deterministic; O(deps x atoms).
+///
+/// `bodies_read_targets` must be true when dependency *bodies* can read
+/// target relations — i.e. the source and target schemas alias, as in the
+/// containment oracle's implication chase of transitivity-style tgds.
+/// Each lhs read of a written relation then unions the reader into the
+/// writer's shard, so no shard's searches can ever observe a stale
+/// private copy of a relation another shard is writing. For genuine s-t
+/// mappings the flag stays false: lhs relation ids name *source*
+/// relations, which merely happen to share the numeric id space with
+/// target relations, and unioning on them would collapse legitimate
+/// shards.
 ShardPlan PlanFiringShards(const std::vector<Tgd>& tgds,
-                           size_t num_target_relations);
+                           size_t num_target_relations,
+                           bool bodies_read_targets = false);
 
 }  // namespace qimap
 

@@ -38,10 +38,9 @@ void FlushTargetChaseMetrics(const TargetChaseStats& st) {
 // satisfies the rhs. Matches are tested in canonical (sorted) order so
 // the fixpoint fires the same trigger regardless of enumeration order.
 std::optional<Assignment> FindTgdTrigger(const Instance& inst,
-                                         const Tgd& tgd, bool use_index,
+                                         const Tgd& tgd,
+                                         const HomSearchOptions& options,
                                          uint32_t prof_dep) {
-  HomSearchOptions options;
-  options.use_index = use_index;
   std::vector<Assignment> matches;
   {
     obs::ProfiledDepScope scope(prof_dep, obs::ProfilePhase::kCollect);
@@ -50,9 +49,7 @@ std::optional<Assignment> FindTgdTrigger(const Instance& inst,
   }
   obs::ProfiledDepScope scope(prof_dep, obs::ProfilePhase::kFire);
   for (const Assignment& h : matches) {
-    HomSearchOptions rhs_options;
-    rhs_options.use_index = use_index;
-    if (!FindHomomorphism(tgd.rhs, inst, h, rhs_options).has_value()) {
+    if (!FindHomomorphism(tgd.rhs, inst, h, options).has_value()) {
       return h;
     }
     obs::ProfileRecordSkip(prof_dep);
@@ -70,11 +67,10 @@ struct EgdTrigger {
 };
 
 std::optional<EgdTrigger> FindEgdTrigger(const Instance& inst,
-                                         const Egd& egd, bool use_index,
+                                         const Egd& egd,
+                                         const HomSearchOptions& options,
                                          uint32_t prof_dep) {
   obs::ProfiledDepScope scope(prof_dep, obs::ProfilePhase::kCollect);
-  HomSearchOptions options;
-  options.use_index = use_index;
   for (const Assignment& h : FindTriggers(egd.lhs, inst, options)) {
     for (const auto& [x, y] : egd.equalities) {
       Value a = Resolve(h, x);
@@ -100,6 +96,7 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
   ChaseOptions st_options;
   st_options.first_null_label = options.first_null_label;
   st_options.use_index = options.use_index;
+  st_options.use_compiled_plan = options.use_compiled_plan;
   st_options.num_threads = options.num_threads;
   st_options.budget = options.budget;
   // A budget trip inside the s-t phase journals and reports itself; the
@@ -187,6 +184,12 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
       },
       options.budget);
 
+  // One search-option set for the whole fixpoint: index and plan toggles
+  // apply to both trigger collection and rhs satisfaction searches.
+  HomSearchOptions search_options;
+  search_options.use_index = options.use_index;
+  search_options.use_compiled_plan = options.use_compiled_plan;
+
   // Fixpoint loop: egds first (cheap, and merging can satisfy tgds),
   // then target tgds.
   while (true) {
@@ -197,8 +200,7 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
     for (size_t ei = 0; ei < constraints.egds.size(); ++ei) {
       const Egd& egd = constraints.egds[ei];
       std::optional<EgdTrigger> merge =
-          FindEgdTrigger(target_inst, egd, options.use_index,
-                         prof_egds[ei]);
+          FindEgdTrigger(target_inst, egd, search_options, prof_egds[ei]);
       if (!merge.has_value()) continue;
       Value a = merge->a;
       Value b = merge->b;
@@ -252,8 +254,7 @@ Result<TargetChaseResult> ChaseWithTargetConstraints(
     for (size_t ti = 0; ti < constraints.tgds.size(); ++ti) {
       const Tgd& tgd = constraints.tgds[ti];
       std::optional<Assignment> trigger =
-          FindTgdTrigger(target_inst, tgd, options.use_index,
-                         prof_ttgds[ti]);
+          FindTgdTrigger(target_inst, tgd, search_options, prof_ttgds[ti]);
       if (!trigger.has_value()) continue;
       std::vector<uint64_t> parent_ids;
       std::vector<uint64_t> null_ids;

@@ -1,5 +1,9 @@
 #include "obs/ledger.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
@@ -179,8 +183,39 @@ LedgerEntry CollectLedgerEntry(const std::string& command,
   return entry;
 }
 
+// Serializes whole read-modify-rename append cycles across processes and
+// threads with an exclusive flock on `<path>.lock`. The lock file is a
+// separate, stable inode (the ledger itself is replaced by rename, so
+// locking it directly would race the swap), and flock drops the lock
+// automatically when the descriptor closes — including on a crash, so a
+// killed writer never wedges the ledger. Appends without the lock
+// (parallel ctest legs, concurrent qimapd sessions) read-modify-rename
+// over each other and silently drop records.
+class LedgerFileLock {
+ public:
+  explicit LedgerFileLock(const std::string& path) {
+    fd_ = ::open((path + ".lock").c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                 0644);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  LedgerFileLock(const LedgerFileLock&) = delete;
+  LedgerFileLock& operator=(const LedgerFileLock&) = delete;
+  ~LedgerFileLock() {
+    if (fd_ >= 0) ::close(fd_);  // releases the flock
+  }
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
 bool AppendToLedger(const std::string& path, LedgerEntry* entry) {
   if (!Ledger::Enabled()) return false;
+  LedgerFileLock lock(path);
+  if (!lock.held()) return false;
   std::string existing;
   if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
     char buf[1 << 16];

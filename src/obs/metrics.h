@@ -78,6 +78,13 @@ MetricsSnapshot SnapshotMetrics();
 /// threads first.
 void ResetMetrics();
 
+/// Monotonically increasing count of ResetMetrics() calls (starts at 1).
+/// Caches whose hit/miss counters feed this registry key their validity
+/// on it so that counter values are a pure function of the work performed
+/// since the last reset — the determinism contract the canonical ledger
+/// records rely on — rather than of prior windows' cache warm-up.
+uint64_t MetricsResetGeneration();
+
 /// RAII helper recording the enclosed scope's wall time, in microseconds,
 /// into a histogram.
 class ScopedLatency {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "chase/match_plan.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 
@@ -306,6 +307,15 @@ Conjunction OrderAtoms(const Conjunction& body, const Instance& target,
           extent = std::min(extent, estimate);
         }
       }
+      if (extent == 0) {
+        // Provably empty atom (an exact posting probe came back empty, or
+        // the relation has no rows): no candidate loop here can yield a
+        // row, so the whole search is empty. Pick it immediately — ahead
+        // of any atom with fewer unbound arguments — and the matcher
+        // prunes in O(1) instead of enumerating rows first.
+        best = i;
+        break;
+      }
       if (unbound < best_unbound ||
           (unbound == best_unbound && extent < best_extent)) {
         best = i;
@@ -343,6 +353,13 @@ size_t ForEachHomomorphism(const Conjunction& body, const Instance& target,
                            const Assignment& partial,
                            const HomSearchOptions& options,
                            const std::function<bool(const Assignment&)>& fn) {
+  if (options.use_compiled_plan && options.use_index && !body.empty()) {
+    // Compiled path: a cached per-body plan with a flat register frame
+    // (chase/match_plan.h). The interpretive matcher below remains the
+    // differential oracle (`use_compiled_plan=false`), and the full-scan
+    // oracle (`use_index=false`) stays interpretive and naive.
+    return ForEachPlanMatch(body, target, partial, options, fn);
+  }
   static const obs::MetricId kSearches =
       obs::RegisterCounter("hom.searches");
   static const obs::MetricId kMatches =

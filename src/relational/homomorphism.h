@@ -39,6 +39,18 @@ struct HomSearchOptions {
   /// index also informs the join order), which is why the chase engines
   /// sort trigger batches canonically before firing.
   bool use_index = true;
+  /// If true (default), indexed searches run through a compiled match
+  /// plan (chase/match_plan.h): the body is compiled once per (body,
+  /// bound-key set, index-statistics epoch) into an ordered step sequence
+  /// with static point-lookup / posting-probe / scan decisions and a flat
+  /// register frame, replacing the per-search join reorder and the
+  /// per-candidate `std::map` mutations. If false, the interpretive
+  /// matcher runs instead — the differential oracle for the plan layer,
+  /// exactly as `use_index=false` is the oracle for the index layer. Both
+  /// paths enumerate the same homomorphism set; plans are only consulted
+  /// when `use_index` is on (the full-scan oracle stays interpretive and
+  /// naive).
+  bool use_compiled_plan = true;
   /// `Constant(x)` side conditions: each listed value must be assigned a
   /// constant (Definition 6.2, condition (3)).
   std::vector<Value> must_be_constant;

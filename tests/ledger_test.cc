@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -148,6 +151,56 @@ TEST_F(LedgerTest, FaultInjectedCrashMidWriteLeavesLedgerIntact) {
     EXPECT_TRUE(obs::ParseJson(line).ok()) << line;
   }
   std::remove(path.c_str());
+}
+
+// Two processes hammering the same ledger: the append path is
+// read + concat + staged-temp + rename, so without cross-process
+// serialization two writers read the same prefix and the second rename
+// silently drops the first writer's record. The flock'd lock file
+// serializes the whole read-modify-rename, so every append survives and
+// seq stays dense in file order.
+TEST_F(LedgerTest, ConcurrentProcessAppendsLoseNoRecords) {
+  std::string path = TempLedgerPath("ledger_concurrent_test.jsonl");
+  std::remove(path.c_str());
+  constexpr int kWriters = 2;
+  constexpr int kAppendsPerWriter = 25;
+  std::vector<pid_t> pids;
+  for (int w = 0; w < kWriters; ++w) {
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: loop plain appends; the exit code reports failures.
+      int failures = 0;
+      for (int k = 0; k < kAppendsPerWriter; ++k) {
+        obs::LedgerEntry entry = obs::CollectLedgerEntry(
+            w == 0 ? "writer-a" : "writer-b", nullptr, 0,
+            0.001 * static_cast<double>(k + 1));
+        if (!obs::AppendToLedger(path, &entry)) ++failures;
+      }
+      _exit(failures > 125 ? 125 : failures);
+    }
+    pids.push_back(pid);
+  }
+  for (pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0) << "a child writer saw failed appends";
+  }
+  std::vector<std::string> lines = SplitLines(ReadFileOrEmpty(path));
+  ASSERT_EQ(lines.size(),
+            static_cast<size_t>(kWriters * kAppendsPerWriter));
+  // Every record parses and seq runs dense 1..N in file order — the
+  // proof no interleaved append overwrote another's records.
+  for (size_t k = 0; k < lines.size(); ++k) {
+    Result<obs::JsonValue> record = obs::ParseJson(lines[k]);
+    ASSERT_TRUE(record.ok()) << lines[k];
+    const obs::JsonValue* seq = record->Find("seq");
+    ASSERT_NE(seq, nullptr);
+    EXPECT_EQ(seq->number_value, static_cast<double>(k + 1)) << lines[k];
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
 }
 
 // The determinism contract: the canonical rendering of a ledger record —

@@ -11,7 +11,9 @@
 #include "base/thread_pool.h"
 #include "chase/chase.h"
 #include "chase/disjunctive_chase.h"
+#include "chase/shard_plan.h"
 #include "core/lav_quasi_inverse.h"
+#include "dependency/parser.h"
 #include "obs/journal.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
@@ -271,6 +273,95 @@ TEST(ParallelShardedFiringTest, ByteIdenticalAt1And2And4And8Threads) {
   // shard); a soak that never exercises the merge proves nothing.
   EXPECT_EQ(total_cases, 18u);
   EXPECT_GE(engaged_cases, 12u);
+}
+
+// When dependency bodies can read target relations (aliased schemas, as
+// in the implication oracle's chase of canonical instances), a body read
+// of a relation another dependency writes must union the reader into the
+// writer's shard — otherwise the reader's shard-private searches could
+// observe a stale copy of a relation another thread is growing. For
+// genuine s-t mappings the flag stays false and the reads don't union:
+// lhs ids name source relations that merely share the numeric id space.
+TEST(ParallelShardedFiringTest, BodyReadersJoinWriterShards) {
+  SchemaMapping m = MustParseMapping(
+      "E/2, F/2, T/2", "E/2, F/2, T/2",
+      "F(x,y) -> E(x,y); E(x,y) & E(y,z) -> T(x,z)");
+  ASSERT_EQ(m.tgds.size(), 2u);
+
+  // rhs sets {E} and {T} are disjoint: two shards for an s-t mapping.
+  ShardPlan st = PlanFiringShards(m.tgds, m.target->size(),
+                                  /*bodies_read_targets=*/false);
+  EXPECT_EQ(st.num_shards, 2u);
+  EXPECT_NE(st.dep_shard[0], st.dep_shard[1]);
+
+  // Aliased schemas: dep 1's body reads E, which dep 0 writes — one shard.
+  ShardPlan aliased = PlanFiringShards(m.tgds, m.target->size(),
+                                       /*bodies_read_targets=*/true);
+  EXPECT_EQ(aliased.num_shards, 1u);
+  EXPECT_EQ(aliased.dep_shard[0], aliased.dep_shard[1]);
+
+  // A body read of a relation nothing writes unions nothing.
+  SchemaMapping free_read = MustParseMapping(
+      "E/2, F/2, T/2", "E/2, F/2, T/2",
+      "F(x,y) -> E(x,y); F(x,y) & T(y,z) -> T(x,z)");
+  ShardPlan plan = PlanFiringShards(free_read.tgds, free_read.target->size(),
+                                    /*bodies_read_targets=*/true);
+  EXPECT_EQ(plan.num_shards, 2u);
+}
+
+// The ISSUE's regression scenario: a transitivity-style tgd set over
+// aliased source/target schemas, chased at 1 vs 8 threads. The second
+// shard group (U -> V) keeps sharding engaged even though the union
+// collapses the E-group into one shard.
+TEST(ParallelShardedFiringTest, TransitivityTgdsByteIdenticalAt1And8Threads) {
+  SchemaMapping m = MustParseMapping(
+      "E/2, F/2, U/2, V/2", "E/2, F/2, U/2, V/2",
+      "F(x,y) -> E(x,y); E(x,y) & E(y,z) -> E(x,z);"
+      "F(x,y) -> U(y,x); U(x,y) & U(y,z) -> V(x,z)");
+  struct Run {
+    std::string facts;
+    uint64_t fingerprint = 0;
+    uint32_t max_null_label = 0;
+    std::vector<std::string> journal;
+    std::string ledger_canonical;
+    uint64_t shards = 0;
+  };
+  std::vector<Run> runs;
+  for (size_t threads : {1u, 8u}) {
+    obs::ResetMetrics();
+    obs::Journal::Clear();
+    obs::Journal::Enable();
+    Instance source = MustParseInstance(
+        m.source, "F(a,b), F(b,c), F(c,d), E(p,q), E(q,r), U(m,n), U(n,o)");
+    ChaseOptions options;
+    options.num_threads = threads;
+    Result<Instance> chased =
+        ChaseWithTgds(source, m.tgds, m.target, options);
+    ASSERT_TRUE(chased.ok()) << chased.status().ToString();
+    Run run;
+    run.facts = chased->ToString();
+    run.fingerprint = chased->Fingerprint();
+    run.max_null_label = chased->MaxNullLabel();
+    run.journal = NormalizedJournalLines();
+    obs::LedgerEntry entry = obs::CollectLedgerEntry(
+        "test/transitivity", /*budget=*/nullptr, /*exit_code=*/0,
+        /*elapsed_seconds=*/0.0);
+    run.ledger_canonical = entry.ToJson(/*canonical=*/true);
+    obs::MetricsSnapshot snapshot = obs::SnapshotMetrics();
+    auto shards = snapshot.counters.find("chase.parallel.shards");
+    if (shards != snapshot.counters.end()) run.shards = shards->second;
+    obs::Journal::Disable();
+    obs::Journal::Clear();
+    runs.push_back(std::move(run));
+  }
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].facts, runs[1].facts);
+  EXPECT_EQ(runs[0].fingerprint, runs[1].fingerprint);
+  EXPECT_EQ(runs[0].max_null_label, runs[1].max_null_label);
+  EXPECT_EQ(runs[0].journal, runs[1].journal);
+  EXPECT_EQ(runs[0].ledger_canonical, runs[1].ledger_canonical);
+  // The 8-thread run really sharded (two groups: {E,F-deps}, {U,V-deps}).
+  EXPECT_EQ(runs[1].shards, 2u);
 }
 
 TEST(ParallelChaseTest, ThreadPoolRunsEveryIndexExactlyOnce) {

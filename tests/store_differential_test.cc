@@ -8,16 +8,25 @@
 #include "relational/instance.h"
 #include "workload/scenario_gen.h"
 
-// Store-differential property layer for the columnar instance: every
-// scenario family x body topology the generator emits is chased twice,
-// once through the per-column posting lists (`use_index = true`, the hot
-// path) and once through full relation scans (`use_index = false`, the
-// permanent naive oracle). The two paths share everything above the
-// matcher's candidate enumeration, so any divergence pins the bug to the
-// columnar store — the posting lists, the full-tuple dedup slot table,
-// or the index-informed join order. The diff is total: facts (canonical
-// rendering), null labels, the incremental fingerprint, and the
-// provenance journal must all be byte-identical.
+// Store-differential property layer for the columnar instance and the
+// compiled match planner: every scenario family x body topology the
+// generator emits is chased through a three-way oracle —
+//
+//   1. compiled plan   (`use_index = true`, `use_compiled_plan = true`,
+//                       the hot path, additionally run at 1/2/8 threads),
+//   2. interpretive    (`use_index = true`, `use_compiled_plan = false`,
+//                       the per-step index-informed matcher), and
+//   3. full scan       (`use_index = false`, the permanent naive oracle).
+//
+// The three paths share everything above the matcher's candidate
+// enumeration, so any divergence pins the bug to a specific layer:
+// compiled-vs-interpretive isolates the plan compiler (step ordering,
+// register propagation, static mode selection), interpretive-vs-scan
+// isolates the columnar store (posting lists, the full-tuple dedup slot
+// table, the index-informed join order). The diff is total: facts
+// (canonical rendering), null labels, the incremental fingerprint, and
+// the provenance journal must all be byte-identical — at every thread
+// count for the compiled path.
 
 namespace qimap {
 namespace {
@@ -41,6 +50,8 @@ std::vector<std::string> NormalizedJournalLines() {
   return lines;
 }
 
+enum class MatcherMode { kCompiledPlan, kInterpretiveIndexed, kFullScan };
+
 struct ChaseOutput {
   std::string facts;
   uint32_t max_null_label = 0;
@@ -48,11 +59,14 @@ struct ChaseOutput {
   std::vector<std::string> journal;
 };
 
-ChaseOutput RunOnce(const Scenario& scenario, bool use_index) {
+ChaseOutput RunOnce(const Scenario& scenario, MatcherMode mode,
+                    size_t threads = 1) {
   obs::Journal::Clear();
   obs::Journal::Enable();
   ChaseOptions options;
-  options.use_index = use_index;
+  options.use_index = mode != MatcherMode::kFullScan;
+  options.use_compiled_plan = mode == MatcherMode::kCompiledPlan;
+  options.num_threads = threads;
   Instance chased = MustChase(scenario.source, scenario.mapping, options);
   ChaseOutput out;
   out.facts = chased.ToString();
@@ -62,6 +76,15 @@ ChaseOutput RunOnce(const Scenario& scenario, bool use_index) {
   obs::Journal::Disable();
   obs::Journal::Clear();
   return out;
+}
+
+void ExpectSameOutput(const ChaseOutput& got, const ChaseOutput& want,
+                      const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(got.facts, want.facts);
+  EXPECT_EQ(got.max_null_label, want.max_null_label);
+  EXPECT_EQ(got.fingerprint, want.fingerprint);
+  EXPECT_EQ(got.journal, want.journal);
 }
 
 class StoreDifferentialTest : public ::testing::Test {
@@ -78,19 +101,27 @@ class StoreDifferentialTest : public ::testing::Test {
 
 void RunCase(const ScenarioConfig& config, uint64_t seed) {
   Scenario scenario = GenerateScenario(config, seed, /*num_facts=*/14);
-  ChaseOutput indexed = RunOnce(scenario, /*use_index=*/true);
-  ChaseOutput naive = RunOnce(scenario, /*use_index=*/false);
+  ChaseOutput plan = RunOnce(scenario, MatcherMode::kCompiledPlan);
+  ChaseOutput interp = RunOnce(scenario, MatcherMode::kInterpretiveIndexed);
+  ChaseOutput naive = RunOnce(scenario, MatcherMode::kFullScan);
   SCOPED_TRACE(std::string(ScenarioFamilyName(config.family)) + "/" +
                BodyTopologyName(config.topology) + " seed=" +
                std::to_string(seed) +
                "\n  source:  " + scenario.source.ToString() +
-               "\n  indexed: " + indexed.facts +
+               "\n  plan:    " + plan.facts +
+               "\n  interp:  " + interp.facts +
                "\n  naive:   " + naive.facts);
-  EXPECT_EQ(indexed.facts, naive.facts);
-  EXPECT_EQ(indexed.max_null_label, naive.max_null_label);
-  EXPECT_EQ(indexed.fingerprint, naive.fingerprint);
-  EXPECT_EQ(indexed.journal, naive.journal);
-  EXPECT_FALSE(indexed.journal.empty())
+  ExpectSameOutput(plan, interp, "plan vs interp");
+  ExpectSameOutput(interp, naive, "interp vs naive");
+  // The compiled path must also be insensitive to the firing-phase
+  // thread count: same bytes at 2 and 8 workers as at 1.
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    ChaseOutput threaded = RunOnce(scenario, MatcherMode::kCompiledPlan,
+                                   threads);
+    ExpectSameOutput(threaded, plan,
+                     threads == 2 ? "plan @2 threads" : "plan @8 threads");
+  }
+  EXPECT_FALSE(plan.journal.empty())
       << "journal must capture the run (did Enable() fail?)";
 }
 

@@ -23,7 +23,11 @@
 //   * a bench missing from the baseline fails (refresh the baseline);
 //   * wall time fails when cur > base * (1 + tolerance) + 0.05s
 //     (--tolerance, default 0.5; the additive floor keeps sub-50ms
-//     benches from tripping on scheduler noise);
+//     benches from tripping on scheduler noise). Phases tagged
+//     `requires_cores` larger than the host's hardware concurrency
+//     (override: QIMAP_BENCH_CORES) are excluded from both sides of the
+//     comparison — a 4-thread speedup phase timed on a 1-core runner is
+//     oversubscription noise — but their counters stay gated in full;
 //   * work counters are increases-only: a counter fails when
 //     cur > base * (1 + counter-tolerance) + 16 (--counter-tolerance,
 //     default 0.1). `chase.parallel.*` counters are exempt (their split
@@ -52,6 +56,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json.h"
@@ -61,12 +66,56 @@
 namespace qimap {
 namespace {
 
+struct BenchPhase {
+  std::string name;
+  double seconds = 0.0;
+  // Minimum hardware threads for the phase's wall time to be meaningful
+  // (0 = any host). Phases requiring more cores than the gate's host has
+  // are excluded from the timing comparison — on both sides — while
+  // their counters stay gated: oversubscribed "parallel" timings are
+  // noise, the work they do is not.
+  unsigned requires_cores = 0;
+};
+
 struct BenchEntry {
   std::string name;
   double seconds = 0.0;
-  std::vector<std::pair<std::string, double>> phases;
+  std::vector<BenchPhase> phases;
   std::map<std::string, double> counters;
 };
+
+// Cores the timing gate believes this host has: QIMAP_BENCH_CORES (a
+// positive integer, for tests and for CI runners that lie about their
+// shape) else std::thread::hardware_concurrency(), floored at 1.
+unsigned AvailableCores() {
+  const char* env = std::getenv("QIMAP_BENCH_CORES");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    unsigned long value = std::strtoul(env, &end, 10);
+    if (end != nullptr && *end == '\0' && value > 0 &&
+        value <= 1u << 20) {
+      return static_cast<unsigned>(value);
+    }
+    std::fprintf(stderr,
+                 "bench_report: ignoring invalid QIMAP_BENCH_CORES '%s'\n",
+                 env);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+// Wall time the gate compares: the sum of the bench's phases that this
+// host can run meaningfully. Entries without phase detail (old ledger
+// records, hand-written baselines) fall back to the recorded total.
+double GatedSeconds(const BenchEntry& bench, unsigned cores) {
+  if (bench.phases.empty()) return bench.seconds;
+  double total = 0.0;
+  for (const BenchPhase& phase : bench.phases) {
+    if (phase.requires_cores > cores) continue;
+    total += phase.seconds;
+  }
+  return total;
+}
 
 bool Fail(const char* file, const std::string& why) {
   std::fprintf(stderr, "bench_report: %s: %s\n", file, why.c_str());
@@ -95,9 +144,21 @@ bool LoadReport(const char* path, std::vector<BenchEntry>* benches,
         seconds == nullptr || !seconds->IsNumber()) {
       return Fail(path, "malformed phase entry");
     }
-    entry.phases.emplace_back(phase_name->string_value,
-                              seconds->number_value);
-    entry.seconds += seconds->number_value;
+    BenchPhase parsed;
+    parsed.name = phase_name->string_value;
+    parsed.seconds = seconds->number_value;
+    const obs::JsonValue* requires_cores = phase.Find("requires_cores");
+    if (requires_cores != nullptr) {
+      if (!requires_cores->IsNumber() ||
+          requires_cores->number_value < 0) {
+        return Fail(path, "malformed 'requires_cores' in phase '" +
+                              parsed.name + "'");
+      }
+      parsed.requires_cores =
+          static_cast<unsigned>(requires_cores->number_value);
+    }
+    entry.seconds += parsed.seconds;
+    entry.phases.push_back(std::move(parsed));
   }
   const obs::JsonValue* metrics = doc->Find("metrics");
   if (metrics != nullptr) {
@@ -135,6 +196,30 @@ bool LoadBaseline(const char* path,
     BenchEntry entry;
     entry.name = name->string_value;
     entry.seconds = seconds->number_value;
+    // Phase detail (when the baseline has it) lets the timing gate
+    // exclude core-tagged phases symmetrically on both sides.
+    const obs::JsonValue* phases = bench.Find("phases");
+    if (phases != nullptr && phases->IsArray()) {
+      for (const obs::JsonValue& phase : phases->items) {
+        const obs::JsonValue* phase_name = phase.Find("name");
+        const obs::JsonValue* phase_seconds = phase.Find("seconds");
+        if (phase_name == nullptr || !phase_name->IsString() ||
+            phase_seconds == nullptr || !phase_seconds->IsNumber()) {
+          return Fail(path, "malformed baseline phase entry");
+        }
+        BenchPhase parsed;
+        parsed.name = phase_name->string_value;
+        parsed.seconds = phase_seconds->number_value;
+        const obs::JsonValue* requires_cores =
+            phase.Find("requires_cores");
+        if (requires_cores != nullptr && requires_cores->IsNumber() &&
+            requires_cores->number_value >= 0) {
+          parsed.requires_cores =
+              static_cast<unsigned>(requires_cores->number_value);
+        }
+        entry.phases.push_back(std::move(parsed));
+      }
+    }
     const obs::JsonValue* bench_counters = bench.Find("counters");
     if (bench_counters != nullptr && bench_counters->IsObject()) {
       for (const auto& [key, value] : bench_counters->members) {
@@ -157,7 +242,8 @@ bool CounterExempt(const std::string& name) {
 // violation. Returns the number of violations.
 int CheckAgainstBaseline(const std::vector<BenchEntry>& benches,
                          const std::map<std::string, BenchEntry>& baseline,
-                         double tolerance, double counter_tolerance) {
+                         double tolerance, double counter_tolerance,
+                         unsigned cores) {
   int violations = 0;
   for (const BenchEntry& bench : benches) {
     auto it = baseline.find(bench.name);
@@ -171,14 +257,24 @@ int CheckAgainstBaseline(const std::vector<BenchEntry>& benches,
       continue;
     }
     const BenchEntry& base = it->second;
+    for (const BenchPhase& phase : bench.phases) {
+      if (phase.requires_cores > cores) {
+        std::printf("bench_report: '%s' phase '%s' excluded from the "
+                    "timing gate (requires %u cores, host has %u)\n",
+                    bench.name.c_str(), phase.name.c_str(),
+                    phase.requires_cores, cores);
+      }
+    }
+    double gated_seconds = GatedSeconds(bench, cores);
+    double base_seconds = GatedSeconds(base, cores);
     // Additive 50ms floor: sub-50ms benches are all scheduler noise.
-    double time_limit = base.seconds * (1.0 + tolerance) + 0.05;
-    if (bench.seconds > time_limit) {
+    double time_limit = base_seconds * (1.0 + tolerance) + 0.05;
+    if (gated_seconds > time_limit) {
       std::fprintf(stderr,
                    "bench_report: CHECK FAIL: '%s' took %.3fs, limit "
                    "%.3fs (baseline %.3fs, tolerance %.0f%%)\n",
-                   bench.name.c_str(), bench.seconds, time_limit,
-                   base.seconds, tolerance * 100.0);
+                   bench.name.c_str(), gated_seconds, time_limit,
+                   base_seconds, tolerance * 100.0);
       ++violations;
     }
     for (const auto& [key, value] : bench.counters) {
@@ -373,10 +469,15 @@ std::string ToJson(const std::vector<BenchEntry>& benches,
     out += ",\"phases\":[";
     for (size_t k = 0; k < benches[i].phases.size(); ++k) {
       if (k > 0) out.push_back(',');
+      const BenchPhase& phase = benches[i].phases[k];
       out += "{\"name\":";
-      AppendEscaped(&out, benches[i].phases[k].first);
+      AppendEscaped(&out, phase.name);
       out += ",\"seconds\":";
-      AppendNumber(&out, benches[i].phases[k].second);
+      AppendNumber(&out, phase.seconds);
+      if (phase.requires_cores > 0) {
+        out += ",\"requires_cores\":" +
+               std::to_string(phase.requires_cores);
+      }
       out.push_back('}');
     }
     out += "],\"counters\":";
@@ -461,7 +562,8 @@ int Main(int argc, char** argv) {
     std::map<std::string, BenchEntry> baseline;
     if (!LoadBaseline(baseline_path, &baseline)) return 1;
     int violations = CheckAgainstBaseline(benches, baseline, tolerance,
-                                          counter_tolerance);
+                                          counter_tolerance,
+                                          AvailableCores());
     if (violations > 0) {
       std::fprintf(stderr,
                    "bench_report: %d regression(s) against baseline %s\n",

@@ -39,6 +39,7 @@
 #include "base/version.h"
 #include "chase/chase.h"
 #include "chase/chase_checkpoint.h"
+#include "chase/match_plan.h"
 #include "chase/solution_cache.h"
 #include "relational/cost_model.h"
 #include "core/containment.h"
@@ -130,9 +131,10 @@ const tools::ArgSpec& CliSpec() {
         "format",        "explain-out", "threads",     "deadline-ms",
         "max-memory-mb", "max-nulls",   "max-steps",   "delta",
         "profile-out",   "progress-out", "progress-interval", "ledger",
-        "case",          "contained-in"};
+        "case",          "contained-in", "plan-out"};
     spec.bool_flags = {"verbose", "version", "help",     "incremental",
-                       "solution-cache", "profile", "progress", "quiet"};
+                       "solution-cache", "profile", "progress", "quiet",
+                       "plan",    "no-plan"};
     return spec;
   }();
   return kSpec;
@@ -212,6 +214,18 @@ int Usage() {
       "ledger runs\n"
       "             (default: the last two; exit 0 iff no telemetry "
       "deltas)\n"
+      "plans:     analyze --plan      print each dependency's compiled "
+      "match plan\n"
+      "             (step order, point_lookup/probe/scan modes, register "
+      "frame;\n"
+      "              compiled against --instance when given)\n"
+      "           analyze --plan-out FILE  write the plans as JSON "
+      "(validated by\n"
+      "             telemetry_check --plan)\n"
+      "           --no-plan           run the interpretive matcher "
+      "instead of\n"
+      "             compiled match plans (the plan layer's differential "
+      "oracle)\n"
       "other:     --version           print the library version\n"
       "Flags accept both --key value and --key=value.\n");
   return 2;
@@ -224,6 +238,7 @@ ChaseOptions LoadChaseOptions(const Args& args) {
   options.num_threads =
       static_cast<size_t>(std::atoi(args.Get("threads", "1")));
   options.budget = g_budget;
+  options.use_compiled_plan = !args.Has("no-plan");
   return options;
 }
 
@@ -521,6 +536,43 @@ int RunAnalyze(const Args& args, const SchemaMapping& m) {
     QIMAP_ASSIGN_OR_RETURN_CLI(Instance u,
                                Chase(i, m, LoadChaseOptions(args)));
     g_cost_model = CostModel::FromInstance(u);
+  }
+  // Under --plan, compile each dependency's body against --instance (or
+  // an empty source, where every atom degenerates to a zero-extent scan)
+  // and dump the step sequence; --plan-out writes the JSON document
+  // telemetry_check --plan validates.
+  if (args.Has("plan") || args.Get("plan-out") != nullptr) {
+    Instance stats_source(m.source);
+    if (args.Get("instance") != nullptr) {
+      QIMAP_ASSIGN_OR_RETURN_CLI(
+          stats_source, ParseInstance(m.source, args.Get("instance")));
+    }
+    auto escape = [](const std::string& s) {
+      std::string out;
+      for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      return out;
+    };
+    std::string json = "{\n  \"plans\": [";
+    for (size_t d = 0; d < m.tgds.size(); ++d) {
+      const Tgd& tgd = m.tgds[d];
+      MatchPlan plan = CompileMatchPlan(tgd.lhs, stats_source, {}, {});
+      std::string text = TgdToString(tgd, *m.source, *m.target);
+      if (!text.empty() && text.back() == '\n') text.pop_back();
+      std::printf("plan for %s:\n%s", text.c_str(),
+                  plan.ToText(*m.source).c_str());
+      json += d == 0 ? "\n    " : ",\n    ";
+      json += "{\"dependency\": \"" + escape(text) +
+              "\", \"plan\": " + plan.ToJson(*m.source) + "}";
+    }
+    json += "\n  ]\n}\n";
+    const char* plan_out = args.Get("plan-out");
+    if (plan_out != nullptr && !obs::WriteFileAtomic(plan_out, json)) {
+      std::fprintf(stderr, "qimap_cli: cannot write %s\n", plan_out);
+      return 1;
+    }
   }
   return 0;
 }

@@ -49,6 +49,10 @@
 //              line with dense 1-based seq, a nonempty command, the
 //              run-metadata stamp, a budget outcome, fingerprints, and
 //              a counters object
+//   --plan     qimap_cli analyze --plan-out JSON: a plans array whose
+//              entries name their dependency and carry a compiled plan —
+//              step order a permutation, known access modes, probe steps
+//              with probe columns, register references in range
 // Journal files may start with a `{"meta": {...}}` header line (the run-
 // metadata stamp every writer emits); it is validated, not counted as an
 // event.
@@ -844,6 +848,117 @@ bool CheckLedger(const char* path) {
   return true;
 }
 
+// Validates a `qimap_cli analyze --plan-out` document: a "plans" array of
+// {dependency, plan} entries where each plan's "order" is a permutation
+// of the step indexes, every step names a relation and a known access
+// mode, probe steps list their probe columns, and every register
+// reference stays inside the declared register frame.
+bool CheckPlan(const char* path) {
+  Result<obs::JsonValue> doc = obs::ParseJsonFile(path);
+  if (!doc.ok()) return Fail(path, doc.status().ToString());
+  if (!doc->IsObject()) return Fail(path, "top level is not an object");
+  const obs::JsonValue* plans = doc->Find("plans");
+  if (plans == nullptr || !plans->IsArray()) {
+    return Fail(path, "missing 'plans' array");
+  }
+  if (plans->items.empty()) return Fail(path, "'plans' is empty");
+  for (size_t p = 0; p < plans->items.size(); ++p) {
+    std::string where = "plans[" + std::to_string(p) + "]";
+    const obs::JsonValue& entry = plans->items[p];
+    if (!entry.IsObject()) return Fail(path, where + ": not an object");
+    const obs::JsonValue* dep = entry.Find("dependency");
+    if (dep == nullptr || !dep->IsString() || dep->string_value.empty()) {
+      return Fail(path, where + ": missing string 'dependency'");
+    }
+    const obs::JsonValue* plan = entry.Find("plan");
+    if (plan == nullptr || !plan->IsObject()) {
+      return Fail(path, where + ": missing 'plan' object");
+    }
+    const obs::JsonValue* registers = plan->Find("registers");
+    if (registers == nullptr || !registers->IsArray()) {
+      return Fail(path, where + ": plan lacks a 'registers' array");
+    }
+    const obs::JsonValue* stats_free = plan->Find("stats_free");
+    if (stats_free == nullptr ||
+        stats_free->type != obs::JsonValue::Type::kBool) {
+      return Fail(path, where + ": plan lacks a boolean 'stats_free'");
+    }
+    const obs::JsonValue* steps = plan->Find("steps");
+    const obs::JsonValue* order = plan->Find("order");
+    if (steps == nullptr || !steps->IsArray() || steps->items.empty()) {
+      return Fail(path, where + ": plan lacks a nonempty 'steps' array");
+    }
+    if (order == nullptr || !order->IsArray() ||
+        order->items.size() != steps->items.size()) {
+      return Fail(path,
+                  where + ": 'order' must parallel 'steps'");
+    }
+    std::set<uint64_t> seen_atoms;
+    for (const obs::JsonValue& o : order->items) {
+      if (!o.IsNumber() || o.number_value < 0 ||
+          o.number_value >= static_cast<double>(steps->items.size()) ||
+          !seen_atoms.insert(static_cast<uint64_t>(o.number_value))
+               .second) {
+        return Fail(path, where + ": 'order' is not a permutation of the "
+                              "step indexes");
+      }
+    }
+    const size_t num_regs = registers->items.size();
+    for (size_t s = 0; s < steps->items.size(); ++s) {
+      std::string step_where = where + ".steps[" + std::to_string(s) + "]";
+      const obs::JsonValue& step = steps->items[s];
+      if (!step.IsObject()) return Fail(path, step_where + ": not object");
+      const obs::JsonValue* relation = step.Find("relation");
+      if (relation == nullptr || !relation->IsString() ||
+          relation->string_value.empty()) {
+        return Fail(path, step_where + ": missing string 'relation'");
+      }
+      const obs::JsonValue* mode = step.Find("mode");
+      if (mode == nullptr || !mode->IsString() ||
+          (mode->string_value != "point_lookup" &&
+           mode->string_value != "probe" && mode->string_value != "scan")) {
+        return Fail(path, step_where + ": 'mode' must be point_lookup, "
+                              "probe, or scan");
+      }
+      const obs::JsonValue* probe_cols = step.Find("probe_cols");
+      if (probe_cols == nullptr || !probe_cols->IsArray()) {
+        return Fail(path, step_where + ": missing 'probe_cols' array");
+      }
+      if (mode->string_value == "probe" && probe_cols->items.empty()) {
+        return Fail(path,
+                    step_where + ": probe step lists no probe columns");
+      }
+      const obs::JsonValue* args = step.Find("args");
+      if (args == nullptr || !args->IsArray()) {
+        return Fail(path, step_where + ": missing 'args' array");
+      }
+      for (size_t a = 0; a < args->items.size(); ++a) {
+        const obs::JsonValue& arg = args->items[a];
+        std::string arg_where =
+            step_where + ".args[" + std::to_string(a) + "]";
+        if (!arg.IsObject()) return Fail(path, arg_where + ": not object");
+        const obs::JsonValue* literal = arg.Find("literal");
+        const obs::JsonValue* check = arg.Find("check");
+        const obs::JsonValue* bind = arg.Find("bind");
+        int kinds = (literal != nullptr) + (check != nullptr) +
+                    (bind != nullptr);
+        if (kinds != 1) {
+          return Fail(path, arg_where + ": exactly one of literal/check/"
+                                "bind required");
+        }
+        for (const obs::JsonValue* reg : {check, bind}) {
+          if (reg != nullptr &&
+              (!reg->IsNumber() || reg->number_value < 0 ||
+               reg->number_value >= static_cast<double>(num_regs))) {
+            return Fail(path, arg_where + ": register index out of range");
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: telemetry_check [--trace FILE] [--metrics FILE] "
@@ -853,7 +968,8 @@ int Usage() {
                "[--incremental FILE] [--solcache FILE]\n"
                "                       [--containment FILE] [--profile "
                "FILE] [--progress FILE] [--ledger FILE]\n"
-               "                       [--compare FILE_A FILE_B]\n"
+               "                       [--plan FILE] "
+               "[--compare FILE_A FILE_B]\n"
                "       telemetry_check <trace.json> <metrics.json>\n");
   return 2;
 }
@@ -873,7 +989,7 @@ int Main(int argc, char** argv) {
     for (const char* name :
          {"trace", "metrics", "journal", "explain", "parallel", "sharded",
           "budget", "incremental", "solcache", "containment", "profile",
-          "progress", "ledger"}) {
+          "progress", "ledger", "plan"}) {
       spec.multi_value_flags[name] = 1;
     }
     spec.multi_value_flags["compare"] = 2;
@@ -911,6 +1027,8 @@ int Main(int argc, char** argv) {
         ok = CheckProgress(file) && ok;
       } else if (occ.flag == "ledger") {
         ok = CheckLedger(file) && ok;
+      } else if (occ.flag == "plan") {
+        ok = CheckPlan(file) && ok;
       } else if (occ.flag == "compare") {
         ok = CheckCompare(file, occ.values[1].c_str()) && ok;
       }
